@@ -1,0 +1,144 @@
+//! Longitudinal comparison of two samples ("trends and correlations",
+//! Section 1): estimate per-subset weight *differences* across two periods
+//! from their summaries alone, with conservative confidence intervals.
+//!
+//! Because each sample's subset estimate is unbiased, the difference of
+//! estimates is an unbiased estimate of the difference, and the tail
+//! bounds of each side combine by a union bound.
+
+use sas_core::{bounds, KeyId, Sample};
+
+/// Result of comparing a subset across two samples.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetComparison {
+    /// Estimate from the first (earlier) sample.
+    pub before: f64,
+    /// Estimate from the second (later) sample.
+    pub after: f64,
+    /// Estimated change `after − before`.
+    pub delta: f64,
+    /// Conservative `1 − delta_conf` CI for the change.
+    pub ci: (f64, f64),
+}
+
+/// Compares a subset (given by `pred`) across two samples at confidence
+/// `1 − delta_conf`.
+pub fn compare_subset(
+    before: &Sample,
+    after: &Sample,
+    mut pred: impl FnMut(KeyId) -> bool,
+    delta_conf: f64,
+) -> SubsetComparison {
+    assert!(delta_conf > 0.0 && delta_conf < 1.0);
+    let eb = before.subset_estimate(&mut pred);
+    let ea = after.subset_estimate(&mut pred);
+    // Union bound: each side gets delta/2.
+    let half = delta_conf / 2.0;
+    let (b_lo, b_hi) = interval_for(eb, before.tau(), half);
+    let (a_lo, a_hi) = interval_for(ea, after.tau(), half);
+    SubsetComparison {
+        before: eb,
+        after: ea,
+        delta: ea - eb,
+        ci: (a_lo - b_hi, a_hi - b_lo),
+    }
+}
+
+fn interval_for(estimate: f64, tau: f64, delta: f64) -> (f64, f64) {
+    if tau <= 0.0 {
+        // Exact summary (everything kept): zero-width interval.
+        (estimate, estimate)
+    } else {
+        bounds::weight_confidence_interval(estimate, tau, delta)
+    }
+}
+
+/// Ratio-of-totals estimate: the subset's share of total weight in each
+/// sample, useful for normalizing across periods with different volumes.
+pub fn share_change(
+    before: &Sample,
+    after: &Sample,
+    mut pred: impl FnMut(KeyId) -> bool,
+) -> (f64, f64) {
+    let sb = before.subset_estimate(&mut pred) / before.total_estimate().max(f64::MIN_POSITIVE);
+    let sa = after.subset_estimate(&mut pred) / after.total_estimate().max(f64::MIN_POSITIVE);
+    (sb, sa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sas_core::WeightedKey;
+
+    fn period_data(n: u64, bump: f64, seed: u64) -> Vec<WeightedKey> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|k| {
+                let base = rng.gen_range(0.5..1.5);
+                let w = if k < n / 4 { base * bump } else { base };
+                WeightedKey::new(k, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_a_real_increase() {
+        // First quarter of keys triples between periods.
+        let d1 = period_data(2000, 1.0, 1);
+        let d2 = period_data(2000, 3.0, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s1 = sas_sampling::order::sample(&d1, 400, &mut rng);
+        let s2 = sas_sampling::order::sample(&d2, 400, &mut rng);
+        let cmp = compare_subset(&s1, &s2, |k| k < 500, 0.05);
+        let true_before: f64 = d1.iter().filter(|w| w.key < 500).map(|w| w.weight).sum();
+        let true_after: f64 = d2.iter().filter(|w| w.key < 500).map(|w| w.weight).sum();
+        let true_delta = true_after - true_before;
+        assert!(cmp.delta > 0.5 * true_delta && cmp.delta < 1.5 * true_delta,
+            "delta {} vs true {}", cmp.delta, true_delta);
+        assert!(cmp.ci.0 <= true_delta && true_delta <= cmp.ci.1,
+            "CI {:?} misses {}", cmp.ci, true_delta);
+        // The increase is significant: CI excludes zero.
+        assert!(cmp.ci.0 > 0.0, "CI {:?} includes 0 for a 3x bump", cmp.ci);
+    }
+
+    #[test]
+    fn no_change_is_not_flagged() {
+        let d1 = period_data(2000, 1.0, 4);
+        let d2 = period_data(2000, 1.0, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let s1 = sas_sampling::order::sample(&d1, 300, &mut rng);
+        let s2 = sas_sampling::order::sample(&d2, 300, &mut rng);
+        let cmp = compare_subset(&s1, &s2, |k| k < 500, 0.05);
+        assert!(cmp.ci.0 <= 0.0 && 0.0 <= cmp.ci.1,
+            "CI {:?} excludes 0 for unchanged data", cmp.ci);
+    }
+
+    #[test]
+    fn share_change_normalizes() {
+        let d1 = period_data(1000, 1.0, 7);
+        // Double everything: absolute weights change, shares do not.
+        let d2: Vec<WeightedKey> = d1
+            .iter()
+            .map(|wk| WeightedKey::new(wk.key, wk.weight * 2.0))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let s1 = sas_sampling::order::sample(&d1, 200, &mut rng);
+        let s2 = sas_sampling::order::sample(&d2, 200, &mut rng);
+        let (sb, sa) = share_change(&s1, &s2, |k| k < 250);
+        assert!((sb - sa).abs() < 0.05, "shares {sb} vs {sa}");
+    }
+
+    #[test]
+    fn exact_samples_zero_width_ci() {
+        let d = period_data(50, 1.0, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        // s >= n: tau = 0, estimates exact.
+        let s1 = sas_sampling::order::sample(&d, 50, &mut rng);
+        let s2 = sas_sampling::order::sample(&d, 50, &mut rng);
+        let cmp = compare_subset(&s1, &s2, |k| k < 25, 0.05);
+        assert_eq!(cmp.delta, 0.0);
+        assert_eq!(cmp.ci, (0.0, 0.0));
+    }
+}

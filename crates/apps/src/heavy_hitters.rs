@@ -1,0 +1,258 @@
+//! Heavy hitters and hierarchical heavy hitters from a sample.
+//!
+//! A key is a *φ-heavy hitter* if its weight exceeds `φ·W`. From an IPPS
+//! sample with threshold τ, every key with weight ≥ τ is present with its
+//! exact weight, so all heavy hitters above max(φ·W, τ) are reported with
+//! no false negatives; keys between τ and φ·W appear with adjusted weight
+//! τ and are filtered by the φ·W cutoff.
+//!
+//! *Hierarchical* heavy hitters (HHH) generalize to a hierarchy: a node is
+//! an HHH if its subtree weight — after discounting descendant HHHs —
+//! exceeds φ·W. The estimates come from subset sums of the sample, so any
+//! hierarchy can be queried after the fact, unbiasedly.
+
+use std::collections::{HashMap, HashSet};
+
+use sas_core::{KeyId, Sample};
+use sas_structures::hierarchy::{Hierarchy, NodeId};
+
+/// A detected heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyHitter {
+    /// The key.
+    pub key: KeyId,
+    /// Its estimated (adjusted) weight.
+    pub estimate: f64,
+}
+
+/// Reports keys whose estimated weight exceeds `phi · total_estimate`.
+///
+/// Guarantees, inherited from IPPS sampling: every true heavy hitter with
+/// weight ≥ max(φ·W, τ) is reported (its weight is exact in the sample);
+/// reported estimates are unbiased.
+pub fn heavy_hitters(sample: &Sample, phi: f64) -> Vec<HeavyHitter> {
+    assert!(phi > 0.0 && phi < 1.0, "phi out of (0,1)");
+    let total = sample.total_estimate();
+    let cutoff = phi * total;
+    let mut out: Vec<HeavyHitter> = sample
+        .iter()
+        .filter(|e| e.adjusted_weight >= cutoff)
+        .map(|e| HeavyHitter {
+            key: e.key,
+            estimate: e.adjusted_weight,
+        })
+        .collect();
+    out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate));
+    out
+}
+
+/// A detected hierarchical heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalHeavyHitter {
+    /// The hierarchy node.
+    pub node: NodeId,
+    /// Estimated subtree weight *after* discounting descendant HHHs.
+    pub discounted_estimate: f64,
+    /// Estimated raw subtree weight.
+    pub subtree_estimate: f64,
+}
+
+/// Detects hierarchical heavy hitters: processes nodes bottom-up, reporting
+/// a node when its subtree estimate minus already-reported descendant HHH
+/// weight exceeds `phi · total`.
+pub fn hierarchical_heavy_hitters(
+    sample: &Sample,
+    hierarchy: &Hierarchy,
+    phi: f64,
+) -> Vec<HierarchicalHeavyHitter> {
+    assert!(phi > 0.0 && phi < 1.0, "phi out of (0,1)");
+    let total = sample.total_estimate();
+    let cutoff = phi * total;
+
+    // Adjusted weight by leaf position.
+    let key_weight: HashMap<KeyId, f64> = sample
+        .iter()
+        .map(|e| (e.key, e.adjusted_weight))
+        .collect();
+
+    // Subtree estimates via leaf spans (contiguous positions).
+    let leaf_weight: Vec<f64> = (0..hierarchy.leaf_count() as u64)
+        .map(|pos| {
+            let leaf = hierarchy.leaf_at(pos);
+            hierarchy
+                .key(leaf)
+                .and_then(|k| key_weight.get(&k))
+                .copied()
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let mut prefix = vec![0.0; leaf_weight.len() + 1];
+    for (i, w) in leaf_weight.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    let subtree = |n: NodeId| -> f64 {
+        let span = hierarchy.leaf_span(n);
+        prefix[(span.hi + 1) as usize] - prefix[span.lo as usize]
+    };
+
+    // Bottom-up: nodes in decreasing depth; discount = sum of HHH weights
+    // already claimed inside the subtree.
+    let mut order: Vec<NodeId> = (0..hierarchy.node_count() as NodeId).collect();
+    order.sort_by_key(|&n| std::cmp::Reverse(hierarchy.depth(n)));
+    let mut claimed: HashMap<NodeId, f64> = HashMap::new(); // per node: weight claimed below
+    let mut out = Vec::new();
+    for n in order {
+        let claimed_below = claimed.get(&n).copied().unwrap_or(0.0);
+        let raw = subtree(n);
+        let discounted = raw - claimed_below;
+        let is_hhh = discounted >= cutoff;
+        let claimed_here = if is_hhh {
+            out.push(HierarchicalHeavyHitter {
+                node: n,
+                discounted_estimate: discounted,
+                subtree_estimate: raw,
+            });
+            raw // everything below n is now claimed
+        } else {
+            claimed_below
+        };
+        if let Some(p) = hierarchy.parent(n) {
+            *claimed.entry(p).or_insert(0.0) += claimed_here;
+        }
+    }
+    out.sort_by(|a, b| b.discounted_estimate.total_cmp(&a.discounted_estimate));
+    out
+}
+
+/// Sanity helper: the set of sample keys under a node.
+pub fn sampled_keys_under(
+    sample: &Sample,
+    hierarchy: &Hierarchy,
+    node: NodeId,
+) -> HashSet<KeyId> {
+    let under: HashSet<KeyId> = hierarchy.keys_under(node).collect();
+    sample.keys().filter(|k| under.contains(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sas_core::WeightedKey;
+    use sas_structures::hierarchy::HierarchyBuilder;
+
+    fn skewed_data(n: u64, heavy: &[(u64, f64)], seed: u64) -> Vec<WeightedKey> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data: Vec<WeightedKey> = (0..n)
+            .map(|k| WeightedKey::new(k, rng.gen_range(0.1..1.0)))
+            .collect();
+        for &(k, w) in heavy {
+            data[k as usize] = WeightedKey::new(k, w);
+        }
+        data
+    }
+
+    #[test]
+    fn true_heavy_hitters_always_found() {
+        let data = skewed_data(500, &[(7, 300.0), (123, 200.0)], 1);
+        let total: f64 = data.iter().map(|wk| wk.weight).sum();
+        let phi = 0.1; // cutoff ≈ 75 < both heavy weights
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let smp = sas_sampling::order::sample(&data, 30, &mut rng);
+            let hh = heavy_hitters(&smp, phi);
+            let keys: Vec<u64> = hh.iter().map(|h| h.key).collect();
+            assert!(keys.contains(&7) && keys.contains(&123), "seed {seed}: {keys:?}");
+            // Estimates of heavy keys are exact.
+            let e7 = hh.iter().find(|h| h.key == 7).unwrap().estimate;
+            assert_eq!(e7, 300.0);
+            let _ = total;
+        }
+    }
+
+    #[test]
+    fn no_spurious_massive_hitters() {
+        // Light keys can be reported only with adjusted weight τ — which is
+        // below any cutoff larger than τ/total.
+        let data = skewed_data(300, &[], 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let smp = sas_sampling::order::sample(&data, 30, &mut rng);
+        let hh = heavy_hitters(&smp, 0.2);
+        assert!(hh.is_empty(), "uniform data has no 20% heavy hitters: {hh:?}");
+    }
+
+    fn two_level_hierarchy(groups: u32, per: u32) -> (Hierarchy, u64) {
+        let mut b = HierarchyBuilder::new();
+        let root = b.root();
+        let mut key = 0;
+        for _ in 0..groups {
+            let g = b.add_internal(root);
+            for _ in 0..per {
+                b.add_leaf(g, key);
+                key += 1;
+            }
+        }
+        (b.build(), key)
+    }
+
+    #[test]
+    fn hhh_detects_diffuse_group() {
+        // No single key is heavy, but one group's total is: HHH must flag
+        // the group node, not any leaf.
+        let (h, n) = two_level_hierarchy(10, 20);
+        let mut data = skewed_data(n, &[], 4);
+        // Group 3 (keys 60..80) gets weight 10 each = 200 total.
+        for k in 60..80 {
+            data[k as usize] = WeightedKey::new(k, 10.0);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let smp = sas_sampling::hierarchy::sample(&data, &h, 60, &mut rng);
+        let hhh = hierarchical_heavy_hitters(&smp, &h, 0.2);
+        assert!(!hhh.is_empty(), "group HHH not detected");
+        // The top HHH node's span covers exactly keys 60..80.
+        let top = hhh[0].node;
+        let keys: Vec<u64> = h.keys_under(top).collect();
+        assert_eq!(keys, (60..80).collect::<Vec<_>>(), "wrong node: {keys:?}");
+    }
+
+    #[test]
+    fn hhh_discounts_descendants() {
+        // A group whose weight is entirely one heavy leaf: the leaf is the
+        // HHH; the group's discounted weight falls below the cutoff.
+        let (h, n) = two_level_hierarchy(5, 10);
+        let mut data = skewed_data(n, &[], 6);
+        data[12] = WeightedKey::new(12, 500.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let smp = sas_sampling::hierarchy::sample(&data, &h, 25, &mut rng);
+        let hhh = hierarchical_heavy_hitters(&smp, &h, 0.3);
+        // The leaf (or its singleton-span node) is reported.
+        assert!(hhh
+            .iter()
+            .any(|x| h.keys_under(x.node).collect::<Vec<_>>() == vec![12]));
+        // The group node containing key 12 (keys 10..20) is NOT reported
+        // with double-counted weight.
+        for x in &hhh {
+            let keys: Vec<u64> = h.keys_under(x.node).collect();
+            if keys == (10..20).collect::<Vec<_>>() {
+                assert!(
+                    x.discounted_estimate < 0.3 * smp.total_estimate(),
+                    "group reported without discount"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_hhh_when_nothing_else() {
+        // Uniform data: the only HHH at small phi thresholds below 1 but
+        // above every group share is the root.
+        let (h, n) = two_level_hierarchy(4, 5);
+        let data = skewed_data(n, &[], 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let smp = sas_sampling::hierarchy::sample(&data, &h, 10, &mut rng);
+        let hhh = hierarchical_heavy_hitters(&smp, &h, 0.9);
+        assert_eq!(hhh.len(), 1);
+        assert_eq!(hhh[0].node, h.root());
+    }
+}

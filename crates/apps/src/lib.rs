@@ -1,0 +1,26 @@
+//! # sas-apps — higher-level analyses over sample summaries
+//!
+//! The paper's introduction motivates sampling by what can be built on top
+//! of unbiased subset-sum primitives: "computing order statistics over
+//! subsets of the data, heavy hitters detection, longitudinal studies of
+//! trends and correlations". This crate implements those applications over
+//! any [`sas_core::Sample`]:
+//!
+//! * [`heavy_hitters`] — (φ, ε)-heavy-hitter detection and *hierarchical*
+//!   heavy hitters over a hierarchy structure (the paper's citations \[9\],
+//!   \[29\] are HHH systems built on network data).
+//! * [`quantiles`] — weighted order statistics over arbitrary selected
+//!   subsets of the sampled keys.
+//! * [`compare`] — longitudinal comparison of two samples taken from
+//!   different periods/tables: per-subset difference estimates with
+//!   conservative confidence intervals.
+//!
+//! None of these require touching the original data again — exactly the
+//! workflow the paper's warehouse scenario (Section 1) describes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compare;
+pub mod heavy_hitters;
+pub mod quantiles;

@@ -1,0 +1,46 @@
+//! Criterion benches for the design-choice ablations: two-pass guide factor
+//! and main-memory vs two-pass construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sas_bench::{network_workload, Scale};
+
+fn bench_guide_factor(c: &mut Criterion) {
+    let w = network_workload(Scale::Small);
+    let s = 1000;
+    let mut group = c.benchmark_group("two_pass_guide_factor");
+    group.sample_size(10);
+    for factor in [1usize, 2, 5, 10] {
+        group.bench_function(BenchmarkId::from_parameter(factor), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                sas_sampling::two_pass::sample_product(&w.data, s, factor, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_main_memory_vs_two_pass(c: &mut Criterion) {
+    let w = network_workload(Scale::Small);
+    let s = 1000;
+    let mut group = c.benchmark_group("aware_variants");
+    group.sample_size(10);
+    group.bench_function("main_memory_kd", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(8);
+            sas_sampling::product::sample(&w.data, s, &mut rng)
+        })
+    });
+    group.bench_function("two_pass", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            sas_sampling::two_pass::sample_product(&w.data, s, 5, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_guide_factor, bench_main_memory_vs_two_pass);
+criterion_main!(benches);

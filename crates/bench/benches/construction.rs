@@ -1,0 +1,75 @@
+//! Criterion benches: summary construction cost (Figure 3(a)/(b) timing,
+//! statistically sound version).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sas_bench::{network_workload, Scale};
+use sas_summaries::countsketch::SketchSummary;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+
+fn bench_construction(c: &mut Criterion) {
+    // Bench on a reduced workload regardless of SAS_SCALE so the slow
+    // baselines finish within Criterion's sampling budget.
+    let w = network_workload(Scale::Small);
+    let s = 1000;
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("aware_two_pass", s), |b| {
+        b.iter(|| sas_bench::build_aware(&w.data, s, 1))
+    });
+    group.bench_function(BenchmarkId::new("obliv_varopt", s), |b| {
+        b.iter(|| sas_bench::build_obliv(&w.data, s, 2))
+    });
+    group.bench_function(BenchmarkId::new("qdigest", s), |b| {
+        b.iter(|| QDigestSummary::build(&w.data, w.bits, s))
+    });
+    group.bench_function(BenchmarkId::new("sketch", s), |b| {
+        b.iter(|| SketchSummary::build(&w.data, w.bits, w.bits, s, 3))
+    });
+    group.bench_function(BenchmarkId::new("wavelet", s), |b| {
+        b.iter(|| WaveletSummary::build(&w.data, w.bits, w.bits, s))
+    });
+    group.finish();
+}
+
+fn bench_sampler_cores(c: &mut Criterion) {
+    // Micro-costs of the sampling primitives themselves.
+    let w = network_workload(Scale::Small);
+    let mut group = c.benchmark_group("sampler_core");
+    group.sample_size(10);
+
+    group.bench_function("ipps_threshold_exact", |b| {
+        let weights: Vec<f64> = w.data.keys.iter().map(|wk| wk.weight).collect();
+        b.iter(|| sas_core::ipps::threshold_exact(&weights, 1000.0))
+    });
+    group.bench_function("ipps_threshold_streaming", |b| {
+        b.iter(|| {
+            let mut st = sas_core::ipps::StreamingThreshold::new(1000);
+            for wk in &w.data.keys {
+                st.push(wk.weight);
+            }
+            st.finish()
+        })
+    });
+    group.bench_function("kd_hierarchy_build", |b| {
+        use sas_sampling::IppsSetup;
+        use sas_structures::kdtree::{KdHierarchy, KdItem};
+        let setup = IppsSetup::compute(&w.data.keys, 1000);
+        let items: Vec<KdItem> = setup
+            .active
+            .iter()
+            .map(|(wk, p)| KdItem {
+                key: wk.key,
+                point: w.data.points[wk.key as usize].clone(),
+                prob: *p,
+            })
+            .collect();
+        b.iter(|| KdHierarchy::build(items.clone(), 0.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_sampler_cores);
+criterion_main!(benches);

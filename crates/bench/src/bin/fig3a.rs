@@ -1,0 +1,44 @@
+//! Figure 3(a): construction throughput (items/s) vs summary size on the
+//! Network data.
+//!
+//! Paper's reading: obliv is fastest (one pass); aware costs a second pass
+//! plus kd-tree lookups; qdigest and sketch are ~2 orders slower (every
+//! point touches log²-many cells); wavelet is ~4 orders slower.
+
+use sas_bench::*;
+use sas_summaries::countsketch::SketchSummary;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = network_workload(scale);
+    let n = w.data.len() as f64;
+
+    eprintln!(
+        "fig3a: network data, {} pairs, construction throughput (items/s)",
+        w.data.len()
+    );
+
+    let mut rows = Vec::new();
+    for &s in &scale.size_sweep() {
+        let (_, t_aware) = timed(|| build_aware(&w.data, s, 31));
+        let (_, t_obliv) = timed(|| build_obliv(&w.data, s, 32));
+        let (_, t_wavelet) = timed(|| WaveletSummary::build(&w.data, w.bits, w.bits, s));
+        let (_, t_qdigest) = timed(|| QDigestSummary::build(&w.data, w.bits, s));
+        let (_, t_sketch) = timed(|| SketchSummary::build(&w.data, w.bits, w.bits, s, 33));
+        rows.push(vec![
+            s.to_string(),
+            fmt_rate(n / t_aware),
+            fmt_rate(n / t_obliv),
+            fmt_rate(n / t_wavelet),
+            fmt_rate(n / t_qdigest),
+            fmt_rate(n / t_sketch),
+        ]);
+    }
+    print_table(
+        "Figure 3(a): Network, construction throughput (items/s) vs summary size",
+        &["size", "aware", "obliv", "wavelet", "qdigest", "sketch"],
+        &rows,
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 3(b): construction throughput (items/s) vs summary size on the
+//! Tech Ticket data.
+//!
+//! Paper's reading: same ordering as Figure 3(a); wavelets are emphatically
+//! impractical on this data ("generating and using samples takes seconds,
+//! while using wavelets takes (literally) hours").
+
+use sas_bench::*;
+use sas_summaries::countsketch::SketchSummary;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ticket_workload(scale);
+    let n = w.data.len() as f64;
+
+    eprintln!(
+        "fig3b: ticket data, {} pairs, domain 2^{} per axis, construction throughput",
+        w.data.len(),
+        w.bits
+    );
+
+    let mut rows = Vec::new();
+    for &s in &scale.size_sweep() {
+        let (_, t_aware) = timed(|| build_aware(&w.data, s, 41));
+        let (_, t_obliv) = timed(|| build_obliv(&w.data, s, 42));
+        let (_, t_wavelet) = timed(|| WaveletSummary::build(&w.data, w.bits, w.bits, s));
+        let (_, t_qdigest) = timed(|| QDigestSummary::build(&w.data, w.bits, s));
+        let (_, t_sketch) = timed(|| SketchSummary::build(&w.data, w.bits, w.bits, s, 43));
+        rows.push(vec![
+            s.to_string(),
+            fmt_rate(n / t_aware),
+            fmt_rate(n / t_obliv),
+            fmt_rate(n / t_wavelet),
+            fmt_rate(n / t_qdigest),
+            fmt_rate(n / t_sketch),
+        ]);
+    }
+    print_table(
+        "Figure 3(b): Tech Ticket, construction throughput (items/s) vs summary size",
+        &["size", "aware", "obliv", "wavelet", "qdigest", "sketch"],
+        &rows,
+    );
+}

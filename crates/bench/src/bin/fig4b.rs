@@ -1,0 +1,55 @@
+//! Figure 4(b): accuracy vs query weight on Tech Ticket data,
+//! uniform-area queries of 25 ranges, fixed summary size.
+//!
+//! Paper's reading: wavelets become competitive at high query weights under
+//! uniform-area querying, but sampling methods remain best overall.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sas_bench::*;
+use sas_data::uniform_area_queries;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ticket_workload(scale);
+    let s = 2700;
+    let side = 1u64 << w.bits;
+
+    eprintln!(
+        "fig4b: ticket data, {} pairs, summary size {s}, uniform-area queries x 25 ranges",
+        w.data.len()
+    );
+
+    let aware = build_aware(&w.data, s, 71);
+    let obliv = build_obliv(&w.data, s, 72);
+    let wavelet = WaveletSummary::build(&w.data, w.bits, w.bits, s);
+    let qdigest = QDigestSummary::build(&w.data, w.bits, s);
+
+    // Sweep rectangle scale: larger rectangles -> heavier queries. Bucket
+    // the batteries by their realized weight fraction.
+    let mut rows = Vec::new();
+    for &max_frac in &[0.01, 0.03, 0.1, 0.2, 0.4, 0.8] {
+        let mut qrng = StdRng::seed_from_u64(7000 + (max_frac * 1e3) as u64);
+        let queries =
+            uniform_area_queries(&mut qrng, side, side, scale.query_count(), 25, max_frac);
+        let mean_weight: f64 = queries
+            .iter()
+            .map(|q| w.exact.multi_sum(q))
+            .sum::<f64>()
+            / (queries.len() as f64 * w.total);
+        rows.push(vec![
+            format!("{mean_weight:.4}"),
+            fmt_err(avg_abs_error(&aware, &w.exact, &queries, w.total)),
+            fmt_err(avg_abs_error(&obliv, &w.exact, &queries, w.total)),
+            fmt_err(avg_abs_error(&wavelet, &w.exact, &queries, w.total)),
+            fmt_err(avg_abs_error(&qdigest, &w.exact, &queries, w.total)),
+        ]);
+    }
+    print_table(
+        "Figure 4(b): Tech Ticket, uniform-area queries (25 ranges), absolute error vs realized query weight",
+        &["query_weight", "aware", "obliv", "wavelet", "qdigest"],
+        &rows,
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 4(c): accuracy vs query weight on Tech Ticket data,
+//! uniform-weight queries of 10 ranges, fixed summary size.
+//!
+//! Paper's reading: with range weights controlled, wavelets lose the
+//! advantage they showed on uniform-area queries; structure-aware sampling
+//! gives the best results overall.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sas_bench::*;
+use sas_data::uniform_weight_queries;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ticket_workload(scale);
+    let s = 2700;
+
+    eprintln!(
+        "fig4c: ticket data, {} pairs, summary size {s}, uniform-weight queries x 10 ranges",
+        w.data.len()
+    );
+
+    let aware = build_aware(&w.data, s, 81);
+    let obliv = build_obliv(&w.data, s, 82);
+    let wavelet = WaveletSummary::build(&w.data, w.bits, w.bits, s);
+    let qdigest = QDigestSummary::build(&w.data, w.bits, s);
+
+    let mut rows = Vec::new();
+    for &frac in &[0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 0.9] {
+        let mut qrng = StdRng::seed_from_u64(8000 + (frac * 1e4) as u64);
+        let queries =
+            uniform_weight_queries(&mut qrng, &w.data, scale.query_count(), 10, frac);
+        rows.push(vec![
+            format!("{frac}"),
+            fmt_err(avg_abs_error(&aware, &w.exact, &queries, w.total)),
+            fmt_err(avg_abs_error(&obliv, &w.exact, &queries, w.total)),
+            fmt_err(avg_abs_error(&wavelet, &w.exact, &queries, w.total)),
+            fmt_err(avg_abs_error(&qdigest, &w.exact, &queries, w.total)),
+        ]);
+    }
+    print_table(
+        "Figure 4(c): Tech Ticket, uniform-weight queries (10 ranges), absolute error vs query weight",
+        &["query_weight", "aware", "obliv", "wavelet", "qdigest"],
+        &rows,
+    );
+}

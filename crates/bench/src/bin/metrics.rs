@@ -1,0 +1,44 @@
+//! All three error metrics the paper reports (Section 6.1: "we compute the
+//! exact range sum ... and compare the absolute, sum-squared and relative
+//! errors") on the Figure 2(b) setting — demonstrating "the same trends"
+//! claim across metrics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sas_bench::*;
+use sas_data::uniform_weight_queries;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = network_workload(scale);
+    let s = 2700;
+    let mut qrng = StdRng::seed_from_u64(31);
+    let queries = uniform_weight_queries(&mut qrng, &w.data, scale.query_count(), 10, 0.1);
+
+    let aware = build_aware(&w.data, s, 301);
+    let obliv = build_obliv(&w.data, s, 302);
+    let wavelet = WaveletSummary::build(&w.data, w.bits, w.bits, s);
+    let qdigest = QDigestSummary::build(&w.data, w.bits, s);
+
+    let mut rows = Vec::new();
+    for (name, m) in [
+        ("aware", error_metrics(&aware, &w.exact, &queries, w.total)),
+        ("obliv", error_metrics(&obliv, &w.exact, &queries, w.total)),
+        ("wavelet", error_metrics(&wavelet, &w.exact, &queries, w.total)),
+        ("qdigest", error_metrics(&qdigest, &w.exact, &queries, w.total)),
+    ] {
+        rows.push(vec![
+            name.to_string(),
+            fmt_err(m.mean_abs),
+            fmt_err(m.rms),
+            fmt_err(m.mean_rel),
+        ]);
+    }
+    print_table(
+        "Error metrics on the Fig 2(b) setting (size 2700, uniform-weight 10-range queries, weight 0.1)",
+        &["method", "mean_abs", "rms", "mean_rel"],
+        &rows,
+    );
+}

@@ -1,0 +1,371 @@
+//! Library backing the `sas` command-line summarizer.
+//!
+//! Formats (all plain TSV, `#`-comments ignored):
+//!
+//! * **input data** — `key<TAB>weight` (1-D / order structure) or
+//!   `x<TAB>y<TAB>weight` (2-D product structure; the key is the row index);
+//! * **summary** — header line `#sas-summary tau=<τ> dims=<d>` followed by
+//!   `key<TAB>weight<TAB>adjusted_weight[<TAB>x<TAB>y]` rows.
+//!
+//! The summary file is self-contained: queries are answered from it alone.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sas_core::estimate::{Sample, SampleEntry};
+use sas_core::WeightedKey;
+use sas_sampling::product::SpatialData;
+use sas_structures::product::{BoxRange, Point};
+
+/// Parsed input data: 1-D weighted keys or 2-D located keys.
+#[derive(Debug, Clone)]
+pub enum Dataset {
+    /// `key weight` rows.
+    OneDim(Vec<WeightedKey>),
+    /// `x y weight` rows (keys are row indices).
+    TwoDim(SpatialData),
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parses input TSV into a [`Dataset`]; column count decides the shape.
+pub fn parse_dataset(text: &str) -> Result<Dataset, CliError> {
+    let mut one: Vec<WeightedKey> = Vec::new();
+    let mut two: Vec<(u64, u64, f64)> = Vec::new();
+    let mut cols: Option<usize> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match cols {
+            None => cols = Some(fields.len()),
+            Some(c) if c != fields.len() => {
+                return err(format!(
+                    "line {}: expected {} columns, found {}",
+                    lineno + 1,
+                    c,
+                    fields.len()
+                ))
+            }
+            _ => {}
+        }
+        let parse_u = |s: &str| -> Result<u64, CliError> {
+            s.parse()
+                .map_err(|_| CliError(format!("line {}: bad integer '{s}'", lineno + 1)))
+        };
+        let parse_f = |s: &str| -> Result<f64, CliError> {
+            let v: f64 = s
+                .parse()
+                .map_err(|_| CliError(format!("line {}: bad number '{s}'", lineno + 1)))?;
+            if !v.is_finite() || v < 0.0 {
+                return err(format!("line {}: weight must be >= 0", lineno + 1));
+            }
+            Ok(v)
+        };
+        match fields.len() {
+            2 => one.push(WeightedKey::new(parse_u(fields[0])?, parse_f(fields[1])?)),
+            3 => two.push((parse_u(fields[0])?, parse_u(fields[1])?, parse_f(fields[2])?)),
+            n => return err(format!("line {}: expected 2 or 3 columns, found {n}", lineno + 1)),
+        }
+    }
+    match cols {
+        None => err("input is empty"),
+        Some(2) => Ok(Dataset::OneDim(one)),
+        Some(3) => Ok(Dataset::TwoDim(SpatialData::from_xyw(&two))),
+        Some(n) => err(format!("unsupported column count {n}")),
+    }
+}
+
+/// Builds a structure-aware summary of the data set.
+pub fn summarize(data: &Dataset, size: usize, seed: u64) -> Result<(Sample, usize), CliError> {
+    if size == 0 {
+        return err("summary size must be positive");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    match data {
+        Dataset::OneDim(rows) => {
+            if rows.is_empty() {
+                return err("no data rows");
+            }
+            Ok((sas_sampling::order::sample(rows, size, &mut rng), 1))
+        }
+        Dataset::TwoDim(spatial) => {
+            if spatial.is_empty() {
+                return err("no data rows");
+            }
+            Ok((
+                sas_sampling::two_pass::sample_product(spatial, size, 5, &mut rng),
+                2,
+            ))
+        }
+    }
+}
+
+/// Serializes a summary (with locations for 2-D data).
+pub fn write_summary(sample: &Sample, data: &Dataset) -> String {
+    let dims = match data {
+        Dataset::OneDim(_) => 1,
+        Dataset::TwoDim(_) => 2,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "#sas-summary tau={} dims={}", sample.tau(), dims);
+    for e in sample.iter() {
+        match data {
+            Dataset::OneDim(_) => {
+                let _ = writeln!(out, "{}\t{}\t{}", e.key, e.weight, e.adjusted_weight);
+            }
+            Dataset::TwoDim(spatial) => {
+                let p = spatial
+                    .point_of(e.key)
+                    .expect("sampled key has a location");
+                let _ = writeln!(
+                    out,
+                    "{}\t{}\t{}\t{}\t{}",
+                    e.key,
+                    e.weight,
+                    e.adjusted_weight,
+                    p.coord(0),
+                    p.coord(1)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A deserialized summary ready for querying.
+#[derive(Debug, Clone)]
+pub struct LoadedSummary {
+    /// The sample entries.
+    pub sample: Sample,
+    /// Locations per key (empty for 1-D summaries, where keys are positions).
+    pub points: std::collections::HashMap<u64, Point>,
+    /// Dimensionality (1 or 2).
+    pub dims: usize,
+}
+
+/// Parses a summary file produced by [`write_summary`].
+pub fn read_summary(text: &str) -> Result<LoadedSummary, CliError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(CliError("empty summary".into()))?;
+    if !header.starts_with("#sas-summary") {
+        return err("missing #sas-summary header");
+    }
+    let mut tau = None;
+    let mut dims = None;
+    for tok in header.split_whitespace().skip(1) {
+        if let Some(v) = tok.strip_prefix("tau=") {
+            tau = v.parse::<f64>().ok();
+        } else if let Some(v) = tok.strip_prefix("dims=") {
+            dims = v.parse::<usize>().ok();
+        }
+    }
+    let tau = tau.ok_or(CliError("header missing tau".into()))?;
+    let dims = dims.ok_or(CliError("header missing dims".into()))?;
+    if dims != 1 && dims != 2 {
+        return err(format!("unsupported dims {dims}"));
+    }
+    let mut entries = Vec::new();
+    let mut points = std::collections::HashMap::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        let want = if dims == 1 { 3 } else { 5 };
+        if f.len() != want {
+            return err(format!("line {}: expected {want} fields", lineno + 2));
+        }
+        let key: u64 = f[0]
+            .parse()
+            .map_err(|_| CliError(format!("line {}: bad key", lineno + 2)))?;
+        let weight: f64 = f[1]
+            .parse()
+            .map_err(|_| CliError(format!("line {}: bad weight", lineno + 2)))?;
+        let adjusted: f64 = f[2]
+            .parse()
+            .map_err(|_| CliError(format!("line {}: bad adjusted weight", lineno + 2)))?;
+        entries.push(SampleEntry {
+            key,
+            weight,
+            adjusted_weight: adjusted,
+        });
+        if dims == 2 {
+            let x: u64 = f[3]
+                .parse()
+                .map_err(|_| CliError(format!("line {}: bad x", lineno + 2)))?;
+            let y: u64 = f[4]
+                .parse()
+                .map_err(|_| CliError(format!("line {}: bad y", lineno + 2)))?;
+            points.insert(key, Point::xy(x, y));
+        }
+    }
+    Ok(LoadedSummary {
+        sample: Sample::from_entries(entries, tau),
+        points,
+        dims,
+    })
+}
+
+/// Parses a range spec: `lo..hi` (1-D) or `x0..x1,y0..y1` (2-D).
+pub fn parse_range(spec: &str, dims: usize) -> Result<Vec<(u64, u64)>, CliError> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != dims {
+        return err(format!("range must have {dims} axis spec(s), got {}", parts.len()));
+    }
+    parts
+        .iter()
+        .map(|p| {
+            let (lo, hi) = p
+                .split_once("..")
+                .ok_or(CliError(format!("bad range '{p}' (want lo..hi)")))?;
+            let lo: u64 = lo.parse().map_err(|_| CliError(format!("bad bound '{lo}'")))?;
+            let hi: u64 = hi.parse().map_err(|_| CliError(format!("bad bound '{hi}'")))?;
+            if lo > hi {
+                return err(format!("empty range {lo}..{hi}"));
+            }
+            Ok((lo, hi))
+        })
+        .collect()
+}
+
+/// Answers a range query from a loaded summary.
+pub fn query(summary: &LoadedSummary, range: &[(u64, u64)]) -> f64 {
+    match summary.dims {
+        1 => {
+            let (lo, hi) = range[0];
+            summary.sample.subset_estimate(|k| k >= lo && k <= hi)
+        }
+        2 => {
+            let b = BoxRange::xy(range[0].0, range[0].1, range[1].0, range[1].1);
+            summary
+                .sample
+                .subset_estimate(|k| summary.points.get(&k).is_some_and(|p| b.contains(p)))
+        }
+        _ => unreachable!("dims validated at load"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONE_D: &str = "# key weight\n1\t5.0\n2\t3.0\n9\t1.5\n";
+    const TWO_D: &str = "10\t20\t5.0\n30\t40\t2.0\n50\t60\t8.0\n";
+
+    #[test]
+    fn parse_one_dim() {
+        let d = parse_dataset(ONE_D).unwrap();
+        match d {
+            Dataset::OneDim(rows) => {
+                assert_eq!(rows.len(), 3);
+                assert_eq!(rows[0].key, 1);
+                assert_eq!(rows[2].weight, 1.5);
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    #[test]
+    fn parse_two_dim() {
+        let d = parse_dataset(TWO_D).unwrap();
+        match d {
+            Dataset::TwoDim(s) => {
+                assert_eq!(s.len(), 3);
+                assert_eq!(s.total_weight(), 15.0);
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_mixed_columns() {
+        assert!(parse_dataset("1\t2\n1\t2\t3\n").is_err());
+        assert!(parse_dataset("").is_err());
+        assert!(parse_dataset("1\t-3\n").is_err());
+        assert!(parse_dataset("1\tx\n").is_err());
+    }
+
+    #[test]
+    fn summary_roundtrip_one_dim() {
+        let d = parse_dataset(ONE_D).unwrap();
+        let (sample, dims) = summarize(&d, 3, 7).unwrap();
+        assert_eq!(dims, 1);
+        assert_eq!(sample.len(), 3);
+        let text = write_summary(&sample, &d);
+        let loaded = read_summary(&text).unwrap();
+        assert_eq!(loaded.dims, 1);
+        assert_eq!(loaded.sample.len(), 3);
+        // Full summary: estimates exact.
+        let r = parse_range("0..100", 1).unwrap();
+        assert!((query(&loaded, &r) - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_roundtrip_two_dim() {
+        let d = parse_dataset(TWO_D).unwrap();
+        let (sample, dims) = summarize(&d, 3, 7).unwrap();
+        assert_eq!(dims, 2);
+        let text = write_summary(&sample, &d);
+        let loaded = read_summary(&text).unwrap();
+        assert_eq!(loaded.dims, 2);
+        let r = parse_range("0..39,0..59", 2).unwrap();
+        // Contains points (10,20) and (30,40): weight 7.
+        assert!((query(&loaded, &r) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_parse_errors() {
+        assert!(parse_range("5..3", 1).is_err());
+        assert!(parse_range("1..2", 2).is_err());
+        assert!(parse_range("a..b", 1).is_err());
+        assert_eq!(parse_range("1..2,3..4", 2).unwrap(), vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn read_summary_rejects_garbage() {
+        assert!(read_summary("").is_err());
+        assert!(read_summary("not a header\n1\t2\t3\n").is_err());
+        assert!(read_summary("#sas-summary tau=1.0 dims=7\n").is_err());
+        assert!(read_summary("#sas-summary tau=1.0 dims=1\n1\t2\n").is_err());
+    }
+
+    #[test]
+    fn large_roundtrip_estimates_track_truth() {
+        use std::fmt::Write as _;
+        let mut text = String::new();
+        for i in 0..5000u64 {
+            let w = 0.5 + (i % 17) as f64;
+            let _ = writeln!(text, "{i}\t{w}");
+        }
+        let d = parse_dataset(&text).unwrap();
+        let (sample, _) = summarize(&d, 300, 42).unwrap();
+        let loaded = read_summary(&write_summary(&sample, &d)).unwrap();
+        let r = parse_range("1000..3999", 1).unwrap();
+        let est = query(&loaded, &r);
+        let truth: f64 = (1000..4000u64).map(|i| 0.5 + (i % 17) as f64).sum();
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "est {est} vs truth {truth}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! `sas` — build structure-aware sample summaries from TSV data and answer
+//! range queries from the summary file alone.
+//!
+//! ```text
+//! sas summarize <data.tsv> --size N [--seed S] > summary.tsv
+//! sas query <summary.tsv> --range lo..hi            # 1-D
+//! sas query <summary.tsv> --range x0..x1,y0..y1     # 2-D
+//! sas info <summary.tsv>
+//! ```
+
+use std::process::ExitCode;
+
+use sas_cli::{parse_dataset, parse_range, query, read_summary, summarize, write_summary};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S]\n  sas query <summary.tsv> --range lo..hi[,lo..hi]\n  sas info <summary.tsv>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "summarize" => cmd_summarize(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_summarize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing input path")?;
+    let size: usize = flag_value(args, "--size")
+        .ok_or("missing --size")?
+        .parse()
+        .map_err(|_| "bad --size")?;
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --seed")?
+        .unwrap_or(0);
+    let text = std::fs::read_to_string(path)?;
+    let data = parse_dataset(&text)?;
+    let (sample, dims) = summarize(&data, size, seed)?;
+    eprintln!(
+        "built {}-key {}–D structure-aware summary (tau = {:.6})",
+        sample.len(),
+        dims,
+        sample.tau()
+    );
+    print!("{}", write_summary(&sample, &data));
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing summary path")?;
+    let spec = flag_value(args, "--range").ok_or("missing --range")?;
+    let text = std::fs::read_to_string(path)?;
+    let summary = read_summary(&text)?;
+    let range = parse_range(spec, summary.dims)?;
+    let est = query(&summary, &range);
+    println!("{est}");
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing summary path")?;
+    let text = std::fs::read_to_string(path)?;
+    let s = read_summary(&text)?;
+    println!(
+        "keys: {}\ndims: {}\ntau: {}\ntotal estimate: {}",
+        s.sample.len(),
+        s.dims,
+        s.sample.tau(),
+        s.sample.total_estimate()
+    );
+    Ok(())
+}

@@ -1,0 +1,406 @@
+//! Probabilistic aggregation — the paper's Section 2 and **Algorithm 1**.
+//!
+//! A sampling scheme can be viewed as operating on the vector `p` of
+//! inclusion probabilities: entries are incrementally driven to 0 (omit) or
+//! 1 (include). The output is a VarOpt sample as long as every intermediate
+//! vector is a *probabilistic aggregate* of the original: expectations agree
+//! entry-wise, the sum is preserved exactly, and high-order
+//! inclusion/exclusion probabilities are dominated by products of the
+//! first-order ones.
+//!
+//! `PAIR-AGGREGATE` is the primitive used by every summarization algorithm in
+//! this library. It touches exactly two unset entries and sets at least one
+//! of them:
+//!
+//! * if `pᵢ + pⱼ < 1`, the whole mass moves onto one of the two keys (the
+//!   other is zeroed), choosing the survivor proportionally to its mass;
+//! * if `pᵢ + pⱼ ≥ 1`, one key is *included* (set to 1) and the leftover
+//!   mass `pᵢ + pⱼ − 1` stays on the other.
+//!
+//! Crucially, **which pair** is aggregated at each step is a free choice —
+//! aggregating keys that are close in the structure is what bounds range
+//! discrepancy (Sections 3–4).
+
+use rand::Rng;
+
+use crate::KeyId;
+
+/// Outcome of a single [`pair_aggregate`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairOutcome {
+    /// Entry `i` was set (to 0 or 1); entry `j` holds any leftover mass.
+    SetFirst,
+    /// Entry `j` was set (to 0 or 1); entry `i` holds any leftover mass.
+    SetSecond,
+}
+
+/// Performs one pair aggregation step (the paper's **Algorithm 1**) on the
+/// probabilities `(pi, pj)`, both of which must lie strictly in `(0, 1)`.
+///
+/// Returns the updated pair and which entry was set. After the call at least
+/// one entry is in `{0.0, 1.0}`; the other carries the leftover mass and
+/// satisfies `pi' + pj' = pi + pj` exactly (up to floating point).
+///
+/// # Panics
+/// Panics (debug assertions) if an input probability is outside `(0, 1)`.
+pub fn pair_aggregate<R: Rng + ?Sized>(pi: f64, pj: f64, rng: &mut R) -> (f64, f64, PairOutcome) {
+    debug_assert!(pi > 0.0 && pi < 1.0, "pi={pi} out of (0,1)");
+    debug_assert!(pj > 0.0 && pj < 1.0, "pj={pj} out of (0,1)");
+    let sum = pi + pj;
+    if sum < 1.0 {
+        // One key absorbs all the mass; the other is excluded.
+        if rng.gen::<f64>() < pi / sum {
+            (sum, 0.0, PairOutcome::SetSecond)
+        } else {
+            (0.0, sum, PairOutcome::SetFirst)
+        }
+    } else {
+        // One key is included; the leftover sum-1 stays on the other.
+        let denom = 2.0 - sum;
+        if denom <= 0.0 {
+            // pi + pj == 2 can only happen from rounding; include both.
+            return (1.0, 1.0, PairOutcome::SetFirst);
+        }
+        if rng.gen::<f64>() < (1.0 - pj) / denom {
+            (1.0, sum - 1.0, PairOutcome::SetFirst)
+        } else {
+            (sum - 1.0, 1.0, PairOutcome::SetSecond)
+        }
+    }
+}
+
+/// Classification of a probability entry during aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Entry has been driven to 0 — the key is excluded from the sample.
+    Excluded,
+    /// Entry has been driven to 1 — the key is included in the sample.
+    Included,
+    /// Entry is still strictly between 0 and 1.
+    Active,
+}
+
+/// Tolerance for treating a probability as exactly 0 or 1.
+///
+/// Leftover masses accumulate floating-point error over long aggregation
+/// chains; anything within this distance of an endpoint snaps to it.
+pub const SNAP_EPS: f64 = 1e-12;
+
+/// Mutable aggregation state: the probability vector `p` plus bookkeeping of
+/// which entries are already set.
+///
+/// Summarization algorithms drive this state with [`AggregationState::aggregate`]
+/// until no two active entries remain, then read off the sample.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sas_core::aggregate::AggregationState;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut st = AggregationState::new(vec![10, 20, 30, 40], vec![0.5, 0.5, 0.5, 0.5]);
+/// // Aggregate pairs in any order — the result is always a VarOpt sample.
+/// st.aggregate(0, 1, &mut rng);
+/// st.aggregate(2, 3, &mut rng);
+/// let actives: Vec<_> = st.active_indices().collect();
+/// assert!(actives.len() <= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggregationState {
+    keys: Vec<KeyId>,
+    p: Vec<f64>,
+}
+
+impl AggregationState {
+    /// Creates a new state from keys and their inclusion probabilities.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any probability is outside `[0, 1]`.
+    pub fn new(keys: Vec<KeyId>, p: Vec<f64>) -> Self {
+        assert_eq!(keys.len(), p.len(), "keys/probabilities length mismatch");
+        for &pi in &p {
+            assert!((0.0..=1.0).contains(&pi), "probability {pi} out of [0,1]");
+        }
+        Self { keys, p }
+    }
+
+    /// Number of entries (set and active).
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Whether the state is empty.
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// The key at index `idx`.
+    pub fn key(&self, idx: usize) -> KeyId {
+        self.keys[idx]
+    }
+
+    /// The current probability of entry `idx`.
+    pub fn probability(&self, idx: usize) -> f64 {
+        self.p[idx]
+    }
+
+    /// Classifies entry `idx`.
+    pub fn state(&self, idx: usize) -> EntryState {
+        let v = self.p[idx];
+        if v <= SNAP_EPS {
+            EntryState::Excluded
+        } else if v >= 1.0 - SNAP_EPS {
+            EntryState::Included
+        } else {
+            EntryState::Active
+        }
+    }
+
+    /// Iterator over indices still strictly between 0 and 1.
+    pub fn active_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.p.len()).filter(|&i| self.state(i) == EntryState::Active)
+    }
+
+    /// Iterator over the keys that ended up included (p = 1).
+    pub fn included_keys(&self) -> impl Iterator<Item = KeyId> + '_ {
+        (0..self.p.len())
+            .filter(|&i| self.state(i) == EntryState::Included)
+            .map(|i| self.keys[i])
+    }
+
+    /// Sum of all probabilities (invariant under aggregation).
+    pub fn mass(&self) -> f64 {
+        self.p.iter().sum()
+    }
+
+    /// Pair-aggregates entries `i` and `j` (both must be active). At least
+    /// one becomes set; returns which per [`PairOutcome`].
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either entry is not active.
+    pub fn aggregate<R: Rng + ?Sized>(&mut self, i: usize, j: usize, rng: &mut R) -> PairOutcome {
+        assert_ne!(i, j, "cannot aggregate an entry with itself");
+        assert_eq!(self.state(i), EntryState::Active, "entry {i} not active");
+        assert_eq!(self.state(j), EntryState::Active, "entry {j} not active");
+        let (ni, nj, out) = pair_aggregate(self.p[i], self.p[j], rng);
+        self.p[i] = snap(ni);
+        self.p[j] = snap(nj);
+        out
+    }
+
+    /// Finalizes a lone active entry whose probability is (within tolerance)
+    /// integral; returns `true` if the entry was snapped.
+    ///
+    /// After a full aggregation pass with integral total mass, at most one
+    /// active entry may remain and its probability must be ≈0 or ≈1 — but
+    /// with a looser tolerance than [`SNAP_EPS`] because error accumulates.
+    pub fn finalize_entry(&mut self, idx: usize, tol: f64) -> bool {
+        let v = self.p[idx];
+        if v <= tol {
+            self.p[idx] = 0.0;
+            true
+        } else if v >= 1.0 - tol {
+            self.p[idx] = 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Randomly rounds a lone active entry: include with probability `p`.
+    ///
+    /// Used when the total mass is not integral (the expected sample size is
+    /// fractional); this preserves per-key expectations at the cost of a
+    /// ±1-varying sample size.
+    pub fn round_entry<R: Rng + ?Sized>(&mut self, idx: usize, rng: &mut R) {
+        let v = self.p[idx];
+        self.p[idx] = if rng.gen::<f64>() < v { 1.0 } else { 0.0 };
+    }
+
+    /// Consumes the state, returning `(keys, probabilities)`.
+    pub fn into_parts(self) -> (Vec<KeyId>, Vec<f64>) {
+        (self.keys, self.p)
+    }
+}
+
+fn snap(v: f64) -> f64 {
+    if v <= SNAP_EPS {
+        0.0
+    } else if v >= 1.0 - SNAP_EPS {
+        1.0
+    } else {
+        v
+    }
+}
+
+/// Repeatedly aggregates the active entries of `state` in arbitrary
+/// (first-found) order until at most one remains. This yields a *structure
+/// oblivious* VarOpt sample and is used as a final clean-up step by several
+/// algorithms.
+pub fn aggregate_all<R: Rng + ?Sized>(state: &mut AggregationState, rng: &mut R) {
+    let mut actives: Vec<usize> = state.active_indices().collect();
+    while actives.len() >= 2 {
+        let i = actives[actives.len() - 2];
+        let j = actives[actives.len() - 1];
+        state.aggregate(i, j, rng);
+        actives.retain(|&k| state.state(k) == EntryState::Active);
+    }
+    if let Some(&last) = actives.first() {
+        if !state.finalize_entry(last, 1e-6) {
+            // Non-integral total mass: randomized rounding keeps expectations.
+            state.round_entry(last, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_sum_below_one_moves_all_mass() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (a, b, _) = pair_aggregate(0.3, 0.4, &mut rng);
+            assert!((a + b - 0.7).abs() < 1e-12);
+            assert!(a == 0.0 || b == 0.0);
+        }
+    }
+
+    #[test]
+    fn pair_sum_at_least_one_includes_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let (a, b, _) = pair_aggregate(0.7, 0.6, &mut rng);
+            assert!((a + b - 1.3).abs() < 1e-12);
+            assert!(a == 1.0 || b == 1.0);
+            let leftover = if a == 1.0 { b } else { a };
+            assert!((leftover - 0.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pair_agreement_in_expectation() {
+        // E[p_i'] must equal p_i. Monte Carlo with fixed seed.
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 200_000;
+        for (pi, pj) in [(0.2, 0.3), (0.6, 0.7), (0.5, 0.5), (0.9, 0.05)] {
+            let (mut sum_i, mut sum_j) = (0.0, 0.0);
+            for _ in 0..trials {
+                let (a, b, _) = pair_aggregate(pi, pj, &mut rng);
+                sum_i += a;
+                sum_j += b;
+            }
+            let (ei, ej) = (sum_i / trials as f64, sum_j / trials as f64);
+            assert!((ei - pi).abs() < 5e-3, "E[pi']={ei} vs {pi}");
+            assert!((ej - pj).abs() < 5e-3, "E[pj']={ej} vs {pj}");
+        }
+    }
+
+    #[test]
+    fn pair_inclusion_exclusion_bounds() {
+        // (I): E[p_i' p_j'] <= p_i p_j  — in fact one side is always 0 or the
+        // product is p_set * leftover; statistically check both bounds.
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 100_000;
+        for (pi, pj) in [(0.3, 0.4), (0.8, 0.7)] {
+            let mut prod_inc = 0.0;
+            let mut prod_exc = 0.0;
+            for _ in 0..trials {
+                let (a, b, _) = pair_aggregate(pi, pj, &mut rng);
+                prod_inc += a * b;
+                prod_exc += (1.0 - a) * (1.0 - b);
+            }
+            let ei = prod_inc / trials as f64;
+            let ee = prod_exc / trials as f64;
+            assert!(ei <= pi * pj + 5e-3, "E[prod]={ei} vs {}", pi * pj);
+            assert!(
+                ee <= (1.0 - pi) * (1.0 - pj) + 5e-3,
+                "E[excl]={ee} vs {}",
+                (1.0 - pi) * (1.0 - pj)
+            );
+        }
+    }
+
+    #[test]
+    fn state_tracks_included_and_excluded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut st = AggregationState::new(vec![1, 2], vec![0.9, 0.8]);
+        st.aggregate(0, 1, &mut rng);
+        // Sum 1.7 ≥ 1: one included, other has 0.7 active mass.
+        let included: Vec<_> = st.included_keys().collect();
+        assert_eq!(included.len(), 1);
+        assert_eq!(st.active_indices().count(), 1);
+        assert!((st.mass() - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_all_reaches_fixed_size() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..50 {
+            let n = 20;
+            let p = vec![0.25; n]; // total mass 5 — integral
+            let keys: Vec<KeyId> = (0..n as u64).collect();
+            let mut st = AggregationState::new(keys, p);
+            aggregate_all(&mut st, &mut rng);
+            let count = st.included_keys().count();
+            assert_eq!(count, 5, "trial {trial}: got {count} included");
+            assert_eq!(st.active_indices().count(), 0);
+        }
+    }
+
+    #[test]
+    fn aggregate_all_nonintegral_mass_rounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 2];
+        for _ in 0..200 {
+            let mut st = AggregationState::new(vec![1, 2, 3], vec![0.5, 0.5, 0.5]);
+            aggregate_all(&mut st, &mut rng);
+            let c = st.included_keys().count();
+            assert!(c == 1 || c == 2, "count {c}");
+            counts[c - 1] += 1;
+        }
+        // Expected size 1.5: both sizes must occur.
+        assert!(counts[0] > 0 && counts[1] > 0);
+    }
+
+    #[test]
+    fn per_key_inclusion_unbiased_through_full_aggregation() {
+        // End-to-end VarOpt property: Pr[key included] == p_i.
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = [0.1, 0.4, 0.7, 0.8]; // mass 2.0
+        let trials = 50_000;
+        let mut hits = [0usize; 4];
+        for _ in 0..trials {
+            let mut st = AggregationState::new(vec![0, 1, 2, 3], p.to_vec());
+            aggregate_all(&mut st, &mut rng);
+            for k in st.included_keys() {
+                hits[k as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let freq = h as f64 / trials as f64;
+            assert!(
+                (freq - p[i]).abs() < 0.01,
+                "key {i}: freq {freq} vs p {}",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn aggregating_set_entry_panics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut st = AggregationState::new(vec![1, 2], vec![1.0, 0.5]);
+        st.aggregate(0, 1, &mut rng);
+    }
+
+    #[test]
+    fn snap_behaviour() {
+        assert_eq!(snap(1e-15), 0.0);
+        assert_eq!(snap(1.0 - 1e-15), 1.0);
+        assert_eq!(snap(0.5), 0.5);
+    }
+}

@@ -1,0 +1,269 @@
+//! Chernoff tail bounds for Poisson and VarOpt samples (the paper's
+//! Eqns. 2–4) and the Vapnik–Chervonenkis ε-approximation size bound
+//! (Theorem 2).
+//!
+//! Because VarOpt samples satisfy the inclusion/exclusion product conditions,
+//! the classic Chernoff bounds on `X_J = |S ∩ J|` apply verbatim, which is
+//! what gives sample-based summaries their `O(√p(R))` expected discrepancy on
+//! any single range — and, unlike deterministic summaries, an error on
+//! multi-range queries that grows with the *square root* of the number of
+//! ranges rather than linearly.
+
+/// Upper tail: probability of at least `a` samples in a subset with mean
+/// `mu`, for a sample of (fixed) size `s` — the paper's Eqn. (2),
+/// simplified exponential form `exp(a − μ) · (μ/a)^a`.
+///
+/// Requires `mu <= a`. Returns 1.0 when the bound is vacuous.
+pub fn chernoff_upper(mu: f64, a: f64) -> f64 {
+    assert!(mu >= 0.0 && a >= 0.0);
+    if a <= mu {
+        return 1.0;
+    }
+    if mu == 0.0 {
+        return 0.0;
+    }
+    ((a - mu) + a * (mu / a).ln()).exp().min(1.0)
+}
+
+/// Lower tail: probability of at most `a` samples in a subset with mean `mu`
+/// — the paper's Eqn. (3), exponential form.
+///
+/// Requires `a <= mu`. Returns 1.0 when the bound is vacuous.
+pub fn chernoff_lower(mu: f64, a: f64) -> f64 {
+    assert!(mu >= 0.0 && a >= 0.0);
+    if a >= mu {
+        return 1.0;
+    }
+    if a == 0.0 {
+        return (-mu).exp().min(1.0);
+    }
+    ((a - mu) + a * (mu / a).ln()).exp().min(1.0)
+}
+
+/// Weight-estimate tail (the paper's Eqn. (4)): bound on
+/// `Pr[a(J) ≥ h]` (or `≤ h` on the other side) for a subset of true weight
+/// `w`, threshold `tau`.
+pub fn weight_tail(w: f64, h: f64, tau: f64) -> f64 {
+    assert!(w >= 0.0 && h >= 0.0 && tau > 0.0);
+    if h == 0.0 || w == 0.0 {
+        return 1.0;
+    }
+    (((h - w) / tau) + (h / tau) * (w / h).ln()).exp().min(1.0)
+}
+
+/// A two-sided deviation bound: probability that `|X_J − μ| ≥ d`.
+pub fn chernoff_two_sided(mu: f64, d: f64) -> f64 {
+    assert!(d >= 0.0);
+    let up = chernoff_upper(mu, mu + d);
+    let down = if mu >= d { chernoff_lower(mu, mu - d) } else { 0.0 };
+    (up + down).min(1.0)
+}
+
+/// The ε-approximation sample-size bound of Theorem 2 (Vapnik–Chervonenkis):
+/// a random sample of size `c·ε⁻²(d·log(d/ε) + log(1/δ))` is an
+/// ε-approximation with probability `1 − δ`. We use `c = 1` — constants in
+/// the theorem are not tight and this is only used for sizing heuristics.
+pub fn epsilon_approximation_size(vc_dim: f64, eps: f64, delta: f64) -> f64 {
+    assert!(vc_dim > 0.0 && eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+    (vc_dim * (vc_dim / eps).ln() + (1.0 / delta).ln()) / (eps * eps)
+}
+
+/// A two-sided confidence interval for a subset's true weight, derived by
+/// inverting the weight tail bound (Eqn. 4) at confidence `1 − delta`.
+///
+/// Given an HT estimate `a_j` of a light-key subset (all member weights
+/// below `tau`), returns `(lo, hi)` such that the true weight lies inside
+/// with probability at least `1 − delta`.
+pub fn weight_confidence_interval(a_j: f64, tau: f64, delta: f64) -> (f64, f64) {
+    assert!(a_j >= 0.0 && tau > 0.0 && delta > 0.0 && delta < 1.0);
+    // Find the smallest w_hi with Pr[a(J) <= a_j | w = w_hi] <= delta/2 and
+    // the largest w_lo with Pr[a(J) >= a_j | w = w_lo] <= delta/2, by
+    // bisection on the monotone tail bound.
+    let target = delta / 2.0;
+    // Upper endpoint: raising w makes observing a_j-or-less less likely.
+    let mut lo = a_j;
+    let mut hi = (a_j + tau).max(tau) * 4.0 + 10.0 * tau;
+    while weight_tail(hi, a_j.max(tau * 1e-9), tau) > target {
+        hi *= 2.0;
+        if hi > 1e300 {
+            break;
+        }
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if weight_tail(mid, a_j.max(tau * 1e-9), tau) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let upper = hi;
+    // Lower endpoint: lowering w makes observing a_j-or-more less likely.
+    let (mut lo2, mut hi2) = (0.0, a_j);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo2 + hi2);
+        if weight_tail(mid, a_j, tau) > target {
+            hi2 = mid;
+        } else {
+            lo2 = mid;
+        }
+    }
+    let lower = if a_j == 0.0 { 0.0 } else { lo2 };
+    (lower, upper)
+}
+
+/// Expected discrepancy scale `O(√p(R))` for a structure-oblivious sample on
+/// a range of expected sample mass `p_r` — the quantity structure-aware
+/// sampling improves to `O(1)` in one dimension.
+pub fn oblivious_discrepancy_scale(p_r: f64) -> f64 {
+    p_r.max(0.0).sqrt()
+}
+
+/// Product-structure discrepancy bound of Section 4:
+/// `min{ 2d·s^((d−1)/d), p(R) }` is the VarOpt subset mass μ the error
+/// concentrates around the square root of.
+pub fn product_mu_bound(d: u32, s: f64, p_r: f64) -> f64 {
+    assert!(d >= 1);
+    let d_f = d as f64;
+    (2.0 * d_f * s.powf((d_f - 1.0) / d_f)).min(p_r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_tail_decreases_in_a() {
+        let mu = 10.0;
+        let mut last = 1.0;
+        for a in 11..40 {
+            let b = chernoff_upper(mu, a as f64);
+            assert!(b <= last + 1e-15, "a={a}: {b} > {last}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn lower_tail_decreases_as_a_drops() {
+        let mu = 10.0;
+        let mut last = 1.0;
+        for a in (0..10).rev() {
+            let b = chernoff_lower(mu, a as f64);
+            assert!(b <= last + 1e-15, "a={a}: {b} > {last}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn vacuous_bounds_are_one() {
+        assert_eq!(chernoff_upper(5.0, 5.0), 1.0);
+        assert_eq!(chernoff_upper(5.0, 3.0), 1.0);
+        assert_eq!(chernoff_lower(5.0, 5.0), 1.0);
+        assert_eq!(chernoff_lower(5.0, 7.0), 1.0);
+    }
+
+    #[test]
+    fn zero_mean_upper_tail_zero() {
+        assert_eq!(chernoff_upper(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn empirical_tail_dominated_by_bound() {
+        // Poisson-binomial with p=0.5, n=20: check P[X>=a] <= bound.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 20;
+        let mu = 10.0;
+        let runs = 100_000;
+        let mut counts = vec![0usize; n + 1];
+        for _ in 0..runs {
+            let x = (0..n).filter(|_| rng.gen_bool(0.5)).count();
+            counts[x] += 1;
+        }
+        for a in 11..=n {
+            let emp: f64 =
+                counts[a..].iter().sum::<usize>() as f64 / runs as f64;
+            let bound = chernoff_upper(mu, a as f64);
+            assert!(
+                emp <= bound + 0.01,
+                "a={a}: empirical {emp} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_tail_sane() {
+        // Upper deviation of 2x weight is unlikely.
+        let b = weight_tail(100.0, 200.0, 5.0);
+        assert!(b < 1e-3, "bound {b}");
+        assert_eq!(weight_tail(0.0, 10.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn two_sided_bound() {
+        let b = chernoff_two_sided(25.0, 15.0);
+        assert!(b < 0.05, "bound {b}");
+        assert_eq!(chernoff_two_sided(25.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn confidence_interval_contains_truth() {
+        // Empirical coverage: CI from repeated VarOpt-like estimates covers
+        // the truth at least 1-delta of the time. Simulate estimates as
+        // tau * Binomial(n, w/(n*tau)) for a light subset.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let tau = 5.0;
+        let w = 100.0; // true subset weight; mu = 20 samples expected
+        let n = 200; // subset size, each key weight 0.5 => p = 0.1
+        let p = (w / n as f64) / tau;
+        let delta = 0.1;
+        let trials = 2000;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let hits = (0..n).filter(|_| rng.gen_bool(p)).count();
+            let est = tau * hits as f64;
+            let (lo, hi) = weight_confidence_interval(est, tau, delta);
+            if lo <= w && w <= hi {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / trials as f64;
+        assert!(
+            coverage >= 1.0 - delta - 0.02,
+            "coverage {coverage} below {}",
+            1.0 - delta
+        );
+    }
+
+    #[test]
+    fn confidence_interval_monotone_in_delta() {
+        let (lo1, hi1) = weight_confidence_interval(50.0, 5.0, 0.01);
+        let (lo9, hi9) = weight_confidence_interval(50.0, 5.0, 0.2);
+        assert!(lo1 <= lo9 + 1e-9 && hi9 <= hi1 + 1e-9, "stricter delta must widen");
+        assert!(lo1 < 50.0 && hi1 > 50.0);
+    }
+
+    #[test]
+    fn confidence_interval_zero_estimate() {
+        let (lo, hi) = weight_confidence_interval(0.0, 2.0, 0.05);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 100.0, "hi = {hi}");
+    }
+
+    #[test]
+    fn eps_approx_size_grows_with_precision() {
+        let a = epsilon_approximation_size(2.0, 0.1, 0.05);
+        let b = epsilon_approximation_size(2.0, 0.01, 0.05);
+        assert!(b > a * 50.0);
+    }
+
+    #[test]
+    fn product_mu_bound_caps_at_mass() {
+        // Small range: dominated by p(R).
+        assert_eq!(product_mu_bound(2, 10_000.0, 3.0), 3.0);
+        // Large range: dominated by the boundary term 2d·s^((d−1)/d).
+        let big = product_mu_bound(2, 10_000.0, 1e9);
+        assert!((big - 4.0 * 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Range discrepancy — the central quality measure of the paper.
+//!
+//! For a sample `S` and range `R`, the discrepancy is
+//! `Δ(S, R) = | |S ∩ R| − Σ_{i∈R} pᵢ |`: how far the number of sampled keys
+//! in the range is from its expectation. The absolute error of the HT
+//! estimator on `R` is exactly `τ · Δ(S, R)`, so low discrepancy means
+//! accurate range queries.
+//!
+//! Structure-oblivious VarOpt achieves `Δ(S, R) = O(√p(R))` in expectation;
+//! the structure-aware schemes of `sas-sampling` achieve `Δ < 1`
+//! (hierarchies), `Δ < 2` (orders), and `O(d·s^((d−1)/(2d)))`
+//! (d-dimensional boxes).
+
+use std::collections::HashSet;
+
+use crate::estimate::Sample;
+use crate::KeyId;
+
+/// Discrepancy of a sample on one range, where the range is given as the set
+/// of member keys with their inclusion probabilities.
+///
+/// `range` yields `(key, p)` pairs; keys outside the data (p = 0) contribute
+/// nothing.
+pub fn range_discrepancy(
+    sample: &Sample,
+    range: impl IntoIterator<Item = (KeyId, f64)>,
+) -> f64 {
+    let in_sample: HashSet<KeyId> = sample.keys().collect();
+    let mut expected = 0.0;
+    let mut actual = 0usize;
+    for (key, p) in range {
+        expected += p;
+        if in_sample.contains(&key) {
+            actual += 1;
+        }
+    }
+    (actual as f64 - expected).abs()
+}
+
+/// Maximum discrepancy over a family of ranges, each given as `(key, p)`
+/// membership lists.
+pub fn max_discrepancy<'a, I, R>(sample: &Sample, ranges: I) -> f64
+where
+    I: IntoIterator<Item = R>,
+    R: IntoIterator<Item = (KeyId, f64)> + 'a,
+{
+    ranges
+        .into_iter()
+        .map(|r| range_discrepancy(sample, r))
+        .fold(0.0, f64::max)
+}
+
+/// Helper that evaluates discrepancy using a membership predicate instead of
+/// an explicit member list: the expectation is accumulated over `data` keys
+/// satisfying the predicate.
+pub fn predicate_discrepancy(
+    sample: &Sample,
+    data_probs: &[(KeyId, f64)],
+    mut pred: impl FnMut(KeyId) -> bool,
+) -> f64 {
+    let expected: f64 = data_probs
+        .iter()
+        .filter(|(k, _)| pred(*k))
+        .map(|(_, p)| p)
+        .sum();
+    let actual = sample.subset_count(&mut pred) as f64;
+    (actual - expected).abs()
+}
+
+/// Summary statistics of discrepancies over a battery of ranges: useful for
+/// the experimental harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscrepancyStats {
+    /// Largest discrepancy observed.
+    pub max: f64,
+    /// Mean discrepancy.
+    pub mean: f64,
+    /// Root-mean-square discrepancy.
+    pub rms: f64,
+    /// Number of ranges evaluated.
+    pub count: usize,
+}
+
+impl DiscrepancyStats {
+    /// Aggregates a sequence of per-range discrepancies.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut max = 0.0_f64;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let mut count = 0usize;
+        for v in values {
+            max = max.max(v);
+            sum += v;
+            sumsq += v * v;
+            count += 1;
+        }
+        if count == 0 {
+            return Self {
+                max: 0.0,
+                mean: 0.0,
+                rms: 0.0,
+                count: 0,
+            };
+        }
+        Self {
+            max,
+            mean: sum / count as f64,
+            rms: (sumsq / count as f64).sqrt(),
+            count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::SampleEntry;
+
+    fn make_sample(keys: &[KeyId]) -> Sample {
+        Sample::from_entries(
+            keys.iter()
+                .map(|&key| SampleEntry {
+                    key,
+                    weight: 1.0,
+                    adjusted_weight: 2.0,
+                })
+                .collect(),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn exact_range_has_zero_discrepancy() {
+        let s = make_sample(&[1, 3]);
+        // Range {1,2,3,4} with probabilities summing to 2, two sampled.
+        let d = range_discrepancy(&s, [(1, 0.5), (2, 0.5), (3, 0.5), (4, 0.5)]);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn over_represented_range() {
+        let s = make_sample(&[1, 2, 3]);
+        let d = range_discrepancy(&s, [(1, 0.5), (2, 0.5), (3, 0.5)]);
+        assert!((d - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_represented_range() {
+        let s = make_sample(&[]);
+        let d = range_discrepancy(&s, [(1, 0.9), (2, 0.9)]);
+        assert!((d - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_over_family() {
+        let s = make_sample(&[1]);
+        let family = vec![vec![(1u64, 0.5), (2, 0.5)], vec![(3u64, 0.75)]];
+        let d = max_discrepancy(&s, family);
+        assert!((d - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicate_variant_matches() {
+        let s = make_sample(&[2, 4]);
+        let probs: Vec<(KeyId, f64)> = (1..=5).map(|k| (k, 0.4)).collect();
+        let d = predicate_discrepancy(&s, &probs, |k| k % 2 == 0);
+        // Expectation over {2,4} = 0.8; actual = 2.
+        assert!((d - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let st = DiscrepancyStats::from_values([1.0, 2.0, 3.0]);
+        assert_eq!(st.max, 3.0);
+        assert!((st.mean - 2.0).abs() < 1e-12);
+        assert!((st.rms - (14.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(st.count, 3);
+        let empty = DiscrepancyStats::from_values([]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0.0);
+    }
+}

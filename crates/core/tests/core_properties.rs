@@ -1,0 +1,87 @@
+//! Property tests for sas-core: sampler laws that must hold on arbitrary
+//! inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sas_core::varopt::VarOptSampler;
+use sas_core::{ipps, poisson, reservoir::ReservoirSampler, WeightedKey};
+
+fn data_strategy() -> impl Strategy<Value = Vec<WeightedKey>> {
+    prop::collection::vec(0.01f64..200.0, 1..150).prop_map(|ws| {
+        ws.into_iter()
+            .enumerate()
+            .map(|(i, w)| WeightedKey::new(i as u64, w))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn varopt_size_is_min_s_n(data in data_strategy(), s in 1usize..60, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = VarOptSampler::sample_slice(s, &data, &mut rng);
+        prop_assert_eq!(sample.len(), s.min(data.len()));
+    }
+
+    #[test]
+    fn varopt_adjusted_weights_at_least_tau_or_exact(data in data_strategy(), s in 1usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = VarOptSampler::sample_slice(s, &data, &mut rng);
+        let tau = sample.tau();
+        for e in sample.iter() {
+            prop_assert!(e.adjusted_weight >= tau - 1e-9,
+                "adjusted {} below tau {}", e.adjusted_weight, tau);
+        }
+    }
+
+    #[test]
+    fn varopt_keeps_heavy_keys(data in data_strategy(), s in 2usize..40, seed in 0u64..200) {
+        prop_assume!(data.len() > s);
+        let tau_off = ipps::threshold_for_keys(&data, s as f64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = VarOptSampler::sample_slice(s, &data, &mut rng);
+        // Keys with weight far above the offline threshold must be present.
+        for wk in &data {
+            if wk.weight >= 2.0 * tau_off && tau_off > 0.0 {
+                prop_assert!(sample.contains(wk.key), "heavy key {} dropped", wk.key);
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_adjusted_weight_identity(data in data_strategy(), s in 1usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = poisson::sample(&data, s, &mut rng);
+        let tau = sample.tau();
+        for e in sample.iter() {
+            let expected = if tau > 0.0 { e.weight.max(tau) } else { e.weight };
+            prop_assert!((e.adjusted_weight - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reservoir_total_estimate_is_count(n in 1usize..500, s in 1usize..50, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = ReservoirSampler::new(s);
+        for k in 0..n as u64 {
+            r.push(k, &mut rng);
+        }
+        let sample = r.finish();
+        prop_assert!((sample.total_estimate() - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_monotone_in_s(data in data_strategy()) {
+        prop_assume!(data.len() >= 4);
+        let weights: Vec<f64> = data.iter().map(|wk| wk.weight).collect();
+        let mut last = f64::INFINITY;
+        for s in 1..data.len() {
+            let tau = ipps::threshold_exact(&weights, s as f64);
+            prop_assert!(tau <= last + 1e-9, "tau not decreasing in s");
+            last = tau;
+        }
+    }
+}

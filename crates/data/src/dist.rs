@@ -1,0 +1,140 @@
+//! Zipf and bounded-Pareto distributions for workload synthesis.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n` using a precomputed CDF.
+///
+/// Rank `r` has probability proportional to `1/(r+1)^θ`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `r`.
+    pub fn probability(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+/// Draws from a bounded Pareto distribution on `[lo, hi]` with tail index
+/// `alpha` — the heavy-tailed model for flow sizes / record weights.
+///
+/// # Panics
+/// Panics if `lo <= 0`, `hi <= lo`, or `alpha <= 0`.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, alpha: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid Pareto parameters");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse CDF: u = (1 − L^α x^(−α)) / (1 − (L/H)^α).
+    let x = ((1.0 - u + u * la / ha) / la).powf(-1.0 / alpha);
+    x.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let sum: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(50));
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let runs = 100_000;
+        let mut counts = vec![0usize; 20];
+        for _ in 0..runs {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..20 {
+            let freq = counts[r] as f64 / runs as f64;
+            assert!(
+                (freq - z.probability(r)).abs() < 0.01,
+                "rank {r}: {freq} vs {}",
+                z.probability(r)
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_in_bounds_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut max = 0.0_f64;
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let x = bounded_pareto(&mut rng, 1.0, 10_000.0, 1.2);
+            assert!((1.0..=10_000.0).contains(&x), "out of bounds: {x}");
+            max = max.max(x);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        // Heavy tail: the max dominates the mean by orders of magnitude.
+        assert!(max > 100.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Pareto")]
+    fn pareto_bad_params_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        bounded_pareto(&mut rng, 0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sas-data — synthetic workloads and query batteries
+//!
+//! The paper evaluates on two proprietary AT&T data sets. This crate builds
+//! the closest synthetic equivalents (the substitution is documented in
+//! `DESIGN.md`):
+//!
+//! * [`network`] — IP-flow-style data: source/destination pairs clustered
+//!   in Zipf-popular prefixes of a two-dimensional address hierarchy, with
+//!   Pareto (heavy-tailed) flow sizes. Matches the paper's Network data
+//!   shape: ~63K sources, ~50K destinations, ~196K active pairs.
+//! * [`tickets`] — trouble-ticket-style data: two product hierarchies with
+//!   varying branching factors, Zipf path popularity and a heavy-headed
+//!   weight distribution (many keys that any sampler must include).
+//! * [`dist`] — Zipf and bounded-Pareto samplers.
+//! * [`queries`] — the paper's two query models: *uniform area* (random
+//!   rectangles of bounded size) and *uniform weight* (cells of an
+//!   equal-mass kd-tree partition of the full data), each assembled into
+//!   multi-rectangle queries of `k` disjoint ranges.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod network;
+pub mod queries;
+pub mod tickets;
+
+pub use network::NetworkConfig;
+pub use queries::{uniform_area_queries, uniform_weight_queries};
+pub use tickets::TicketConfig;

@@ -1,0 +1,188 @@
+//! Synthetic network-flow data: the paper's Network data set equivalent.
+//!
+//! Records are `(source, destination, bytes)` where addresses live in a
+//! two-dimensional prefix hierarchy. Real flow data is clustered: most
+//! traffic concentrates in a modest number of popular prefixes (subnets) at
+//! mixed depths, with Zipf-like popularity, and flow sizes are heavy-tailed.
+//! The generator reproduces exactly those properties, which are the only
+//! ones range queries interact with.
+
+use rand::Rng;
+
+use sas_sampling::product::SpatialData;
+
+use crate::dist::{bounded_pareto, Zipf};
+
+/// Configuration of the network-flow generator.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Address bits per axis (paper: 32; benches default to 16 so the
+    /// wavelet baseline finishes — see DESIGN.md substitutions).
+    pub bits: u32,
+    /// Number of popular source prefixes.
+    pub src_prefixes: usize,
+    /// Number of popular destination prefixes.
+    pub dst_prefixes: usize,
+    /// Number of flow records to draw (distinct pairs after aggregation is
+    /// slightly lower, matching the paper's 196K pairs regime).
+    pub flows: usize,
+    /// Zipf exponent for prefix popularity.
+    pub theta: f64,
+    /// Pareto tail index for flow sizes (smaller = heavier tail).
+    pub alpha: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            bits: 16,
+            src_prefixes: 400,
+            dst_prefixes: 300,
+            flows: 196_000,
+            theta: 1.0,
+            alpha: 1.1,
+        }
+    }
+}
+
+/// A prefix: the high `depth` bits are fixed, hosts fill the rest.
+#[derive(Debug, Clone, Copy)]
+struct Prefix {
+    base: u64,
+    depth: u32,
+}
+
+impl Prefix {
+    fn random<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Self {
+        // Depth between bits/2 and bits-2: subnets of 4..2^(bits/2) hosts.
+        let depth = rng.gen_range(bits / 2..=bits.saturating_sub(2).max(bits / 2));
+        let base = rng.gen_range(0..(1u64 << depth)) << (bits - depth);
+        Self { base, depth }
+    }
+
+    fn host<R: Rng + ?Sized>(&self, rng: &mut R, bits: u32) -> u64 {
+        self.base | rng.gen_range(0..(1u64 << (bits - self.depth)))
+    }
+}
+
+impl NetworkConfig {
+    /// Generates the data set. Flows landing on the same `(src, dst)` pair
+    /// aggregate their weights (as distinct IP pairs do in flow records).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> SpatialData {
+        assert!(self.bits >= 4 && self.bits <= 32, "bits out of range");
+        let srcs: Vec<Prefix> = (0..self.src_prefixes)
+            .map(|_| Prefix::random(rng, self.bits))
+            .collect();
+        let dsts: Vec<Prefix> = (0..self.dst_prefixes)
+            .map(|_| Prefix::random(rng, self.bits))
+            .collect();
+        let src_pop = Zipf::new(srcs.len(), self.theta);
+        let dst_pop = Zipf::new(dsts.len(), self.theta);
+
+        let mut agg: std::collections::HashMap<(u64, u64), f64> =
+            std::collections::HashMap::with_capacity(self.flows);
+        for _ in 0..self.flows {
+            let s = srcs[src_pop.sample(rng)].host(rng, self.bits);
+            let d = dsts[dst_pop.sample(rng)].host(rng, self.bits);
+            let bytes = bounded_pareto(rng, 1.0, 1e6, self.alpha);
+            *agg.entry((s, d)).or_insert(0.0) += bytes;
+        }
+        let mut rows: Vec<(u64, u64, f64)> = agg.into_iter().map(|((x, y), w)| (x, y, w)).collect();
+        // Sort for deterministic output (HashMap iteration order varies).
+        rows.sort_unstable_by_key(|&(x, y, _)| (x, y));
+        SpatialData::from_xyw(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_scale() {
+        let cfg = NetworkConfig {
+            flows: 20_000,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = cfg.generate(&mut rng);
+        // Aggregation merges some pairs, but most survive.
+        assert!(data.len() > 10_000, "only {} pairs", data.len());
+        assert!(data.len() <= 20_000);
+        assert!(data.total_weight() > 0.0);
+    }
+
+    #[test]
+    fn coordinates_inside_domain() {
+        let cfg = NetworkConfig {
+            bits: 12,
+            flows: 5_000,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = cfg.generate(&mut rng);
+        let side = 1u64 << 12;
+        for p in &data.points {
+            assert!(p.coord(0) < side && p.coord(1) < side);
+        }
+    }
+
+    #[test]
+    fn traffic_is_clustered_in_prefixes() {
+        // The top source /8-equivalent should carry far more than 1/256 of
+        // the weight — i.e., the data is not uniform.
+        let cfg = NetworkConfig {
+            bits: 16,
+            flows: 30_000,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = cfg.generate(&mut rng);
+        let total = data.total_weight();
+        let buckets = 256u64;
+        let shift = 16 - 8;
+        let mut by_bucket = vec![0.0; buckets as usize];
+        for (wk, p) in data.keys.iter().zip(&data.points) {
+            by_bucket[(p.coord(0) >> shift) as usize] += wk.weight;
+        }
+        let max = by_bucket.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max > 4.0 * total / buckets as f64,
+            "max bucket {max} vs uniform share {}",
+            total / buckets as f64
+        );
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed() {
+        let cfg = NetworkConfig {
+            flows: 20_000,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = cfg.generate(&mut rng);
+        let mut weights: Vec<f64> = data.keys.iter().map(|wk| wk.weight).collect();
+        weights.sort_by(f64::total_cmp);
+        let total: f64 = weights.iter().sum();
+        let top1pct: f64 = weights[weights.len() * 99 / 100..].iter().sum();
+        assert!(
+            top1pct > 0.2 * total,
+            "top 1% holds only {:.3} of weight",
+            top1pct / total
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = NetworkConfig {
+            flows: 1_000,
+            ..Default::default()
+        };
+        let d1 = cfg.generate(&mut StdRng::seed_from_u64(5));
+        let d2 = cfg.generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(d1.total_weight(), d2.total_weight());
+    }
+}

@@ -1,0 +1,214 @@
+//! Query batteries matching the paper's two models (Section 6.1):
+//!
+//! * **uniform area** — each rectangle is placed uniformly at random with
+//!   height and width uniform in `[0, h] × [0, w]`, for a scale factor
+//!   relative to the domain;
+//! * **uniform weight** — rectangles are cells of one level of a kd-tree
+//!   built over the *full* data (independent of any summary's kd-tree), so
+//!   each covers approximately the same total weight.
+//!
+//! A query is a union of `k` disjoint rectangles; the paper's batteries use
+//! 50 queries of 1–100 rectangles.
+
+use rand::Rng;
+
+use sas_sampling::product::SpatialData;
+use sas_structures::kdtree::{KdHierarchy, KdItem};
+use sas_structures::product::{BoxRange, MultiRangeQuery};
+
+/// Generates `count` uniform-area multi-range queries over a
+/// `side_x × side_y` domain. Each query is `ranges` random rectangles with
+/// width/height uniform in `[1, max_frac·side]`; overlapping rectangles are
+/// rejected and re-drawn so the ranges are disjoint.
+pub fn uniform_area_queries<R: Rng + ?Sized>(
+    rng: &mut R,
+    side_x: u64,
+    side_y: u64,
+    count: usize,
+    ranges: usize,
+    max_frac: f64,
+) -> Vec<MultiRangeQuery> {
+    assert!(side_x > 1 && side_y > 1, "degenerate domain");
+    assert!((0.0..=1.0).contains(&max_frac), "max_frac out of [0,1]");
+    let wx = ((side_x as f64 * max_frac) as u64).max(1);
+    let wy = ((side_y as f64 * max_frac) as u64).max(1);
+    (0..count)
+        .map(|_| {
+            let mut boxes: Vec<BoxRange> = Vec::with_capacity(ranges);
+            let mut attempts = 0;
+            while boxes.len() < ranges && attempts < ranges * 200 {
+                attempts += 1;
+                let w = rng.gen_range(1..=wx);
+                let h = rng.gen_range(1..=wy);
+                let x0 = rng.gen_range(0..side_x.saturating_sub(w).max(1));
+                let y0 = rng.gen_range(0..side_y.saturating_sub(h).max(1));
+                let b = BoxRange::xy(x0, x0 + w - 1, y0, y0 + h - 1);
+                if boxes.iter().all(|existing| !existing.overlaps(&b)) {
+                    boxes.push(b);
+                }
+            }
+            MultiRangeQuery::new(boxes)
+        })
+        .collect()
+}
+
+/// Builds the equal-weight partition of the full data: cells of the kd-tree
+/// over all points (uniform per-point probability), stopped at cells of at
+/// most `1/parts` of the total weight. Returns the cell boxes.
+pub fn equal_weight_cells(data: &SpatialData, parts: usize) -> Vec<BoxRange> {
+    assert!(parts >= 1, "need at least one part");
+    let total = data.total_weight();
+    if data.is_empty() || total <= 0.0 {
+        return Vec::new();
+    }
+    // Scale weights so the target cell mass is 1.0, then reuse the
+    // mass-balanced kd construction. Probabilities must be ≤ 1, so scale
+    // per-item values into (0, 1] by dividing by the max item weight too.
+    let max_w = data
+        .keys
+        .iter()
+        .map(|wk| wk.weight)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let cell_mass = total / parts as f64;
+    let items: Vec<KdItem> = data
+        .keys
+        .iter()
+        .zip(&data.points)
+        .filter(|(wk, _)| wk.weight > 0.0)
+        .map(|(wk, p)| KdItem {
+            key: wk.key,
+            point: p.clone(),
+            prob: (wk.weight / max_w).clamp(1e-12, 1.0),
+        })
+        .collect();
+    let tree = KdHierarchy::build(items, cell_mass / max_w);
+    tree.leaves()
+        .into_iter()
+        .map(|n| tree.cell(n).clone())
+        .collect()
+}
+
+/// Generates `count` uniform-weight multi-range queries: each query picks
+/// `ranges` distinct cells of the equal-weight partition with
+/// `parts ≈ ranges / weight_frac` cells, so the query covers roughly
+/// `weight_frac` of the total weight.
+pub fn uniform_weight_queries<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &SpatialData,
+    count: usize,
+    ranges: usize,
+    weight_frac: f64,
+) -> Vec<MultiRangeQuery> {
+    assert!(weight_frac > 0.0 && weight_frac <= 1.0, "bad weight fraction");
+    let parts = ((ranges as f64 / weight_frac).round() as usize).max(ranges.max(1));
+    let cells = equal_weight_cells(data, parts);
+    if cells.is_empty() {
+        return vec![MultiRangeQuery::new(Vec::new()); count];
+    }
+    (0..count)
+        .map(|_| {
+            // Sample `ranges` distinct cells (or all cells if fewer exist).
+            let k = ranges.min(cells.len());
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let c = rng.gen_range(0..cells.len());
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                }
+            }
+            MultiRangeQuery::new(chosen.into_iter().map(|c| cells[c].clone()).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_data(n: usize, side: u64, seed: u64) -> SpatialData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<(u64, u64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..side),
+                    rng.gen_range(0..side),
+                    rng.gen_range(0.5..3.0),
+                )
+            })
+            .collect();
+        SpatialData::from_xyw(&rows)
+    }
+
+    #[test]
+    fn uniform_area_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let qs = uniform_area_queries(&mut rng, 1 << 16, 1 << 16, 20, 25, 0.1);
+        assert_eq!(qs.len(), 20);
+        for q in &qs {
+            assert_eq!(q.range_count(), 25);
+            for b in &q.boxes {
+                assert!(!b.is_empty());
+                assert!(b.sides[0].len() <= (1u64 << 16) / 10 + 1);
+            }
+            // Disjointness.
+            for i in 0..q.boxes.len() {
+                for j in (i + 1)..q.boxes.len() {
+                    assert!(!q.boxes[i].overlaps(&q.boxes[j]), "overlap {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_weight_cells_balance() {
+        let data = random_data(3000, 1 << 10, 2);
+        let parts = 64;
+        let cells = equal_weight_cells(&data, parts);
+        assert!(cells.len() >= parts / 2, "only {} cells", cells.len());
+        let total = data.total_weight();
+        let target = total / parts as f64;
+        // Every cell's weight is within a small factor of the target.
+        for c in &cells {
+            let w = data.box_weight(c);
+            assert!(w <= 3.0 * target + 1e-9, "cell weight {w} vs target {target}");
+        }
+        // Cells tile the domain: weights sum to the total.
+        let sum: f64 = cells.iter().map(|c| data.box_weight(c)).sum();
+        assert!((sum - total).abs() < 1e-6 * total);
+    }
+
+    #[test]
+    fn uniform_weight_queries_cover_fraction() {
+        let data = random_data(5000, 1 << 10, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let qs = uniform_weight_queries(&mut rng, &data, 10, 10, 0.1);
+        let total = data.total_weight();
+        for q in &qs {
+            let w: f64 = q.boxes.iter().map(|b| data.box_weight(b)).sum();
+            let frac = w / total;
+            assert!(
+                frac > 0.02 && frac < 0.4,
+                "query covers {frac} of weight, wanted ≈0.1"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_data_queries() {
+        let data = SpatialData::from_xyw(&[]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let qs = uniform_weight_queries(&mut rng, &data, 3, 5, 0.1);
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[0].range_count(), 0);
+    }
+
+    #[test]
+    fn max_frac_one_allows_huge_rects() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let qs = uniform_area_queries(&mut rng, 1 << 8, 1 << 8, 5, 1, 1.0);
+        assert_eq!(qs.len(), 5);
+        assert!(qs.iter().all(|q| q.range_count() == 1));
+    }
+}

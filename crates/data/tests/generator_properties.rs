@@ -1,0 +1,107 @@
+//! Property tests for the workload generators: every configuration must
+//! produce well-formed data, and query batteries must be valid.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sas_data::queries::equal_weight_cells;
+use sas_data::{uniform_area_queries, NetworkConfig, TicketConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn network_generator_well_formed(
+        bits in 8u32..14,
+        flows in 500usize..5000,
+        theta in 0.5f64..1.5,
+        alpha in 0.8f64..1.5,
+        seed in 0u64..100,
+    ) {
+        let cfg = NetworkConfig {
+            bits,
+            flows,
+            theta,
+            alpha,
+            src_prefixes: 50,
+            dst_prefixes: 40,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = cfg.generate(&mut rng);
+        prop_assert!(!data.is_empty());
+        prop_assert!(data.len() <= flows);
+        let side = 1u64 << bits;
+        for (wk, p) in data.keys.iter().zip(&data.points) {
+            prop_assert!(wk.weight > 0.0 && wk.weight.is_finite());
+            prop_assert!(p.coord(0) < side && p.coord(1) < side);
+        }
+        // Keys are row indices, sorted points imply deterministic layout.
+        for (i, wk) in data.keys.iter().enumerate() {
+            prop_assert_eq!(wk.key, i as u64);
+        }
+    }
+
+    #[test]
+    fn ticket_generator_well_formed(
+        tickets in 500usize..5000,
+        theta in 0.5f64..1.4,
+        seed in 0u64..100,
+    ) {
+        let cfg = TicketConfig {
+            tickets,
+            theta,
+            ..Default::default()
+        };
+        let (td, ld) = cfg.domains();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = cfg.generate(&mut rng);
+        prop_assert!(!data.is_empty());
+        for (wk, p) in data.keys.iter().zip(&data.points) {
+            prop_assert!(wk.weight > 0.0);
+            prop_assert!(p.coord(0) < td && p.coord(1) < ld);
+        }
+    }
+
+    #[test]
+    fn uniform_area_queries_valid(
+        count in 1usize..10,
+        ranges in 1usize..15,
+        frac in 0.01f64..0.9,
+        seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let side = 1u64 << 12;
+        let qs = uniform_area_queries(&mut rng, side, side, count, ranges, frac);
+        prop_assert_eq!(qs.len(), count);
+        for q in &qs {
+            prop_assert!(q.range_count() <= ranges);
+            for (i, a) in q.boxes.iter().enumerate() {
+                prop_assert!(!a.is_empty());
+                for b in &q.boxes[i + 1..] {
+                    prop_assert!(!a.overlaps(b), "overlapping ranges in query");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_weight_cells_tile(
+        n in 50usize..800,
+        parts in 2usize..32,
+        seed in 0u64..50,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<(u64, u64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0..1024), rng.gen_range(0..1024), rng.gen_range(0.1f64..5.0)))
+            .collect();
+        let data = sas_sampling::product::SpatialData::from_xyw(&rows);
+        let cells = equal_weight_cells(&data, parts);
+        prop_assert!(!cells.is_empty());
+        // Cells are pairwise disjoint and cover every data point once.
+        for (wk, p) in data.keys.iter().zip(&data.points) {
+            let covering = cells.iter().filter(|c| c.contains(p)).count();
+            prop_assert_eq!(covering, 1, "key {} covered {} times", wk.key, covering);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Structure-aware sampling over disjoint ranges (Section 3).
+//!
+//! The range family is a partition of the key domain (a flat 2-level
+//! hierarchy). Pair selection aggregates pairs **within** the same range
+//! while any exist, and only then pairs spanning ranges — giving
+//! Δ < 1 on every range: each range holds the floor or ceiling of its
+//! expected number of samples.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use sas_core::aggregate::{AggregationState, EntryState};
+use sas_core::{KeyId, Sample, WeightedKey};
+
+use crate::IppsSetup;
+
+const ROOT_TOL: f64 = 1e-6;
+
+/// Draws a structure-aware VarOpt sample of size `s` where `range_of(key)`
+/// assigns each key to its partition class.
+pub fn sample<R: Rng + ?Sized>(
+    data: &[WeightedKey],
+    s: usize,
+    mut range_of: impl FnMut(KeyId) -> u64,
+    rng: &mut R,
+) -> Sample {
+    let setup = IppsSetup::compute(data, s);
+    let keys: Vec<KeyId> = setup.active.iter().map(|(wk, _)| wk.key).collect();
+    let probs: Vec<f64> = setup.active.iter().map(|(_, p)| *p).collect();
+    let mut state = AggregationState::new(keys.clone(), probs);
+
+    // Group active entries by range.
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (idx, &k) in keys.iter().enumerate() {
+        groups.entry(range_of(k)).or_default().push(idx);
+    }
+
+    // Phase 1: aggregate within each range, leaving ≤ 1 active per range.
+    let mut leftovers: Vec<usize> = Vec::with_capacity(groups.len());
+    for (_, idxs) in groups {
+        let mut survivor: Option<usize> = None;
+        for idx in idxs {
+            if state.state(idx) != EntryState::Active {
+                continue;
+            }
+            survivor = match survivor {
+                None => Some(idx),
+                Some(cur) => {
+                    state.aggregate(cur, idx, rng);
+                    [cur, idx]
+                        .into_iter()
+                        .find(|&x| state.state(x) == EntryState::Active)
+                }
+            };
+        }
+        if let Some(x) = survivor {
+            leftovers.push(x);
+        }
+    }
+
+    // Phase 2: aggregate leftovers across ranges (arbitrary order).
+    let mut survivor: Option<usize> = None;
+    for idx in leftovers {
+        if state.state(idx) != EntryState::Active {
+            continue;
+        }
+        survivor = match survivor {
+            None => Some(idx),
+            Some(cur) => {
+                state.aggregate(cur, idx, rng);
+                [cur, idx]
+                    .into_iter()
+                    .find(|&x| state.state(x) == EntryState::Active)
+            }
+        };
+    }
+    if let Some(idx) = survivor {
+        if !state.finalize_entry(idx, ROOT_TOL) {
+            state.round_entry(idx, rng);
+        }
+    }
+
+    let mut sample = Sample::from_inclusion(
+        data,
+        &[],
+        state.included_keys().collect::<Vec<_>>(),
+        setup.tau,
+    );
+    sample.merge(Sample::from_inclusion(
+        data,
+        &[],
+        setup.certain.iter().map(|wk| wk.key),
+        setup.tau,
+    ));
+    sample
+}
+
+/// Per-range discrepancies of a sample under partition `range_of`.
+pub fn range_discrepancies(
+    sample: &Sample,
+    data: &[WeightedKey],
+    s: usize,
+    mut range_of: impl FnMut(KeyId) -> u64,
+) -> HashMap<u64, f64> {
+    let setup = IppsSetup::compute(data, s);
+    let mut expected: HashMap<u64, f64> = HashMap::new();
+    for wk in &setup.certain {
+        *expected.entry(range_of(wk.key)).or_default() += 1.0;
+    }
+    for (wk, p) in &setup.active {
+        *expected.entry(range_of(wk.key)).or_default() += p;
+    }
+    let mut actual: HashMap<u64, f64> = HashMap::new();
+    for k in sample.keys() {
+        *actual.entry(range_of(k)).or_default() += 1.0;
+    }
+    expected
+        .into_iter()
+        .map(|(r, e)| (r, (actual.get(&r).copied().unwrap_or(0.0) - e).abs()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_data(n: u64, seed: u64) -> Vec<WeightedKey> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|k| WeightedKey::new(k, rng.gen_range(0.1..10.0)))
+            .collect()
+    }
+
+    #[test]
+    fn sample_size_exact() {
+        let data = random_data(80, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in [1, 4, 10, 40] {
+            let smp = sample(&data, s, |k| k % 8, &mut rng);
+            assert_eq!(smp.len(), s);
+        }
+    }
+
+    #[test]
+    fn per_range_delta_below_one() {
+        for seed in 0..30 {
+            let data = random_data(100, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 77);
+            let smp = sample(&data, 12, |k| k / 10, &mut rng);
+            for (r, d) in range_discrepancies(&smp, &data, 12, |k| k / 10) {
+                assert!(d < 1.0 + 1e-6, "seed {seed} range {r}: Δ = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_range_degenerates_to_varopt() {
+        let data = random_data(50, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let smp = sample(&data, 7, |_| 0, &mut rng);
+        assert_eq!(smp.len(), 7);
+    }
+
+    #[test]
+    fn many_singleton_ranges() {
+        // Each key its own range: Δ<1 per range is automatic (p_i < 1).
+        let data = random_data(30, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let smp = sample(&data, 6, |k| k, &mut rng);
+        assert_eq!(smp.len(), 6);
+        for (_, d) in range_discrepancies(&smp, &data, 6, |k| k) {
+            assert!(d < 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn unbiased_per_range_estimates() {
+        let data = random_data(60, 7);
+        let truth: f64 = data
+            .iter()
+            .filter(|wk| wk.key / 20 == 1)
+            .map(|wk| wk.weight)
+            .sum();
+        let runs = 20_000;
+        let mut sum = 0.0;
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..runs {
+            let smp = sample(&data, 10, |k| k / 20, &mut rng);
+            sum += smp.subset_estimate(|k| k / 20 == 1);
+        }
+        let mean = sum / runs as f64;
+        assert!((mean - truth).abs() / truth < 0.02, "{mean} vs {truth}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Structure-aware sampling over a hierarchy (Section 3 of the paper).
+//!
+//! Pair selection follows the **lowest-LCA rule**: always aggregate a pair
+//! of active keys whose lowest common ancestor is as deep as possible —
+//! equivalently, resolve each subtree before its probability mass can move
+//! across subtree boundaries. Consequently, for every internal node `v` and
+//! every step at which some key under `v` is still active, the mass under
+//! `v` equals its original expectation; at termination
+//!
+//! ```text
+//!   |S ∩ v| ∈ { ⌊p(v)⌋, ⌈p(v)⌉ }
+//! ```
+//!
+//! so the maximum range discrepancy is Δ < 1 — the minimum possible for any
+//! unbiased sample-based summary.
+//!
+//! Implemented as an iterative post-order traversal carrying at most one
+//! "leftover" active entry per subtree, which realizes the lowest-LCA rule
+//! without materializing pair choices.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use sas_core::aggregate::{AggregationState, EntryState};
+use sas_core::{Sample, WeightedKey};
+use sas_structures::hierarchy::{Hierarchy, NodeId};
+
+use crate::IppsSetup;
+
+/// Tolerance when finalizing the root leftover entry (whose probability is
+/// integral up to accumulated floating-point error).
+const ROOT_TOL: f64 = 1e-6;
+
+/// Draws a structure-aware VarOpt sample of size `s` over `data` arranged in
+/// the given hierarchy.
+///
+/// Keys present in `hierarchy` but absent from `data` are treated as weight
+/// 0; keys in `data` must appear as hierarchy leaves.
+///
+/// # Panics
+/// Panics if a data key with positive weight has no leaf in the hierarchy.
+pub fn sample<R: Rng + ?Sized>(
+    data: &[WeightedKey],
+    hierarchy: &Hierarchy,
+    s: usize,
+    rng: &mut R,
+) -> Sample {
+    let setup = IppsSetup::compute(data, s);
+    let state = aggregate_over_hierarchy(&setup, hierarchy, rng);
+    let included = state.included_keys().collect::<Vec<_>>();
+    let mut sample = Sample::from_inclusion(data, &[], included, setup.tau);
+    let certain = Sample::from_inclusion(
+        data,
+        &[],
+        setup.certain.iter().map(|wk| wk.key),
+        setup.tau,
+    );
+    sample.merge(certain);
+    sample
+}
+
+/// Runs the lowest-LCA aggregation over the hierarchy and returns the final
+/// [`AggregationState`] for the *active* keys (certain keys are handled by
+/// the caller).
+pub fn aggregate_over_hierarchy<R: Rng + ?Sized>(
+    setup: &IppsSetup,
+    hierarchy: &Hierarchy,
+    rng: &mut R,
+) -> AggregationState {
+    // Map leaf position -> active entry index.
+    let mut pos_of_key: HashMap<u64, usize> = HashMap::new();
+    let key_to_pos: HashMap<_, _> = hierarchy.linearize().map(|(pos, k)| (k, pos)).collect();
+    let keys: Vec<_> = setup.active.iter().map(|(wk, _)| wk.key).collect();
+    let probs: Vec<f64> = setup.active.iter().map(|(_, p)| *p).collect();
+    for (idx, (wk, _)) in setup.active.iter().enumerate() {
+        let pos = *key_to_pos
+            .get(&wk.key)
+            .unwrap_or_else(|| panic!("key {} not found in hierarchy", wk.key));
+        pos_of_key.insert(pos, idx);
+    }
+    let mut state = AggregationState::new(keys, probs);
+
+    // Iterative post-order: children fully resolved before their parent.
+    // `leftover[n]` is the at-most-one active entry surviving subtree n.
+    let mut leftover: Vec<Option<usize>> = vec![None; hierarchy.node_count()];
+    let mut stack: Vec<(NodeId, bool)> = vec![(hierarchy.root(), false)];
+    while let Some((n, processed)) = stack.pop() {
+        if !processed {
+            stack.push((n, true));
+            for &c in hierarchy.children(n) {
+                stack.push((c, false));
+            }
+            continue;
+        }
+        if hierarchy.is_leaf(n) {
+            let pos = hierarchy.leaf_position(n);
+            leftover[n as usize] = pos_of_key.get(&pos).copied().filter(|&idx| {
+                state.state(idx) == EntryState::Active
+            });
+            continue;
+        }
+        let mut survivor: Option<usize> = None;
+        for &c in hierarchy.children(n) {
+            let Some(other) = leftover[c as usize] else {
+                continue;
+            };
+            survivor = match survivor {
+                None => Some(other),
+                Some(cur) => {
+                    state.aggregate(cur, other, rng);
+                    // Whichever of the two is still active survives.
+                    [cur, other]
+                        .into_iter()
+                        .find(|&idx| state.state(idx) == EntryState::Active)
+                }
+            };
+        }
+        leftover[n as usize] = survivor;
+    }
+
+    // Root leftover: with integral active mass its probability is 0/1 up to
+    // accumulated error; otherwise randomized rounding keeps expectations.
+    if let Some(idx) = leftover[hierarchy.root() as usize] {
+        if !state.finalize_entry(idx, ROOT_TOL) {
+            state.round_entry(idx, rng);
+        }
+    }
+    state
+}
+
+/// Per-node discrepancies of a sample over every internal node of the
+/// hierarchy — used to verify the Δ < 1 guarantee and by the experiment
+/// harness.
+pub fn node_discrepancies(
+    sample: &Sample,
+    data: &[WeightedKey],
+    hierarchy: &Hierarchy,
+    s: usize,
+) -> Vec<f64> {
+    let setup = IppsSetup::compute(data, s);
+    let prob_of: HashMap<_, _> = setup
+        .certain
+        .iter()
+        .map(|wk| (wk.key, 1.0))
+        .chain(setup.active.iter().map(|(wk, p)| (wk.key, *p)))
+        .collect();
+    let in_sample: std::collections::HashSet<_> = sample.keys().collect();
+    hierarchy
+        .internal_nodes()
+        .map(|n| {
+            let mut expected = 0.0;
+            let mut actual = 0usize;
+            for k in hierarchy.keys_under(n) {
+                expected += prob_of.get(&k).copied().unwrap_or(0.0);
+                if in_sample.contains(&k) {
+                    actual += 1;
+                }
+            }
+            (actual as f64 - expected).abs()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sas_structures::hierarchy::{figure1_hierarchy, HierarchyBuilder};
+
+    fn figure1_data() -> Vec<WeightedKey> {
+        // Weights from the paper's Figure 1, keys 1..=10.
+        let w = [3.0, 6.0, 4.0, 7.0, 1.0, 8.0, 4.0, 2.0, 3.0, 2.0];
+        w.iter()
+            .enumerate()
+            .map(|(i, &wt)| WeightedKey::new(i as u64 + 1, wt))
+            .collect()
+    }
+
+    #[test]
+    fn figure1_sample_size_is_four() {
+        let h = figure1_hierarchy();
+        let data = figure1_data();
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sample(&data, &h, 4, &mut rng);
+            assert_eq!(s.len(), 4, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn figure1_node_discrepancy_below_one() {
+        let h = figure1_hierarchy();
+        let data = figure1_data();
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let smp = sample(&data, &h, 4, &mut rng);
+            for (i, d) in node_discrepancies(&smp, &data, &h, 4).iter().enumerate() {
+                assert!(*d < 1.0 + 1e-6, "seed {seed} node-range {i}: Δ = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion_probabilities_are_ipps() {
+        let h = figure1_hierarchy();
+        let data = figure1_data();
+        let expect = [0.3, 0.6, 0.4, 0.7, 0.1, 0.8, 0.4, 0.2, 0.3, 0.2];
+        let runs = 60_000;
+        let mut hits = [0usize; 10];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..runs {
+            let smp = sample(&data, &h, 4, &mut rng);
+            for e in smp.iter() {
+                hits[(e.key - 1) as usize] += 1;
+            }
+        }
+        for i in 0..10 {
+            let freq = hits[i] as f64 / runs as f64;
+            assert!(
+                (freq - expect[i]).abs() < 0.01,
+                "key {}: freq {freq} vs {}",
+                i + 1,
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_keys_always_included() {
+        let mut b = HierarchyBuilder::new();
+        let root = b.root();
+        let l = b.add_internal(root);
+        b.add_leaf(l, 1);
+        b.add_leaf(l, 2);
+        let r = b.add_internal(root);
+        b.add_leaf(r, 3);
+        b.add_leaf(r, 4);
+        let h = b.build();
+        let data = vec![
+            WeightedKey::new(1, 1000.0),
+            WeightedKey::new(2, 1.0),
+            WeightedKey::new(3, 1.0),
+            WeightedKey::new(4, 1.0),
+        ];
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sample(&data, &h, 2, &mut rng);
+            assert!(s.contains(1), "seed {seed}");
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn unbiased_subset_estimates() {
+        let h = figure1_hierarchy();
+        let data = figure1_data();
+        // Estimate the weight under node A (keys 1..=4, true weight 20).
+        let truth = 3.0 + 6.0 + 4.0 + 7.0;
+        let runs = 30_000;
+        let mut sum = 0.0;
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..runs {
+            let smp = sample(&data, &h, 4, &mut rng);
+            sum += smp.subset_estimate(|k| k <= 4);
+        }
+        let mean = sum / runs as f64;
+        assert!((mean - truth).abs() / truth < 0.02, "{mean} vs {truth}");
+    }
+
+    #[test]
+    fn random_hierarchies_keep_delta_below_one() {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            // Random 3-level hierarchy with random weights.
+            let mut b = HierarchyBuilder::new();
+            let root = b.root();
+            let mut key = 0u64;
+            let groups = rng.gen_range(2..6);
+            for _ in 0..groups {
+                let g = b.add_internal(root);
+                let subgroups = rng.gen_range(1..4);
+                for _ in 0..subgroups {
+                    let sg = b.add_internal(g);
+                    for _ in 0..rng.gen_range(1..5) {
+                        b.add_leaf(sg, key);
+                        key += 1;
+                    }
+                }
+            }
+            let h = b.build();
+            let data: Vec<WeightedKey> = (0..key)
+                .map(|k| WeightedKey::new(k, rng.gen_range(0.5..20.0)))
+                .collect();
+            let s_target = rng.gen_range(1..(key as usize).max(2));
+            let smp = sample(&data, &h, s_target, &mut rng);
+            assert_eq!(smp.len(), s_target.min(key as usize), "trial {trial}");
+            for d in node_discrepancies(&smp, &data, &h, s_target) {
+                assert!(d < 1.0 + 1e-6, "trial {trial}: Δ = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_keys_in_hierarchy_are_fine() {
+        let h = figure1_hierarchy();
+        let mut data = figure1_data();
+        data[4] = WeightedKey::new(5, 0.0); // key 5 gets weight 0
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample(&data, &h, 4, &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(!s.contains(5));
+    }
+}

@@ -1,0 +1,718 @@
+//! I/O-efficient two-pass structure-aware sampling (Section 5 of the paper,
+//! with `IO-AGGREGATE` as **Algorithm 3**).
+//!
+//! Both passes are read-only sequential scans; memory is `O(s′)` where
+//! `s′ = guide_factor · s` (the paper's experiments use a factor of 5),
+//! independent of the data size:
+//!
+//! * **Pass 1** — compute the IPPS threshold `τ_s` with Algorithm 4
+//!   ([`sas_core::ipps::StreamingThreshold`]) and a structure-oblivious
+//!   VarOpt guide sample `S′` of size `s′`.
+//! * **Partition** — build a partition `L` of the key domain from `S′`:
+//!   kd-tree leaf cells for product structures, sorted-gap cells for orders.
+//!   With `s′ = Ω(s log s)`, every cell has probability mass ≤ 1 w.h.p.
+//! * **Pass 2** — `IO-AGGREGATE`: keep at most one *active* key per cell;
+//!   each arriving light key is pair-aggregated with its cell's active key.
+//!   Keys reaching `p = 1` enter the sample immediately.
+//! * **Finish** — aggregate the ≤ |L| remaining active keys following the
+//!   partition's structure (kd-hierarchy bottom-up, or left-to-right for
+//!   orders).
+//!
+//! The resulting sample is VarOpt with range discrepancy within an additive
+//! constant of the main-memory algorithms, w.h.p.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use sas_core::aggregate::pair_aggregate;
+use sas_core::estimate::{Sample, SampleEntry};
+use sas_core::ipps::StreamingThreshold;
+use sas_core::varopt::VarOptSampler;
+use sas_core::{KeyId, WeightedKey};
+use sas_structures::kdtree::{KdHierarchy, KdItem, KdNodeId};
+
+use crate::product::SpatialData;
+
+const ROOT_TOL: f64 = 1e-6;
+
+/// An active (partially aggregated) key in pass 2: its identity, current
+/// probability, and original weight.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    key: KeyId,
+    p: f64,
+    weight: f64,
+}
+
+/// Shared pass-2 machinery (`IO-AGGREGATE`): one active slot per cell.
+#[derive(Debug)]
+struct IoAggregator<C: std::hash::Hash + Eq + Copy> {
+    tau: f64,
+    active: HashMap<C, Active>,
+    included: Vec<(KeyId, f64)>,
+}
+
+impl<C: std::hash::Hash + Eq + Copy> IoAggregator<C> {
+    fn new(tau: f64) -> Self {
+        Self {
+            tau,
+            active: HashMap::new(),
+            included: Vec::new(),
+        }
+    }
+
+    /// Processes one key assigned to `cell` (the paper's Algorithm 3).
+    fn push<R: Rng + ?Sized>(&mut self, cell: C, key: KeyId, weight: f64, rng: &mut R) {
+        if weight <= 0.0 {
+            return;
+        }
+        let p = if self.tau <= 0.0 {
+            1.0
+        } else {
+            (weight / self.tau).min(1.0)
+        };
+        if p >= 1.0 {
+            self.included.push((key, weight));
+            return;
+        }
+        let incoming = Active { key, p, weight };
+        match self.active.remove(&cell) {
+            None => {
+                self.active.insert(cell, incoming);
+            }
+            Some(a) => {
+                let (pa, pi, _) = pair_aggregate(a.p, incoming.p, rng);
+                for (cand, np) in [(a, pa), (incoming, pi)] {
+                    if np >= 1.0 - ROOT_TOL {
+                        self.included.push((cand.key, cand.weight));
+                    } else if np > ROOT_TOL {
+                        self.active.insert(
+                            cell,
+                            Active {
+                                key: cand.key,
+                                p: np,
+                                weight: cand.weight,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the per-cell actives for the final structure-following
+    /// aggregation.
+    fn into_parts(self) -> (Vec<(C, Active)>, Vec<(KeyId, f64)>) {
+        (self.active.into_iter().collect(), self.included)
+    }
+}
+
+/// Aggregates a list of actives in the given order (left-to-right with one
+/// leftover), finalizing the last survivor. Appends included keys.
+fn finish_ordered<R: Rng + ?Sized>(
+    mut actives: Vec<Active>,
+    included: &mut Vec<(KeyId, f64)>,
+    rng: &mut R,
+) {
+    let mut leftover: Option<Active> = None;
+    for a in actives.drain(..) {
+        leftover = match leftover {
+            None => Some(a),
+            Some(cur) => {
+                let (pc, pa, _) = pair_aggregate(cur.p, a.p, rng);
+                let mut surv = None;
+                for (cand, np) in [(cur, pc), (a, pa)] {
+                    if np >= 1.0 - ROOT_TOL {
+                        included.push((cand.key, cand.weight));
+                    } else if np > ROOT_TOL {
+                        surv = Some(Active {
+                            key: cand.key,
+                            p: np,
+                            weight: cand.weight,
+                        });
+                    }
+                }
+                surv
+            }
+        };
+    }
+    if let Some(last) = leftover {
+        let keep = if last.p >= 1.0 - ROOT_TOL {
+            true
+        } else if last.p <= ROOT_TOL {
+            false
+        } else {
+            // Non-integral total mass: randomized rounding.
+            rng.gen::<f64>() < last.p
+        };
+        if keep {
+            included.push((last.key, last.weight));
+        }
+    }
+}
+
+fn build_sample(included: Vec<(KeyId, f64)>, tau: f64) -> Sample {
+    let entries = included
+        .into_iter()
+        .map(|(key, weight)| SampleEntry {
+            key,
+            weight,
+            adjusted_weight: if tau > 0.0 { weight.max(tau) } else { weight },
+        })
+        .collect();
+    Sample::from_entries(entries, tau)
+}
+
+/// Two-pass structure-aware sampling for **product structures**: the
+/// partition is the set of kd-tree leaf cells built over the guide sample.
+///
+/// `guide_factor` is `s′/s` (the paper's experiments use 5).
+pub fn sample_product<R: Rng + ?Sized>(
+    data: &SpatialData,
+    s: usize,
+    guide_factor: usize,
+    rng: &mut R,
+) -> Sample {
+    assert!(s > 0 && guide_factor > 0, "s and guide_factor must be positive");
+    // ---- Pass 1: threshold + guide sample --------------------------------
+    let mut st = StreamingThreshold::new(s);
+    let mut guide = VarOptSampler::new(s * guide_factor);
+    for (i, wk) in data.keys.iter().enumerate() {
+        st.push(wk.weight);
+        // Use the row index as the guide key so the location is recoverable.
+        guide.push(i as u64, wk.weight, rng);
+    }
+    let tau = st.finish();
+    let guide = guide.finish();
+
+    if tau <= 0.0 {
+        // Everything fits: include all positive-weight keys exactly.
+        let included = data
+            .keys
+            .iter()
+            .filter(|wk| wk.weight > 0.0)
+            .map(|wk| (wk.key, wk.weight))
+            .collect();
+        return build_sample(included, 0.0);
+    }
+
+    // ---- Partition: kd-tree over light guide keys ------------------------
+    let light_items: Vec<KdItem> = guide
+        .iter()
+        .filter(|e| e.weight < tau)
+        .map(|e| KdItem {
+            key: e.key,
+            point: data.points[e.key as usize].clone(),
+            prob: (e.weight / tau).min(1.0).max(1e-12),
+        })
+        .collect();
+
+    if light_items.is_empty() {
+        // No light structure to exploit; degenerate to a single cell.
+        let mut agg: IoAggregator<u32> = IoAggregator::new(tau);
+        for (wk, p) in data.keys.iter().zip(&data.points) {
+            let _ = p;
+            agg.push(0, wk.key, wk.weight, rng);
+        }
+        let (actives, mut included) = agg.into_parts();
+        finish_ordered(actives.into_iter().map(|(_, a)| a).collect(), &mut included, rng);
+        return build_sample(included, tau);
+    }
+
+    let tree = KdHierarchy::build(light_items, 0.0);
+
+    // ---- Pass 2: IO-AGGREGATE keyed by kd leaf cell -----------------------
+    let mut agg: IoAggregator<KdNodeId> = IoAggregator::new(tau);
+    for (wk, point) in data.keys.iter().zip(&data.points) {
+        if wk.weight <= 0.0 {
+            continue;
+        }
+        if wk.weight >= tau {
+            agg.included.push((wk.key, wk.weight));
+            continue;
+        }
+        let cell = tree.locate(point);
+        agg.push(cell, wk.key, wk.weight, rng);
+    }
+    let (cell_actives, mut included) = agg.into_parts();
+
+    // ---- Finish: aggregate actives bottom-up along the kd hierarchy ------
+    let mut up: HashMap<KdNodeId, Active> = HashMap::new();
+    for (cell, a) in cell_actives {
+        // Leaves hold at most one active each by construction.
+        debug_assert!(!up.contains_key(&cell));
+        up.insert(cell, a);
+    }
+    // Children always have larger arena ids than their parent, so a single
+    // descending-id sweep is a post-order traversal.
+    for n in (0..tree.node_count() as KdNodeId).rev() {
+        let Some((l, r)) = tree.children(n) else {
+            continue;
+        };
+        let merged = match (up.remove(&l), up.remove(&r)) {
+            (None, x) | (x, None) => x,
+            (Some(a), Some(b)) => {
+                let (pa, pb, _) = pair_aggregate(a.p, b.p, rng);
+                let mut surv = None;
+                for (cand, np) in [(a, pa), (b, pb)] {
+                    if np >= 1.0 - ROOT_TOL {
+                        included.push((cand.key, cand.weight));
+                    } else if np > ROOT_TOL {
+                        surv = Some(Active {
+                            key: cand.key,
+                            p: np,
+                            weight: cand.weight,
+                        });
+                    }
+                }
+                surv
+            }
+        };
+        if let Some(m) = merged {
+            up.insert(n, m);
+        }
+    }
+    // Root leftover (plus any actives stranded in single-leaf corner cases).
+    finish_ordered(up.into_values().collect(), &mut included, rng);
+    build_sample(included, tau)
+}
+
+/// Two-pass structure-aware sampling for **order structures**: the partition
+/// cells are the gaps between consecutive guide keys in sorted order.
+pub fn sample_order<R: Rng + ?Sized>(
+    data: &[WeightedKey],
+    s: usize,
+    guide_factor: usize,
+    mut position: impl FnMut(KeyId) -> u64,
+    rng: &mut R,
+) -> Sample {
+    assert!(s > 0 && guide_factor > 0, "s and guide_factor must be positive");
+    // ---- Pass 1 ------------------------------------------------------------
+    let mut st = StreamingThreshold::new(s);
+    let mut guide = VarOptSampler::new(s * guide_factor);
+    for wk in data {
+        st.push(wk.weight);
+        guide.push(wk.key, wk.weight, rng);
+    }
+    let tau = st.finish();
+    let guide = guide.finish();
+    if tau <= 0.0 {
+        let included = data
+            .iter()
+            .filter(|wk| wk.weight > 0.0)
+            .map(|wk| (wk.key, wk.weight))
+            .collect();
+        return build_sample(included, 0.0);
+    }
+
+    // ---- Partition: sorted light guide positions ---------------------------
+    let mut boundaries: Vec<u64> = guide
+        .iter()
+        .filter(|e| e.weight < tau)
+        .map(|e| position(e.key))
+        .collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    // Cell of x = number of boundaries strictly below x (so each boundary
+    // key starts a new cell to its right, matching the (i_j, i_{j+1}] cells).
+    let cell_of = |x: u64, bs: &[u64]| -> u64 { bs.partition_point(|&b| b < x) as u64 };
+
+    // ---- Pass 2 ------------------------------------------------------------
+    let mut agg: IoAggregator<u64> = IoAggregator::new(tau);
+    for wk in data {
+        if wk.weight <= 0.0 {
+            continue;
+        }
+        if wk.weight >= tau {
+            agg.included.push((wk.key, wk.weight));
+            continue;
+        }
+        let cell = cell_of(position(wk.key), &boundaries);
+        agg.push(cell, wk.key, wk.weight, rng);
+    }
+    let (cell_actives, mut included) = agg.into_parts();
+
+    // ---- Finish: aggregate actives left-to-right along the order ----------
+    let mut actives: Vec<(u64, Active)> = cell_actives;
+    actives.sort_by_key(|(cell, _)| *cell);
+    finish_ordered(
+        actives.into_iter().map(|(_, a)| a).collect(),
+        &mut included,
+        rng,
+    );
+    build_sample(included, tau)
+}
+
+/// Two-pass structure-aware sampling for a **hierarchy**, via its
+/// linearization (every hierarchy node is a contiguous interval of leaf
+/// positions, so order cells respect hierarchy ranges). Achieves Δ < 2
+/// w.h.p.; the paper's lowest-selected-ancestor variant can achieve Δ < 1
+/// for shallow hierarchies.
+pub fn sample_hierarchy<R: Rng + ?Sized>(
+    data: &[WeightedKey],
+    hierarchy: &sas_structures::hierarchy::Hierarchy,
+    s: usize,
+    guide_factor: usize,
+    rng: &mut R,
+) -> Sample {
+    let pos: HashMap<KeyId, u64> = hierarchy.linearize().map(|(p, k)| (k, p)).collect();
+    sample_order(data, s, guide_factor, |k| pos[&k], rng)
+}
+
+/// Two-pass hierarchy sampling with the **lowest-selected-ancestor**
+/// partition (the paper's Section 5 alternative): select every ancestor of
+/// every guide key; each key's cell is its lowest selected ancestor. This
+/// achieves Δ < 1 w.h.p. (vs Δ < 2 for the linearization variant) at the
+/// cost of memory proportional to the number of selected ancestors — best
+/// for shallow hierarchies, exactly as the paper notes.
+pub fn sample_hierarchy_ancestors<R: Rng + ?Sized>(
+    data: &[WeightedKey],
+    hierarchy: &sas_structures::hierarchy::Hierarchy,
+    s: usize,
+    guide_factor: usize,
+    rng: &mut R,
+) -> Sample {
+    use sas_structures::hierarchy::NodeId;
+    assert!(s > 0 && guide_factor > 0, "s and guide_factor must be positive");
+    // Leaf lookup by key.
+    let leaf_of: HashMap<KeyId, NodeId> = (0..hierarchy.node_count() as NodeId)
+        .filter_map(|n| hierarchy.key(n).map(|k| (k, n)))
+        .collect();
+
+    // ---- Pass 1 ------------------------------------------------------------
+    let mut st = StreamingThreshold::new(s);
+    let mut guide = VarOptSampler::new(s * guide_factor);
+    for wk in data {
+        st.push(wk.weight);
+        guide.push(wk.key, wk.weight, rng);
+    }
+    let tau = st.finish();
+    let guide = guide.finish();
+    if tau <= 0.0 {
+        let included = data
+            .iter()
+            .filter(|wk| wk.weight > 0.0)
+            .map(|wk| (wk.key, wk.weight))
+            .collect();
+        return build_sample(included, 0.0);
+    }
+
+    // ---- Partition: all ancestors of light guide keys are "selected" ------
+    let mut selected = vec![false; hierarchy.node_count()];
+    selected[hierarchy.root() as usize] = true;
+    for e in guide.iter().filter(|e| e.weight < tau) {
+        if let Some(&leaf) = leaf_of.get(&e.key) {
+            selected[leaf as usize] = true;
+            for anc in hierarchy.ancestors(leaf) {
+                selected[anc as usize] = true;
+            }
+        }
+    }
+    // Cell of a key = its lowest selected (self or proper) ancestor.
+    let cell_of = |leaf: NodeId| -> NodeId {
+        if selected[leaf as usize] {
+            return leaf;
+        }
+        hierarchy
+            .ancestors(leaf)
+            .find(|&a| selected[a as usize])
+            .unwrap_or_else(|| hierarchy.root())
+    };
+
+    // ---- Pass 2 ------------------------------------------------------------
+    let mut agg: IoAggregator<NodeId> = IoAggregator::new(tau);
+    for wk in data {
+        if wk.weight <= 0.0 {
+            continue;
+        }
+        if wk.weight >= tau {
+            agg.included.push((wk.key, wk.weight));
+            continue;
+        }
+        let leaf = *leaf_of
+            .get(&wk.key)
+            .unwrap_or_else(|| panic!("key {} not in hierarchy", wk.key));
+        agg.push(cell_of(leaf), wk.key, wk.weight, rng);
+    }
+    let (cell_actives, mut included) = agg.into_parts();
+
+    // ---- Finish: merge actives up the hierarchy (deepest first) ------------
+    fn merge_into<R2: Rng + ?Sized>(
+        slot: &mut HashMap<sas_structures::hierarchy::NodeId, Active>,
+        node: sas_structures::hierarchy::NodeId,
+        a: Active,
+        included: &mut Vec<(KeyId, f64)>,
+        rng: &mut R2,
+    ) {
+        match slot.remove(&node) {
+            None => {
+                slot.insert(node, a);
+            }
+            Some(b) => {
+                let (pa, pb, _) = pair_aggregate(a.p, b.p, rng);
+                for (cand, np) in [(a, pa), (b, pb)] {
+                    if np >= 1.0 - ROOT_TOL {
+                        included.push((cand.key, cand.weight));
+                    } else if np > ROOT_TOL {
+                        slot.insert(
+                            node,
+                            Active {
+                                key: cand.key,
+                                p: np,
+                                weight: cand.weight,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let mut up: HashMap<NodeId, Active> = HashMap::new();
+    for (node, a) in cell_actives {
+        merge_into(&mut up, node, a, &mut included, rng);
+    }
+    // Nodes sorted by depth descending: children resolve before parents.
+    let mut order: Vec<NodeId> = (0..hierarchy.node_count() as NodeId).collect();
+    order.sort_by_key(|&n| std::cmp::Reverse(hierarchy.depth(n)));
+    for n in order {
+        if n == hierarchy.root() {
+            continue;
+        }
+        if let Some(a) = up.remove(&n) {
+            let parent = hierarchy.parent(n).expect("non-root has parent");
+            merge_into(&mut up, parent, a, &mut included, rng);
+        }
+    }
+    finish_ordered(up.into_values().collect(), &mut included, rng);
+    build_sample(included, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sas_structures::product::BoxRange;
+
+    fn random_spatial(n: usize, side: u64, seed: u64) -> SpatialData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<(u64, u64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..side),
+                    rng.gen_range(0..side),
+                    rng.gen_range(0.1..5.0),
+                )
+            })
+            .collect();
+        SpatialData::from_xyw(&rows)
+    }
+
+    #[test]
+    fn product_two_pass_size_near_s() {
+        let data = random_spatial(2000, 128, 1);
+        for s in [10, 50, 200] {
+            let mut rng = StdRng::seed_from_u64(s as u64);
+            let smp = sample_product(&data, s, 5, &mut rng);
+            // Exact τ_s makes total mass integral: size is exactly s.
+            assert_eq!(smp.len(), s, "s={s}");
+        }
+    }
+
+    #[test]
+    fn product_two_pass_unbiased() {
+        let data = random_spatial(800, 64, 2);
+        let query = BoxRange::xy(10, 40, 10, 40);
+        let truth = data.box_weight(&query);
+        let runs = 3000;
+        let mut sum = 0.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..runs {
+            let smp = sample_product(&data, 40, 5, &mut rng);
+            sum += crate::product::estimate_box(&smp, &data, &query);
+        }
+        let mean = sum / runs as f64;
+        assert!((mean - truth).abs() / truth < 0.05, "{mean} vs {truth}");
+    }
+
+    #[test]
+    fn product_small_s_bigger_than_data() {
+        let data = random_spatial(5, 16, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let smp = sample_product(&data, 50, 5, &mut rng);
+        assert_eq!(smp.len(), 5);
+        let truth = data.total_weight();
+        assert!((smp.total_estimate() - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_two_pass_size_and_prefix_discrepancy() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let data: Vec<WeightedKey> = (0..3000)
+            .map(|k| WeightedKey::new(k, rng.gen_range(0.1..3.0)))
+            .collect();
+        let s = 60;
+        let smp = sample_order(&data, s, 5, |k| k, &mut rng);
+        assert_eq!(smp.len(), s);
+        // Prefix discrepancy should be small (≈ Δ < 2 w.h.p.).
+        let d = crate::order::interval_discrepancy(
+            &smp,
+            &data,
+            s,
+            sas_structures::order::Interval::prefix(1500),
+            |k| k,
+        );
+        assert!(d < 3.0, "prefix discrepancy {d}");
+    }
+
+    #[test]
+    fn order_two_pass_interval_discrepancy_battery() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<WeightedKey> = (0..2000)
+            .map(|k| WeightedKey::new(k, rng.gen_range(0.1..3.0)))
+            .collect();
+        let s = 50;
+        let smp = sample_order(&data, s, 8, |k| k, &mut rng);
+        let mut worst: f64 = 0.0;
+        for lo in (0..2000).step_by(97) {
+            for hi in ((lo + 50)..2000).step_by(131) {
+                let d = crate::order::interval_discrepancy(
+                    &smp,
+                    &data,
+                    s,
+                    sas_structures::order::Interval::new(lo, hi),
+                    |k| k,
+                );
+                worst = worst.max(d);
+            }
+        }
+        // w.h.p. Δ < 2; allow modest slack for the probabilistic guarantee.
+        assert!(worst < 4.0, "worst interval discrepancy {worst}");
+    }
+
+    #[test]
+    fn hierarchy_two_pass_runs() {
+        use sas_structures::hierarchy::figure1_hierarchy;
+        let h = figure1_hierarchy();
+        let w = [3.0, 6.0, 4.0, 7.0, 1.0, 8.0, 4.0, 2.0, 3.0, 2.0];
+        let data: Vec<WeightedKey> = w
+            .iter()
+            .enumerate()
+            .map(|(i, &wt)| WeightedKey::new(i as u64 + 1, wt))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let smp = sample_hierarchy(&data, &h, 4, 2, &mut rng);
+        assert_eq!(smp.len(), 4);
+    }
+
+    #[test]
+    fn hierarchy_ancestors_variant_size_and_discrepancy() {
+        use rand::Rng as _;
+        use sas_structures::hierarchy::HierarchyBuilder;
+        // Shallow random hierarchy with many leaves (the regime the paper
+        // recommends this variant for).
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut b = HierarchyBuilder::new();
+        let root = b.root();
+        let mut key = 0u64;
+        for _ in 0..12 {
+            let g = b.add_internal(root);
+            for _ in 0..rng.gen_range(5..30) {
+                b.add_leaf(g, key);
+                key += 1;
+            }
+        }
+        let h = b.build();
+        let data: Vec<WeightedKey> = (0..key)
+            .map(|k| WeightedKey::new(k, rng.gen_range(0.1..5.0)))
+            .collect();
+        let s = 30;
+        let smp = sample_hierarchy_ancestors(&data, &h, s, 5, &mut rng);
+        assert_eq!(smp.len(), s);
+        // Per-node discrepancy small (Δ < 1 w.h.p.; allow slack of 2).
+        let in_sample: std::collections::HashSet<u64> = smp.keys().collect();
+        let setup = crate::IppsSetup::compute(&data, s);
+        for n in h.internal_nodes() {
+            let mut expected = 0.0;
+            let mut actual = 0usize;
+            for k in h.keys_under(n) {
+                expected += setup.probability_of(k);
+                if in_sample.contains(&k) {
+                    actual += 1;
+                }
+            }
+            let d = (actual as f64 - expected).abs();
+            assert!(d < 2.0, "node {n}: discrepancy {d}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_ancestors_unbiased() {
+        use sas_structures::hierarchy::figure1_hierarchy;
+        let h = figure1_hierarchy();
+        let w = [3.0, 6.0, 4.0, 7.0, 1.0, 8.0, 4.0, 2.0, 3.0, 2.0];
+        let data: Vec<WeightedKey> = w
+            .iter()
+            .enumerate()
+            .map(|(i, &wt)| WeightedKey::new(i as u64 + 1, wt))
+            .collect();
+        let truth = 20.0; // keys 1..=4
+        let runs = 8000;
+        let mut sum = 0.0;
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..runs {
+            let smp = sample_hierarchy_ancestors(&data, &h, 4, 3, &mut rng);
+            sum += smp.subset_estimate(|k| k <= 4);
+        }
+        let mean = sum / runs as f64;
+        assert!((mean - truth).abs() / truth < 0.05, "{mean} vs {truth}");
+    }
+
+    #[test]
+    fn heavy_keys_included_exactly_once() {
+        let mut data = random_spatial(500, 64, 9);
+        data.keys[100] = WeightedKey::new(100, 1e5);
+        let mut rng = StdRng::seed_from_u64(10);
+        let smp = sample_product(&data, 20, 5, &mut rng);
+        let count = smp.iter().filter(|e| e.key == 100).count();
+        assert_eq!(count, 1);
+        let e = smp.iter().find(|e| e.key == 100).unwrap();
+        assert_eq!(e.adjusted_weight, 1e5); // heavy keys estimated exactly
+    }
+
+    #[test]
+    fn two_pass_matches_main_memory_accuracy_roughly() {
+        // Two-pass error should be in the same ballpark as main-memory
+        // structure-aware error on box queries (within 2x over a battery).
+        let data = random_spatial(1500, 64, 11);
+        let queries: Vec<BoxRange> = {
+            let mut qrng = StdRng::seed_from_u64(12);
+            (0..20)
+                .map(|_| {
+                    let x0 = qrng.gen_range(0..44);
+                    let y0 = qrng.gen_range(0..44);
+                    BoxRange::xy(x0, x0 + 19, y0, y0 + 19)
+                })
+                .collect()
+        };
+        let s = 80;
+        let runs = 40;
+        let mut err_two = 0.0;
+        let mut err_main = 0.0;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(200 + seed);
+            let two = sample_product(&data, s, 5, &mut rng);
+            let main = crate::product::sample(&data, s, &mut rng);
+            for q in &queries {
+                let truth = data.box_weight(q);
+                err_two += (crate::product::estimate_box(&two, &data, q) - truth).abs();
+                err_main += (crate::product::estimate_box(&main, &data, q) - truth).abs();
+            }
+        }
+        assert!(
+            err_two < 2.0 * err_main,
+            "two-pass error {err_two} vs main-memory {err_main}"
+        );
+    }
+}

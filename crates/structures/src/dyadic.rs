@@ -1,0 +1,194 @@
+//! Dyadic intervals over `[0, 2^bits)` and canonical interval decomposition.
+//!
+//! A dyadic interval at level `ℓ` is `[i·2^ℓ, (i+1)·2^ℓ)`. Every interval
+//! `[a, b]` decomposes canonically into at most `2·bits` disjoint dyadic
+//! intervals. This implicit binary hierarchy is the structure of IP-prefix
+//! data (a `/p` prefix is the dyadic interval at level `32 − p`) and is what
+//! the wavelet, q-digest and count-sketch baselines are built over.
+
+/// A dyadic interval: `level` (0 = single point) and `index` within that
+/// level, covering `[index·2^level, (index+1)·2^level)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DyadicInterval {
+    /// Level: interval length is `2^level`.
+    pub level: u32,
+    /// Index of this interval within its level.
+    pub index: u64,
+}
+
+impl DyadicInterval {
+    /// The inclusive lower endpoint.
+    pub fn lo(&self) -> u64 {
+        self.index << self.level
+    }
+
+    /// The inclusive upper endpoint.
+    pub fn hi(&self) -> u64 {
+        self.lo() + ((1u64 << self.level) - 1)
+    }
+
+    /// Length `2^level`.
+    pub fn len(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// Whether the interval contains point `x`.
+    pub fn contains(&self, x: u64) -> bool {
+        (x >> self.level) == self.index
+    }
+
+    /// The parent dyadic interval (one level up).
+    pub fn parent(&self) -> DyadicInterval {
+        DyadicInterval {
+            level: self.level + 1,
+            index: self.index >> 1,
+        }
+    }
+
+    /// The two children (None at level 0).
+    pub fn children(&self) -> Option<(DyadicInterval, DyadicInterval)> {
+        if self.level == 0 {
+            return None;
+        }
+        Some((
+            DyadicInterval {
+                level: self.level - 1,
+                index: self.index << 1,
+            },
+            DyadicInterval {
+                level: self.level - 1,
+                index: (self.index << 1) | 1,
+            },
+        ))
+    }
+
+    /// The dyadic ancestor of point `x` at `level`.
+    pub fn ancestor_of(x: u64, level: u32) -> DyadicInterval {
+        DyadicInterval {
+            level,
+            index: if level >= 64 { 0 } else { x >> level },
+        }
+    }
+}
+
+/// Canonical decomposition of the closed interval `[a, b] ⊆ [0, 2^bits)`
+/// into at most `2·bits` disjoint maximal dyadic intervals.
+///
+/// # Panics
+/// Panics if `a > b` or `b ≥ 2^bits` (for `bits < 64`).
+pub fn decompose(a: u64, b: u64, bits: u32) -> Vec<DyadicInterval> {
+    assert!(a <= b, "invalid interval [{a}, {b}]");
+    if bits < 64 {
+        assert!(b < (1u64 << bits), "interval exceeds domain of {bits} bits");
+    }
+    let mut out = Vec::new();
+    let mut lo = a;
+    loop {
+        // Largest level with `lo` aligned and the block fitting in [lo, b].
+        let align = if lo == 0 {
+            bits
+        } else {
+            lo.trailing_zeros().min(bits)
+        };
+        let remaining = b - lo + 1;
+        let fit = 63 - remaining.leading_zeros();
+        let level = align.min(fit);
+        out.push(DyadicInterval {
+            level,
+            index: lo >> level,
+        });
+        let step = 1u64 << level;
+        if remaining == step {
+            break;
+        }
+        lo += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let d = DyadicInterval { level: 3, index: 2 };
+        assert_eq!(d.lo(), 16);
+        assert_eq!(d.hi(), 23);
+        assert_eq!(d.len(), 8);
+        assert!(d.contains(16) && d.contains(23));
+        assert!(!d.contains(15) && !d.contains(24));
+    }
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let d = DyadicInterval { level: 2, index: 5 };
+        let p = d.parent();
+        assert_eq!(p.level, 3);
+        assert_eq!(p.index, 2);
+        let (l, r) = p.children().unwrap();
+        assert!(l == d || r == d);
+        assert!(DyadicInterval { level: 0, index: 7 }.children().is_none());
+    }
+
+    #[test]
+    fn ancestor_of_point() {
+        let a = DyadicInterval::ancestor_of(100, 4);
+        assert!(a.contains(100));
+        assert_eq!(a.len(), 16);
+        assert_eq!(DyadicInterval::ancestor_of(5, 0).lo(), 5);
+    }
+
+    fn check_decomposition(a: u64, b: u64, bits: u32) {
+        let parts = decompose(a, b, bits);
+        // Parts are disjoint, sorted, and cover exactly [a, b].
+        let mut expect = a;
+        for d in &parts {
+            assert_eq!(d.lo(), expect, "gap before {d:?} in [{a},{b}]");
+            expect = d.hi() + 1;
+        }
+        assert_eq!(expect, b + 1, "cover ends early for [{a},{b}]");
+        assert!(parts.len() as u32 <= 2 * bits.max(1), "too many parts");
+    }
+
+    #[test]
+    fn decompose_small_exhaustive() {
+        let bits = 5;
+        let n = 1u64 << bits;
+        for a in 0..n {
+            for b in a..n {
+                check_decomposition(a, b, bits);
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_aligned_is_single() {
+        let parts = decompose(0, 1023, 10);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].level, 10);
+        let parts = decompose(512, 1023, 10);
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn decompose_single_point() {
+        let parts = decompose(37, 37, 10);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].level, 0);
+        assert_eq!(parts[0].lo(), 37);
+    }
+
+    #[test]
+    fn decompose_large_domain() {
+        // 32-bit IP-style domain.
+        check_decomposition(1, (1u64 << 32) - 2, 32);
+        check_decomposition(0, (1u64 << 32) - 1, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds domain")]
+    fn decompose_out_of_domain_panics() {
+        decompose(0, 32, 5);
+    }
+}

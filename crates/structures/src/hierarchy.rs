@@ -1,0 +1,587 @@
+//! Hierarchy structures: keys at the leaves of a rooted tree.
+//!
+//! Ranges are the sets of keys under internal nodes (geographic areas, IP
+//! prefixes, trouble-code subtrees, …). The hierarchy sampler of
+//! `sas-sampling` guarantees that under *every* node the number of sampled
+//! keys is the floor or ceiling of its expectation — maximum range
+//! discrepancy Δ < 1 (Section 3 of the paper).
+//!
+//! The tree is stored as an arena. Leaves are assigned contiguous in-order
+//! positions, so every node covers a contiguous *leaf span* — this is the
+//! "linearization" the paper uses to reduce hierarchy axes to orders.
+
+use crate::order::Interval;
+use sas_core::KeyId;
+
+/// Index of a node in a [`Hierarchy`] arena.
+pub type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Key stored at this node, if it is a leaf.
+    key: Option<KeyId>,
+    /// In-order span of leaf positions under this node: [lo, hi] inclusive.
+    span: Interval,
+    /// Depth from the root (root = 0).
+    depth: u32,
+}
+
+/// A rooted tree whose leaves carry keys.
+///
+/// ```
+/// use sas_structures::hierarchy::HierarchyBuilder;
+///
+/// // Build the tree of the paper's Figure 1: 10 leaves under a 3-level
+/// // hierarchy.
+/// let mut b = HierarchyBuilder::new();
+/// let root = b.root();
+/// let left = b.add_internal(root);
+/// let l1 = b.add_internal(left);
+/// b.add_leaf(l1, 1);
+/// b.add_leaf(l1, 2);
+/// let h = b.build();
+/// assert_eq!(h.leaf_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    nodes: Vec<Node>,
+    /// Leaf positions in in-order: `leaves[pos]` is the node id of the leaf
+    /// at position `pos`.
+    leaves: Vec<NodeId>,
+}
+
+impl Hierarchy {
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether `n` is a leaf.
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.nodes[n as usize].children.is_empty()
+    }
+
+    /// The key stored at leaf `n` (None for internal nodes).
+    pub fn key(&self, n: NodeId) -> Option<KeyId> {
+        self.nodes[n as usize].key
+    }
+
+    /// Parent of `n` (None for the root).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n as usize].parent
+    }
+
+    /// Children of `n`.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n as usize].children
+    }
+
+    /// Depth of `n` (root = 0).
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.nodes[n as usize].depth
+    }
+
+    /// Contiguous span of in-order leaf positions under `n`.
+    pub fn leaf_span(&self, n: NodeId) -> Interval {
+        self.nodes[n as usize].span
+    }
+
+    /// The leaf node at in-order position `pos`.
+    pub fn leaf_at(&self, pos: u64) -> NodeId {
+        self.leaves[pos as usize]
+    }
+
+    /// In-order position of leaf `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a leaf.
+    pub fn leaf_position(&self, n: NodeId) -> u64 {
+        assert!(self.is_leaf(n), "node {n} is not a leaf");
+        self.nodes[n as usize].span.lo
+    }
+
+    /// Iterates over `(position, key)` of all leaves in order — the
+    /// *linearization* of the hierarchy.
+    pub fn linearize(&self) -> impl Iterator<Item = (u64, KeyId)> + '_ {
+        self.leaves
+            .iter()
+            .enumerate()
+            .map(|(pos, &n)| (pos as u64, self.nodes[n as usize].key.expect("leaf has key")))
+    }
+
+    /// Keys under node `n` (the range this node represents).
+    pub fn keys_under(&self, n: NodeId) -> impl Iterator<Item = KeyId> + '_ {
+        let span = self.leaf_span(n);
+        (span.lo..=span.hi).filter(move |_| !span.is_empty()).map(move |pos| {
+            let leaf = self.leaves[pos as usize];
+            self.nodes[leaf as usize].key.expect("leaf has key")
+        })
+    }
+
+    /// All node ids in DFS pre-order.
+    pub fn dfs_preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.nodes[n as usize].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All internal node ids (these are the ranges of the structure).
+    pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as NodeId).filter(|&n| !self.is_leaf(n))
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, mut a: NodeId, mut b: NodeId) -> NodeId {
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a).expect("deeper node has parent");
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b).expect("deeper node has parent");
+        }
+        while a != b {
+            a = self.parent(a).expect("non-root");
+            b = self.parent(b).expect("non-root");
+        }
+        a
+    }
+
+    /// The ancestors of `n` from its parent up to the root.
+    pub fn ancestors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.parent(n);
+        std::iter::from_fn(move || {
+            let out = cur?;
+            cur = self.parent(out);
+            Some(out)
+        })
+    }
+
+    /// Builds the dyadic (binary-trie / IP-prefix) hierarchy induced by the
+    /// given keys over a `2^bits` domain: internal nodes are the prefixes
+    /// that have at least one present key below them, with single-child
+    /// chains compressed away (a node is materialized only where the key
+    /// set actually branches — the "tree induced by keys in the data set"
+    /// of the paper's Figure 1 caption).
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty, contains duplicates, or a key exceeds
+    /// the domain.
+    pub fn dyadic_trie(keys: &[KeyId], bits: u32) -> Self {
+        assert!(!keys.is_empty(), "hierarchy needs at least one leaf");
+        let mut sorted: Vec<KeyId> = keys.to_vec();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[0] != w[1], "duplicate key {}", w[0]);
+        }
+        if bits < 64 {
+            assert!(
+                *sorted.last().unwrap() < (1u64 << bits),
+                "key outside 2^{bits} domain"
+            );
+        }
+        let mut b = HierarchyBuilder::new();
+        // Recursive construction over the sorted slice: split at the
+        // highest bit where the slice's keys diverge.
+        fn build(b: &mut HierarchyBuilder, parent: NodeId, keys: &[KeyId], bits: u32) {
+            if keys.len() == 1 {
+                b.add_leaf(parent, keys[0]);
+                return;
+            }
+            let first = keys[0];
+            let last = *keys.last().unwrap();
+            // Highest differing bit between first and last.
+            let diff = 63 - (first ^ last).leading_zeros();
+            debug_assert!(diff < bits || bits == 64);
+            // Partition at that bit: keys with bit clear precede keys with
+            // bit set (keys are sorted and share all higher bits).
+            let split = keys.partition_point(|&k| (k >> diff) & 1 == 0);
+            let node = b.add_internal(parent);
+            build(b, node, &keys[..split], bits);
+            build(b, node, &keys[split..], bits);
+        }
+        let root = b.root();
+        if sorted.len() == 1 {
+            b.add_leaf(root, sorted[0]);
+            return b.build();
+        }
+        // Top-level: attach the branching structure directly under the root.
+        let first = sorted[0];
+        let last = *sorted.last().unwrap();
+        let diff = 63 - (first ^ last).leading_zeros();
+        let split = sorted.partition_point(|&k| (k >> diff) & 1 == 0);
+        build(&mut b, root, &sorted[..split], bits);
+        build(&mut b, root, &sorted[split..], bits);
+        b.build()
+    }
+
+    /// Builds a balanced binary hierarchy over `keys` in the given order.
+    /// Useful as a default structure for ordered data.
+    pub fn balanced_binary(keys: &[KeyId]) -> Self {
+        assert!(!keys.is_empty(), "hierarchy needs at least one leaf");
+        let mut b = HierarchyBuilder::new();
+        let root = b.root();
+        fn rec(b: &mut HierarchyBuilder, parent: NodeId, keys: &[KeyId]) {
+            if keys.len() == 1 {
+                b.add_leaf(parent, keys[0]);
+            } else {
+                let mid = keys.len() / 2;
+                let l = b.add_internal(parent);
+                rec(b, l, &keys[..mid]);
+                let r = b.add_internal(parent);
+                rec(b, r, &keys[mid..]);
+            }
+        }
+        if keys.len() == 1 {
+            b.add_leaf(root, keys[0]);
+        } else {
+            let mid = keys.len() / 2;
+            let l = b.add_internal(root);
+            rec(&mut b, l, &keys[..mid]);
+            let r = b.add_internal(root);
+            rec(&mut b, r, &keys[mid..]);
+        }
+        b.build()
+    }
+}
+
+/// Incremental builder for a [`Hierarchy`].
+///
+/// Add internal nodes and leaves top-down, then call [`HierarchyBuilder::build`]
+/// to finalize spans and depths.
+#[derive(Debug, Default)]
+pub struct HierarchyBuilder {
+    parents: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    keys: Vec<Option<KeyId>>,
+}
+
+impl HierarchyBuilder {
+    /// Creates a builder with just a root node.
+    pub fn new() -> Self {
+        Self {
+            parents: vec![None],
+            children: vec![Vec::new()],
+            keys: vec![None],
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Adds an internal node under `parent`, returning its id.
+    pub fn add_internal(&mut self, parent: NodeId) -> NodeId {
+        self.add_node(parent, None)
+    }
+
+    /// Adds a leaf carrying `key` under `parent`, returning its id.
+    pub fn add_leaf(&mut self, parent: NodeId, key: KeyId) -> NodeId {
+        self.add_node(parent, Some(key))
+    }
+
+    fn add_node(&mut self, parent: NodeId, key: Option<KeyId>) -> NodeId {
+        assert!(
+            (parent as usize) < self.parents.len(),
+            "unknown parent {parent}"
+        );
+        assert!(
+            self.keys[parent as usize].is_none(),
+            "cannot add children under a leaf"
+        );
+        let id = self.parents.len() as NodeId;
+        self.parents.push(Some(parent));
+        self.children.push(Vec::new());
+        self.keys.push(key);
+        self.children[parent as usize].push(id);
+        id
+    }
+
+    /// Finalizes the hierarchy: computes depths, in-order leaf positions and
+    /// node spans.
+    ///
+    /// # Panics
+    /// Panics if any internal node (including the root) has no leaf
+    /// descendants.
+    pub fn build(self) -> Hierarchy {
+        let n = self.parents.len();
+        let mut nodes: Vec<Node> = (0..n)
+            .map(|i| Node {
+                parent: self.parents[i],
+                children: self.children[i].clone(),
+                key: self.keys[i],
+                span: Interval::new(1, 0), // empty until assigned
+                depth: 0,
+            })
+            .collect();
+
+        // Depths by BFS from the root.
+        let mut queue = std::collections::VecDeque::from([0 as NodeId]);
+        while let Some(u) = queue.pop_front() {
+            let d = nodes[u as usize].depth;
+            let kids = nodes[u as usize].children.clone();
+            for c in kids {
+                nodes[c as usize].depth = d + 1;
+                queue.push_back(c);
+            }
+        }
+
+        // In-order leaf positions by iterative DFS, then spans bottom-up.
+        let mut leaves = Vec::new();
+        let mut stack = vec![(0 as NodeId, false)];
+        let mut post_order = Vec::with_capacity(n);
+        while let Some((u, processed)) = stack.pop() {
+            if processed {
+                post_order.push(u);
+                continue;
+            }
+            stack.push((u, true));
+            if nodes[u as usize].children.is_empty() {
+                if nodes[u as usize].key.is_some() {
+                    let pos = leaves.len() as u64;
+                    nodes[u as usize].span = Interval::new(pos, pos);
+                    leaves.push(u);
+                }
+            } else {
+                for &c in nodes[u as usize].children.iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        assert!(!leaves.is_empty(), "hierarchy has no leaves");
+        for &u in &post_order {
+            if !nodes[u as usize].children.is_empty() {
+                let (mut lo, mut hi) = (u64::MAX, 0u64);
+                for &c in &nodes[u as usize].children {
+                    let s = nodes[c as usize].span;
+                    if !s.is_empty() {
+                        lo = lo.min(s.lo);
+                        hi = hi.max(s.hi);
+                    }
+                }
+                assert!(lo != u64::MAX, "internal node {u} has no leaf descendants");
+                nodes[u as usize].span = Interval::new(lo, hi);
+            }
+        }
+        Hierarchy { nodes, leaves }
+    }
+}
+
+/// Builds the paper's Figure 1 hierarchy: 10 leaves (keys 1–10) under the
+/// depicted 3-level tree, used by tests and the walkthrough example.
+///
+/// Shape (from the figure): root has three children:
+/// * A = {(1,2),(3,4)} — two internal pairs
+/// * B = {5}           — a lone leaf under an internal node
+/// * C = {(6,7),(8,9,10)} — a pair and a triple
+pub fn figure1_hierarchy() -> Hierarchy {
+    let mut b = HierarchyBuilder::new();
+    let root = b.root();
+    let a = b.add_internal(root);
+    let a1 = b.add_internal(a);
+    b.add_leaf(a1, 1);
+    b.add_leaf(a1, 2);
+    let a2 = b.add_internal(a);
+    b.add_leaf(a2, 3);
+    b.add_leaf(a2, 4);
+    let m = b.add_internal(root);
+    b.add_leaf(m, 5);
+    let c = b.add_internal(root);
+    let c1 = b.add_internal(c);
+    b.add_leaf(c1, 6);
+    b.add_leaf(c1, 7);
+    let c2 = b.add_internal(c);
+    b.add_leaf(c2, 8);
+    b.add_leaf(c2, 9);
+    b.add_leaf(c2, 10);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let h = figure1_hierarchy();
+        assert_eq!(h.leaf_count(), 10);
+        let keys: Vec<KeyId> = h.linearize().map(|(_, k)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(h.leaf_span(h.root()), Interval::new(0, 9));
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_nested() {
+        let h = figure1_hierarchy();
+        for n in 0..h.node_count() as NodeId {
+            let span = h.leaf_span(n);
+            assert!(!span.is_empty());
+            if let Some(p) = h.parent(n) {
+                assert!(h.leaf_span(p).covers(&span));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_basics() {
+        let h = figure1_hierarchy();
+        // Find leaves by key.
+        let leaf = |k: KeyId| -> NodeId {
+            (0..h.node_count() as NodeId)
+                .find(|&n| h.key(n) == Some(k))
+                .unwrap()
+        };
+        let l1 = leaf(1);
+        let l2 = leaf(2);
+        let l4 = leaf(4);
+        let l10 = leaf(10);
+        // Siblings: LCA is their shared parent.
+        assert_eq!(h.lca(l1, l2), h.parent(l1).unwrap());
+        // 1 and 4: LCA is node A (grandparent).
+        assert_eq!(h.lca(l1, l4), h.parent(h.parent(l1).unwrap()).unwrap());
+        // 1 and 10: LCA is the root.
+        assert_eq!(h.lca(l1, l10), h.root());
+        assert_eq!(h.lca(l1, l1), l1);
+    }
+
+    #[test]
+    fn keys_under_nodes() {
+        let h = figure1_hierarchy();
+        let under_root: Vec<KeyId> = h.keys_under(h.root()).collect();
+        assert_eq!(under_root.len(), 10);
+        // Node A (first child of root) covers keys 1..=4.
+        let a = h.children(h.root())[0];
+        let under_a: Vec<KeyId> = h.keys_under(a).collect();
+        assert_eq!(under_a, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn balanced_binary_structure() {
+        let keys: Vec<KeyId> = (0..13).collect();
+        let h = Hierarchy::balanced_binary(&keys);
+        assert_eq!(h.leaf_count(), 13);
+        let lin: Vec<KeyId> = h.linearize().map(|(_, k)| k).collect();
+        assert_eq!(lin, keys);
+        // Depth is logarithmic.
+        for n in 0..h.node_count() as NodeId {
+            assert!(h.depth(n) <= 5);
+        }
+    }
+
+    #[test]
+    fn single_leaf_hierarchy() {
+        let h = Hierarchy::balanced_binary(&[42]);
+        assert_eq!(h.leaf_count(), 1);
+        assert_eq!(h.keys_under(h.root()).collect::<Vec<_>>(), vec![42]);
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let h = figure1_hierarchy();
+        let leaf = (0..h.node_count() as NodeId)
+            .find(|&n| h.key(n) == Some(7))
+            .unwrap();
+        let anc: Vec<NodeId> = h.ancestors(leaf).collect();
+        assert_eq!(anc.len() as u32, h.depth(leaf));
+        assert_eq!(*anc.last().unwrap(), h.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "children under a leaf")]
+    fn leaf_cannot_have_children() {
+        let mut b = HierarchyBuilder::new();
+        let root = b.root();
+        let leaf = b.add_leaf(root, 1);
+        b.add_leaf(leaf, 2);
+    }
+
+    #[test]
+    fn dyadic_trie_basic_shape() {
+        // Keys 0,1 share prefix /31-equivalent; key 8 diverges at bit 3.
+        let h = Hierarchy::dyadic_trie(&[0, 1, 8], 4);
+        assert_eq!(h.leaf_count(), 3);
+        let lin: Vec<KeyId> = h.linearize().map(|(_, k)| k).collect();
+        assert_eq!(lin, vec![0, 1, 8]); // sorted order preserved
+        // 0 and 1 must share a deeper LCA than 0 and 8.
+        let leaf = |k: KeyId| -> NodeId {
+            (0..h.node_count() as NodeId)
+                .find(|&n| h.key(n) == Some(k))
+                .unwrap()
+        };
+        let lca01 = h.lca(leaf(0), leaf(1));
+        let lca08 = h.lca(leaf(0), leaf(8));
+        assert!(h.depth(lca01) > h.depth(lca08));
+    }
+
+    #[test]
+    fn dyadic_trie_subtrees_are_prefixes() {
+        // Every internal node's leaf set shares a common binary prefix that
+        // no outside leaf shares.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut keys: Vec<KeyId> = (0..64).map(|_| rng.gen_range(0..1u64 << 16)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let h = Hierarchy::dyadic_trie(&keys, 16);
+        for n in h.internal_nodes() {
+            let under: Vec<KeyId> = h.keys_under(n).collect();
+            if under.len() == keys.len() {
+                continue; // root
+            }
+            let lo = under[0];
+            let hi = *under.last().unwrap();
+            // Common prefix length of the subtree's extremes.
+            let plen = (lo ^ hi).leading_zeros();
+            for &k in &keys {
+                let inside = under.contains(&k);
+                let shares = (k ^ lo).leading_zeros() >= plen;
+                assert_eq!(inside, shares, "node {n}: key {k:#x} (lo={lo:#x}, hi={hi:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_trie_single_key() {
+        let h = Hierarchy::dyadic_trie(&[42], 16);
+        assert_eq!(h.leaf_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn dyadic_trie_rejects_duplicates() {
+        Hierarchy::dyadic_trie(&[3, 3], 8);
+    }
+
+    #[test]
+    fn dfs_preorder_visits_all() {
+        let h = figure1_hierarchy();
+        let order = h.dfs_preorder();
+        assert_eq!(order.len(), h.node_count());
+        assert_eq!(order[0], h.root());
+    }
+
+    #[test]
+    fn internal_nodes_are_ranges() {
+        let h = figure1_hierarchy();
+        let count = h.internal_nodes().count();
+        // root + A + A1 + A2 + M + C + C1 + C2 = 8 internal nodes.
+        assert_eq!(count, 8);
+    }
+}

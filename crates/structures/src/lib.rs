@@ -1,0 +1,34 @@
+//! # sas-structures — range structures for structure-aware sampling
+//!
+//! The paper's structures are *range spaces* `(K, R)`: a key domain plus a
+//! family of ranges that queries are drawn from. This crate implements every
+//! structure the paper considers:
+//!
+//! * [`order`] — keys with a linear order; ranges are intervals
+//!   (`O(n²)` of them) or prefixes.
+//! * [`hierarchy`] — keys at the leaves of a tree; ranges are the leaf sets
+//!   under internal nodes (`O(n log n)` for balanced trees). Includes LCA,
+//!   linearization, and builders for dyadic (IP-prefix style) and
+//!   arbitrary-branching hierarchies.
+//! * [`dyadic`] — dyadic intervals over `[0, 2^bits)` and the canonical
+//!   decomposition of an arbitrary interval, used by the wavelet, q-digest
+//!   and sketch baselines.
+//! * [`product`] — d-dimensional points and axis-parallel boxes; each axis
+//!   carries an order or hierarchy structure.
+//! * [`kdtree`] — `KD-HIERARCHY` (the paper's Algorithm 2): a kd-tree over
+//!   weighted keys splitting each axis at the probability-weighted median,
+//!   producing cells of approximately equal probability mass.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dyadic;
+pub mod hierarchy;
+pub mod kdtree;
+pub mod order;
+pub mod product;
+
+pub use hierarchy::{Hierarchy, NodeId};
+pub use kdtree::{KdHierarchy, KdNodeId};
+pub use order::Interval;
+pub use product::{BoxRange, Point};

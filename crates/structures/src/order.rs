@@ -1,0 +1,124 @@
+//! Order structures: linearly ordered keys whose ranges are intervals.
+//!
+//! The paper's order structure has ranges `R` = all consecutive sets of keys
+//! ("intervals"). A special case is the prefix structure (all prefixes of
+//! the order), which is also the degenerate path-shaped hierarchy.
+
+/// A closed interval `[lo, hi]` over key *positions* or coordinate values.
+///
+/// Intervals are inclusive on both ends; an interval with `lo > hi` is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower endpoint.
+    pub lo: u64,
+    /// Inclusive upper endpoint.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// The prefix interval `[0, hi]`.
+    pub fn prefix(hi: u64) -> Self {
+        Self { lo: 0, hi }
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: u64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether the interval is empty (`lo > hi`).
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Number of integer points covered (0 if empty).
+    pub fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.hi - self.lo + 1
+        }
+    }
+
+    /// Intersection with another interval (may be empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Whether this interval fully contains `other`.
+    pub fn covers(&self, other: &Interval) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// Whether the two intervals overlap.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+}
+
+/// Enumerates all `O(n²)` intervals of positions `[0, n)` — used by the
+/// exhaustive discrepancy tests for Theorem 1.
+pub fn all_intervals(n: u64) -> impl Iterator<Item = Interval> {
+    (0..n).flat_map(move |lo| (lo..n).map(move |hi| Interval::new(lo, hi)))
+}
+
+/// Enumerates all prefixes of positions `[0, n)`.
+pub fn all_prefixes(n: u64) -> impl Iterator<Item = Interval> {
+    (0..n).map(Interval::prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_and_len() {
+        let iv = Interval::new(3, 7);
+        assert!(iv.contains(3) && iv.contains(7) && iv.contains(5));
+        assert!(!iv.contains(2) && !iv.contains(8));
+        assert_eq!(iv.len(), 5);
+    }
+
+    #[test]
+    fn empty_interval() {
+        let e = Interval::new(5, 3);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.contains(4));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        let c = Interval::new(11, 15);
+        assert!(a.intersect(&c).is_empty());
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn covers() {
+        let a = Interval::new(0, 10);
+        assert!(a.covers(&Interval::new(2, 5)));
+        assert!(a.covers(&Interval::new(0, 10)));
+        assert!(!a.covers(&Interval::new(5, 11)));
+        assert!(a.covers(&Interval::new(7, 3))); // empty is covered
+    }
+
+    #[test]
+    fn interval_enumeration_counts() {
+        assert_eq!(all_intervals(5).count(), 15); // n(n+1)/2
+        assert_eq!(all_prefixes(5).count(), 5);
+        assert!(all_intervals(4).all(|iv| !iv.is_empty()));
+    }
+}

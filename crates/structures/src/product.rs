@@ -1,0 +1,202 @@
+//! Product structures: d-dimensional points and axis-parallel box ranges.
+//!
+//! Keys are points in a product of per-axis domains; each axis carries an
+//! order or a hierarchy structure (Section 4 of the paper). Hierarchy axes
+//! are handled through their linearization — every hierarchy node maps to a
+//! contiguous coordinate interval — so a box is always a product of
+//! per-axis intervals.
+
+use crate::order::Interval;
+
+/// A point in a d-dimensional product domain. Dimension is the coordinate
+/// vector length (kept small; typical d is 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Point {
+    /// Per-axis coordinates.
+    pub coords: Vec<u64>,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub fn new(coords: Vec<u64>) -> Self {
+        Self { coords }
+    }
+
+    /// Two-dimensional convenience constructor.
+    pub fn xy(x: u64, y: u64) -> Self {
+        Self { coords: vec![x, y] }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate on `axis`.
+    pub fn coord(&self, axis: usize) -> u64 {
+        self.coords[axis]
+    }
+}
+
+/// An axis-parallel box: the product of one interval per axis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BoxRange {
+    /// Per-axis closed intervals.
+    pub sides: Vec<Interval>,
+}
+
+impl BoxRange {
+    /// Creates a box from per-axis intervals.
+    pub fn new(sides: Vec<Interval>) -> Self {
+        Self { sides }
+    }
+
+    /// Two-dimensional convenience constructor `[x0,x1] × [y0,y1]`.
+    pub fn xy(x0: u64, x1: u64, y0: u64, y1: u64) -> Self {
+        Self {
+            sides: vec![Interval::new(x0, x1), Interval::new(y0, y1)],
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.sides.len()
+    }
+
+    /// Whether the box contains the point.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn contains(&self, p: &Point) -> bool {
+        assert_eq!(self.dim(), p.dim(), "dimension mismatch");
+        self.sides
+            .iter()
+            .zip(&p.coords)
+            .all(|(iv, &c)| iv.contains(c))
+    }
+
+    /// Whether the box is empty on any axis.
+    pub fn is_empty(&self) -> bool {
+        self.sides.iter().any(Interval::is_empty)
+    }
+
+    /// Intersection of two boxes (empty if disjoint on any axis).
+    pub fn intersect(&self, other: &BoxRange) -> BoxRange {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        BoxRange {
+            sides: self
+                .sides
+                .iter()
+                .zip(&other.sides)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        }
+    }
+
+    /// Whether this box fully contains `other`.
+    pub fn covers(&self, other: &BoxRange) -> bool {
+        other.is_empty()
+            || self
+                .sides
+                .iter()
+                .zip(&other.sides)
+                .all(|(a, b)| a.covers(b))
+    }
+
+    /// Whether the boxes overlap.
+    pub fn overlaps(&self, other: &BoxRange) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Number of lattice points covered (saturating; useful for area-style
+    /// diagnostics on small domains).
+    pub fn volume(&self) -> u64 {
+        self.sides
+            .iter()
+            .map(Interval::len)
+            .fold(1u64, |acc, l| acc.saturating_mul(l))
+    }
+}
+
+/// A multi-range query: a union of disjoint boxes. The paper's experiments
+/// use queries of 1–100 rectangles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRangeQuery {
+    /// The disjoint boxes making up the query.
+    pub boxes: Vec<BoxRange>,
+}
+
+impl MultiRangeQuery {
+    /// Creates a multi-range query; boxes are expected to be disjoint.
+    pub fn new(boxes: Vec<BoxRange>) -> Self {
+        Self { boxes }
+    }
+
+    /// Number of ranges in the query.
+    pub fn range_count(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether any box contains the point.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.boxes.iter().any(|b| b.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_containment() {
+        let b = BoxRange::xy(0, 10, 5, 15);
+        assert!(b.contains(&Point::xy(0, 5)));
+        assert!(b.contains(&Point::xy(10, 15)));
+        assert!(!b.contains(&Point::xy(11, 10)));
+        assert!(!b.contains(&Point::xy(5, 4)));
+    }
+
+    #[test]
+    fn box_intersection_and_cover() {
+        let a = BoxRange::xy(0, 10, 0, 10);
+        let b = BoxRange::xy(5, 15, 5, 15);
+        let i = a.intersect(&b);
+        assert_eq!(i, BoxRange::xy(5, 10, 5, 10));
+        assert!(a.overlaps(&b));
+        assert!(a.covers(&i));
+        assert!(!a.covers(&b));
+        let disjoint = BoxRange::xy(11, 12, 0, 10);
+        assert!(!a.overlaps(&disjoint));
+        assert!(a.intersect(&disjoint).is_empty());
+    }
+
+    #[test]
+    fn volume() {
+        assert_eq!(BoxRange::xy(0, 9, 0, 4).volume(), 50);
+        assert_eq!(BoxRange::xy(3, 3, 7, 7).volume(), 1);
+    }
+
+    #[test]
+    fn empty_box() {
+        let e = BoxRange::xy(5, 3, 0, 10);
+        assert!(e.is_empty());
+        assert!(!e.contains(&Point::xy(4, 5)));
+        assert!(BoxRange::xy(0, 100, 0, 100).covers(&e));
+    }
+
+    #[test]
+    fn multi_range_query() {
+        let q = MultiRangeQuery::new(vec![BoxRange::xy(0, 1, 0, 1), BoxRange::xy(5, 6, 5, 6)]);
+        assert_eq!(q.range_count(), 2);
+        assert!(q.contains(&Point::xy(0, 0)));
+        assert!(q.contains(&Point::xy(6, 5)));
+        assert!(!q.contains(&Point::xy(3, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let b = BoxRange::xy(0, 1, 0, 1);
+        b.contains(&Point::new(vec![0, 0, 0]));
+    }
+}

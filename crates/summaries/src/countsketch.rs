@@ -1,0 +1,251 @@
+//! Count-sketch over dyadic rectangles — the "Sketch" baseline of
+//! Section 6 [Charikar–Chen–Farach-Colton, ICALP 2002].
+//!
+//! One Count-sketch is kept per dyadic level pair `(ℓx, ℓy)`; each input
+//! point updates the cell `(x ≫ ℓx, y ≫ ℓy)` in every sketch — the
+//! `O(log X · log Y)` per-point update cost the paper measures (1024× for
+//! 32-bit addresses). A box query is decomposed canonically into dyadic
+//! rectangles, each estimated from its level-pair sketch by the median of
+//! signed counters.
+//!
+//! As the paper observes, the space at which the sketch becomes accurate on
+//! two-dimensional data is much larger than for the other summaries.
+
+use sas_sampling::product::SpatialData;
+use sas_structures::dyadic;
+use sas_structures::product::BoxRange;
+
+use crate::RangeSumSummary;
+
+/// Number of independent rows per sketch (median-of-rows estimator).
+const ROWS: usize = 3;
+
+/// One Count-sketch: `ROWS` rows of `width` signed counters.
+#[derive(Debug, Clone)]
+struct CountSketch {
+    width: usize,
+    counters: Vec<f64>, // ROWS * width
+    seeds: [u64; ROWS],
+}
+
+/// Fast 64-bit mix (splitmix64 finalizer) used for both bucket and sign
+/// hashes.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl CountSketch {
+    fn new(width: usize, seed: u64) -> Self {
+        Self {
+            width: width.max(1),
+            counters: vec![0.0; ROWS * width.max(1)],
+            seeds: [mix(seed), mix(seed ^ 0xdead_beef), mix(seed ^ 0x1234_5678)],
+        }
+    }
+
+    fn update(&mut self, item: u64, weight: f64) {
+        for (r, &seed) in self.seeds.iter().enumerate() {
+            let h = mix(item ^ seed);
+            let bucket = (h % self.width as u64) as usize;
+            let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+            self.counters[r * self.width + bucket] += sign * weight;
+        }
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        let mut ests = [0.0; ROWS];
+        for (r, &seed) in self.seeds.iter().enumerate() {
+            let h = mix(item ^ seed);
+            let bucket = (h % self.width as u64) as usize;
+            let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+            ests[r] = sign * self.counters[r * self.width + bucket];
+        }
+        ests.sort_by(f64::total_cmp);
+        ests[ROWS / 2]
+    }
+}
+
+/// The dyadic-rectangle Count-sketch summary.
+#[derive(Debug, Clone)]
+pub struct SketchSummary {
+    /// sketches[lx][ly]
+    sketches: Vec<Vec<CountSketch>>,
+    bits_x: u32,
+    bits_y: u32,
+}
+
+impl SketchSummary {
+    /// Builds the summary with a total budget of `s` counters split evenly
+    /// across the `(bits_x + 1)(bits_y + 1)` level-pair sketches.
+    pub fn build(data: &SpatialData, bits_x: u32, bits_y: u32, s: usize, seed: u64) -> Self {
+        let pairs = ((bits_x + 1) * (bits_y + 1)) as usize;
+        let width = (s / (pairs * ROWS)).max(1);
+        let mut sketches: Vec<Vec<CountSketch>> = (0..=bits_x)
+            .map(|lx| {
+                (0..=bits_y)
+                    .map(|ly| CountSketch::new(width, seed ^ ((lx as u64) << 32) ^ ly as u64))
+                    .collect()
+            })
+            .collect();
+        for (wk, p) in data.keys.iter().zip(&data.points) {
+            if wk.weight == 0.0 {
+                continue;
+            }
+            let (x, y) = (p.coord(0), p.coord(1));
+            for lx in 0..=bits_x {
+                for ly in 0..=bits_y {
+                    let cell = cell_id(x >> lx, y >> ly);
+                    sketches[lx as usize][ly as usize].update(cell, wk.weight);
+                }
+            }
+        }
+        Self {
+            sketches,
+            bits_x,
+            bits_y,
+        }
+    }
+}
+
+/// Packs 2-D cell coordinates into one hashable id.
+fn cell_id(cx: u64, cy: u64) -> u64 {
+    cx.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ cy
+}
+
+impl RangeSumSummary for SketchSummary {
+    fn estimate_box(&self, query: &BoxRange) -> f64 {
+        if query.is_empty() {
+            return 0.0;
+        }
+        // Clamp to the domain before dyadic decomposition.
+        let max_x = if self.bits_x < 64 { (1u64 << self.bits_x) - 1 } else { u64::MAX };
+        let max_y = if self.bits_y < 64 { (1u64 << self.bits_y) - 1 } else { u64::MAX };
+        let xs = dyadic::decompose(
+            query.sides[0].lo.min(max_x),
+            query.sides[0].hi.min(max_x),
+            self.bits_x,
+        );
+        let ys = dyadic::decompose(
+            query.sides[1].lo.min(max_y),
+            query.sides[1].hi.min(max_y),
+            self.bits_y,
+        );
+        let mut sum = 0.0;
+        for dx in &xs {
+            for dy in &ys {
+                let sk = &self.sketches[dx.level as usize][dy.level as usize];
+                sum += sk.estimate(cell_id(dx.index, dy.index));
+            }
+        }
+        sum
+    }
+
+    fn size_elements(&self) -> usize {
+        self.sketches
+            .iter()
+            .flatten()
+            .map(|s| s.counters.len())
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "sketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, bits: u32, seed: u64) -> SpatialData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let side = 1u64 << bits;
+        let rows: Vec<(u64, u64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..side),
+                    rng.gen_range(0..side),
+                    rng.gen_range(0.5..5.0),
+                )
+            })
+            .collect();
+        SpatialData::from_xyw(&rows)
+    }
+
+    #[test]
+    fn single_sketch_point_estimates() {
+        let mut sk = CountSketch::new(64, 42);
+        for i in 0..10u64 {
+            sk.update(i, (i + 1) as f64);
+        }
+        // With 10 items in 64 buckets, collisions are unlikely per row and
+        // the median kills outliers.
+        for i in 0..10u64 {
+            let est = sk.estimate(i);
+            assert!(
+                (est - (i + 1) as f64).abs() < 6.0,
+                "item {i}: est {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_budget_is_accurate() {
+        let data = random_data(100, 4, 1);
+        let sk = SketchSummary::build(&data, 4, 4, 200_000, 7);
+        let exact = crate::exact::ExactEngine::new(&data);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let x0 = rng.gen_range(0..16);
+            let x1 = rng.gen_range(x0..16);
+            let y0 = rng.gen_range(0..16);
+            let y1 = rng.gen_range(y0..16);
+            let q = BoxRange::xy(x0, x1, y0, y1);
+            let est = sk.estimate_box(&q);
+            let truth = exact.box_sum(&q);
+            assert!(
+                (est - truth).abs() < 0.15 * data.total_weight(),
+                "{q:?}: {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_budget_is_much_worse_than_samples() {
+        // Reproduces the paper's observation: at small sizes the 2-D sketch
+        // error is enormous relative to other summaries.
+        let data = random_data(2000, 8, 3);
+        let sk = SketchSummary::build(&data, 8, 8, 500, 11);
+        let exact = crate::exact::ExactEngine::new(&data);
+        let q = BoxRange::xy(10, 100, 10, 100);
+        let err = (sk.estimate_box(&q) - exact.box_sum(&q)).abs();
+        // No correctness claim — just that the error is a macroscopic
+        // fraction of the total, unlike samples at the same size.
+        assert!(err > 1e-3 * data.total_weight(), "err {err}");
+    }
+
+    #[test]
+    fn size_accounting() {
+        let data = random_data(50, 4, 4);
+        let sk = SketchSummary::build(&data, 4, 4, 3000, 5);
+        // 25 level pairs × ROWS rows × width.
+        assert!(sk.size_elements() <= 3000 + 25 * ROWS);
+        assert!(sk.size_elements() > 0);
+    }
+
+    #[test]
+    fn full_domain_estimate_reasonable() {
+        let data = random_data(300, 6, 6);
+        let sk = SketchSummary::build(&data, 6, 6, 50_000, 8);
+        let full = BoxRange::xy(0, 63, 0, 63);
+        let est = sk.estimate_box(&full);
+        let truth = data.total_weight();
+        // Full domain is a single dyadic rectangle at the top level pair.
+        assert!((est - truth).abs() < 0.05 * truth, "{est} vs {truth}");
+    }
+}

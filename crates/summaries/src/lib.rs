@@ -1,0 +1,52 @@
+//! # sas-summaries — baseline range-sum summaries
+//!
+//! The dedicated summaries the paper compares structure-aware sampling
+//! against (Section 6 "Methods"):
+//!
+//! * [`wavelet`] — the standard (tensor-product) two-dimensional Haar
+//!   wavelet transform with coefficient thresholding [Vitter–Wang–Iyer]:
+//!   each input point touches `(log X + 1)(log Y + 1)` coefficients; the
+//!   `s` largest normalized coefficients are retained.
+//! * [`qdigest`] — a two-dimensional q-digest / adaptive spatial
+//!   partitioning summary [Shrivastava et al.; Hershberger et al.]: a
+//!   deterministic dyadic-grid compression keeping heavy cells.
+//! * [`countsketch`] — Count-sketch [Charikar–Chen–Farach-Colton] over
+//!   dyadic rectangles: one sketch per dyadic level pair, queried through
+//!   the canonical rectangle decomposition.
+//! * [`exact`] — scan-based exact range sums, the ground truth used by the
+//!   experiment harness.
+//!
+//! All summaries implement [`RangeSumSummary`], reporting their size in
+//! *elements* (comparable to sample keys, as in the paper's plots) and
+//! answering axis-parallel box queries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod countsketch;
+pub mod exact;
+pub mod qdigest;
+pub mod qdigest1d;
+pub mod wavelet;
+pub mod wavelet1d;
+
+use sas_structures::product::{BoxRange, MultiRangeQuery};
+
+/// Common interface of every range-sum summary in this crate (and of
+/// sample-based summaries via [`exact::SampleSummary`]).
+pub trait RangeSumSummary {
+    /// Estimated total weight inside the box.
+    fn estimate_box(&self, query: &BoxRange) -> f64;
+
+    /// Number of stored elements (keys / coefficients / nodes / counters) —
+    /// the size measure used on the x-axis of the paper's plots.
+    fn size_elements(&self) -> usize;
+
+    /// Short name for reports ("aware", "obliv", "wavelet", …).
+    fn name(&self) -> &'static str;
+
+    /// Estimated weight of a multi-range query (sum over disjoint boxes).
+    fn estimate_multi(&self, query: &MultiRangeQuery) -> f64 {
+        query.boxes.iter().map(|b| self.estimate_box(b)).sum()
+    }
+}

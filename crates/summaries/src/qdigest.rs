@@ -1,0 +1,298 @@
+//! Two-dimensional q-digest / adaptive spatial partitioning — the
+//! "Qdigest" baseline of Section 6.
+//!
+//! The summary is a set of materialized dyadic grid cells (products of
+//! equal-level dyadic intervals), built bottom-up from the data in the
+//! classic q-digest style [Shrivastava et al., SenSys 2004] generalized to
+//! two dimensions per [Hershberger et al., ISAAC 2004]: a cell whose own
+//! weight plus its sibling group's weight falls below the compression
+//! threshold `W/k` is merged into its parent. The threshold doubles until
+//! the materialized node count fits the size budget.
+//!
+//! Queries sum materialized cells: a cell fully inside the query
+//! contributes its whole weight; a partially overlapped cell contributes
+//! proportionally to the overlapped fraction of its area (the uniform-
+//! spread assumption — the source of the method's error).
+
+use std::collections::HashMap;
+
+use sas_sampling::product::SpatialData;
+use sas_structures::product::BoxRange;
+
+use crate::RangeSumSummary;
+
+/// A dyadic grid cell: level (side `2^level`) and cell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Cell {
+    level: u32,
+    ix: u64,
+    iy: u64,
+}
+
+impl Cell {
+    fn parent(self) -> Cell {
+        Cell {
+            level: self.level + 1,
+            ix: self.ix >> 1,
+            iy: self.iy >> 1,
+        }
+    }
+
+    fn to_box(self) -> BoxRange {
+        let side = 1u64 << self.level;
+        BoxRange::xy(
+            self.ix * side,
+            self.ix * side + side - 1,
+            self.iy * side,
+            self.iy * side + side - 1,
+        )
+    }
+}
+
+/// The 2-D q-digest summary.
+#[derive(Debug, Clone)]
+pub struct QDigestSummary {
+    nodes: Vec<(Cell, f64)>,
+    /// The compression threshold the build converged at.
+    threshold: f64,
+}
+
+impl QDigestSummary {
+    /// Builds a q-digest over a square `2^bits × 2^bits` domain with a node
+    /// budget of `s` materialized cells.
+    ///
+    /// # Panics
+    /// Panics if any point lies outside the domain.
+    pub fn build(data: &SpatialData, bits: u32, s: usize) -> Self {
+        assert!(s > 0, "size budget must be positive");
+        // Leaf cells: aggregate co-located points.
+        let mut leaves: HashMap<(u64, u64), f64> = HashMap::new();
+        let mut total = 0.0;
+        for (wk, p) in data.keys.iter().zip(&data.points) {
+            if wk.weight == 0.0 {
+                continue;
+            }
+            let (x, y) = (p.coord(0), p.coord(1));
+            if bits < 32 {
+                assert!(
+                    x < (1u64 << bits) && y < (1u64 << bits),
+                    "point ({x},{y}) outside 2^{bits} domain"
+                );
+            }
+            *leaves.entry((x, y)).or_insert(0.0) += wk.weight;
+            total += wk.weight;
+        }
+        if leaves.is_empty() {
+            return Self {
+                nodes: Vec::new(),
+                threshold: 0.0,
+            };
+        }
+
+        let mut threshold = total / s as f64;
+        loop {
+            let nodes = Self::compress(&leaves, bits, threshold);
+            if nodes.len() <= s {
+                return Self { nodes, threshold };
+            }
+            threshold *= 2.0;
+        }
+    }
+
+    /// One bottom-up compression pass at a fixed threshold: cells whose
+    /// sibling group (the 4 children of one parent) weighs below the
+    /// threshold are merged upward, level by level.
+    fn compress(leaves: &HashMap<(u64, u64), f64>, bits: u32, threshold: f64) -> Vec<(Cell, f64)> {
+        let mut materialized: Vec<(Cell, f64)> = Vec::new();
+        let mut current: HashMap<Cell, f64> = leaves
+            .iter()
+            .map(|(&(x, y), &w)| {
+                (
+                    Cell {
+                        level: 0,
+                        ix: x,
+                        iy: y,
+                    },
+                    w,
+                )
+            })
+            .collect();
+        for _level in 0..bits {
+            // Group by parent.
+            let mut by_parent: HashMap<Cell, (f64, Vec<(Cell, f64)>)> = HashMap::new();
+            for (cell, w) in current.drain() {
+                let e = by_parent.entry(cell.parent()).or_insert((0.0, Vec::new()));
+                e.0 += w;
+                e.1.push((cell, w));
+            }
+            for (parent, (group_w, members)) in by_parent {
+                if group_w < threshold {
+                    // Merge the whole sibling group into the parent.
+                    current.insert(parent, group_w);
+                } else {
+                    // Keep the heavy children; the parent continues upward
+                    // with zero weight of its own (children carry it all).
+                    for (cell, w) in members {
+                        if w >= threshold / 4.0 {
+                            materialized.push((cell, w));
+                        } else {
+                            // Light member of a heavy group: push its weight
+                            // to the parent to avoid many tiny nodes.
+                            *current.entry(parent).or_insert(0.0) += w;
+                        }
+                    }
+                }
+            }
+        }
+        // Whatever reached the top level is materialized there.
+        for (cell, w) in current {
+            if w > 0.0 {
+                materialized.push((cell, w));
+            }
+        }
+        materialized
+    }
+
+    /// The compression threshold used by the final build pass.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Total weight stored (equals the data total).
+    pub fn stored_total(&self) -> f64 {
+        self.nodes.iter().map(|(_, w)| w).sum()
+    }
+}
+
+impl RangeSumSummary for QDigestSummary {
+    fn estimate_box(&self, query: &BoxRange) -> f64 {
+        if query.is_empty() {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .map(|(cell, w)| {
+                let b = cell.to_box();
+                if query.covers(&b) {
+                    *w
+                } else {
+                    let inter = query.intersect(&b);
+                    if inter.is_empty() {
+                        0.0
+                    } else {
+                        w * inter.volume() as f64 / b.volume() as f64
+                    }
+                }
+            })
+            .sum()
+    }
+
+    fn size_elements(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "qdigest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, bits: u32, seed: u64) -> SpatialData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let side = 1u64 << bits;
+        let rows: Vec<(u64, u64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..side),
+                    rng.gen_range(0..side),
+                    rng.gen_range(0.5..5.0),
+                )
+            })
+            .collect();
+        SpatialData::from_xyw(&rows)
+    }
+
+    #[test]
+    fn weight_is_conserved() {
+        let data = random_data(300, 6, 1);
+        let q = QDigestSummary::build(&data, 6, 50);
+        assert!(
+            (q.stored_total() - data.total_weight()).abs() < 1e-6,
+            "{} vs {}",
+            q.stored_total(),
+            data.total_weight()
+        );
+    }
+
+    #[test]
+    fn respects_size_budget() {
+        let data = random_data(500, 8, 2);
+        for s in [10, 50, 200] {
+            let q = QDigestSummary::build(&data, 8, s);
+            assert!(q.size_elements() <= s, "budget {s}: {}", q.size_elements());
+        }
+    }
+
+    #[test]
+    fn full_domain_query_is_exact() {
+        let data = random_data(200, 6, 3);
+        let q = QDigestSummary::build(&data, 6, 30);
+        let full = BoxRange::xy(0, 63, 0, 63);
+        assert!((q.estimate_box(&full) - data.total_weight()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_budget_gives_exact_answers() {
+        let data = random_data(50, 5, 4);
+        // Budget larger than distinct points: leaves survive compression.
+        let q = QDigestSummary::build(&data, 5, 5000);
+        let exact = crate::exact::ExactEngine::new(&data);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let x0 = rng.gen_range(0..32);
+            let x1 = rng.gen_range(x0..32);
+            let y0 = rng.gen_range(0..32);
+            let y1 = rng.gen_range(y0..32);
+            let qu = BoxRange::xy(x0, x1, y0, y1);
+            let est = q.estimate_box(&qu);
+            let truth = exact.box_sum(&qu);
+            assert!(
+                (est - truth).abs() < 1e-6 * (1.0 + truth),
+                "{qu:?}: {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_threshold_heuristic() {
+        // With budget s, per-query error should be well below total weight.
+        let data = random_data(1000, 8, 6);
+        let q = QDigestSummary::build(&data, 8, 100);
+        let exact = crate::exact::ExactEngine::new(&data);
+        let total = data.total_weight();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut worst: f64 = 0.0;
+        for _ in 0..50 {
+            let x0 = rng.gen_range(0..200);
+            let x1 = (x0 + rng.gen_range(1..56)).min(255);
+            let y0 = rng.gen_range(0..200);
+            let y1 = (y0 + rng.gen_range(1..56)).min(255);
+            let qu = BoxRange::xy(x0, x1, y0, y1);
+            worst = worst.max((q.estimate_box(&qu) - exact.box_sum(&qu)).abs());
+        }
+        assert!(worst < 0.5 * total, "worst error {worst} vs total {total}");
+    }
+
+    #[test]
+    fn empty_data() {
+        let data = SpatialData::from_xyw(&[]);
+        let q = QDigestSummary::build(&data, 4, 10);
+        assert_eq!(q.size_elements(), 0);
+        assert_eq!(q.estimate_box(&BoxRange::xy(0, 15, 0, 15)), 0.0);
+    }
+}

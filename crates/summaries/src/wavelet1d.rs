@@ -1,0 +1,196 @@
+//! One-dimensional Haar wavelet summary — the classic setting where wavelet
+//! summaries shine ("arrays of counts", per the paper's related work).
+//!
+//! Same construction as the 2-D variant but over a single axis; retained
+//! for the 1-D comparison experiments and as the building block the 2-D
+//! tensor transform is validated against.
+
+use std::collections::HashMap;
+
+use sas_core::WeightedKey;
+use sas_structures::order::Interval;
+
+/// A 1-D Haar basis function index: level 0 is a special marker for the
+/// scaling function; level ≥ 1 is the wavelet at that level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum B1 {
+    Scaling,
+    Wavelet { level: u32, k: u64 },
+}
+
+impl B1 {
+    fn value(self, x: u64, bits: u32) -> f64 {
+        match self {
+            B1::Scaling => 2.0_f64.powf(-(bits as f64) / 2.0),
+            B1::Wavelet { level, k } => {
+                if (x >> level) != k {
+                    return 0.0;
+                }
+                let sign = if ((x >> (level - 1)) & 1) == 0 { 1.0 } else { -1.0 };
+                sign * 2.0_f64.powf(-(level as f64) / 2.0)
+            }
+        }
+    }
+
+    fn range_sum(self, a: u64, b: u64, bits: u32) -> f64 {
+        if a > b {
+            return 0.0;
+        }
+        match self {
+            B1::Scaling => (b - a + 1) as f64 * 2.0_f64.powf(-(bits as f64) / 2.0),
+            B1::Wavelet { level, k } => {
+                let lo = k << level;
+                let half = 1u64 << (level - 1);
+                let mid = lo + half;
+                let hi = lo + (1u64 << level) - 1;
+                let ov = |l: u64, h: u64| -> u64 {
+                    let x = a.max(l);
+                    let y = b.min(h);
+                    if x > y {
+                        0
+                    } else {
+                        y - x + 1
+                    }
+                };
+                (ov(lo, mid - 1) as f64 - ov(mid, hi) as f64)
+                    * 2.0_f64.powf(-(level as f64) / 2.0)
+            }
+        }
+    }
+
+    fn scale(self, bits: u32) -> f64 {
+        match self {
+            B1::Scaling => 2.0_f64.powf(bits as f64 / 2.0),
+            B1::Wavelet { level, .. } => 2.0_f64.powf(level as f64 / 2.0),
+        }
+    }
+}
+
+/// Thresholded 1-D Haar wavelet summary over keys interpreted as positions
+/// in `[0, 2^bits)`.
+#[derive(Debug, Clone)]
+pub struct Wavelet1D {
+    coeffs: Vec<(B1, f64)>,
+    bits: u32,
+}
+
+impl Wavelet1D {
+    /// Builds the transform and keeps the `s` coefficients with the largest
+    /// range-sum impact (|c|·2^(level/2)).
+    pub fn build(data: &[WeightedKey], bits: u32, s: usize) -> Self {
+        let mut acc: HashMap<B1, f64> = HashMap::new();
+        for wk in data {
+            if wk.weight == 0.0 {
+                continue;
+            }
+            let x = wk.key;
+            if bits < 64 {
+                assert!(x < (1u64 << bits), "key {x} outside 2^{bits} domain");
+            }
+            *acc.entry(B1::Scaling).or_insert(0.0) += wk.weight * B1::Scaling.value(x, bits);
+            for level in 1..=bits {
+                let b = B1::Wavelet {
+                    level,
+                    k: x >> level,
+                };
+                *acc.entry(b).or_insert(0.0) += wk.weight * b.value(x, bits);
+            }
+        }
+        let mut coeffs: Vec<(B1, f64)> = acc.into_iter().collect();
+        coeffs.sort_by(|(ba, ca), (bb, cb)| {
+            (cb.abs() * bb.scale(bits)).total_cmp(&(ca.abs() * ba.scale(bits)))
+        });
+        coeffs.truncate(s);
+        Self { coeffs, bits }
+    }
+
+    /// Number of retained coefficients.
+    pub fn size_elements(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Estimated weight of keys in the interval.
+    pub fn estimate(&self, iv: Interval) -> f64 {
+        if iv.is_empty() {
+            return 0.0;
+        }
+        let max = if self.bits < 64 {
+            (1u64 << self.bits) - 1
+        } else {
+            u64::MAX
+        };
+        let (a, b) = (iv.lo.min(max), iv.hi.min(max));
+        self.coeffs
+            .iter()
+            .map(|(basis, c)| c * basis.range_sum(a, b, self.bits))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: u64, bits: u32, seed: u64) -> Vec<WeightedKey> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let side = 1u64 << bits;
+        (0..n)
+            .map(|_| WeightedKey::new(rng.gen_range(0..side), rng.gen_range(0.1..5.0)))
+            .collect()
+    }
+
+    fn exact(data: &[WeightedKey], iv: Interval) -> f64 {
+        data.iter()
+            .filter(|wk| iv.contains(wk.key))
+            .map(|wk| wk.weight)
+            .sum()
+    }
+
+    #[test]
+    fn full_transform_exact() {
+        let data = random_data(50, 6, 1);
+        let w = Wavelet1D::build(&data, 6, usize::MAX);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let a = rng.gen_range(0..64);
+            let b = rng.gen_range(a..64);
+            let iv = Interval::new(a, b);
+            let est = w.estimate(iv);
+            let truth = exact(&data, iv);
+            assert!((est - truth).abs() < 1e-6 * (1.0 + truth), "{iv:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_respects_budget() {
+        let data = random_data(500, 10, 3);
+        let w = Wavelet1D::build(&data, 10, 40);
+        assert!(w.size_elements() <= 40);
+        // Coarse query remains decent under truncation.
+        let iv = Interval::new(0, 1023);
+        let truth = exact(&data, iv);
+        assert!((w.estimate(iv) - truth).abs() < 0.05 * truth);
+    }
+
+    #[test]
+    fn one_dim_wavelet_is_accurate_on_smooth_data() {
+        // The paper's point: in 1-D with smooth-ish mass, wavelets are
+        // strong. Smooth data = near-uniform weights over the domain.
+        let bits = 10;
+        let data: Vec<WeightedKey> = (0..1024u64)
+            .map(|k| WeightedKey::new(k, 1.0 + 0.1 * ((k as f64) / 100.0).sin()))
+            .collect();
+        let w = Wavelet1D::build(&data, bits, 64);
+        let mut rng = StdRng::seed_from_u64(4);
+        let total: f64 = data.iter().map(|wk| wk.weight).sum();
+        for _ in 0..40 {
+            let a = rng.gen_range(0..1024);
+            let b = rng.gen_range(a..1024);
+            let iv = Interval::new(a, b);
+            let err = (w.estimate(iv) - exact(&data, iv)).abs();
+            assert!(err < 0.01 * total, "err {err} on {iv:?}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Higher-level analysis from summaries alone: heavy hitters, hierarchical
+//! heavy hitters, quantiles, and a two-period comparison — the paper's
+//! Section 1 workflow ("one table per hour, keep a compact summary of
+//! each, analyze from the summaries").
+//!
+//! ```sh
+//! cargo run --release --example traffic_analysis
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use structure_aware_sampling::apps::{compare, heavy_hitters, quantiles};
+use structure_aware_sampling::core::WeightedKey;
+use structure_aware_sampling::sampling;
+use structure_aware_sampling::structures::hierarchy::HierarchyBuilder;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // A /8-style hierarchy over 4096 "addresses": 16 prefixes × 256 hosts.
+    let mut b = HierarchyBuilder::new();
+    let root = b.root();
+    let mut key = 0u64;
+    for _ in 0..16 {
+        let prefix = b.add_internal(root);
+        for _ in 0..256 {
+            b.add_leaf(prefix, key);
+            key += 1;
+        }
+    }
+    let h = b.build();
+
+    // Hour 1: background noise + one hot host + one diffusely hot prefix.
+    use rand::Rng;
+    let mut hour1: Vec<WeightedKey> = (0..key)
+        .map(|k| WeightedKey::new(k, rng.gen_range(0.1..1.0)))
+        .collect();
+    hour1[777] = WeightedKey::new(777, 800.0); // hot host
+    for k in 1024..1280 {
+        hour1[k as usize] = WeightedKey::new(k, 3.0); // hot prefix #4 (diffuse)
+    }
+
+    // Hour 2: the hot prefix doubles; the hot host disappears.
+    let mut hour2 = hour1.clone();
+    hour2[777] = WeightedKey::new(777, 1.0);
+    for k in 1024..1280 {
+        hour2[k as usize] = WeightedKey::new(k, 6.0);
+    }
+
+    // Keep only 300-key structure-aware summaries of each hour.
+    let s = 300;
+    let smp1 = sampling::hierarchy::sample(&hour1, &h, s, &mut rng);
+    let smp2 = sampling::hierarchy::sample(&hour2, &h, s, &mut rng);
+    println!("summaries: two hours x {s} keys (data discarded)\n");
+
+    // 1. Heavy hitters of hour 1.
+    println!("hour-1 heavy hitters (phi = 0.05):");
+    for hh in heavy_hitters::heavy_hitters(&smp1, 0.05) {
+        println!("  host {:>5}: ~{:.0}", hh.key, hh.estimate);
+    }
+
+    // 2. Hierarchical heavy hitters: the diffuse prefix only shows up here.
+    println!("\nhour-1 hierarchical heavy hitters (phi = 0.15):");
+    for hhh in heavy_hitters::hierarchical_heavy_hitters(&smp1, &h, 0.15) {
+        let span = h.leaf_span(hhh.node);
+        println!(
+            "  node over hosts [{}, {}]: ~{:.0} (after discounting descendants)",
+            span.lo, span.hi, hhh.discounted_estimate
+        );
+    }
+
+    // 3. Order statistics: median traffic of prefix #4's hosts.
+    let med = quantiles::subset_quantile(
+        &smp1,
+        0.5,
+        |k| (1024..1280).contains(&k),
+        |k| k as f64,
+    );
+    println!("\nmedian host id within the hot prefix: {med:?} (true center 1151)");
+
+    // 4. Longitudinal comparison: did prefix #4 really grow?
+    let cmp = compare::compare_subset(&smp1, &smp2, |k| (1024..1280).contains(&k), 0.05);
+    println!(
+        "\nprefix #4 hour-over-hour: {:.0} -> {:.0} (Δ ~{:+.0}, 95% CI [{:+.0}, {:+.0}])",
+        cmp.before, cmp.after, cmp.delta, cmp.ci.0, cmp.ci.1
+    );
+    let grew = cmp.ci.0 > 0.0;
+    println!(
+        "growth statistically significant: {}",
+        if grew { "YES" } else { "no" }
+    );
+
+    let host_cmp = compare::compare_subset(&smp1, &smp2, |k| k == 777, 0.05);
+    println!(
+        "host 777 hour-over-hour: {:.0} -> {:.0} (disappearing heavy hitter)",
+        host_cmp.before, host_cmp.after
+    );
+}

@@ -1,0 +1,21 @@
+//! # structure-aware-sampling
+//!
+//! Facade crate for the full reproduction of *Cohen, Cormode, Duffield,
+//! "Structure-Aware Sampling: Flexible and Accurate Summarization"*
+//! (VLDB 2011). Re-exports the public API of every workspace crate:
+//!
+//! * [`core`] — VarOpt/IPPS sampling primitives, estimation, tail bounds.
+//! * [`structures`] — orders, hierarchies, product spaces, kd-hierarchies.
+//! * [`sampling`] — the structure-aware samplers (the paper's contribution).
+//! * [`summaries`] — baseline summaries (wavelet, q-digest, count-sketch).
+//! * [`data`] — synthetic workload and query generators.
+//!
+//! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+
+pub use sas_core as core;
+pub use sas_data as data;
+pub use sas_sampling as sampling;
+pub use sas_structures as structures;
+pub use sas_summaries as summaries;
+pub use sas_apps as apps;

@@ -1,0 +1,160 @@
+//! Edge-case and failure-injection tests across the public API: degenerate
+//! inputs that a downstream user will eventually feed in.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use structure_aware_sampling::core::varopt::VarOptSampler;
+use structure_aware_sampling::core::{ipps, WeightedKey};
+use structure_aware_sampling::sampling;
+use structure_aware_sampling::sampling::product::SpatialData;
+use structure_aware_sampling::structures::product::BoxRange;
+
+#[test]
+fn all_zero_weights_yield_empty_samples() {
+    let data: Vec<WeightedKey> = (0..50).map(|k| WeightedKey::new(k, 0.0)).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let smp = sampling::order::sample(&data, 5, &mut rng);
+    assert_eq!(smp.len(), 0);
+    let smp = VarOptSampler::sample_slice(5, &data, &mut rng);
+    assert_eq!(smp.len(), 0);
+    assert_eq!(smp.total_estimate(), 0.0);
+}
+
+#[test]
+fn single_heavy_among_zeros() {
+    let mut data: Vec<WeightedKey> = (0..50).map(|k| WeightedKey::new(k, 0.0)).collect();
+    data[25] = WeightedKey::new(25, 7.0);
+    let mut rng = StdRng::seed_from_u64(2);
+    let smp = sampling::order::sample(&data, 3, &mut rng);
+    assert_eq!(smp.len(), 1);
+    assert!(smp.contains(25));
+    assert_eq!(smp.total_estimate(), 7.0);
+}
+
+#[test]
+fn s_equals_one() {
+    let data: Vec<WeightedKey> = (0..100)
+        .map(|k| WeightedKey::new(k, 1.0 + (k % 3) as f64))
+        .collect();
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let smp = sampling::order::sample(&data, 1, &mut rng);
+        assert_eq!(smp.len(), 1);
+        // The lone adjusted weight is the total-weight estimate.
+        let est = smp.total_estimate();
+        let truth: f64 = data.iter().map(|wk| wk.weight).sum();
+        assert!(est > 0.0 && est < 3.0 * truth);
+    }
+}
+
+#[test]
+fn identical_weights_tau_is_total_over_s() {
+    let data: Vec<WeightedKey> = (0..40).map(|k| WeightedKey::new(k, 2.5)).collect();
+    let tau = ipps::threshold_for_keys(&data, 10.0);
+    assert!((tau - 10.0).abs() < 1e-9); // 100/10
+}
+
+#[test]
+fn extreme_weight_ratios() {
+    // 1e12 dynamic range: no NaNs, heavy key always kept, size exact.
+    let mut data: Vec<WeightedKey> = (0..200)
+        .map(|k| WeightedKey::new(k, 1e-6))
+        .collect();
+    data[0] = WeightedKey::new(0, 1e6);
+    let mut rng = StdRng::seed_from_u64(3);
+    let smp = sampling::order::sample(&data, 10, &mut rng);
+    assert_eq!(smp.len(), 10);
+    assert!(smp.contains(0));
+    let e = smp.iter().find(|e| e.key == 0).unwrap();
+    assert_eq!(e.adjusted_weight, 1e6);
+    assert!(smp.iter().all(|e| e.adjusted_weight.is_finite()));
+}
+
+#[test]
+fn two_pass_on_tiny_data() {
+    let data = SpatialData::from_xyw(&[(1, 1, 2.0), (2, 2, 3.0)]);
+    let mut rng = StdRng::seed_from_u64(4);
+    for s in [1, 2, 10] {
+        let smp = sampling::two_pass::sample_product(&data, s, 5, &mut rng);
+        assert_eq!(smp.len(), s.min(2), "s={s}");
+    }
+}
+
+#[test]
+fn two_pass_all_identical_points() {
+    let rows: Vec<(u64, u64, f64)> = (0..100).map(|_| (7, 7, 1.0)).collect();
+    let data = SpatialData::from_xyw(&rows);
+    let mut rng = StdRng::seed_from_u64(5);
+    let smp = sampling::two_pass::sample_product(&data, 10, 5, &mut rng);
+    assert_eq!(smp.len(), 10);
+    let q = BoxRange::xy(7, 7, 7, 7);
+    let est = sas_sampling_estimate(&smp, &data, &q);
+    assert!((est - 100.0).abs() < 1e-6);
+}
+
+fn sas_sampling_estimate(
+    smp: &structure_aware_sampling::core::Sample,
+    data: &SpatialData,
+    q: &BoxRange,
+) -> f64 {
+    sampling::product::estimate_box(smp, data, q)
+}
+
+#[test]
+fn streaming_threshold_single_item() {
+    let mut st = ipps::StreamingThreshold::new(1);
+    st.push(5.0);
+    // One item, s = 1: τ solves min(1, 5/τ) = 1 → τ ≤ 5; the stream rule
+    // gives L/(s−|H|) after evicting: τ = 5 exactly.
+    let tau = st.finish();
+    assert!((tau - 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn hierarchy_with_larger_s_than_leaves() {
+    use structure_aware_sampling::structures::hierarchy::figure1_hierarchy;
+    let h = figure1_hierarchy();
+    let data: Vec<WeightedKey> = (1..=10).map(|k| WeightedKey::new(k, k as f64)).collect();
+    let mut rng = StdRng::seed_from_u64(6);
+    let smp = sampling::hierarchy::sample(&data, &h, 100, &mut rng);
+    assert_eq!(smp.len(), 10); // everything kept exactly
+    assert!((smp.total_estimate() - 55.0).abs() < 1e-9);
+}
+
+#[test]
+fn disjoint_with_one_key_per_many_ranges() {
+    let data: Vec<WeightedKey> = (0..5).map(|k| WeightedKey::new(k, 1.0)).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let smp = sampling::disjoint::sample(&data, 2, |k| k * 1000, &mut rng);
+    assert_eq!(smp.len(), 2);
+}
+
+#[test]
+fn subset_estimate_of_absent_keys_is_zero() {
+    let data: Vec<WeightedKey> = (0..30).map(|k| WeightedKey::new(k, 1.0)).collect();
+    let mut rng = StdRng::seed_from_u64(8);
+    let smp = sampling::order::sample(&data, 5, &mut rng);
+    assert_eq!(smp.subset_estimate(|k| k > 1000), 0.0);
+}
+
+#[test]
+fn fractional_tau_keys_straddling_threshold() {
+    // Keys exactly at the threshold boundary: p = 1 exactly. No panics,
+    // exact size, certain keys kept.
+    let data = vec![
+        WeightedKey::new(1, 4.0),
+        WeightedKey::new(2, 4.0),
+        WeightedKey::new(3, 2.0),
+        WeightedKey::new(4, 2.0),
+    ];
+    // s = 3: τ = 4 → keys 1,2 certain (p=1), keys 3,4 p=0.5 each.
+    let tau = ipps::threshold_for_keys(&data, 3.0);
+    assert!((tau - 4.0).abs() < 1e-9);
+    for seed in 0..20 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let smp = sampling::order::sample(&data, 3, &mut rng);
+        assert_eq!(smp.len(), 3);
+        assert!(smp.contains(1) && smp.contains(2));
+    }
+}

@@ -1,0 +1,192 @@
+//! Statistical quality tests: unbiasedness, variance ordering, and tail
+//! behaviour of the estimators across samplers — the properties Appendix A
+//! claims.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use structure_aware_sampling::core::{bounds, poisson, varopt::VarOptSampler, WeightedKey};
+use structure_aware_sampling::sampling;
+use structure_aware_sampling::structures::hierarchy::figure1_hierarchy;
+
+fn mixed_data(n: u64, seed: u64) -> Vec<WeightedKey> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|k| {
+            let w = if rng.gen_bool(0.05) {
+                rng.gen_range(50.0..300.0)
+            } else {
+                rng.gen_range(0.1..3.0)
+            };
+            WeightedKey::new(k, w)
+        })
+        .collect()
+}
+
+/// Empirical mean and variance of subset estimates over repeated samples.
+fn subset_stats(
+    mut draw: impl FnMut(&mut StdRng) -> structure_aware_sampling::core::Sample,
+    pred: impl Fn(u64) -> bool + Copy,
+    runs: u64,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    for _ in 0..runs {
+        let est = draw(&mut rng).subset_estimate(pred);
+        sum += est;
+        sumsq += est * est;
+    }
+    let mean = sum / runs as f64;
+    (mean, sumsq / runs as f64 - mean * mean)
+}
+
+#[test]
+fn varopt_variance_at_most_poisson() {
+    // VarOpt's defining advantage: subset-sum variance no larger than
+    // Poisson IPPS at the same expected size.
+    let data = mixed_data(300, 1);
+    let s = 30;
+    let pred = |k: u64| k < 150;
+    let runs = 4000;
+    let (m_vo, v_vo) = subset_stats(
+        |rng| VarOptSampler::sample_slice(s, &data, rng),
+        pred,
+        runs,
+        11,
+    );
+    let (m_po, v_po) = subset_stats(|rng| poisson::sample(&data, s, rng), pred, runs, 12);
+    let truth: f64 = data
+        .iter()
+        .filter(|wk| pred(wk.key))
+        .map(|wk| wk.weight)
+        .sum();
+    assert!((m_vo - truth).abs() / truth < 0.03, "varopt biased: {m_vo} vs {truth}");
+    assert!((m_po - truth).abs() / truth < 0.03, "poisson biased: {m_po} vs {truth}");
+    assert!(
+        v_vo < 1.15 * v_po,
+        "varopt variance {v_vo} not ≤ poisson variance {v_po}"
+    );
+}
+
+#[test]
+fn structure_aware_variance_no_worse_on_subsets() {
+    // Structure-awareness must not hurt arbitrary subset queries: variance
+    // comparable to oblivious VarOpt on a non-range subset.
+    let data = mixed_data(200, 2);
+    let s = 25;
+    let pred = |k: u64| k % 7 == 0; // scattered subset, not a range
+    let runs = 4000;
+    let (m_aw, v_aw) = subset_stats(
+        |rng| sampling::order::sample(&data, s, rng),
+        pred,
+        runs,
+        21,
+    );
+    let (m_ob, v_ob) = subset_stats(
+        |rng| VarOptSampler::sample_slice(s, &data, rng),
+        pred,
+        runs,
+        22,
+    );
+    let truth: f64 = data
+        .iter()
+        .filter(|wk| pred(wk.key))
+        .map(|wk| wk.weight)
+        .sum();
+    assert!((m_aw - truth).abs() / truth < 0.05);
+    assert!((m_ob - truth).abs() / truth < 0.05);
+    // Allow 50% slack: both are VarOpt; different correlation structure.
+    assert!(
+        v_aw < 1.5 * v_ob + 1.0,
+        "aware subset variance {v_aw} vs oblivious {v_ob}"
+    );
+}
+
+#[test]
+fn range_error_bounded_by_tau_times_discrepancy() {
+    // The paper's basic identity: |estimate − truth| = τ·Δ(S, R) for
+    // light-key ranges.
+    let data = mixed_data(150, 3);
+    let s = 20;
+    let mut rng = StdRng::seed_from_u64(31);
+    let smp = sampling::order::sample(&data, s, &mut rng);
+    let tau = smp.tau();
+    for (lo, hi) in [(0u64, 49), (50, 99), (20, 120)] {
+        let iv = structure_aware_sampling::structures::order::Interval::new(lo, hi);
+        let truth: f64 = data
+            .iter()
+            .filter(|wk| iv.contains(wk.key) && wk.weight < tau)
+            .map(|wk| wk.weight)
+            .sum();
+        let est: f64 = smp
+            .iter()
+            .filter(|e| iv.contains(e.key) && e.weight < tau)
+            .map(|e| e.adjusted_weight)
+            .sum();
+        let d = sampling::order::interval_discrepancy(&smp, &data, s, iv, |k| k);
+        // Light-key part only, and heavy keys are exact; over the light
+        // part the identity holds up to the heavy/light classification.
+        assert!(
+            (est - truth).abs() <= tau * (d + 1.0) + 1e-6,
+            "[{lo},{hi}]: err {} vs τΔ {}",
+            (est - truth).abs(),
+            tau * d
+        );
+    }
+}
+
+#[test]
+fn chernoff_bounds_hold_empirically_for_varopt() {
+    // Tail bounds (Eqns 2-3) apply to VarOpt samples: empirical exceedance
+    // probabilities are dominated by the bound.
+    let data: Vec<WeightedKey> = (0..200).map(|k| WeightedKey::new(k, 1.0)).collect();
+    let s = 40;
+    let pred = |k: u64| k < 100; // mu = 20
+    let mu = 20.0;
+    let runs = 20_000;
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut exceed_28 = 0usize;
+    for _ in 0..runs {
+        let smp = VarOptSampler::sample_slice(s, &data, &mut rng);
+        if smp.subset_count(pred) >= 28 {
+            exceed_28 += 1;
+        }
+    }
+    let emp = exceed_28 as f64 / runs as f64;
+    let bound = bounds::chernoff_upper(mu, 28.0);
+    assert!(
+        emp <= bound + 0.01,
+        "empirical {emp} exceeds Chernoff bound {bound}"
+    );
+}
+
+#[test]
+fn hierarchy_sample_unbiased_per_node() {
+    // Unbiasedness of node-weight estimates in the Figure 1 hierarchy.
+    let h = figure1_hierarchy();
+    let w = [3.0, 6.0, 4.0, 7.0, 1.0, 8.0, 4.0, 2.0, 3.0, 2.0];
+    let data: Vec<WeightedKey> = w
+        .iter()
+        .enumerate()
+        .map(|(i, &wt)| WeightedKey::new(i as u64 + 1, wt))
+        .collect();
+    let runs = 30_000;
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut acc = vec![0.0; 3];
+    // Nodes: A = keys 1-4 (20), M = key 5 (1), C = keys 6-10 (19).
+    for _ in 0..runs {
+        let smp = sampling::hierarchy::sample(&data, &h, 4, &mut rng);
+        acc[0] += smp.subset_estimate(|k| (1..=4).contains(&k));
+        acc[1] += smp.subset_estimate(|k| k == 5);
+        acc[2] += smp.subset_estimate(|k| (6..=10).contains(&k));
+    }
+    let means: Vec<f64> = acc.iter().map(|a| a / runs as f64).collect();
+    for (mean, truth) in means.iter().zip([20.0, 1.0, 19.0]) {
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "node estimate {mean} vs {truth}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end integration tests: generate → summarize → query → compare,
+//! across every crate through the facade.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use structure_aware_sampling::core::varopt::VarOptSampler;
+use structure_aware_sampling::data::{
+    uniform_area_queries, uniform_weight_queries, NetworkConfig, TicketConfig,
+};
+use structure_aware_sampling::sampling::two_pass;
+use structure_aware_sampling::summaries::exact::{ExactEngine, SampleSummary};
+use structure_aware_sampling::summaries::qdigest::QDigestSummary;
+use structure_aware_sampling::summaries::wavelet::WaveletSummary;
+use structure_aware_sampling::summaries::RangeSumSummary;
+
+fn network() -> structure_aware_sampling::sampling::product::SpatialData {
+    let cfg = NetworkConfig {
+        bits: 10,
+        flows: 15_000,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    cfg.generate(&mut rng)
+}
+
+#[test]
+fn full_pipeline_network_accuracy_ordering() {
+    let data = network();
+    let exact = ExactEngine::new(&data);
+    let total = exact.total();
+    let s = 800;
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let aware = SampleSummary::new(
+        "aware",
+        &two_pass::sample_product(&data, s, 5, &mut rng),
+        &data,
+    );
+    let obliv = SampleSummary::new(
+        "obliv",
+        &VarOptSampler::sample_slice(s, &data.keys, &mut rng),
+        &data,
+    );
+
+    let mut qrng = StdRng::seed_from_u64(3);
+    let queries = uniform_area_queries(&mut qrng, 1 << 10, 1 << 10, 40, 10, 0.3);
+
+    let err = |sm: &dyn RangeSumSummary| -> f64 {
+        queries
+            .iter()
+            .map(|q| (sm.estimate_multi(q) - exact.multi_sum(q)).abs())
+            .sum::<f64>()
+            / (queries.len() as f64 * total)
+    };
+    let (ea, eo) = (err(&aware), err(&obliv));
+    // The headline: structure-aware no worse than oblivious on range
+    // batteries (usually 2x better; allow slack for one seed).
+    assert!(
+        ea < 1.2 * eo,
+        "aware error {ea} not competitive with oblivious {eo}"
+    );
+    // And both are far better than nothing (error below 5% of total).
+    assert!(ea < 0.05 && eo < 0.10, "errors too large: {ea}, {eo}");
+}
+
+#[test]
+fn all_summaries_answer_the_same_queries() {
+    let data = network();
+    let exact = ExactEngine::new(&data);
+    let s = 500;
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let summaries: Vec<Box<dyn RangeSumSummary>> = vec![
+        Box::new(SampleSummary::new(
+            "aware",
+            &two_pass::sample_product(&data, s, 5, &mut rng),
+            &data,
+        )),
+        Box::new(SampleSummary::new(
+            "obliv",
+            &VarOptSampler::sample_slice(s, &data.keys, &mut rng),
+            &data,
+        )),
+        Box::new(WaveletSummary::build(&data, 10, 10, s)),
+        Box::new(QDigestSummary::build(&data, 10, s)),
+    ];
+
+    let mut qrng = StdRng::seed_from_u64(5);
+    let queries = uniform_weight_queries(&mut qrng, &data, 10, 5, 0.1);
+    for sm in &summaries {
+        assert!(sm.size_elements() <= s + 1, "{} too large", sm.name());
+        for q in &queries {
+            let est = sm.estimate_multi(q);
+            let truth = exact.multi_sum(q);
+            // Sanity window: no summary may be wildly out (10x total).
+            assert!(
+                (est - truth).abs() < 0.5 * exact.total(),
+                "{}: {est} vs {truth}",
+                sm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ticket_pipeline_runs_end_to_end() {
+    let cfg = TicketConfig {
+        tickets: 20_000,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(6);
+    let data = cfg.generate(&mut rng);
+    let exact = ExactEngine::new(&data);
+    let s = 600;
+    let aware = SampleSummary::new(
+        "aware",
+        &two_pass::sample_product(&data, s, 5, &mut rng),
+        &data,
+    );
+    assert_eq!(aware.size_elements(), s);
+
+    // Hierarchy-aligned box: first-level trouble subtree × whole location
+    // domain. Mixed-radix layout makes this a coordinate interval.
+    let (td, ld) = cfg.domains();
+    let sub = td / 16;
+    let q = structure_aware_sampling::structures::product::BoxRange::xy(0, sub - 1, 0, ld - 1);
+    let truth = exact.box_sum(&q);
+    let est = aware.estimate_box(&q);
+    assert!(
+        (est - truth).abs() < 0.1 * exact.total(),
+        "subtree estimate {est} vs {truth}"
+    );
+}
+
+#[test]
+fn sample_supports_arbitrary_subset_queries() {
+    // What dedicated summaries cannot do: estimate an arbitrary predicate
+    // (not a range) from the same summary, unbiasedly.
+    let data = network();
+    let truth: f64 = data
+        .keys
+        .iter()
+        .zip(&data.points)
+        .filter(|(_, p)| (p.coord(0) ^ p.coord(1)) % 3 == 0)
+        .map(|(wk, _)| wk.weight)
+        .sum();
+    let runs = 300;
+    let mut acc = 0.0;
+    for seed in 0..runs {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let sample = two_pass::sample_product(&data, 400, 5, &mut rng);
+        let point_of: std::collections::HashMap<u64, _> = data
+            .keys
+            .iter()
+            .zip(&data.points)
+            .map(|(wk, p)| (wk.key, p))
+            .collect();
+        acc += sample.subset_estimate(|k| {
+            point_of
+                .get(&k)
+                .is_some_and(|p| (p.coord(0) ^ p.coord(1)) % 3 == 0)
+        });
+    }
+    let mean = acc / runs as f64;
+    assert!(
+        (mean - truth).abs() / truth < 0.05,
+        "mean estimate {mean} vs truth {truth}"
+    );
+}
+
+#[test]
+fn two_pass_memory_is_bounded_by_guide_size() {
+    // Structural test: the partition derived from the guide sample has at
+    // most s' cells, so pass-2 state is O(s'). We check the observable
+    // consequence: the sample is exact-size and correct even when the data
+    // is 100x larger than the summary.
+    let data = network();
+    let s = 150;
+    let mut rng = StdRng::seed_from_u64(7);
+    let sample = two_pass::sample_product(&data, s, 5, &mut rng);
+    assert_eq!(sample.len(), s);
+    let est = sample.total_estimate();
+    let truth: f64 = data.total_weight();
+    assert!(
+        (est - truth).abs() / truth < 0.2,
+        "total estimate {est} vs {truth}"
+    );
+}

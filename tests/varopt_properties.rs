@@ -1,0 +1,184 @@
+//! Property-based tests of the core sampling invariants (proptest).
+//!
+//! These lock the claims the paper's analysis rests on:
+//! * the IPPS threshold solves Σ min(1, wᵢ/τ) = s;
+//! * pair aggregation preserves total probability mass and sets an entry;
+//! * every sampler produces exactly-s samples and IPPS heavy-key behaviour;
+//! * the structure-aware guarantees (Δ < 1 hierarchy / prefix, Δ < 2
+//!   interval) hold on arbitrary random inputs, not just the unit-test
+//!   fixtures.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use structure_aware_sampling::core::aggregate::pair_aggregate;
+use structure_aware_sampling::core::{ipps, WeightedKey};
+use structure_aware_sampling::sampling;
+use structure_aware_sampling::structures::order::{all_intervals, Interval};
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..100.0, 2..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ipps_threshold_solves_equation(weights in weights_strategy(), s_frac in 0.05f64..0.95) {
+        let s = ((weights.len() as f64 * s_frac).max(1.0)).floor();
+        let tau = ipps::threshold_exact(&weights, s);
+        if tau > 0.0 {
+            let e = ipps::expected_size(&weights, tau);
+            prop_assert!((e - s).abs() < 1e-6, "expected size {e} != {s}");
+        } else {
+            prop_assert!(s >= weights.len() as f64);
+        }
+    }
+
+    #[test]
+    fn streaming_threshold_matches_exact(weights in weights_strategy(), s_idx in 1usize..40) {
+        let s = s_idx.min(weights.len().saturating_sub(1)).max(1);
+        let exact = ipps::threshold_exact(&weights, s as f64);
+        let mut st = ipps::StreamingThreshold::new(s);
+        for &w in &weights {
+            st.push(w);
+        }
+        let streamed = st.finish();
+        prop_assert!((exact - streamed).abs() <= 1e-6 * (1.0 + exact),
+            "exact {exact} vs streamed {streamed}");
+    }
+
+    #[test]
+    fn pair_aggregate_preserves_mass(pi in 0.001f64..0.999, pj in 0.001f64..0.999, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b, _) = pair_aggregate(pi, pj, &mut rng);
+        prop_assert!((a + b - (pi + pj)).abs() < 1e-9);
+        prop_assert!(a == 0.0 || a == 1.0 || b == 0.0 || b == 1.0, "no entry set: {a}, {b}");
+        prop_assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn order_sampler_size_and_interval_bound(
+        weights in prop::collection::vec(0.05f64..50.0, 4..60),
+        s_frac in 0.1f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let data: Vec<WeightedKey> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| WeightedKey::new(i as u64, w))
+            .collect();
+        let s = ((data.len() as f64 * s_frac) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let smp = sampling::order::sample(&data, s, &mut rng);
+        prop_assert_eq!(smp.len(), s);
+        // Theorem 1: every interval has discrepancy < 2; prefixes < 1.
+        let n = data.len() as u64;
+        for iv in all_intervals(n) {
+            let d = sampling::order::interval_discrepancy(&smp, &data, s, iv, |k| k);
+            prop_assert!(d < 2.0 + 1e-6, "interval {:?}: discrepancy {}", iv, d);
+            if iv.lo == 0 {
+                prop_assert!(d < 1.0 + 1e-6, "prefix {:?}: discrepancy {}", iv, d);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_sampler_per_range_bound(
+        weights in prop::collection::vec(0.05f64..50.0, 8..80),
+        ranges in 2u64..8,
+        seed in 0u64..500,
+    ) {
+        let data: Vec<WeightedKey> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| WeightedKey::new(i as u64, w))
+            .collect();
+        let s = (data.len() / 3).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let smp = sampling::disjoint::sample(&data, s, |k| k % ranges, &mut rng);
+        prop_assert_eq!(smp.len(), s);
+        for (r, d) in sampling::disjoint::range_discrepancies(&smp, &data, s, |k| k % ranges) {
+            prop_assert!(d < 1.0 + 1e-6, "range {}: discrepancy {}", r, d);
+        }
+    }
+
+    #[test]
+    fn systematic_sample_prefix_bound(
+        weights in prop::collection::vec(0.05f64..50.0, 4..80),
+        s_idx in 1usize..20,
+        alpha in 0.0f64..0.999,
+    ) {
+        let data: Vec<WeightedKey> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| WeightedKey::new(i as u64, w))
+            .collect();
+        let s = s_idx.min(weights.len() - 1).max(1);
+        let tau = ipps::threshold_for_keys(&data, s as f64);
+        let smp = structure_aware_sampling::core::systematic::sample_with_offset(&data, tau, alpha);
+        // Prefix discrepancy < 1 for systematic samples.
+        let in_sample: std::collections::HashSet<u64> = smp.keys().collect();
+        let mut cum = 0.0;
+        let mut count = 0.0;
+        for wk in &data {
+            cum += if tau > 0.0 { (wk.weight / tau).min(1.0) } else { 1.0 };
+            if in_sample.contains(&wk.key) {
+                count += 1.0;
+            }
+            prop_assert!((count - cum).abs() < 1.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn hierarchy_sampler_delta_below_one_randomized() {
+    // Random hierarchies with random weights: Δ < 1 under every node.
+    use structure_aware_sampling::structures::hierarchy::HierarchyBuilder;
+    let mut rng = StdRng::seed_from_u64(12345);
+    use rand::Rng;
+    for trial in 0..40 {
+        let mut b = HierarchyBuilder::new();
+        let root = b.root();
+        let mut key = 0u64;
+        // Random depth-3 hierarchy.
+        for _ in 0..rng.gen_range(2..6) {
+            let g = b.add_internal(root);
+            for _ in 0..rng.gen_range(1..4) {
+                let sg = b.add_internal(g);
+                for _ in 0..rng.gen_range(1..6) {
+                    b.add_leaf(sg, key);
+                    key += 1;
+                }
+            }
+        }
+        let h = b.build();
+        let data: Vec<WeightedKey> = (0..key)
+            .map(|k| WeightedKey::new(k, rng.gen_range(0.1..30.0)))
+            .collect();
+        let s = rng.gen_range(1..key as usize + 1);
+        let smp = sampling::hierarchy::sample(&data, &h, s, &mut rng);
+        assert_eq!(smp.len(), s.min(key as usize), "trial {trial}");
+        for d in sampling::hierarchy::node_discrepancies(&smp, &data, &h, s) {
+            assert!(d < 1.0 + 1e-6, "trial {trial}: node discrepancy {d}");
+        }
+    }
+}
+
+#[test]
+fn interval_bound_is_tight_for_varopt() {
+    // Theorem 1(ii) flavor: some order-structure samples do reach
+    // discrepancies close to 2 (the bound is not slack).
+    let mut rng = StdRng::seed_from_u64(77);
+    let data: Vec<WeightedKey> = (0..200).map(|k| WeightedKey::new(k, 1.0)).collect();
+    let mut worst: f64 = 0.0;
+    for _ in 0..200 {
+        let smp = sampling::order::sample(&data, 40, &mut rng);
+        for iv in [Interval::new(10, 150), Interval::new(37, 121), Interval::new(3, 196)] {
+            worst = worst.max(sampling::order::interval_discrepancy(&smp, &data, 40, iv, |k| k));
+        }
+    }
+    assert!(worst > 1.0, "worst observed interval discrepancy only {worst}");
+    assert!(worst < 2.0 + 1e-6);
+}
