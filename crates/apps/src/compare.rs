@@ -95,10 +95,18 @@ mod tests {
         let true_before: f64 = d1.iter().filter(|w| w.key < 500).map(|w| w.weight).sum();
         let true_after: f64 = d2.iter().filter(|w| w.key < 500).map(|w| w.weight).sum();
         let true_delta = true_after - true_before;
-        assert!(cmp.delta > 0.5 * true_delta && cmp.delta < 1.5 * true_delta,
-            "delta {} vs true {}", cmp.delta, true_delta);
-        assert!(cmp.ci.0 <= true_delta && true_delta <= cmp.ci.1,
-            "CI {:?} misses {}", cmp.ci, true_delta);
+        assert!(
+            cmp.delta > 0.5 * true_delta && cmp.delta < 1.5 * true_delta,
+            "delta {} vs true {}",
+            cmp.delta,
+            true_delta
+        );
+        assert!(
+            cmp.ci.0 <= true_delta && true_delta <= cmp.ci.1,
+            "CI {:?} misses {}",
+            cmp.ci,
+            true_delta
+        );
         // The increase is significant: CI excludes zero.
         assert!(cmp.ci.0 > 0.0, "CI {:?} includes 0 for a 3x bump", cmp.ci);
     }
@@ -111,8 +119,11 @@ mod tests {
         let s1 = sas_sampling::order::sample(&d1, 300, &mut rng);
         let s2 = sas_sampling::order::sample(&d2, 300, &mut rng);
         let cmp = compare_subset(&s1, &s2, |k| k < 500, 0.05);
-        assert!(cmp.ci.0 <= 0.0 && 0.0 <= cmp.ci.1,
-            "CI {:?} excludes 0 for unchanged data", cmp.ci);
+        assert!(
+            cmp.ci.0 <= 0.0 && 0.0 <= cmp.ci.1,
+            "CI {:?} excludes 0 for unchanged data",
+            cmp.ci
+        );
     }
 
     #[test]

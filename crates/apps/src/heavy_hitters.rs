@@ -70,10 +70,8 @@ pub fn hierarchical_heavy_hitters(
     let cutoff = phi * total;
 
     // Adjusted weight by leaf position.
-    let key_weight: HashMap<KeyId, f64> = sample
-        .iter()
-        .map(|e| (e.key, e.adjusted_weight))
-        .collect();
+    let key_weight: HashMap<KeyId, f64> =
+        sample.iter().map(|e| (e.key, e.adjusted_weight)).collect();
 
     // Subtree estimates via leaf spans (contiguous positions).
     let leaf_weight: Vec<f64> = (0..hierarchy.leaf_count() as u64)
@@ -125,11 +123,7 @@ pub fn hierarchical_heavy_hitters(
 }
 
 /// Sanity helper: the set of sample keys under a node.
-pub fn sampled_keys_under(
-    sample: &Sample,
-    hierarchy: &Hierarchy,
-    node: NodeId,
-) -> HashSet<KeyId> {
+pub fn sampled_keys_under(sample: &Sample, hierarchy: &Hierarchy, node: NodeId) -> HashSet<KeyId> {
     let under: HashSet<KeyId> = hierarchy.keys_under(node).collect();
     sample.keys().filter(|k| under.contains(k)).collect()
 }
@@ -163,7 +157,10 @@ mod tests {
             let smp = sas_sampling::order::sample(&data, 30, &mut rng);
             let hh = heavy_hitters(&smp, phi);
             let keys: Vec<u64> = hh.iter().map(|h| h.key).collect();
-            assert!(keys.contains(&7) && keys.contains(&123), "seed {seed}: {keys:?}");
+            assert!(
+                keys.contains(&7) && keys.contains(&123),
+                "seed {seed}: {keys:?}"
+            );
             // Estimates of heavy keys are exact.
             let e7 = hh.iter().find(|h| h.key == 7).unwrap().estimate;
             assert_eq!(e7, 300.0);
@@ -179,7 +176,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let smp = sas_sampling::order::sample(&data, 30, &mut rng);
         let hh = heavy_hitters(&smp, 0.2);
-        assert!(hh.is_empty(), "uniform data has no 20% heavy hitters: {hh:?}");
+        assert!(
+            hh.is_empty(),
+            "uniform data has no 20% heavy hitters: {hh:?}"
+        );
     }
 
     fn two_level_hierarchy(groups: u32, per: u32) -> (Hierarchy, u64) {

@@ -29,8 +29,7 @@ fn main() {
         for seed in 0..seeds {
             let (summary, t) = timed(|| {
                 let mut rng = StdRng::seed_from_u64(1000 * factor as u64 + seed);
-                let sample =
-                    sas_sampling::two_pass::sample_product(&w.data, s, factor, &mut rng);
+                let sample = sas_sampling::two_pass::sample_product(&w.data, s, factor, &mut rng);
                 SampleSummary::new("aware", &sample, &w.data)
             });
             secs += t;

@@ -66,7 +66,10 @@ fn main() {
         "Ablation: pair-selection rule (same IPPS probabilities, same VarOpt class)",
         &["rule", "avg_abs_error"],
         &[
-            vec!["structured(lowest-LCA/kd)".into(), fmt_err(err_structured / seeds as f64)],
+            vec![
+                "structured(lowest-LCA/kd)".into(),
+                fmt_err(err_structured / seeds as f64),
+            ],
             vec!["arbitrary".into(), fmt_err(err_arbitrary / seeds as f64)],
         ],
     );

@@ -76,7 +76,13 @@ fn main() {
     }
     print_table(
         "Dimension scaling: RMS box-query error, aware vs obliv (s = 1000, n = 20000)",
-        &["d", "aware_rms", "obliv_rms", "obliv/aware", "theory √(2d)·s^((d-1)/(2d))"],
+        &[
+            "d",
+            "aware_rms",
+            "obliv_rms",
+            "obliv/aware",
+            "theory √(2d)·s^((d-1)/(2d))",
+        ],
         &rows,
     );
 }

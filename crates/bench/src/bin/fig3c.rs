@@ -23,9 +23,7 @@ fn main() {
     let queries = uniform_area_queries(&mut qrng, side, side, 100, 25, 0.2);
     let total_rects: usize = queries.iter().map(|q| q.range_count()).sum();
 
-    eprintln!(
-        "fig3c: network data, timing {total_rects} rectangle queries per summary"
-    );
+    eprintln!("fig3c: network data, timing {total_rects} rectangle queries per summary");
 
     let wavelet_full = WaveletSummary::build(&w.data, w.bits, w.bits, usize::MAX);
 

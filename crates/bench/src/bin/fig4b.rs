@@ -34,10 +34,7 @@ fn main() {
         let mut qrng = StdRng::seed_from_u64(7000 + (max_frac * 1e3) as u64);
         let queries =
             uniform_area_queries(&mut qrng, side, side, scale.query_count(), 25, max_frac);
-        let mean_weight: f64 = queries
-            .iter()
-            .map(|q| w.exact.multi_sum(q))
-            .sum::<f64>()
+        let mean_weight: f64 = queries.iter().map(|q| w.exact.multi_sum(q)).sum::<f64>()
             / (queries.len() as f64 * w.total);
         rows.push(vec![
             format!("{mean_weight:.4}"),

@@ -30,8 +30,7 @@ fn main() {
     let mut rows = Vec::new();
     for &frac in &[0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 0.9] {
         let mut qrng = StdRng::seed_from_u64(8000 + (frac * 1e4) as u64);
-        let queries =
-            uniform_weight_queries(&mut qrng, &w.data, scale.query_count(), 10, frac);
+        let queries = uniform_weight_queries(&mut qrng, &w.data, scale.query_count(), 10, frac);
         rows.push(vec![
             format!("{frac}"),
             fmt_err(avg_abs_error(&aware, &w.exact, &queries, w.total)),

@@ -26,8 +26,14 @@ fn main() {
     for (name, m) in [
         ("aware", error_metrics(&aware, &w.exact, &queries, w.total)),
         ("obliv", error_metrics(&obliv, &w.exact, &queries, w.total)),
-        ("wavelet", error_metrics(&wavelet, &w.exact, &queries, w.total)),
-        ("qdigest", error_metrics(&qdigest, &w.exact, &queries, w.total)),
+        (
+            "wavelet",
+            error_metrics(&wavelet, &w.exact, &queries, w.total),
+        ),
+        (
+            "qdigest",
+            error_metrics(&qdigest, &w.exact, &queries, w.total),
+        ),
     ] {
         rows.push(vec![
             name.to_string(),

@@ -56,7 +56,10 @@ fn main() {
             .sum()
     };
 
-    eprintln!("one_dim: {} distinct positions, domain 2^{bits}", data.len());
+    eprintln!(
+        "one_dim: {} distinct positions, domain 2^{bits}",
+        data.len()
+    );
 
     let mut rows = Vec::new();
     for &s in &[100usize, 300, 1000, 3000] {

@@ -282,8 +282,7 @@ mod tests {
         let w = network_workload(Scale::Small);
         let mut rng = StdRng::seed_from_u64(2);
         let side = 1u64 << w.bits;
-        let queries =
-            sas_data::uniform_area_queries(&mut rng, side, side, 5, 5, 0.2);
+        let queries = sas_data::uniform_area_queries(&mut rng, side, side, 5, 5, 0.2);
         let e = avg_abs_error(&w.exact, &w.exact, &queries, w.total);
         assert_eq!(e, 0.0);
     }

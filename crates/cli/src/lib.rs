@@ -82,8 +82,17 @@ pub fn parse_dataset(text: &str) -> Result<Dataset, CliError> {
         };
         match fields.len() {
             2 => one.push(WeightedKey::new(parse_u(fields[0])?, parse_f(fields[1])?)),
-            3 => two.push((parse_u(fields[0])?, parse_u(fields[1])?, parse_f(fields[2])?)),
-            n => return err(format!("line {}: expected 2 or 3 columns, found {n}", lineno + 1)),
+            3 => two.push((
+                parse_u(fields[0])?,
+                parse_u(fields[1])?,
+                parse_f(fields[2])?,
+            )),
+            n => {
+                return err(format!(
+                    "line {}: expected 2 or 3 columns, found {n}",
+                    lineno + 1
+                ))
+            }
         }
     }
     match cols {
@@ -133,9 +142,7 @@ pub fn write_summary(sample: &Sample, data: &Dataset) -> String {
                 let _ = writeln!(out, "{}\t{}\t{}", e.key, e.weight, e.adjusted_weight);
             }
             Dataset::TwoDim(spatial) => {
-                let p = spatial
-                    .point_of(e.key)
-                    .expect("sampled key has a location");
+                let p = spatial.point_of(e.key).expect("sampled key has a location");
                 let _ = writeln!(
                     out,
                     "{}\t{}\t{}\t{}\t{}",
@@ -230,7 +237,10 @@ pub fn read_summary(text: &str) -> Result<LoadedSummary, CliError> {
 pub fn parse_range(spec: &str, dims: usize) -> Result<Vec<(u64, u64)>, CliError> {
     let parts: Vec<&str> = spec.split(',').collect();
     if parts.len() != dims {
-        return err(format!("range must have {dims} axis spec(s), got {}", parts.len()));
+        return err(format!(
+            "range must have {dims} axis spec(s), got {}",
+            parts.len()
+        ));
     }
     parts
         .iter()
@@ -238,8 +248,12 @@ pub fn parse_range(spec: &str, dims: usize) -> Result<Vec<(u64, u64)>, CliError>
             let (lo, hi) = p
                 .split_once("..")
                 .ok_or(CliError(format!("bad range '{p}' (want lo..hi)")))?;
-            let lo: u64 = lo.parse().map_err(|_| CliError(format!("bad bound '{lo}'")))?;
-            let hi: u64 = hi.parse().map_err(|_| CliError(format!("bad bound '{hi}'")))?;
+            let lo: u64 = lo
+                .parse()
+                .map_err(|_| CliError(format!("bad bound '{lo}'")))?;
+            let hi: u64 = hi
+                .parse()
+                .map_err(|_| CliError(format!("bad bound '{hi}'")))?;
             if lo > hi {
                 return err(format!("empty range {lo}..{hi}"));
             }

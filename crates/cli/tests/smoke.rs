@@ -1,0 +1,196 @@
+//! End-to-end smoke test for the `sas` binary: `summarize → query → info`
+//! over a temp TSV file, checking range estimates against the exact answer
+//! within the paper's discrepancy bound (HT estimator error = τ · Δ(S, R),
+//! with Δ < 2 for all intervals under the order-structure sampler).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs the compiled `sas` binary, asserting the expected success/failure.
+fn sas(args: &[&str], expect_success: bool) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sas"))
+        .args(args)
+        .output()
+        .expect("failed to spawn sas binary");
+    assert_eq!(
+        out.status.success(),
+        expect_success,
+        "sas {args:?} exited with {:?}\nstdout: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    (
+        String::from_utf8(out.stdout).expect("non-UTF-8 stdout"),
+        String::from_utf8(out.stderr).expect("non-UTF-8 stderr"),
+    )
+}
+
+/// A unique temp path that is removed when dropped.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn create(name: &str, contents: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("sas-smoke-{}-{name}", std::process::id()));
+        fs::write(&path, contents).expect("write temp file");
+        TempFile(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("temp path is UTF-8")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.0);
+    }
+}
+
+/// Deterministic heavy-tailed-ish weight for key `i` (no RNG dependency).
+fn weight(i: u64) -> f64 {
+    let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+    1.0 + (h % 997) as f64 / 10.0 + if h.is_multiple_of(53) { 400.0 } else { 0.0 }
+}
+
+fn parse_info_field(info: &str, field: &str) -> f64 {
+    info.lines()
+        .find_map(|l| l.strip_prefix(&format!("{field}: ")))
+        .unwrap_or_else(|| panic!("no '{field}:' line in info output:\n{info}"))
+        .trim()
+        .parse()
+        .expect("numeric info field")
+}
+
+#[test]
+fn one_dim_summarize_query_info_within_paper_bound() {
+    const N: u64 = 600;
+    const SIZE: usize = 48;
+
+    let mut data_tsv = String::from("# key\tweight\n");
+    let mut exact_total = 0.0;
+    let mut exact_range = 0.0; // keys in [150, 449]
+    for i in 0..N {
+        let w = weight(i);
+        exact_total += w;
+        if (150..450).contains(&i) {
+            exact_range += w;
+        }
+        data_tsv.push_str(&format!("{i}\t{w:.4}\n"));
+    }
+    let data = TempFile::create("1d.tsv", &data_tsv);
+
+    // summarize: summary TSV on stdout, status line on stderr.
+    let (summary_text, status) = sas(
+        &["summarize", data.path(), "--size", "48", "--seed", "7"],
+        true,
+    );
+    assert!(
+        status.contains("48-key") && status.contains("1–D"),
+        "unexpected status line: {status}"
+    );
+    assert!(summary_text.starts_with("#sas-summary tau="));
+    let summary = TempFile::create("1d-summary.tsv", &summary_text);
+
+    // info: reports the key count, dimensionality, threshold and total.
+    let (info, _) = sas(&["info", summary.path()], true);
+    assert_eq!(parse_info_field(&info, "keys") as usize, SIZE);
+    assert_eq!(parse_info_field(&info, "dims") as u64, 1);
+    let tau = parse_info_field(&info, "tau");
+    assert!(tau > 0.0, "tau must be positive for n > s");
+
+    // VarOpt preserves the population total exactly (zero-variance total).
+    let total = parse_info_field(&info, "total estimate");
+    assert!(
+        (total - exact_total).abs() <= 1e-6 * exact_total,
+        "total estimate {total} vs exact {exact_total}"
+    );
+
+    // query: the paper's order-structure guarantee is Δ(S, R) < 2 for every
+    // interval R, and the HT estimator's absolute error is exactly τ·Δ.
+    let (est_line, _) = sas(&["query", summary.path(), "--range", "150..449"], true);
+    let est: f64 = est_line.trim().parse().expect("estimate is a number");
+    let err = (est - exact_range).abs();
+    assert!(
+        err <= 2.0 * tau + 1e-9,
+        "range estimate {est} vs exact {exact_range}: |error| {err} exceeds 2τ = {}",
+        2.0 * tau
+    );
+
+    // A full-domain interval query must also hit the exact total.
+    let (full_line, _) = sas(&["query", summary.path(), "--range", "0..599"], true);
+    let full: f64 = full_line.trim().parse().expect("estimate is a number");
+    assert!((full - exact_total).abs() <= 1e-6 * exact_total);
+}
+
+#[test]
+fn two_dim_summarize_query_within_product_bound() {
+    const SIDE: u64 = 64;
+    const SIZE: f64 = 64.0;
+
+    let mut data_tsv = String::new();
+    let mut exact_total = 0.0;
+    let mut exact_box = 0.0; // box [8, 39] × [16, 47]
+    let mut i = 0u64;
+    for x in 0..SIDE {
+        for y in 0..SIDE {
+            if (x * 31 + y * 17) % 3 != 0 {
+                continue; // sparse grid
+            }
+            let w = weight(i);
+            i += 1;
+            exact_total += w;
+            if (8..40).contains(&x) && (16..48).contains(&y) {
+                exact_box += w;
+            }
+            data_tsv.push_str(&format!("{x}\t{y}\t{w:.4}\n"));
+        }
+    }
+    let data = TempFile::create("2d.tsv", &data_tsv);
+
+    let (summary_text, status) = sas(
+        &["summarize", data.path(), "--size", "64", "--seed", "11"],
+        true,
+    );
+    assert!(status.contains("2–D"), "unexpected status line: {status}");
+    let summary = TempFile::create("2d-summary.tsv", &summary_text);
+
+    let (info, _) = sas(&["info", summary.path()], true);
+    let tau = parse_info_field(&info, "tau");
+    assert_eq!(parse_info_field(&info, "dims") as u64, 2);
+    let total = parse_info_field(&info, "total estimate");
+    assert!(
+        (total - exact_total).abs() <= 1e-6 * exact_total,
+        "total estimate {total} vs exact {exact_total}"
+    );
+
+    // 2-D boxes: Δ = O(d·s^((d−1)/(2d))) = O(2·s^¼); allow a 4× constant.
+    let delta_bound = 4.0 * 2.0 * SIZE.powf(0.25);
+    let (est_line, _) = sas(&["query", summary.path(), "--range", "8..39,16..47"], true);
+    let est: f64 = est_line.trim().parse().expect("estimate is a number");
+    let err = (est - exact_box).abs();
+    assert!(
+        err <= delta_bound * tau,
+        "box estimate {est} vs exact {exact_box}: |error| {err} exceeds {delta_bound}·τ = {}",
+        delta_bound * tau
+    );
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Unknown subcommand and missing file must not succeed (or panic).
+    sas(&["frobnicate"], false);
+    sas(
+        &["summarize", "/nonexistent/sas-smoke.tsv", "--size", "10"],
+        false,
+    );
+
+    // Malformed data surfaces a parse error, not a crash.
+    let bad = TempFile::create("bad.tsv", "1\t2\t3\t4\t5\n");
+    let (_, stderr) = sas(&["summarize", bad.path(), "--size", "10"], false);
+    assert!(
+        stderr.contains("error"),
+        "expected an error message, got: {stderr}"
+    );
+}

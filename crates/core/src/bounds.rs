@@ -55,7 +55,11 @@ pub fn weight_tail(w: f64, h: f64, tau: f64) -> f64 {
 pub fn chernoff_two_sided(mu: f64, d: f64) -> f64 {
     assert!(d >= 0.0);
     let up = chernoff_upper(mu, mu + d);
-    let down = if mu >= d { chernoff_lower(mu, mu - d) } else { 0.0 };
+    let down = if mu >= d {
+        chernoff_lower(mu, mu - d)
+    } else {
+        0.0
+    };
     (up + down).min(1.0)
 }
 
@@ -181,8 +185,7 @@ mod tests {
             counts[x] += 1;
         }
         for a in 11..=n {
-            let emp: f64 =
-                counts[a..].iter().sum::<usize>() as f64 / runs as f64;
+            let emp: f64 = counts[a..].iter().sum::<usize>() as f64 / runs as f64;
             let bound = chernoff_upper(mu, a as f64);
             assert!(
                 emp <= bound + 0.01,
@@ -240,7 +243,10 @@ mod tests {
     fn confidence_interval_monotone_in_delta() {
         let (lo1, hi1) = weight_confidence_interval(50.0, 5.0, 0.01);
         let (lo9, hi9) = weight_confidence_interval(50.0, 5.0, 0.2);
-        assert!(lo1 <= lo9 + 1e-9 && hi9 <= hi1 + 1e-9, "stricter delta must widen");
+        assert!(
+            lo1 <= lo9 + 1e-9 && hi9 <= hi1 + 1e-9,
+            "stricter delta must widen"
+        );
         assert!(lo1 < 50.0 && hi1 > 50.0);
     }
 

@@ -21,10 +21,7 @@ use crate::KeyId;
 ///
 /// `range` yields `(key, p)` pairs; keys outside the data (p = 0) contribute
 /// nothing.
-pub fn range_discrepancy(
-    sample: &Sample,
-    range: impl IntoIterator<Item = (KeyId, f64)>,
-) -> f64 {
+pub fn range_discrepancy(sample: &Sample, range: impl IntoIterator<Item = (KeyId, f64)>) -> f64 {
     let in_sample: HashSet<KeyId> = sample.keys().collect();
     let mut expected = 0.0;
     let mut actual = 0usize;

@@ -36,7 +36,11 @@ pub fn sample_with_tau<R: Rng + ?Sized>(data: &[WeightedKey], tau: f64, rng: &mu
             include.then_some(SampleEntry {
                 key: wk.key,
                 weight: wk.weight,
-                adjusted_weight: if tau > 0.0 { wk.weight.max(tau) } else { wk.weight },
+                adjusted_weight: if tau > 0.0 {
+                    wk.weight.max(tau)
+                } else {
+                    wk.weight
+                },
             })
         })
         .collect();

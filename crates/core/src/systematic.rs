@@ -58,7 +58,11 @@ pub fn sample_with_offset(data: &[WeightedKey], tau: f64, alpha: f64) -> Sample 
             entries.push(SampleEntry {
                 key: wk.key,
                 weight: wk.weight,
-                adjusted_weight: if tau > 0.0 { wk.weight.max(tau) } else { wk.weight },
+                adjusted_weight: if tau > 0.0 {
+                    wk.weight.max(tau)
+                } else {
+                    wk.weight
+                },
             });
         }
     }
@@ -137,8 +141,9 @@ mod tests {
 
     #[test]
     fn unbiased_inclusion() {
-        let data: Vec<WeightedKey> =
-            (0..40).map(|k| WeightedKey::new(k, ((k % 4) + 1) as f64)).collect();
+        let data: Vec<WeightedKey> = (0..40)
+            .map(|k| WeightedKey::new(k, ((k % 4) + 1) as f64))
+            .collect();
         let tau = ipps::threshold_for_keys(&data, 10.0);
         let p: Vec<f64> = data.iter().map(|wk| (wk.weight / tau).min(1.0)).collect();
         let runs = 40_000;

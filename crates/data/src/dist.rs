@@ -63,7 +63,10 @@ impl Zipf {
 /// # Panics
 /// Panics if `lo <= 0`, `hi <= lo`, or `alpha <= 0`.
 pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, alpha: f64) -> f64 {
-    assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid Pareto parameters");
+    assert!(
+        lo > 0.0 && hi > lo && alpha > 0.0,
+        "invalid Pareto parameters"
+    );
     let u: f64 = rng.gen_range(0.0..1.0);
     let la = lo.powf(alpha);
     let ha = hi.powf(alpha);
@@ -100,12 +103,12 @@ mod tests {
         let z = Zipf::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(1);
         let runs = 100_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..runs {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..20 {
-            let freq = counts[r] as f64 / runs as f64;
+        for (r, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / runs as f64;
             assert!(
                 (freq - z.probability(r)).abs() < 0.01,
                 "rank {r}: {freq} vs {}",

@@ -99,7 +99,10 @@ pub fn uniform_weight_queries<R: Rng + ?Sized>(
     ranges: usize,
     weight_frac: f64,
 ) -> Vec<MultiRangeQuery> {
-    assert!(weight_frac > 0.0 && weight_frac <= 1.0, "bad weight fraction");
+    assert!(
+        weight_frac > 0.0 && weight_frac <= 1.0,
+        "bad weight fraction"
+    );
     let parts = ((ranges as f64 / weight_frac).round() as usize).max(ranges.max(1));
     let cells = equal_weight_cells(data, parts);
     if cells.is_empty() {
@@ -172,7 +175,10 @@ mod tests {
         // Every cell's weight is within a small factor of the target.
         for c in &cells {
             let w = data.box_weight(c);
-            assert!(w <= 3.0 * target + 1e-9, "cell weight {w} vs target {target}");
+            assert!(
+                w <= 3.0 * target + 1e-9,
+                "cell weight {w} vs target {target}"
+            );
         }
         // Cells tile the domain: weights sum to the total.
         let sum: f64 = cells.iter().map(|c| data.box_weight(c)).sum();

@@ -181,11 +181,7 @@ mod tests {
         weights.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = weights.iter().sum();
         let top100: f64 = weights.iter().take(100).sum();
-        assert!(
-            top100 > 0.05 * total,
-            "top-100 share {:.4}",
-            top100 / total
-        );
+        assert!(top100 > 0.05 * total, "top-100 share {:.4}", top100 / total);
     }
 
     #[test]

@@ -50,12 +50,8 @@ pub fn sample<R: Rng + ?Sized>(
     let state = aggregate_over_hierarchy(&setup, hierarchy, rng);
     let included = state.included_keys().collect::<Vec<_>>();
     let mut sample = Sample::from_inclusion(data, &[], included, setup.tau);
-    let certain = Sample::from_inclusion(
-        data,
-        &[],
-        setup.certain.iter().map(|wk| wk.key),
-        setup.tau,
-    );
+    let certain =
+        Sample::from_inclusion(data, &[], setup.certain.iter().map(|wk| wk.key), setup.tau);
     sample.merge(certain);
     sample
 }
@@ -95,9 +91,10 @@ pub fn aggregate_over_hierarchy<R: Rng + ?Sized>(
         }
         if hierarchy.is_leaf(n) {
             let pos = hierarchy.leaf_position(n);
-            leftover[n as usize] = pos_of_key.get(&pos).copied().filter(|&idx| {
-                state.state(idx) == EntryState::Active
-            });
+            leftover[n as usize] = pos_of_key
+                .get(&pos)
+                .copied()
+                .filter(|&idx| state.state(idx) == EntryState::Active);
             continue;
         }
         let mut survivor: Option<usize> = None;

@@ -130,10 +130,7 @@ mod tests {
         for s in [3, 7, 20] {
             let setup = IppsSetup::compute(&data, s);
             let mass = setup.active_mass() + setup.certain.len() as f64;
-            assert!(
-                (mass - s as f64).abs() < 1e-6,
-                "s={s}: total mass {mass}"
-            );
+            assert!((mass - s as f64).abs() < 1e-6, "s={s}: total mass {mass}");
         }
     }
 }

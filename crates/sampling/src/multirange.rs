@@ -147,9 +147,8 @@ mod tests {
         let (h, _) = grid_hierarchy(2, 2, 3);
         let root_child = h.children(h.root())[0];
         let grandchild = h.children(root_child)[0];
-        let result = std::panic::catch_unwind(|| {
-            HierarchyQuery::new(&h, vec![root_child, grandchild])
-        });
+        let result =
+            std::panic::catch_unwind(|| HierarchyQuery::new(&h, vec![root_child, grandchild]));
         assert!(result.is_err());
     }
 

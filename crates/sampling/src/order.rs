@@ -59,11 +59,7 @@ pub fn sample<R: Rng + ?Sized>(data: &[WeightedKey], s: usize, rng: &mut R) -> S
 /// The core left-to-right scan (`OSSUMMARIZE`): aggregates active entries of
 /// `state` in the order given by `order` (indices into the state), keeping
 /// one leftover at a time.
-pub fn os_summarize<R: Rng + ?Sized>(
-    state: &mut AggregationState,
-    order: &[usize],
-    rng: &mut R,
-) {
+pub fn os_summarize<R: Rng + ?Sized>(state: &mut AggregationState, order: &[usize], rng: &mut R) {
     let mut leftover: Option<usize> = None;
     for &i in order {
         if state.state(i) != EntryState::Active {
@@ -170,7 +166,7 @@ mod tests {
             .collect();
         let setup = IppsSetup::compute(&data, 5);
         let runs = 40_000;
-        let mut hits = vec![0usize; 20];
+        let mut hits = [0usize; 20];
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..runs {
             let smp = sample(&data, 5, &mut rng);
@@ -240,6 +236,9 @@ mod tests {
                 break;
             }
         }
-        assert!(violated, "oblivious sampling never exceeded Δ=2 (suspicious)");
+        assert!(
+            violated,
+            "oblivious sampling never exceeded Δ=2 (suspicious)"
+        );
     }
 }

@@ -45,6 +45,12 @@ struct Active {
     weight: f64,
 }
 
+/// Per-cell actives left when the stream ends, tagged by their cell.
+type CellActives<C> = Vec<(C, Active)>;
+
+/// Keys whose inclusion resolved to certainty, with exact weights.
+type IncludedKeys = Vec<(KeyId, f64)>;
+
 /// Shared pass-2 machinery (`IO-AGGREGATE`): one active slot per cell.
 #[derive(Debug)]
 struct IoAggregator<C: std::hash::Hash + Eq + Copy> {
@@ -103,7 +109,7 @@ impl<C: std::hash::Hash + Eq + Copy> IoAggregator<C> {
 
     /// Drains the per-cell actives for the final structure-following
     /// aggregation.
-    fn into_parts(self) -> (Vec<(C, Active)>, Vec<(KeyId, f64)>) {
+    fn into_parts(self) -> (CellActives<C>, IncludedKeys) {
         (self.active.into_iter().collect(), self.included)
     }
 }
@@ -174,7 +180,10 @@ pub fn sample_product<R: Rng + ?Sized>(
     guide_factor: usize,
     rng: &mut R,
 ) -> Sample {
-    assert!(s > 0 && guide_factor > 0, "s and guide_factor must be positive");
+    assert!(
+        s > 0 && guide_factor > 0,
+        "s and guide_factor must be positive"
+    );
     // ---- Pass 1: threshold + guide sample --------------------------------
     let mut st = StreamingThreshold::new(s);
     let mut guide = VarOptSampler::new(s * guide_factor);
@@ -204,7 +213,7 @@ pub fn sample_product<R: Rng + ?Sized>(
         .map(|e| KdItem {
             key: e.key,
             point: data.points[e.key as usize].clone(),
-            prob: (e.weight / tau).min(1.0).max(1e-12),
+            prob: (e.weight / tau).clamp(1e-12, 1.0),
         })
         .collect();
 
@@ -216,7 +225,11 @@ pub fn sample_product<R: Rng + ?Sized>(
             agg.push(0, wk.key, wk.weight, rng);
         }
         let (actives, mut included) = agg.into_parts();
-        finish_ordered(actives.into_iter().map(|(_, a)| a).collect(), &mut included, rng);
+        finish_ordered(
+            actives.into_iter().map(|(_, a)| a).collect(),
+            &mut included,
+            rng,
+        );
         return build_sample(included, tau);
     }
 
@@ -287,7 +300,10 @@ pub fn sample_order<R: Rng + ?Sized>(
     mut position: impl FnMut(KeyId) -> u64,
     rng: &mut R,
 ) -> Sample {
-    assert!(s > 0 && guide_factor > 0, "s and guide_factor must be positive");
+    assert!(
+        s > 0 && guide_factor > 0,
+        "s and guide_factor must be positive"
+    );
     // ---- Pass 1 ------------------------------------------------------------
     let mut st = StreamingThreshold::new(s);
     let mut guide = VarOptSampler::new(s * guide_factor);
@@ -374,7 +390,10 @@ pub fn sample_hierarchy_ancestors<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Sample {
     use sas_structures::hierarchy::NodeId;
-    assert!(s > 0 && guide_factor > 0, "s and guide_factor must be positive");
+    assert!(
+        s > 0 && guide_factor > 0,
+        "s and guide_factor must be positive"
+    );
     // Leaf lookup by key.
     let leaf_of: HashMap<KeyId, NodeId> = (0..hierarchy.node_count() as NodeId)
         .filter_map(|n| hierarchy.key(n).map(|k| (k, n)))

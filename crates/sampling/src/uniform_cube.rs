@@ -171,7 +171,10 @@ mod tests {
             let q = BoxRange::xy(x0, x0 + 37, 5, 99);
             let d = cs.discrepancy(&q);
             assert!(d <= bound, "trial {trial}: discrepancy {d}");
-            assert!(d <= 20.0, "trial {trial}: discrepancy {d} implausibly large");
+            assert!(
+                d <= 20.0,
+                "trial {trial}: discrepancy {d} implausibly large"
+            );
         }
     }
 

@@ -32,6 +32,11 @@ impl DyadicInterval {
         1u64 << self.level
     }
 
+    /// Always `false`: a dyadic interval covers at least one point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
     /// Whether the interval contains point `x`.
     pub fn contains(&self, x: u64) -> bool {
         (x >> self.level) == self.index

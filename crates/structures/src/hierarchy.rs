@@ -115,19 +115,23 @@ impl Hierarchy {
     /// Iterates over `(position, key)` of all leaves in order — the
     /// *linearization* of the hierarchy.
     pub fn linearize(&self) -> impl Iterator<Item = (u64, KeyId)> + '_ {
-        self.leaves
-            .iter()
-            .enumerate()
-            .map(|(pos, &n)| (pos as u64, self.nodes[n as usize].key.expect("leaf has key")))
+        self.leaves.iter().enumerate().map(|(pos, &n)| {
+            (
+                pos as u64,
+                self.nodes[n as usize].key.expect("leaf has key"),
+            )
+        })
     }
 
     /// Keys under node `n` (the range this node represents).
     pub fn keys_under(&self, n: NodeId) -> impl Iterator<Item = KeyId> + '_ {
         let span = self.leaf_span(n);
-        (span.lo..=span.hi).filter(move |_| !span.is_empty()).map(move |pos| {
-            let leaf = self.leaves[pos as usize];
-            self.nodes[leaf as usize].key.expect("leaf has key")
-        })
+        (span.lo..=span.hi)
+            .filter(move |_| !span.is_empty())
+            .map(move |pos| {
+                let leaf = self.leaves[pos as usize];
+                self.nodes[leaf as usize].key.expect("leaf has key")
+            })
     }
 
     /// All node ids in DFS pre-order.
@@ -519,7 +523,7 @@ mod tests {
         assert_eq!(h.leaf_count(), 3);
         let lin: Vec<KeyId> = h.linearize().map(|(_, k)| k).collect();
         assert_eq!(lin, vec![0, 1, 8]); // sorted order preserved
-        // 0 and 1 must share a deeper LCA than 0 and 8.
+                                        // 0 and 1 must share a deeper LCA than 0 and 8.
         let leaf = |k: KeyId| -> NodeId {
             (0..h.node_count() as NodeId)
                 .find(|&n| h.key(n) == Some(k))
@@ -552,7 +556,10 @@ mod tests {
             for &k in &keys {
                 let inside = under.contains(&k);
                 let shares = (k ^ lo).leading_zeros() >= plen;
-                assert_eq!(inside, shares, "node {n}: key {k:#x} (lo={lo:#x}, hi={hi:#x})");
+                assert_eq!(
+                    inside, shares,
+                    "node {n}: key {k:#x} (lo={lo:#x}, hi={hi:#x})"
+                );
             }
         }
     }

@@ -172,7 +172,9 @@ impl KdHierarchy {
         let mut sorted: Vec<u32> = idxs.to_vec();
         sorted.sort_unstable_by_key(|&i| self.items[i as usize].point.coord(axis));
         let first = self.items[sorted[0] as usize].point.coord(axis);
-        let last = self.items[*sorted.last().unwrap() as usize].point.coord(axis);
+        let last = self.items[*sorted.last().unwrap() as usize]
+            .point
+            .coord(axis);
         if first == last {
             return None;
         }
@@ -192,7 +194,7 @@ impl KdHierarchy {
             if j < sorted.len() {
                 // split after this group: left mass = acc
                 let imbalance = (total - 2.0 * acc).abs();
-                if best.map_or(true, |(b, _, _)| imbalance < b) {
+                if best.is_none_or(|(b, _, _)| imbalance < b) {
                     best = Some((imbalance, c, j));
                 }
             }
@@ -485,7 +487,10 @@ mod tests {
             .filter(|&n| t.cell(n).overlaps(&line))
             .count();
         let s_leaf_count = t.s_leaves(1.0).len();
-        assert!(s_leaf_count >= 32, "expected ~64 s-leaves, got {s_leaf_count}");
+        assert!(
+            s_leaf_count >= 32,
+            "expected ~64 s-leaves, got {s_leaf_count}"
+        );
         assert!(
             cut <= 2 * (s_leaf_count as f64).sqrt() as usize + 2,
             "line cuts {cut} of {s_leaf_count} cells"

@@ -6,11 +6,7 @@ use sas_structures::kdtree::{KdHierarchy, KdItem};
 use sas_structures::product::{BoxRange, Point};
 
 fn items_strategy() -> impl Strategy<Value = Vec<KdItem>> {
-    prop::collection::vec(
-        (0u64..1000, 0u64..1000, 0.01f64..1.0),
-        1..150,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec((0u64..1000, 0u64..1000, 0.01f64..1.0), 1..150).prop_map(|rows| {
         rows.into_iter()
             .enumerate()
             .map(|(i, (x, y, p))| KdItem {

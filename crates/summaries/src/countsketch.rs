@@ -121,8 +121,16 @@ impl RangeSumSummary for SketchSummary {
             return 0.0;
         }
         // Clamp to the domain before dyadic decomposition.
-        let max_x = if self.bits_x < 64 { (1u64 << self.bits_x) - 1 } else { u64::MAX };
-        let max_y = if self.bits_y < 64 { (1u64 << self.bits_y) - 1 } else { u64::MAX };
+        let max_x = if self.bits_x < 64 {
+            (1u64 << self.bits_x) - 1
+        } else {
+            u64::MAX
+        };
+        let max_y = if self.bits_y < 64 {
+            (1u64 << self.bits_y) - 1
+        } else {
+            u64::MAX
+        };
         let xs = dyadic::decompose(
             query.sides[0].lo.min(max_x),
             query.sides[0].hi.min(max_x),
@@ -187,10 +195,7 @@ mod tests {
         // the median kills outliers.
         for i in 0..10u64 {
             let est = sk.estimate(i);
-            assert!(
-                (est - (i + 1) as f64).abs() < 6.0,
-                "item {i}: est {est}"
-            );
+            assert!((est - (i + 1) as f64).abs() < 6.0, "item {i}: est {est}");
         }
     }
 

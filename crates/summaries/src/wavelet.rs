@@ -42,7 +42,11 @@ impl Basis1D {
                 if (x >> level) != k {
                     return 0.0;
                 }
-                let sign = if ((x >> (level - 1)) & 1) == 0 { 1.0 } else { -1.0 };
+                let sign = if ((x >> (level - 1)) & 1) == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 sign * 2.0_f64.powf(-(level as f64) / 2.0)
             }
         }
@@ -159,9 +163,8 @@ impl WaveletSummary {
         // range sums than pointwise L2 thresholding would suggest. This is
         // the standard normalization for selectivity-estimation wavelets
         // [Matias–Vitter–Wang].
-        let importance = |c: &Coefficient| {
-            c.value.abs() * level_scale(c.bx, bits_x) * level_scale(c.by, bits_y)
-        };
+        let importance =
+            |c: &Coefficient| c.value.abs() * level_scale(c.bx, bits_x) * level_scale(c.by, bits_y);
         all.sort_by(|a, b| importance(b).total_cmp(&importance(a)));
         all.truncate(s);
         Self {
@@ -211,8 +214,16 @@ impl RangeSumSummary for WaveletSummary {
         }
         // Clamp to the domain: queries may legitimately extend past it
         // (e.g. kd-tree cells tile the whole u64 space).
-        let max_x = if self.bits_x < 64 { (1u64 << self.bits_x) - 1 } else { u64::MAX };
-        let max_y = if self.bits_y < 64 { (1u64 << self.bits_y) - 1 } else { u64::MAX };
+        let max_x = if self.bits_x < 64 {
+            (1u64 << self.bits_x) - 1
+        } else {
+            u64::MAX
+        };
+        let max_y = if self.bits_y < 64 {
+            (1u64 << self.bits_y) - 1
+        } else {
+            u64::MAX
+        };
         let (ax, bx) = (query.sides[0].lo.min(max_x), query.sides[0].hi.min(max_x));
         let (ay, by) = (query.sides[1].lo.min(max_y), query.sides[1].hi.min(max_y));
         self.coeffs

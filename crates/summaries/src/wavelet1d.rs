@@ -26,7 +26,11 @@ impl B1 {
                 if (x >> level) != k {
                     return 0.0;
                 }
-                let sign = if ((x >> (level - 1)) & 1) == 0 { 1.0 } else { -1.0 };
+                let sign = if ((x >> (level - 1)) & 1) == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 sign * 2.0_f64.powf(-(level as f64) / 2.0)
             }
         }
@@ -52,8 +56,7 @@ impl B1 {
                         y - x + 1
                     }
                 };
-                (ov(lo, mid - 1) as f64 - ov(mid, hi) as f64)
-                    * 2.0_f64.powf(-(level as f64) / 2.0)
+                (ov(lo, mid - 1) as f64 - ov(mid, hi) as f64) * 2.0_f64.powf(-(level as f64) / 2.0)
             }
         }
     }

@@ -44,7 +44,10 @@ fn main() {
     let side = 1u64 << 16;
     let queries = [
         ("whole matrix", BoxRange::xy(0, side - 1, 0, side - 1)),
-        ("top-left /2 × /2", BoxRange::xy(0, side / 4 - 1, 0, side / 4 - 1)),
+        (
+            "top-left /2 × /2",
+            BoxRange::xy(0, side / 4 - 1, 0, side / 4 - 1),
+        ),
         (
             "src /4 slice",
             BoxRange::xy(side / 2, side / 2 + side / 16 - 1, 0, side - 1),
@@ -53,12 +56,12 @@ fn main() {
             "dst /4 slice",
             BoxRange::xy(0, side - 1, side / 4, side / 4 + side / 16 - 1),
         ),
-        (
-            "small subnet pair",
-            BoxRange::xy(1000, 1255, 2000, 2255),
-        ),
+        ("small subnet pair", BoxRange::xy(1000, 1255, 2000, 2255)),
     ];
-    println!("{:<22}{:>14}{:>14}{:>10}", "query", "truth", "estimate", "rel.err");
+    println!(
+        "{:<22}{:>14}{:>14}{:>10}",
+        "query", "truth", "estimate", "rel.err"
+    );
     for (name, q) in &queries {
         let truth = exact.box_sum(q);
         let est = summary.estimate_box(q);
@@ -67,7 +70,10 @@ fn main() {
         } else {
             est.abs()
         };
-        println!("{name:<22}{truth:>14.3e}{est:>14.3e}{rel:>9.2}%", rel = rel * 100.0);
+        println!(
+            "{name:<22}{truth:>14.3e}{est:>14.3e}{rel:>9.2}%",
+            rel = rel * 100.0
+        );
     }
 
     // Samples also answer questions no dedicated summary can: e.g. "show me
@@ -75,15 +81,15 @@ fn main() {
     let subnet = BoxRange::xy(0, side / 4 - 1, 0, side - 1);
     let mut reps: Vec<_> = sample
         .iter()
-        .filter(|e| {
-            data.point_of(e.key)
-                .is_some_and(|p| subnet.contains(p))
-        })
+        .filter(|e| data.point_of(e.key).is_some_and(|p| subnet.contains(p)))
         .take(5)
         .collect();
     reps.sort_by(|a, b| b.adjusted_weight.total_cmp(&a.adjusted_weight));
     println!("\nrepresentative flows from the top-left source quadrant:");
     for e in reps {
-        println!("  key {:>10}: adjusted volume {:.3e}", e.key, e.adjusted_weight);
+        println!(
+            "  key {:>10}: adjusted volume {:.3e}",
+            e.key, e.adjusted_weight
+        );
     }
 }

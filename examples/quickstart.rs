@@ -50,7 +50,10 @@ fn main() {
 
     // Estimate a few range sums and compare against the truth. Any subset
     // works — here, intervals of the key order.
-    println!("\n{:<22}{:>12}{:>12}{:>12}{:>12}", "range", "truth", "aware", "obliv", "two-pass");
+    println!(
+        "\n{:<22}{:>12}{:>12}{:>12}{:>12}",
+        "range", "truth", "aware", "obliv", "two-pass"
+    );
     for (lo, hi) in [(0, 999), (2_000, 4_999), (5_000, 9_999), (9_900, 9_999)] {
         let iv = Interval::new(lo, hi);
         let truth: f64 = data
@@ -58,9 +61,8 @@ fn main() {
             .filter(|wk| iv.contains(wk.key))
             .map(|wk| wk.weight)
             .sum();
-        let est = |s: &structure_aware_sampling::core::Sample| {
-            s.subset_estimate(|k| iv.contains(k))
-        };
+        let est =
+            |s: &structure_aware_sampling::core::Sample| s.subset_estimate(|k| iv.contains(k));
         println!(
             "[{lo:>5}, {hi:>5}]      {truth:>12.1}{:>12.1}{:>12.1}{:>12.1}",
             est(&aware),

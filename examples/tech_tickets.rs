@@ -58,14 +58,21 @@ fn main() {
     let mut shown = 0;
     for c in 0..16u64 {
         for l in 0..16u64 {
-            let q = BoxRange::xy(c * t_sub, (c + 1) * t_sub - 1, l * l_sub, (l + 1) * l_sub - 1);
+            let q = BoxRange::xy(
+                c * t_sub,
+                (c + 1) * t_sub - 1,
+                l * l_sub,
+                (l + 1) * l_sub - 1,
+            );
             let truth = exact.box_sum(&q);
             let ea = aware.estimate_box(&q);
             let eo = obliv.estimate_box(&q);
             aware_err += (ea - truth).abs();
             obliv_err += (eo - truth).abs();
             if truth > 0.0 && shown < 8 {
-                println!("code[{c:>2}] × loc[{l:>2}]           {truth:>13.3e}{ea:>13.3e}{eo:>13.3e}");
+                println!(
+                    "code[{c:>2}] × loc[{l:>2}]           {truth:>13.3e}{ea:>13.3e}{eo:>13.3e}"
+                );
                 shown += 1;
             }
         }

@@ -70,12 +70,7 @@ fn main() {
     }
 
     // 3. Order statistics: median traffic of prefix #4's hosts.
-    let med = quantiles::subset_quantile(
-        &smp1,
-        0.5,
-        |k| (1024..1280).contains(&k),
-        |k| k as f64,
-    );
+    let med = quantiles::subset_quantile(&smp1, 0.5, |k| (1024..1280).contains(&k), |k| k as f64);
     println!("\nmedian host id within the hot prefix: {med:?} (true center 1151)");
 
     // 4. Longitudinal comparison: did prefix #4 really grow?

@@ -13,9 +13,9 @@
 //! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 
+pub use sas_apps as apps;
 pub use sas_core as core;
 pub use sas_data as data;
 pub use sas_sampling as sampling;
 pub use sas_structures as structures;
 pub use sas_summaries as summaries;
-pub use sas_apps as apps;

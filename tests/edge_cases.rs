@@ -58,9 +58,7 @@ fn identical_weights_tau_is_total_over_s() {
 #[test]
 fn extreme_weight_ratios() {
     // 1e12 dynamic range: no NaNs, heavy key always kept, size exact.
-    let mut data: Vec<WeightedKey> = (0..200)
-        .map(|k| WeightedKey::new(k, 1e-6))
-        .collect();
+    let mut data: Vec<WeightedKey> = (0..200).map(|k| WeightedKey::new(k, 1e-6)).collect();
     data[0] = WeightedKey::new(0, 1e6);
     let mut rng = StdRng::seed_from_u64(3);
     let smp = sampling::order::sample(&data, 10, &mut rng);

@@ -62,8 +62,14 @@ fn varopt_variance_at_most_poisson() {
         .filter(|wk| pred(wk.key))
         .map(|wk| wk.weight)
         .sum();
-    assert!((m_vo - truth).abs() / truth < 0.03, "varopt biased: {m_vo} vs {truth}");
-    assert!((m_po - truth).abs() / truth < 0.03, "poisson biased: {m_po} vs {truth}");
+    assert!(
+        (m_vo - truth).abs() / truth < 0.03,
+        "varopt biased: {m_vo} vs {truth}"
+    );
+    assert!(
+        (m_po - truth).abs() / truth < 0.03,
+        "poisson biased: {m_po} vs {truth}"
+    );
     assert!(
         v_vo < 1.15 * v_po,
         "varopt variance {v_vo} not ≤ poisson variance {v_po}"
@@ -76,14 +82,9 @@ fn structure_aware_variance_no_worse_on_subsets() {
     // comparable to oblivious VarOpt on a non-range subset.
     let data = mixed_data(200, 2);
     let s = 25;
-    let pred = |k: u64| k % 7 == 0; // scattered subset, not a range
+    let pred = |k: u64| k.is_multiple_of(7); // scattered subset, not a range
     let runs = 4000;
-    let (m_aw, v_aw) = subset_stats(
-        |rng| sampling::order::sample(&data, s, rng),
-        pred,
-        runs,
-        21,
-    );
+    let (m_aw, v_aw) = subset_stats(|rng| sampling::order::sample(&data, s, rng), pred, runs, 21);
     let (m_ob, v_ob) = subset_stats(
         |rng| VarOptSampler::sample_slice(s, &data, rng),
         pred,
@@ -174,7 +175,7 @@ fn hierarchy_sample_unbiased_per_node() {
         .collect();
     let runs = 30_000;
     let mut rng = StdRng::seed_from_u64(51);
-    let mut acc = vec![0.0; 3];
+    let mut acc = [0.0; 3];
     // Nodes: A = keys 1-4 (20), M = key 5 (1), C = keys 6-10 (19).
     for _ in 0..runs {
         let smp = sampling::hierarchy::sample(&data, &h, 4, &mut rng);

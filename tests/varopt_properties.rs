@@ -175,10 +175,23 @@ fn interval_bound_is_tight_for_varopt() {
     let mut worst: f64 = 0.0;
     for _ in 0..200 {
         let smp = sampling::order::sample(&data, 40, &mut rng);
-        for iv in [Interval::new(10, 150), Interval::new(37, 121), Interval::new(3, 196)] {
-            worst = worst.max(sampling::order::interval_discrepancy(&smp, &data, 40, iv, |k| k));
+        for iv in [
+            Interval::new(10, 150),
+            Interval::new(37, 121),
+            Interval::new(3, 196),
+        ] {
+            worst = worst.max(sampling::order::interval_discrepancy(
+                &smp,
+                &data,
+                40,
+                iv,
+                |k| k,
+            ));
         }
     }
-    assert!(worst > 1.0, "worst observed interval discrepancy only {worst}");
+    assert!(
+        worst > 1.0,
+        "worst observed interval discrepancy only {worst}"
+    );
     assert!(worst < 2.0 + 1e-6);
 }

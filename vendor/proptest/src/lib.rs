@@ -1,0 +1,404 @@
+//! Offline stand-in for [`proptest` 1.x](https://docs.rs/proptest): the API
+//! surface this workspace's property suites use. The build environment has no
+//! registry access, so the workspace vendors this minimal implementation
+//! instead of the real crate (see README § Vendored dependencies).
+//!
+//! Implemented: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`], range and tuple
+//! strategies, `prop::collection::vec`, [`strategy::Just`] and
+//! [`Strategy::prop_map`].
+//!
+//! Semantics deliberately differ from real proptest in two ways:
+//!
+//! * **deterministic**: every run draws from a fixed RNG seed (mixed with the
+//!   per-test case index), so suites pass or fail reproducibly — CI never sees
+//!   a flaky property;
+//! * **no shrinking**: a failing case reports its inputs via the panic
+//!   message (all `prop_assert!`s here format their context eagerly) but is
+//!   not minimized.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies (no shrink trees — generation only).
+
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Unlike real proptest there is no `ValueTree`: strategies produce final
+    /// values directly and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is uniform in `size` (half-open, like real proptest's `1..80`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case-driving loop behind [`crate::proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property (default 256, like proptest).
+        pub cases: u32,
+        /// Base RNG seed; each case `i` uses `seed ⊕ mix(i)`.
+        pub rng_seed: u64,
+    }
+
+    /// Fixed base seed: property suites must be reproducible in CI.
+    pub const DEFAULT_RNG_SEED: u64 = 0x53A5_C0DE_D011_A12D;
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                rng_seed: DEFAULT_RNG_SEED,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases (the only constructor the
+        /// workspace uses).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Runs a property once per case with a per-case deterministic RNG.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the given config.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `case` once per configured case. The closure panics on
+        /// failure (see `prop_assert!`); `Err(())` means "assumption
+        /// rejected, don't count this case".
+        pub fn run(&mut self, mut case: impl FnMut(&mut StdRng, u32) -> Result<(), ()>) {
+            let mut rejected = 0u32;
+            let mut i = 0u32;
+            let mut executed = 0u32;
+            while executed < self.config.cases {
+                // Cap total draws so a strategy whose assumptions almost
+                // always fail terminates with a clear message.
+                if i >= self.config.cases.saturating_mul(20) {
+                    panic!(
+                        "proptest stand-in: too many rejected cases \
+                         ({rejected} rejections for {executed} accepted)"
+                    );
+                }
+                let mut rng = StdRng::seed_from_u64(
+                    self.config.rng_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                match case(&mut rng, i) {
+                    Ok(()) => executed += 1,
+                    Err(()) => rejected += 1,
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the workspace's suites import via `use proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(..)` etc.).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+pub use strategy::Strategy;
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(0.0f64..1.0, 1..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(|__proptest_rng, __proptest_case| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)*
+                // Shadow so the case body can't accidentally reuse the
+                // generation RNG non-deterministically across cases.
+                let _ = __proptest_case;
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property; panics with the formatted message.
+///
+/// (Real proptest returns a `TestCaseError` to drive shrinking; this
+/// stand-in has no shrinking, so a panic is equivalent.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in -1.5f64..2.5) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_respects_size_and_maps(v in prop::collection::vec(0.0f64..1.0, 3..7)
+            .prop_map(|xs| xs.into_iter().map(|x| x * 2.0).collect::<Vec<_>>()))
+        {
+            prop_assert!((3..7).contains(&v.len()));
+            for x in &v {
+                prop_assert!((0.0..2.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u32..100, 0u32..100)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0.0f64..1.0, 1..20);
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = crate::test_runner::TestRunner::new(
+                crate::test_runner::ProptestConfig::with_cases(10),
+            );
+            runner.run(|rng, _| {
+                out.push(strat.generate(rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        #[should_panic]
+        fn failures_surface_as_panics(x in 0u64..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+}
