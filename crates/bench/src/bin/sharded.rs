@@ -1,0 +1,135 @@
+//! Sharded vs serial summarization: wall-clock and accuracy comparison of
+//! `sas_sampling::sharded::summarize_sharded` against the serial
+//! order-structure sampler on one large 1-D stream.
+//!
+//! For each shard count the table reports build time, speedup over serial,
+//! the average relative error over a battery of random intervals, and the
+//! relative total-estimate error (which must be ~0: the threshold merge
+//! conserves totals exactly).
+//!
+//! Environment knobs: `SAS_SHARD_N` (stream length, default 400000),
+//! `SAS_SHARD_S` (budget, default 2000).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sas_bench::{fmt_err, print_table, timed};
+use sas_core::{total_weight, Sample, WeightedKey};
+use sas_sampling::order;
+use sas_sampling::sharded::{summarize_sharded, ShardTopology, ShardedConfig};
+use sas_structures::order::Interval;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("SAS_SHARD_N", 400_000) as u64;
+    let s = env_usize("SAS_SHARD_S", 2_000);
+    let seed = 7u64;
+
+    // Heavy-tailed weights, keys = positions (order structure).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<WeightedKey> = (0..n)
+        .map(|k| {
+            let w = if rng.gen_bool(0.02) {
+                rng.gen_range(200.0..2000.0)
+            } else {
+                rng.gen_range(0.1..4.0)
+            };
+            WeightedKey::new(k, w)
+        })
+        .collect();
+    let total = total_weight(&data);
+
+    let mut qrng = StdRng::seed_from_u64(seed + 1);
+    let queries: Vec<Interval> = (0..150)
+        .map(|_| {
+            let len = 1 + (n as f64 * 10f64.powf(qrng.gen_range(-3.0..-0.5))) as u64;
+            let lo = qrng.gen_range(0..n - len);
+            Interval::new(lo, lo + len - 1)
+        })
+        .collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|iv| {
+            data.iter()
+                .filter(|wk| iv.contains(wk.key))
+                .map(|wk| wk.weight)
+                .sum()
+        })
+        .collect();
+    let avg_rel_err = |smp: &Sample| -> f64 {
+        queries
+            .iter()
+            .zip(&exact)
+            .map(|(iv, &truth)| {
+                let est = smp.subset_estimate(|k| iv.contains(k));
+                if truth > 0.0 {
+                    (est - truth).abs() / truth
+                } else {
+                    est.abs()
+                }
+            })
+            .sum::<f64>()
+            / queries.len() as f64
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!(
+        "sharded: n = {n}, budget s = {s}, {} queries, {cores} core(s) available",
+        queries.len()
+    );
+    if cores == 1 {
+        eprintln!("note: single core — speedups reflect subdivision only, not parallelism");
+    }
+
+    let (serial, t_serial) = timed(|| {
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        order::sample(&data, s, &mut rng)
+    });
+
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "serial".into(),
+        "-".into(),
+        format!("{:.1}", t_serial * 1e3),
+        "1.00×".into(),
+        fmt_err(avg_rel_err(&serial)),
+        format!("{:.2e}", (serial.total_estimate() - total).abs() / total),
+    ]];
+
+    for topology in [ShardTopology::KeyRange, ShardTopology::RoundRobin] {
+        for shards in [2usize, 4, 8] {
+            let cfg = ShardedConfig {
+                shards,
+                topology,
+                seed: seed + 3,
+            };
+            let (smp, t) = timed(|| summarize_sharded(&data, s, &cfg));
+            assert_eq!(smp.len(), s.min(data.len()));
+            rows.push(vec![
+                format!("{topology:?}"),
+                shards.to_string(),
+                format!("{:.1}", t * 1e3),
+                format!("{:.2}×", t_serial / t),
+                fmt_err(avg_rel_err(&smp)),
+                format!("{:.2e}", (smp.total_estimate() - total).abs() / total),
+            ]);
+        }
+    }
+
+    print_table(
+        "sharded vs serial (order structure, 1-D)",
+        &[
+            "topology",
+            "shards",
+            "build ms",
+            "speedup",
+            "avg rel err",
+            "total rel err",
+        ],
+        &rows,
+    );
+}

@@ -103,23 +103,54 @@ pub fn parse_dataset(text: &str) -> Result<Dataset, CliError> {
     }
 }
 
-/// Builds a structure-aware summary of the data set.
+/// Builds a structure-aware summary of the data set (serial, one thread).
 pub fn summarize(data: &Dataset, size: usize, seed: u64) -> Result<(Sample, usize), CliError> {
+    summarize_sharded(data, size, seed, 1)
+}
+
+/// Builds a structure-aware summary using `shards` parallel workers.
+///
+/// With `shards == 1` this is the serial path. For 1-D data the input is
+/// split into contiguous key ranges, each shard is summarized by the
+/// order-structure sampler on its own thread, and the per-shard samples are
+/// merged bottom-up with the structure-aware threshold merge (see
+/// `sas_sampling::sharded`). 2-D data does not support sharding yet.
+pub fn summarize_sharded(
+    data: &Dataset,
+    size: usize,
+    seed: u64,
+    shards: usize,
+) -> Result<(Sample, usize), CliError> {
     if size == 0 {
         return err("summary size must be positive");
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    if shards == 0 {
+        return err("--shards must be positive");
+    }
     match data {
         Dataset::OneDim(rows) => {
             if rows.is_empty() {
                 return err("no data rows");
             }
-            Ok((sas_sampling::order::sample(rows, size, &mut rng), 1))
+            if shards == 1 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                Ok((sas_sampling::order::sample(rows, size, &mut rng), 1))
+            } else {
+                let cfg = sas_sampling::sharded::ShardedConfig::key_range(shards, seed);
+                Ok((
+                    sas_sampling::sharded::summarize_sharded(rows, size, &cfg),
+                    1,
+                ))
+            }
         }
         Dataset::TwoDim(spatial) => {
             if spatial.is_empty() {
                 return err("no data rows");
             }
+            if shards > 1 {
+                return err("--shards currently supports 1-D (key weight) data only");
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
             Ok((
                 sas_sampling::two_pass::sample_product(spatial, size, 5, &mut rng),
                 2,
@@ -345,6 +376,37 @@ mod tests {
         let r = parse_range("0..39,0..59", 2).unwrap();
         // Contains points (10,20) and (30,40): weight 7.
         assert!((query(&loaded, &r) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_summarize_matches_budget_and_total() {
+        use std::fmt::Write as _;
+        let mut text = String::new();
+        let mut truth = 0.0;
+        for i in 0..4000u64 {
+            let w = 0.25 + (i % 13) as f64;
+            truth += w;
+            let _ = writeln!(text, "{i}\t{w}");
+        }
+        let d = parse_dataset(&text).unwrap();
+        let (sample, dims) = summarize_sharded(&d, 200, 5, 4).unwrap();
+        assert_eq!(dims, 1);
+        assert_eq!(sample.len(), 200);
+        assert!((sample.total_estimate() - truth).abs() / truth < 1e-9);
+        // Same seed + shards → identical summary.
+        let (again, _) = summarize_sharded(&d, 200, 5, 4).unwrap();
+        let a: Vec<_> = sample.keys().collect();
+        let b: Vec<_> = again.keys().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_rejects_bad_configs() {
+        let d1 = parse_dataset(ONE_D).unwrap();
+        assert!(summarize_sharded(&d1, 3, 0, 0).is_err());
+        let d2 = parse_dataset(TWO_D).unwrap();
+        assert!(summarize_sharded(&d2, 3, 0, 2).is_err());
+        assert!(summarize_sharded(&d2, 3, 0, 1).is_ok());
     }
 
     #[test]

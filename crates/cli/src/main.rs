@@ -2,7 +2,7 @@
 //! range queries from the summary file alone.
 //!
 //! ```text
-//! sas summarize <data.tsv> --size N [--seed S] > summary.tsv
+//! sas summarize <data.tsv> --size N [--seed S] [--shards N] > summary.tsv
 //! sas query <summary.tsv> --range lo..hi            # 1-D
 //! sas query <summary.tsv> --range x0..x1,y0..y1     # 2-D
 //! sas info <summary.tsv>
@@ -10,11 +10,11 @@
 
 use std::process::ExitCode;
 
-use sas_cli::{parse_dataset, parse_range, query, read_summary, summarize, write_summary};
+use sas_cli::{parse_dataset, parse_range, query, read_summary, summarize_sharded, write_summary};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sas summarize <data.tsv> --size N [--seed S]\n  sas query <summary.tsv> --range lo..hi[,lo..hi]\n  sas info <summary.tsv>"
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N]\n  sas query <summary.tsv> --range lo..hi[,lo..hi]\n  sas info <summary.tsv>"
     );
     ExitCode::from(2)
 }
@@ -57,14 +57,21 @@ fn cmd_summarize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .transpose()
         .map_err(|_| "bad --seed")?
         .unwrap_or(0);
+    let shards: usize = flag_value(args, "--shards")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --shards")?
+        .unwrap_or(1);
     let text = std::fs::read_to_string(path)?;
     let data = parse_dataset(&text)?;
-    let (sample, dims) = summarize(&data, size, seed)?;
+    let (sample, dims) = summarize_sharded(&data, size, seed, shards)?;
     eprintln!(
-        "built {}-key {}–D structure-aware summary (tau = {:.6})",
+        "built {}-key {}–D structure-aware summary (tau = {:.6}, {} shard{})",
         sample.len(),
         dims,
-        sample.tau()
+        sample.tau(),
+        shards,
+        if shards == 1 { "" } else { "s" }
     );
     print!("{}", write_summary(&sample, &data));
     Ok(())

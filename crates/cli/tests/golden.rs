@@ -1,0 +1,193 @@
+//! Golden regression test for the CLI pipeline: `summarize → query → info`
+//! under a fixed seed, compared *structurally* rather than byte-for-byte —
+//! refactors may reshuffle formatting or RNG consumption, but they cannot
+//! silently change what the summary claims: its size, dimensionality,
+//! threshold consistency, exact total conservation, per-entry invariants,
+//! determinism for a fixed seed, and query estimates within the paper's
+//! discrepancy envelope of the exact answers.
+
+mod common;
+
+use std::collections::HashSet;
+
+use common::{parse_info_field, sas as sas_expect, TempFile};
+
+/// The fixed workload: 500 keys with a deterministic heavy-tailed-ish
+/// weight profile (no RNG, so the golden truths below are stable).
+const N: u64 = 500;
+const SIZE: usize = 40;
+const SEED: &str = "1234";
+
+fn weight(i: u64) -> f64 {
+    let h = i.wrapping_mul(0x517c_c1b7_2722_0a95) >> 32;
+    0.5 + (h % 701) as f64 / 20.0 + if h.is_multiple_of(67) { 250.0 } else { 0.0 }
+}
+
+/// The golden query battery: interval plus its exact answer, computed from
+/// the same deterministic weights.
+fn golden_queries() -> Vec<((u64, u64), f64)> {
+    [(0u64, N - 1), (0, 99), (100, 299), (250, 499), (42, 42)]
+        .into_iter()
+        .map(|(lo, hi)| ((lo, hi), (lo..=hi).map(weight).sum()))
+        .collect()
+}
+
+fn sas(args: &[&str]) -> (String, String) {
+    sas_expect(args, true)
+}
+
+fn data_file() -> TempFile {
+    let mut tsv = String::from("# golden fixture\n");
+    for i in 0..N {
+        tsv.push_str(&format!("{i}\t{:.6}\n", weight(i)));
+    }
+    TempFile::create("data.tsv", &tsv)
+}
+
+/// Structural digest of a summary file: everything a refactor must preserve.
+#[derive(Debug, PartialEq)]
+struct SummaryShape {
+    keys: Vec<u64>,
+    dims: usize,
+    /// τ and per-key adjusted weights rounded to 9 decimal places (the
+    /// determinism comparison — not compared against a stored constant).
+    tau_nano: i64,
+    adjusted_nano: Vec<i64>,
+}
+
+fn shape_of(summary_text: &str) -> SummaryShape {
+    let mut lines = summary_text.lines();
+    let header = lines.next().expect("summary has a header");
+    assert!(header.starts_with("#sas-summary tau="), "header: {header}");
+    let field = |name: &str| -> f64 {
+        header
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix(&format!("{name}=")))
+            .unwrap_or_else(|| panic!("header missing {name}: {header}"))
+            .parse()
+            .expect("numeric header field")
+    };
+    let tau = field("tau");
+    let dims = field("dims") as usize;
+    let mut keys = Vec::new();
+    let mut adjusted_nano = Vec::new();
+    for line in lines.filter(|l| !l.trim().is_empty()) {
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols.len(), 3, "1-D summary rows have 3 columns: {line}");
+        let key: u64 = cols[0].parse().expect("key");
+        let w: f64 = cols[1].parse().expect("weight");
+        let a: f64 = cols[2].parse().expect("adjusted");
+        // Per-entry invariants: adjusted = max(weight, τ) under IPPS.
+        assert!(
+            (a - w.max(tau)).abs() < 1e-9,
+            "key {key}: adjusted {a} != max(weight {w}, tau {tau})"
+        );
+        keys.push(key);
+        adjusted_nano.push((a * 1e9).round() as i64);
+    }
+    SummaryShape {
+        keys,
+        dims,
+        tau_nano: (tau * 1e9).round() as i64,
+        adjusted_nano,
+    }
+}
+
+fn run_pipeline(shards: Option<&str>) -> (SummaryShape, Vec<f64>, String) {
+    let data = data_file();
+    let mut args = vec!["summarize", data.path(), "--size", "40", "--seed", SEED];
+    if let Some(n) = shards {
+        args.extend(["--shards", n]);
+    }
+    let (summary_text, _) = sas(&args);
+    let shape = shape_of(&summary_text);
+    let summary = TempFile::create("summary.tsv", &summary_text);
+    let estimates: Vec<f64> = golden_queries()
+        .iter()
+        .map(|((lo, hi), _)| {
+            let spec = format!("{lo}..{hi}");
+            let (line, _) = sas(&["query", summary.path(), "--range", &spec]);
+            line.trim().parse().expect("estimate")
+        })
+        .collect();
+    let (info, _) = sas(&["info", summary.path()]);
+    (shape, estimates, info)
+}
+
+#[test]
+fn golden_pipeline_structure_and_estimates() {
+    let (shape, estimates, info) = run_pipeline(None);
+
+    // Structure: exactly SIZE distinct keys in the data domain, 1-D.
+    assert_eq!(shape.dims, 1);
+    assert_eq!(shape.keys.len(), SIZE);
+    let distinct: HashSet<u64> = shape.keys.iter().copied().collect();
+    assert_eq!(distinct.len(), SIZE, "duplicate keys in summary");
+    assert!(shape.keys.iter().all(|&k| k < N), "key outside data domain");
+    let tau = shape.tau_nano as f64 / 1e9;
+    assert!(tau > 0.0, "τ must be positive for n > s");
+
+    // Every heavy key (w ≥ τ) must be present — IPPS certainty.
+    for i in 0..N {
+        if weight(i) >= tau {
+            assert!(distinct.contains(&i), "heavy key {i} missing");
+        }
+    }
+
+    // Estimates: total conserved exactly; intervals within τ·Δ, Δ < 2.
+    let golden = golden_queries();
+    let (_, exact_total) = golden[0];
+    assert!(
+        (estimates[0] - exact_total).abs() <= 1e-6 * exact_total,
+        "total {} vs exact {exact_total}",
+        estimates[0]
+    );
+    for (((lo, hi), exact), est) in golden.iter().zip(&estimates).skip(1) {
+        assert!(
+            (est - exact).abs() <= 2.0 * tau + 1e-9,
+            "range {lo}..{hi}: estimate {est} vs exact {exact} beyond 2τ = {}",
+            2.0 * tau
+        );
+    }
+
+    // Info block agrees with the summary file itself.
+    assert_eq!(parse_info_field(&info, "keys") as usize, SIZE);
+    assert_eq!(parse_info_field(&info, "dims") as usize, 1);
+    assert!((parse_info_field(&info, "tau") - tau).abs() < 1e-9);
+    assert!((parse_info_field(&info, "total estimate") - estimates[0]).abs() < 1e-6);
+}
+
+#[test]
+fn golden_pipeline_is_deterministic() {
+    // Same seed → structurally identical output, twice — serial and sharded.
+    for shards in [None, Some("4")] {
+        let (shape_a, est_a, info_a) = run_pipeline(shards);
+        let (shape_b, est_b, info_b) = run_pipeline(shards);
+        assert_eq!(shape_a, shape_b, "shards {shards:?}: summary changed");
+        assert_eq!(est_a, est_b, "shards {shards:?}: estimates changed");
+        assert_eq!(info_a, info_b, "shards {shards:?}: info changed");
+    }
+}
+
+#[test]
+fn golden_sharded_pipeline_structure() {
+    let (shape, estimates, _) = run_pipeline(Some("4"));
+    assert_eq!(shape.dims, 1);
+    assert_eq!(shape.keys.len(), SIZE);
+    let tau = shape.tau_nano as f64 / 1e9;
+    assert!(tau > 0.0);
+    let golden = golden_queries();
+    let (_, exact_total) = golden[0];
+    assert!(
+        (estimates[0] - exact_total).abs() <= 1e-6 * exact_total,
+        "sharded total {} vs exact {exact_total}",
+        estimates[0]
+    );
+    // 4 shards = 2 merge levels: Δ < 2·(log₂ 4 + 1) = 6.
+    for (((lo, hi), exact), est) in golden.iter().zip(&estimates).skip(1) {
+        assert!(
+            (est - exact).abs() <= 6.0 * tau + 1e-9,
+            "sharded range {lo}..{hi}: {est} vs {exact} beyond 6τ"
+        );
+    }
+}

@@ -3,64 +3,14 @@
 //! within the paper's discrepancy bound (HT estimator error = τ · Δ(S, R),
 //! with Δ < 2 for all intervals under the order-structure sampler).
 
-use std::fs;
-use std::path::PathBuf;
-use std::process::Command;
+mod common;
 
-/// Runs the compiled `sas` binary, asserting the expected success/failure.
-fn sas(args: &[&str], expect_success: bool) -> (String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_sas"))
-        .args(args)
-        .output()
-        .expect("failed to spawn sas binary");
-    assert_eq!(
-        out.status.success(),
-        expect_success,
-        "sas {args:?} exited with {:?}\nstdout: {}\nstderr: {}",
-        out.status,
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr),
-    );
-    (
-        String::from_utf8(out.stdout).expect("non-UTF-8 stdout"),
-        String::from_utf8(out.stderr).expect("non-UTF-8 stderr"),
-    )
-}
-
-/// A unique temp path that is removed when dropped.
-struct TempFile(PathBuf);
-
-impl TempFile {
-    fn create(name: &str, contents: &str) -> Self {
-        let path = std::env::temp_dir().join(format!("sas-smoke-{}-{name}", std::process::id()));
-        fs::write(&path, contents).expect("write temp file");
-        TempFile(path)
-    }
-
-    fn path(&self) -> &str {
-        self.0.to_str().expect("temp path is UTF-8")
-    }
-}
-
-impl Drop for TempFile {
-    fn drop(&mut self) {
-        let _ = fs::remove_file(&self.0);
-    }
-}
+use common::{parse_info_field, sas, TempFile};
 
 /// Deterministic heavy-tailed-ish weight for key `i` (no RNG dependency).
 fn weight(i: u64) -> f64 {
     let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
     1.0 + (h % 997) as f64 / 10.0 + if h.is_multiple_of(53) { 400.0 } else { 0.0 }
-}
-
-fn parse_info_field(info: &str, field: &str) -> f64 {
-    info.lines()
-        .find_map(|l| l.strip_prefix(&format!("{field}: ")))
-        .unwrap_or_else(|| panic!("no '{field}:' line in info output:\n{info}"))
-        .trim()
-        .parse()
-        .expect("numeric info field")
 }
 
 #[test]
@@ -175,6 +125,74 @@ fn two_dim_summarize_query_within_product_bound() {
         "box estimate {est} vs exact {exact_box}: |error| {err} exceeds {delta_bound}·τ = {}",
         delta_bound * tau
     );
+}
+
+#[test]
+fn sharded_summarize_matches_serial_guarantees() {
+    const N: u64 = 600;
+
+    let mut data_tsv = String::new();
+    let mut exact_total = 0.0;
+    let mut exact_range = 0.0; // keys in [150, 449]
+    for i in 0..N {
+        let w = weight(i);
+        exact_total += w;
+        if (150..450).contains(&i) {
+            exact_range += w;
+        }
+        data_tsv.push_str(&format!("{i}\t{w:.4}\n"));
+    }
+    let data = TempFile::create("sharded.tsv", &data_tsv);
+
+    let (summary_text, status) = sas(
+        &[
+            "summarize",
+            data.path(),
+            "--size",
+            "48",
+            "--seed",
+            "7",
+            "--shards",
+            "4",
+        ],
+        true,
+    );
+    assert!(
+        status.contains("48-key") && status.contains("4 shards"),
+        "unexpected status line: {status}"
+    );
+    let summary = TempFile::create("sharded-summary.tsv", &summary_text);
+
+    let (info, _) = sas(&["info", summary.path()], true);
+    assert_eq!(parse_info_field(&info, "keys") as usize, 48);
+    let tau = parse_info_field(&info, "tau");
+    assert!(tau > 0.0);
+
+    // The threshold merge conserves the total exactly, like serial VarOpt.
+    let total = parse_info_field(&info, "total estimate");
+    assert!(
+        (total - exact_total).abs() <= 1e-6 * exact_total,
+        "total estimate {total} vs exact {exact_total}"
+    );
+
+    // Interval error: serial guarantees τ·Δ with Δ < 2; each of the
+    // log₂(4) = 2 merge levels may add < 2 more, so allow Δ < 6.
+    let (est_line, _) = sas(&["query", summary.path(), "--range", "150..449"], true);
+    let est: f64 = est_line.trim().parse().expect("estimate is a number");
+    let err = (est - exact_range).abs();
+    assert!(
+        err <= 6.0 * tau + 1e-9,
+        "range estimate {est} vs exact {exact_range}: |error| {err} exceeds 6τ = {}",
+        6.0 * tau
+    );
+
+    // 2-D data must reject --shards with a clean error.
+    let bad = TempFile::create("sharded-2d.tsv", "1\t2\t3.0\n4\t5\t6.0\n");
+    let (_, stderr) = sas(
+        &["summarize", bad.path(), "--size", "2", "--shards", "2"],
+        false,
+    );
+    assert!(stderr.contains("error"), "expected error, got: {stderr}");
 }
 
 #[test]

@@ -1,0 +1,86 @@
+//! Mergeable summaries — the substrate of sharded and distributed
+//! summarization.
+//!
+//! A summary type is *mergeable* [Agarwal et al., PODS 2012] when two
+//! summaries built over disjoint data sets can be combined into a summary of
+//! the union that is as good as one built in a single pass — without access
+//! to the underlying data. Mergeability is what lets a summarization run be
+//! split across threads, shards, or machines and recombined bottom-up.
+//!
+//! The VarOpt family is mergeable by *threshold merge*: take the union of
+//! the two samples using each key's Horvitz–Thompson adjusted weight as its
+//! effective weight, recompute the IPPS threshold for the target budget over
+//! the union, and re-subsample down to the budget with pair aggregation.
+//! Because the effective weights are themselves unbiased estimates, the
+//! tower rule keeps every subset-sum estimate of the merged sample unbiased;
+//! because the union's threshold dominates both input thresholds, the VarOpt
+//! invariants (IPPS inclusion probabilities, fixed size) are preserved.
+//! [`crate::VarOptSampler::merge`] implements this for reservoir states;
+//! `sas-sampling`'s `sharded` module implements the structure-aware variant
+//! for finished samples.
+//!
+//! Deterministic summaries (q-digest node sets, count-sketch counter arrays)
+//! merge by plain addition and ignore the random source.
+
+use rand::Rng;
+
+use crate::estimate::Sample;
+
+/// A summary of a weighted data set that can absorb a summary of a
+/// *disjoint* data set, yielding a summary of the union.
+///
+/// Implementations must preserve their estimator's unbiasedness: for any
+/// fixed subset `J`, the merged summary's estimate of `w(J)` must have the
+/// same expectation as an estimate from a summary built over the union
+/// directly. Randomized merges draw from `rng`; deterministic merges (e.g.
+/// sketch counter addition) ignore it.
+pub trait Mergeable {
+    /// Merges `other` into `self`. `other`'s data is assumed disjoint from
+    /// `self`'s.
+    fn merge_with<R: Rng + ?Sized>(&mut self, other: Self, rng: &mut R);
+}
+
+/// Finished [`Sample`]s over disjoint key sets merge by concatenation: each
+/// entry keeps the adjusted weight assigned by its own sampler, so every
+/// subset estimate remains the sum of two unbiased halves. (Size-bounded
+/// merging — re-subsampling the union down to a budget — lives in
+/// `sas-sampling::sharded`, which needs the aggregation order to be
+/// structure-aware.)
+impl Mergeable for Sample {
+    fn merge_with<R: Rng + ?Sized>(&mut self, other: Self, _rng: &mut R) {
+        self.merge(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::SampleEntry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_merge_with_concatenates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = Sample::from_entries(
+            vec![SampleEntry {
+                key: 1,
+                weight: 2.0,
+                adjusted_weight: 4.0,
+            }],
+            4.0,
+        );
+        let b = Sample::from_entries(
+            vec![SampleEntry {
+                key: 2,
+                weight: 3.0,
+                adjusted_weight: 3.0,
+            }],
+            1.0,
+        );
+        a.merge_with(b, &mut rng);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.tau(), 4.0);
+        assert!((a.total_estimate() - 7.0).abs() < 1e-12);
+    }
+}

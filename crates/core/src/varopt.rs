@@ -16,8 +16,10 @@
 
 use rand::Rng;
 
+use crate::aggregate::{aggregate_all, AggregationState};
 use crate::estimate::{Sample, SampleEntry};
-use crate::{KeyId, WeightedKey};
+use crate::merge::Mergeable;
+use crate::{ipps, KeyId, WeightedKey};
 
 /// One key held in the VarOpt reservoir.
 #[derive(Debug, Clone, Copy)]
@@ -198,6 +200,96 @@ impl VarOptSampler {
         debug_assert_eq!(self.held(), self.s);
     }
 
+    /// Merges `other` (a VarOpt reservoir over a disjoint key set) into this
+    /// sampler, re-subsampling the union down to this sampler's budget `s` —
+    /// the threshold merge that makes VarOpt a mergeable summary.
+    ///
+    /// Every held key enters the merge with its *effective* weight: large
+    /// keys keep their original weight, small keys carry their reservoir's
+    /// threshold (their HT adjusted weight). A new threshold `τ'` solving
+    /// `Σ min(1, w̃ᵢ/τ') = s` over the union is computed; keys at or above
+    /// `τ'` stay large, the rest are pair-aggregated down to exactly the
+    /// remaining slots with inclusion probability `w̃ᵢ/τ'` each. When the
+    /// union overflows the budget and both inputs are non-empty,
+    /// `τ' > max(τ_a, τ_b)` — the threshold-max merge. When the union fits,
+    /// everything is kept at its effective weight and `τ` restarts at 0.
+    ///
+    /// Because effective weights are unbiased for the true weights and the
+    /// re-subsampling is HT with respect to them, the merged reservoir's
+    /// estimates remain unbiased for any subset of the combined stream, and
+    /// the result is a valid VarOpt state: streaming can continue on it.
+    ///
+    /// `other`'s capacity may differ; the merged capacity is `self`'s.
+    pub fn merge<R: Rng + ?Sized>(&mut self, other: VarOptSampler, rng: &mut R) {
+        self.count += other.count;
+        self.total_weight += other.total_weight;
+        // Trivial merges keep the existing reservoir state untouched.
+        if other.held() == 0 {
+            return;
+        }
+        if self.held() == 0 && other.held() <= self.s {
+            self.large = other.large;
+            self.small = other.small;
+            self.tau = other.tau;
+            return;
+        }
+
+        // Pool every held key with its effective (HT-adjusted) weight.
+        let tau_self = self.tau;
+        let mut entries: Vec<Held> = Vec::with_capacity(self.held() + other.held());
+        entries.append(&mut self.large);
+        entries.extend(self.small.drain(..).map(|key| Held {
+            key,
+            weight: tau_self,
+        }));
+        entries.extend(other.large);
+        entries.extend(other.small.into_iter().map(|key| Held {
+            key,
+            weight: other.tau,
+        }));
+
+        let weights: Vec<f64> = entries.iter().map(|h| h.weight).collect();
+        let tau_new = ipps::threshold_exact(&weights, self.s as f64);
+        if tau_new <= 0.0 {
+            // The union fits in the budget: keep every key, restarting the
+            // reservoir from τ = 0 with effective weights as weights. (The
+            // tower property keeps all estimates unbiased; classifying a key
+            // whose effective weight is below the other input's threshold as
+            // "small" would instead inflate it — a bias.) The threshold
+            // re-grows as streaming continues.
+            self.tau = 0.0;
+            for h in entries {
+                self.heap_push(h);
+            }
+            return;
+        }
+        self.tau = tau_new;
+
+        // Subsample: certain keys (w̃ ≥ τ') stay large with exact weight;
+        // the rest compete for the remaining slots with p = w̃/τ'. The
+        // active mass is exactly s − #certain, so pair aggregation resolves
+        // to exactly that many survivors.
+        let mut active_keys: Vec<KeyId> = Vec::new();
+        let mut active_probs: Vec<f64> = Vec::new();
+        for h in entries {
+            if h.weight >= tau_new {
+                self.heap_push(h);
+            } else {
+                active_keys.push(h.key);
+                active_probs.push(h.weight / tau_new);
+            }
+        }
+        let mut state = AggregationState::new(active_keys, active_probs);
+        aggregate_all(&mut state, rng);
+        self.small.extend(state.included_keys());
+        debug_assert!(
+            self.held() <= self.s,
+            "merge overfilled the reservoir: {} > {}",
+            self.held(),
+            self.s
+        );
+    }
+
     /// Finalizes the sampler into a [`Sample`] with Horvitz–Thompson
     /// adjusted weights.
     pub fn finish(self) -> Sample {
@@ -274,6 +366,12 @@ impl VarOptSampler {
             i = m;
         }
         out
+    }
+}
+
+impl Mergeable for VarOptSampler {
+    fn merge_with<R: Rng + ?Sized>(&mut self, other: Self, rng: &mut R) {
+        self.merge(other, rng);
     }
 }
 
@@ -420,6 +518,192 @@ mod tests {
                 "key {i}: freq {freq} vs {target}"
             );
         }
+    }
+
+    /// Splits `data` in two, streams each half into its own sampler, merges.
+    fn merged_halves(data: &[WeightedKey], s: usize, rng: &mut StdRng) -> VarOptSampler {
+        let mid = data.len() / 2;
+        let mut a = VarOptSampler::new(s);
+        let mut b = VarOptSampler::new(s);
+        for wk in &data[..mid] {
+            a.push(wk.key, wk.weight, rng);
+        }
+        for wk in &data[mid..] {
+            b.push(wk.key, wk.weight, rng);
+        }
+        a.merge(b, rng);
+        a
+    }
+
+    #[test]
+    fn merge_yields_exact_budget() {
+        let data = data_mixed(600, 31);
+        for s in [1, 2, 7, 25, 64] {
+            let mut rng = StdRng::seed_from_u64(100 + s as u64);
+            let merged = merged_halves(&data, s, &mut rng);
+            assert_eq!(merged.held(), s, "s={s}");
+            assert_eq!(merged.count(), 600);
+            assert_eq!(merged.finish().len(), s, "s={s}");
+        }
+    }
+
+    #[test]
+    fn merge_threshold_dominates_inputs() {
+        let data = data_mixed(500, 33);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = VarOptSampler::new(20);
+        let mut b = VarOptSampler::new(20);
+        for wk in &data[..250] {
+            a.push(wk.key, wk.weight, &mut rng);
+        }
+        for wk in &data[250..] {
+            b.push(wk.key, wk.weight, &mut rng);
+        }
+        let (ta, tb) = (a.tau(), b.tau());
+        assert!(ta > 0.0 && tb > 0.0);
+        a.merge(b, &mut rng);
+        assert!(a.tau() > ta.max(tb), "τ' {} vs inputs {ta}, {tb}", a.tau());
+    }
+
+    #[test]
+    fn merge_unbiased_total_and_subset() {
+        let data = data_mixed(400, 35);
+        let truth_total = crate::total_weight(&data);
+        let truth_subset: f64 = data
+            .iter()
+            .filter(|wk| wk.key < 150)
+            .map(|wk| wk.weight)
+            .sum();
+        let runs = 600;
+        let (mut acc_total, mut acc_subset) = (0.0, 0.0);
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(9000 + seed);
+            let sample = merged_halves(&data, 40, &mut rng).finish();
+            acc_total += sample.total_estimate();
+            acc_subset += sample.subset_estimate(|k| k < 150);
+        }
+        let mean_total = acc_total / runs as f64;
+        let mean_subset = acc_subset / runs as f64;
+        assert!(
+            (mean_total - truth_total).abs() / truth_total < 0.02,
+            "total {mean_total} vs {truth_total}"
+        );
+        assert!(
+            (mean_subset - truth_subset).abs() / truth_subset < 0.05,
+            "subset {mean_subset} vs {truth_subset}"
+        );
+    }
+
+    #[test]
+    fn merge_underfull_keeps_everything_exactly() {
+        // Neither reservoir overflows: the merge must keep all keys with
+        // exact weights (zero-variance estimates).
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut a = VarOptSampler::new(10);
+        let mut b = VarOptSampler::new(10);
+        for i in 0..4u64 {
+            a.push(i, 1.0 + i as f64, &mut rng);
+        }
+        for i in 4..9u64 {
+            b.push(i, 1.0 + i as f64, &mut rng);
+        }
+        a.merge(b, &mut rng);
+        assert_eq!(a.held(), 9);
+        let sample = a.finish();
+        let truth: f64 = (0..9).map(|i| 1.0 + i as f64).sum();
+        assert!((sample.total_estimate() - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_full_into_underfull_restarts_threshold_without_bias() {
+        // A full small-budget reservoir merged into an underfull larger one:
+        // held keys keep their HT-adjusted weights; no inflation to the
+        // larger threshold may occur.
+        let data = data_mixed(300, 43);
+        let truth = crate::total_weight(&data[..200]) + 3.0;
+        let runs = 800;
+        let mut acc = 0.0;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(17_000 + seed);
+            let mut a = VarOptSampler::new(50);
+            a.push(9999, 3.0, &mut rng); // underfull, τ = 0
+            let mut b = VarOptSampler::new(30);
+            for wk in &data[..200] {
+                b.push(wk.key, wk.weight, &mut rng); // full, τ > 0
+            }
+            a.merge(b, &mut rng);
+            assert_eq!(a.held(), 31);
+            acc += a.finish().total_estimate();
+        }
+        let mean = acc / runs as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.02,
+            "mean {mean} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn merge_keeps_heavy_keys() {
+        let mut data = data_mixed(400, 45);
+        data[37] = WeightedKey::new(37, 1e6);
+        data[361] = WeightedKey::new(361, 2e6);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sample = merged_halves(&data, 12, &mut rng).finish();
+            assert!(sample.contains(37), "seed {seed}");
+            assert!(sample.contains(361), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn merged_reservoir_continues_streaming() {
+        // The merged state is a valid VarOpt reservoir: keep pushing.
+        let data = data_mixed(900, 47);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut merged = merged_halves(&data[..600], 25, &mut rng);
+        for wk in &data[600..] {
+            merged.push(wk.key, wk.weight, &mut rng);
+        }
+        assert_eq!(merged.count(), 900);
+        assert_eq!(merged.finish().len(), 25);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let data = data_mixed(200, 49);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = VarOptSampler::new(15);
+        for wk in &data {
+            a.push(wk.key, wk.weight, &mut rng);
+        }
+        let tau_before = a.tau();
+        let held_before = a.held();
+        a.merge(VarOptSampler::new(15), &mut rng);
+        assert_eq!(a.held(), held_before);
+        assert_eq!(a.tau(), tau_before);
+        let mut empty = VarOptSampler::new(15);
+        let mut b = VarOptSampler::new(15);
+        for wk in &data {
+            b.push(wk.key, wk.weight, &mut rng);
+        }
+        empty.merge(b, &mut rng);
+        assert_eq!(empty.held(), 15);
+    }
+
+    #[test]
+    fn merge_via_mergeable_trait() {
+        let data = data_mixed(100, 51);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut a = VarOptSampler::new(10);
+        let mut b = VarOptSampler::new(10);
+        for wk in &data[..50] {
+            a.push(wk.key, wk.weight, &mut rng);
+        }
+        for wk in &data[50..] {
+            b.push(wk.key, wk.weight, &mut rng);
+        }
+        Mergeable::merge_with(&mut a, b, &mut rng);
+        assert_eq!(a.held(), 10);
     }
 
     #[test]

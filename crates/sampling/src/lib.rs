@@ -11,6 +11,11 @@
 //! | order | all intervals | Δ < 2 (optimal) | [`order`] |
 //! | d-dim product | axis-parallel boxes | O(d·s^((d−1)/(2d))) | [`product`] |
 //!
+//! The [`sharded`] module scales these samplers across threads: the input is
+//! split by key range or round-robin, each shard is summarized
+//! independently, and the per-shard samples are merged bottom-up with a
+//! structure-aware threshold merge (see `sas_core::Mergeable`).
+//!
 //! Each main-memory sampler has a two-pass I/O-efficient counterpart in
 //! [`two_pass`] (the paper's Section 5) that uses `O(s′)` memory independent
 //! of the data size: pass 1 computes the IPPS threshold (Algorithm 4) and a
@@ -29,6 +34,7 @@ pub mod hierarchy;
 pub mod multirange;
 pub mod order;
 pub mod product;
+pub mod sharded;
 pub mod streaming;
 pub mod two_pass;
 pub mod uniform_cube;

@@ -56,6 +56,28 @@ impl<C: std::hash::Hash + Eq + Clone> CellStratifiedSampler<C> {
         }
     }
 
+    /// Creates a sampler by dividing a *total* budget `s` over an expected
+    /// number of cells, clamping the per-cell budget to at least 1.
+    ///
+    /// This is the safe way to derive the per-cell budget: with more cells
+    /// than budget (`C > s`) the naive `s / C` is 0, which [`Self::new`]
+    /// rejects. The clamp keeps every non-empty cell represented (each cell
+    /// is still a valid VarOpt sample of its substream, so estimates stay
+    /// unbiased); the realized total size is then `#cells`, above `s` — the
+    /// price of stratifying finer than the budget.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn with_total_budget(s: usize, expected_cells: usize) -> Self {
+        assert!(s > 0, "total budget must be positive");
+        Self::new((s / expected_cells.max(1)).max(1))
+    }
+
+    /// The per-cell reservoir budget.
+    pub fn per_cell_budget(&self) -> usize {
+        self.per_cell_budget
+    }
+
     /// Processes one item assigned to `cell`.
     pub fn push<R: Rng + ?Sized>(&mut self, cell: C, key: KeyId, weight: f64, rng: &mut R) {
         self.count += 1;
@@ -196,6 +218,88 @@ mod tests {
         assert!(sample.contains(137));
         let e = sample.iter().find(|e| e.key == 137).unwrap();
         assert_eq!(e.adjusted_weight, 1e6);
+    }
+
+    #[test]
+    fn total_budget_clamps_to_one_when_cells_exceed_budget() {
+        // C > s: naive per-cell budget s/C = 0 must clamp to 1, not panic.
+        let s = CellStratifiedSampler::<u64>::with_total_budget(8, 32);
+        assert_eq!(s.per_cell_budget(), 1);
+        // And the sampler works: every non-empty cell keeps one key.
+        let data = stream(640, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut s = CellStratifiedSampler::with_total_budget(8, 32);
+        for wk in &data {
+            s.push(wk.key / 20, wk.key, wk.weight, &mut rng); // 32 cells
+        }
+        assert_eq!(s.cell_count(), 32);
+        let sample = s.finish();
+        assert_eq!(sample.len(), 32);
+    }
+
+    #[test]
+    fn clamped_budget_estimates_stay_unbiased() {
+        // The C > s regime must not bias estimates: each cell remains a
+        // valid VarOpt sample with its own threshold.
+        let data = stream(300, 23);
+        let truth: f64 = data.iter().map(|wk| wk.weight).sum();
+        let runs = 1200;
+        let mut acc = 0.0;
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..runs {
+            let mut s = CellStratifiedSampler::with_total_budget(5, 30);
+            for wk in &data {
+                s.push(wk.key / 10, wk.key, wk.weight, &mut rng); // 30 cells
+            }
+            acc += s.finish().total_estimate();
+        }
+        let mean = acc / runs as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn empty_stream_finishes_empty() {
+        let s = CellStratifiedSampler::<u64>::new(4);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.cell_count(), 0);
+        let sample = s.finish();
+        assert!(sample.is_empty());
+        assert_eq!(sample.total_estimate(), 0.0);
+        let s2 = CellStratifiedSampler::<u64>::with_total_budget(10, 4);
+        assert!(s2.finish_per_cell().is_empty());
+    }
+
+    #[test]
+    fn budget_at_least_stream_keeps_everything_exactly() {
+        // s ≥ n: no cell overflows, all weights exact, zero-variance total.
+        let data = stream(40, 25);
+        let truth: f64 = data.iter().map(|wk| wk.weight).sum();
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut s = CellStratifiedSampler::new(20);
+        for wk in &data {
+            s.push(wk.key / 10, wk.key, wk.weight, &mut rng); // 4 cells of 10
+        }
+        let sample = s.finish();
+        assert_eq!(sample.len(), 40);
+        assert!((sample.total_estimate() - truth).abs() < 1e-9);
+        for e in sample.iter() {
+            assert_eq!(e.weight, e.adjusted_weight, "key {} inflated", e.key);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_per_cell_budget_still_panics() {
+        let _ = CellStratifiedSampler::<u64>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "total budget must be positive")]
+    fn zero_total_budget_panics() {
+        let _ = CellStratifiedSampler::<u64>::with_total_budget(0, 4);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! As the paper observes, the space at which the sketch becomes accurate on
 //! two-dimensional data is much larger than for the other summaries.
 
+use sas_core::Mergeable;
 use sas_sampling::product::SpatialData;
 use sas_structures::dyadic;
 use sas_structures::product::BoxRange;
@@ -106,6 +107,33 @@ impl SketchSummary {
             sketches,
             bits_x,
             bits_y,
+        }
+    }
+}
+
+/// Count-sketches are linear: two sketches built with the same geometry
+/// (domain bits, width, and hash seeds) merge by element-wise counter
+/// addition, and the merged sketch is *identical* to one built over the
+/// concatenated data.
+///
+/// # Panics
+/// Panics if the two summaries' geometries differ (different domain bits,
+/// counter width, or build seed) — merging those is not meaningful.
+impl Mergeable for SketchSummary {
+    fn merge_with<R: rand::Rng + ?Sized>(&mut self, other: Self, _rng: &mut R) {
+        assert_eq!(
+            (self.bits_x, self.bits_y),
+            (other.bits_x, other.bits_y),
+            "sketch domain mismatch"
+        );
+        for (rows_a, rows_b) in self.sketches.iter_mut().zip(other.sketches) {
+            for (a, b) in rows_a.iter_mut().zip(rows_b) {
+                assert_eq!(a.width, b.width, "sketch width mismatch");
+                assert_eq!(a.seeds, b.seeds, "sketch seed mismatch");
+                for (ca, cb) in a.counters.iter_mut().zip(b.counters) {
+                    *ca += cb;
+                }
+            }
         }
     }
 }
@@ -252,5 +280,41 @@ mod tests {
         let truth = data.total_weight();
         // Full domain is a single dyadic rectangle at the top level pair.
         assert!((est - truth).abs() < 0.05 * truth, "{est} vs {truth}");
+    }
+
+    #[test]
+    fn merged_sketch_identical_to_sketch_of_union() {
+        // Linearity: build(A) ⊕ build(B) == build(A ∪ B), counter for
+        // counter, when the geometry and seed agree.
+        let mut rng = StdRng::seed_from_u64(13);
+        let all = random_data(400, 6, 9);
+        let rows: Vec<(u64, u64, f64)> = all
+            .keys
+            .iter()
+            .zip(&all.points)
+            .map(|(wk, p)| (p.coord(0), p.coord(1), wk.weight))
+            .collect();
+        let (first, second) = rows.split_at(250);
+        let mut a = SketchSummary::build(&SpatialData::from_xyw(first), 6, 6, 4000, 21);
+        let b = SketchSummary::build(&SpatialData::from_xyw(second), 6, 6, 4000, 21);
+        let whole = SketchSummary::build(&all, 6, 6, 4000, 21);
+        a.merge_with(b, &mut rng);
+        for (rows_m, rows_w) in a.sketches.iter().zip(&whole.sketches) {
+            for (m, w) in rows_m.iter().zip(rows_w) {
+                for (cm, cw) in m.counters.iter().zip(&w.counters) {
+                    assert!((cm - cw).abs() < 1e-9, "counter {cm} vs {cw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merging_mismatched_seeds_panics() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let data = random_data(20, 4, 10);
+        let mut a = SketchSummary::build(&data, 4, 4, 500, 1);
+        let b = SketchSummary::build(&data, 4, 4, 500, 2);
+        a.merge_with(b, &mut rng);
     }
 }

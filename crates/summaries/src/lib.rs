@@ -18,7 +18,10 @@
 //!
 //! All summaries implement [`RangeSumSummary`], reporting their size in
 //! *elements* (comparable to sample keys, as in the paper's plots) and
-//! answering axis-parallel box queries.
+//! answering axis-parallel box queries. The q-digest and count-sketch also
+//! implement `sas_core::Mergeable` — per-shard summaries built over disjoint
+//! data combine by node/counter addition, mirroring the mergeable VarOpt
+//! samples of `sas-sampling::sharded`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

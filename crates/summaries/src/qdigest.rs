@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use sas_core::Mergeable;
 use sas_sampling::product::SpatialData;
 use sas_structures::product::BoxRange;
 
@@ -164,6 +165,22 @@ impl QDigestSummary {
     }
 }
 
+/// Q-digests over disjoint data merge by cell-wise weight addition: the
+/// union of the two node sets, with coinciding cells combined. Queries over
+/// the merged digest are exactly the sum of the two inputs' answers, so the
+/// deterministic error guarantees add. The node count can grow up to the sum
+/// of the inputs'; rebuild from data (or raise the threshold) to recompress.
+impl Mergeable for QDigestSummary {
+    fn merge_with<R: rand::Rng + ?Sized>(&mut self, other: Self, _rng: &mut R) {
+        let mut by_cell: HashMap<Cell, f64> = self.nodes.drain(..).collect();
+        for (cell, w) in other.nodes {
+            *by_cell.entry(cell).or_insert(0.0) += w;
+        }
+        self.nodes = by_cell.into_iter().collect();
+        self.threshold = self.threshold.max(other.threshold);
+    }
+}
+
 impl RangeSumSummary for QDigestSummary {
     fn estimate_box(&self, query: &BoxRange) -> f64 {
         if query.is_empty() {
@@ -294,5 +311,34 @@ mod tests {
         let q = QDigestSummary::build(&data, 4, 10);
         assert_eq!(q.size_elements(), 0);
         assert_eq!(q.estimate_box(&BoxRange::xy(0, 15, 0, 15)), 0.0);
+    }
+
+    #[test]
+    fn merged_digest_preserves_total_and_adds_estimates() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let all = random_data(600, 8, 11);
+        let rows: Vec<(u64, u64, f64)> = all
+            .keys
+            .iter()
+            .zip(&all.points)
+            .map(|(wk, p)| (p.coord(0), p.coord(1), wk.weight))
+            .collect();
+        let (first, second) = rows.split_at(300);
+        let mut a = QDigestSummary::build(&SpatialData::from_xyw(first), 8, 80);
+        let b = QDigestSummary::build(&SpatialData::from_xyw(second), 8, 80);
+        let (est_a, est_b, tot_a, tot_b) = {
+            let q = BoxRange::xy(0, 127, 0, 127);
+            (
+                a.estimate_box(&q),
+                b.estimate_box(&q),
+                a.stored_total(),
+                b.stored_total(),
+            )
+        };
+        a.merge_with(b, &mut rng);
+        assert!((a.stored_total() - (tot_a + tot_b)).abs() < 1e-9);
+        let q = BoxRange::xy(0, 127, 0, 127);
+        assert!((a.estimate_box(&q) - (est_a + est_b)).abs() < 1e-9);
+        assert!(a.size_elements() <= 160);
     }
 }

@@ -4,9 +4,12 @@
 //! "Structure-Aware Sampling: Flexible and Accurate Summarization"*
 //! (VLDB 2011). Re-exports the public API of every workspace crate:
 //!
-//! * [`core`] — VarOpt/IPPS sampling primitives, estimation, tail bounds.
+//! * [`core`] — VarOpt/IPPS sampling primitives, estimation, tail bounds,
+//!   and the [`Mergeable`] trait for combining summaries of disjoint data.
 //! * [`structures`] — orders, hierarchies, product spaces, kd-hierarchies.
-//! * [`sampling`] — the structure-aware samplers (the paper's contribution).
+//! * [`sampling`] — the structure-aware samplers (the paper's contribution)
+//!   and the sharded parallel summarization driver
+//!   ([`sampling::sharded::summarize_sharded`]).
 //! * [`summaries`] — baseline summaries (wavelet, q-digest, count-sketch).
 //! * [`data`] — synthetic workload and query generators.
 //!
@@ -19,3 +22,5 @@ pub use sas_data as data;
 pub use sas_sampling as sampling;
 pub use sas_structures as structures;
 pub use sas_summaries as summaries;
+
+pub use sas_core::Mergeable;
