@@ -1,0 +1,168 @@
+//! Persistence-layer throughput: encode and decode bandwidth per summary
+//! kind, plus the end-to-end *merge-from-disk* pipeline (read shard frames
+//! → decode → budgeted threshold merge), the path a distributed
+//! summarization deployment pays per merge worker.
+//!
+//! Environment knobs: `SAS_CODEC_N` (1-D stream length, default 200000),
+//! `SAS_CODEC_S` (summary budget, default 4000), `SAS_CODEC_SHARDS`
+//! (shard files per merge, default 8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sas_bench::{print_table, timed};
+use sas_core::varopt::VarOptSampler;
+use sas_core::WeightedKey;
+use sas_sampling::product::SpatialData;
+use sas_sampling::sharded::{per_shard_samples, ShardedConfig};
+use sas_summaries::countsketch::SketchSummary;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+use sas_summaries::{decode_summary, encode_summary, StoredSample, Summary};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("SAS_CODEC_N", 200_000) as u64;
+    let s = env_usize("SAS_CODEC_S", 4_000);
+    let shards = env_usize("SAS_CODEC_SHARDS", 8);
+    let seed = 11u64;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<WeightedKey> = (0..n)
+        .map(|k| {
+            let w = if rng.gen_bool(0.02) {
+                rng.gen_range(100.0..1500.0)
+            } else {
+                rng.gen_range(0.1..4.0)
+            };
+            WeightedKey::new(k, w)
+        })
+        .collect();
+    let spatial = {
+        let rows: Vec<(u64, u64, f64)> = data
+            .iter()
+            .take((n as usize).min(50_000))
+            .map(|wk| (wk.key % 1024, (wk.key * 7919) % 1024, wk.weight))
+            .collect();
+        SpatialData::from_xyw(&rows)
+    };
+
+    // One summary per kind at comparable element budgets.
+    let sample = {
+        let mut r = StdRng::seed_from_u64(seed);
+        StoredSample::one_dim(sas_sampling::order::sample(&data, s, &mut r))
+    };
+    let varopt = {
+        let mut r = StdRng::seed_from_u64(seed);
+        let mut v = VarOptSampler::new(s);
+        for wk in &data {
+            v.push(wk.key, wk.weight, &mut r);
+        }
+        v
+    };
+    let summaries: Vec<(&str, Box<dyn Summary>)> = vec![
+        ("sample", Box::new(sample)),
+        ("varopt", Box::new(varopt)),
+        ("qdigest", Box::new(QDigestSummary::build(&spatial, 10, s))),
+        (
+            "wavelet",
+            Box::new(WaveletSummary::build(&spatial, 10, 10, s)),
+        ),
+        (
+            "sketch",
+            Box::new(SketchSummary::build(&spatial, 10, 10, s, seed)),
+        ),
+    ];
+
+    // --- encode / decode bandwidth per kind -------------------------------
+    let reps = 50;
+    let mut rows = Vec::new();
+    for (name, summary) in &summaries {
+        let bytes = encode_summary(summary.as_ref());
+        let mb = bytes.len() as f64 / 1e6;
+        let (_, enc_t) = timed(|| {
+            for _ in 0..reps {
+                std::hint::black_box(encode_summary(summary.as_ref()));
+            }
+        });
+        let (_, dec_t) = timed(|| {
+            for _ in 0..reps {
+                std::hint::black_box(decode_summary(&bytes).expect("valid frame"));
+            }
+        });
+        rows.push(vec![
+            name.to_string(),
+            summary.item_count().to_string(),
+            bytes.len().to_string(),
+            format!("{:.1}", mb * reps as f64 / enc_t),
+            format!("{:.1}", mb * reps as f64 / dec_t),
+        ]);
+    }
+    print_table(
+        &format!("encode/decode throughput (items ~{s}, {reps} reps)"),
+        &["kind", "items", "bytes", "encode_MB_s", "decode_MB_s"],
+        &rows,
+    );
+
+    // --- merge-from-disk pipeline -----------------------------------------
+    let dir = std::env::temp_dir().join(format!("sas-codec-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let cfg = ShardedConfig::key_range(shards, seed);
+    let parts = per_shard_samples(&data, s, &cfg);
+    let mut total_bytes = 0usize;
+    let paths: Vec<_> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let path = dir.join(format!("part.{i}.sas"));
+            let bytes = encode_summary(&StoredSample::one_dim(p));
+            total_bytes += bytes.len();
+            std::fs::write(&path, bytes).expect("write shard frame");
+            path
+        })
+        .collect();
+
+    let merge_reps = 20;
+    let (items, t) = timed(|| {
+        let mut last = 0;
+        for rep in 0..merge_reps {
+            let mut rng = StdRng::seed_from_u64(seed + rep);
+            let mut it = paths.iter();
+            let first = std::fs::read(it.next().expect("at least one shard")).unwrap();
+            let mut acc = decode_summary(&first).expect("valid frame");
+            for p in it {
+                let next = decode_summary(&std::fs::read(p).unwrap()).expect("valid frame");
+                acc.merge_in_place(next, Some(s), &mut rng)
+                    .expect("same-kind merge");
+            }
+            last = acc.item_count();
+        }
+        last
+    });
+    print_table(
+        "merge-from-disk (read + decode + budgeted threshold merge)",
+        &[
+            "shards",
+            "budget",
+            "merged_items",
+            "disk_MB",
+            "merges_per_s",
+            "MB_s",
+        ],
+        &[vec![
+            shards.to_string(),
+            s.to_string(),
+            items.to_string(),
+            format!("{:.2}", total_bytes as f64 / 1e6),
+            format!("{:.1}", merge_reps as f64 / t),
+            format!("{:.1}", total_bytes as f64 * merge_reps as f64 / 1e6 / t),
+        ]],
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

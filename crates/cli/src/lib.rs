@@ -1,23 +1,40 @@
 //! Library backing the `sas` command-line summarizer.
 //!
-//! Formats (all plain TSV, `#`-comments ignored):
+//! Two summary representations are supported:
 //!
-//! * **input data** — `key<TAB>weight` (1-D / order structure) or
-//!   `x<TAB>y<TAB>weight` (2-D product structure; the key is the row index);
-//! * **summary** — header line `#sas-summary tau=<τ> dims=<d>` followed by
+//! * **binary frames** (`--out file.sas`) — the versioned `sas-codec` wire
+//!   format, covering every registered [`SummaryKind`] (sample, varopt
+//!   reservoir, q-digest, wavelet, count-sketch). Frames are durable: they
+//!   can be merged (`sas merge`) and queried (`sas query`) by later
+//!   processes, on other machines.
+//! * **legacy TSV** (stdout) — sample summaries only: header line
+//!   `#sas-summary tau=<τ> dims=<d>` followed by
 //!   `key<TAB>weight<TAB>adjusted_weight[<TAB>x<TAB>y]` rows.
 //!
-//! The summary file is self-contained: queries are answered from it alone.
+//! Input data is plain TSV (`#`-comments ignored): `key<TAB>weight` (1-D /
+//! order structure) or `x<TAB>y<TAB>weight` (2-D product structure; the key
+//! is the row index). Either summary representation is self-contained:
+//! queries are answered from the file alone.
+//!
+//! Every summary loads into [`LoadedSummary`] — a thin wrapper over
+//! `Box<dyn Summary>` — so the query, merge, and info paths are free of
+//! per-kind dispatch.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sas_core::estimate::{Sample, SampleEntry};
+use sas_core::varopt::VarOptSampler;
 use sas_core::WeightedKey;
 use sas_sampling::product::SpatialData;
-use sas_structures::product::{BoxRange, Point};
+use sas_structures::product::Point;
+use sas_summaries::countsketch::SketchSummary;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+use sas_summaries::{decode_summary, encode_summary, StoredSample, Summary, SummaryKind};
 
 /// Parsed input data: 1-D weighted keys or 2-D located keys.
 #[derive(Debug, Clone)]
@@ -103,12 +120,12 @@ pub fn parse_dataset(text: &str) -> Result<Dataset, CliError> {
     }
 }
 
-/// Builds a structure-aware summary of the data set (serial, one thread).
+/// Builds a structure-aware sample summary (serial, one thread).
 pub fn summarize(data: &Dataset, size: usize, seed: u64) -> Result<(Sample, usize), CliError> {
     summarize_sharded(data, size, seed, 1)
 }
 
-/// Builds a structure-aware summary using `shards` parallel workers.
+/// Builds a structure-aware sample summary using `shards` parallel workers.
 ///
 /// With `shards == 1` this is the serial path. For 1-D data the input is
 /// split into contiguous key ranges, each shard is summarized by the
@@ -159,7 +176,149 @@ pub fn summarize_sharded(
     }
 }
 
-/// Serializes a summary (with locations for 2-D data).
+/// Builds the per-shard samples without merging them — the distributed
+/// workflow's first stage: each sample is persisted to its own file and
+/// merged later by a separate `sas merge` process. 1-D data only.
+pub fn summarize_per_shard(
+    data: &Dataset,
+    size: usize,
+    seed: u64,
+    shards: usize,
+) -> Result<Vec<Sample>, CliError> {
+    if size == 0 {
+        return err("summary size must be positive");
+    }
+    if shards == 0 {
+        return err("--shards must be positive");
+    }
+    match data {
+        Dataset::OneDim(rows) => {
+            if rows.is_empty() {
+                return err("no data rows");
+            }
+            let cfg = sas_sampling::sharded::ShardedConfig::key_range(shards, seed);
+            Ok(sas_sampling::sharded::per_shard_samples(rows, size, &cfg))
+        }
+        Dataset::TwoDim(_) => err("--per-shard currently supports 1-D (key weight) data only"),
+    }
+}
+
+/// Wraps a sample over `data` as an erased [`Summary`] (attaching locations
+/// for 2-D data).
+fn stored_from(sample: Sample, data: &Dataset) -> Result<StoredSample, CliError> {
+    match data {
+        Dataset::OneDim(_) => Ok(StoredSample::one_dim(sample)),
+        Dataset::TwoDim(spatial) => {
+            let by_key: HashMap<u64, Point> = spatial
+                .keys
+                .iter()
+                .zip(&spatial.points)
+                .map(|(wk, p)| (wk.key, p.clone()))
+                .collect();
+            let points = sample
+                .iter()
+                .map(|e| {
+                    by_key
+                        .get(&e.key)
+                        .cloned()
+                        .map(|p| (e.key, p))
+                        .ok_or_else(|| CliError(format!("sampled key {} has no location", e.key)))
+                })
+                .collect::<Result<HashMap<_, _>, _>>()?;
+            StoredSample::two_dim(sample, points).map_err(CliError)
+        }
+    }
+}
+
+/// Smallest `bits` with every coordinate of `spatial` below `2^bits`.
+fn domain_bits(spatial: &SpatialData) -> u32 {
+    spatial
+        .points
+        .iter()
+        .flat_map(|p| [p.coord(0), p.coord(1)])
+        .map(|c| 64 - c.leading_zeros())
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Builds a summary of the requested kind. This is the *construction*
+/// dispatch — the one place the CLI names concrete summary types; query,
+/// merge, and info all operate on the returned `Box<dyn Summary>`.
+pub fn build_summary(
+    data: &Dataset,
+    size: usize,
+    seed: u64,
+    shards: usize,
+    kind: SummaryKind,
+) -> Result<Box<dyn Summary>, CliError> {
+    if kind != SummaryKind::Sample && shards != 1 {
+        return err(format!("--shards supports --kind sample only, not {kind}"));
+    }
+    match kind {
+        SummaryKind::Sample => {
+            let (sample, _) = summarize_sharded(data, size, seed, shards)?;
+            Ok(Box::new(stored_from(sample, data)?))
+        }
+        SummaryKind::VarOptReservoir => match data {
+            Dataset::OneDim(rows) => {
+                if rows.is_empty() {
+                    return err("no data rows");
+                }
+                if size == 0 {
+                    return err("summary size must be positive");
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut sampler = VarOptSampler::new(size);
+                for wk in rows {
+                    sampler.push(wk.key, wk.weight, &mut rng);
+                }
+                Ok(Box::new(sampler))
+            }
+            Dataset::TwoDim(_) => err("--kind varopt requires 1-D (key weight) data"),
+        },
+        SummaryKind::QDigest | SummaryKind::Wavelet | SummaryKind::CountSketch => {
+            let Dataset::TwoDim(spatial) = data else {
+                return err(format!("--kind {kind} requires 2-D (x y weight) data"));
+            };
+            if spatial.is_empty() {
+                return err("no data rows");
+            }
+            if size == 0 {
+                return err("summary size must be positive");
+            }
+            let bits = domain_bits(spatial);
+            // The dyadic summaries shift by `bits`/`level`; coordinates at
+            // or above 2^32 would need bits = 33..64, where the builds'
+            // per-point (bits+1)² cost explodes and bits = 64 overflows the
+            // shifts outright. Reject early with a clean message.
+            if bits > 32 {
+                return err(format!(
+                    "--kind {kind} supports coordinates below 2^32 (data needs 2^{bits})"
+                ));
+            }
+            match kind {
+                SummaryKind::QDigest => Ok(Box::new(QDigestSummary::build(spatial, bits, size))),
+                SummaryKind::Wavelet => {
+                    Ok(Box::new(WaveletSummary::build(spatial, bits, bits, size)))
+                }
+                SummaryKind::CountSketch => {
+                    if bits > 16 {
+                        return err(format!(
+                            "--kind sketch supports domains up to 2^16 per axis (data needs 2^{bits})"
+                        ));
+                    }
+                    Ok(Box::new(SketchSummary::build(
+                        spatial, bits, bits, size, seed,
+                    )))
+                }
+                _ => unreachable!("outer match covers the deterministic kinds"),
+            }
+        }
+    }
+}
+
+/// Serializes a sample summary as legacy TSV (with locations for 2-D data).
 pub fn write_summary(sample: &Sample, data: &Dataset) -> String {
     let dims = match data {
         Dataset::OneDim(_) => 1,
@@ -189,18 +348,34 @@ pub fn write_summary(sample: &Sample, data: &Dataset) -> String {
     out
 }
 
-/// A deserialized summary ready for querying.
-#[derive(Debug, Clone)]
-pub struct LoadedSummary {
-    /// The sample entries.
-    pub sample: Sample,
-    /// Locations per key (empty for 1-D summaries, where keys are positions).
-    pub points: std::collections::HashMap<u64, Point>,
-    /// Dimensionality (1 or 2).
-    pub dims: usize,
+/// A deserialized summary ready for querying: a thin wrapper over the
+/// erased [`Summary`] object. All behaviour comes from the trait — the
+/// wrapper adds only the loading logic (binary frame or legacy TSV).
+#[derive(Debug)]
+pub struct LoadedSummary(pub Box<dyn Summary>);
+
+impl std::ops::Deref for LoadedSummary {
+    type Target = dyn Summary;
+
+    fn deref(&self) -> &Self::Target {
+        self.0.as_ref()
+    }
 }
 
-/// Parses a summary file produced by [`write_summary`].
+/// Loads a summary from raw file bytes, accepting both representations:
+/// binary frames are detected by magic, anything else parses as TSV.
+pub fn load_summary(bytes: &[u8]) -> Result<LoadedSummary, CliError> {
+    if sas_codec::is_frame(bytes) {
+        return decode_summary(bytes)
+            .map(LoadedSummary)
+            .map_err(|e| CliError(e.to_string()));
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| CliError("summary is neither a binary frame nor UTF-8 TSV".into()))?;
+    read_summary(text)
+}
+
+/// Parses a legacy TSV summary produced by [`write_summary`].
 pub fn read_summary(text: &str) -> Result<LoadedSummary, CliError> {
     let mut lines = text.lines();
     let header = lines.next().ok_or(CliError("empty summary".into()))?;
@@ -222,7 +397,7 @@ pub fn read_summary(text: &str) -> Result<LoadedSummary, CliError> {
         return err(format!("unsupported dims {dims}"));
     }
     let mut entries = Vec::new();
-    let mut points = std::collections::HashMap::new();
+    let mut points = HashMap::new();
     for (lineno, line) in lines.enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -257,11 +432,13 @@ pub fn read_summary(text: &str) -> Result<LoadedSummary, CliError> {
             points.insert(key, Point::xy(x, y));
         }
     }
-    Ok(LoadedSummary {
-        sample: Sample::from_entries(entries, tau),
-        points,
-        dims,
-    })
+    let sample = Sample::from_entries(entries, tau);
+    let stored = if dims == 1 {
+        StoredSample::one_dim(sample)
+    } else {
+        StoredSample::two_dim(sample, points).map_err(CliError)?
+    };
+    Ok(LoadedSummary(Box::new(stored)))
 }
 
 /// Parses a range spec: `lo..hi` (1-D) or `x0..x1,y0..y1` (2-D).
@@ -293,21 +470,67 @@ pub fn parse_range(spec: &str, dims: usize) -> Result<Vec<(u64, u64)>, CliError>
         .collect()
 }
 
-/// Answers a range query from a loaded summary.
+/// Answers a range query from a loaded summary — pure trait dispatch, no
+/// per-kind branching.
 pub fn query(summary: &LoadedSummary, range: &[(u64, u64)]) -> f64 {
-    match summary.dims {
-        1 => {
-            let (lo, hi) = range[0];
-            summary.sample.subset_estimate(|k| k >= lo && k <= hi)
-        }
-        2 => {
-            let b = BoxRange::xy(range[0].0, range[0].1, range[1].0, range[1].1);
-            summary
-                .sample
-                .subset_estimate(|k| summary.points.get(&k).is_some_and(|p| b.contains(p)))
-        }
-        _ => unreachable!("dims validated at load"),
+    summary.range_sum(range)
+}
+
+/// Merges summaries (disjoint underlying data) through the erased merge —
+/// no per-kind branching. `budget` bounds the merged size for kinds that
+/// support re-subsampling; `seed` drives the randomized merges.
+///
+/// Adjacent pairs are merged bottom-up in a binary tree, mirroring
+/// `sas_sampling::sharded::summarize_sharded`: for budgeted samples each
+/// merge level adds less than 2 to any interval's discrepancy, so merging
+/// `N` shard files from disk pays `O(log₂ N)` levels — a left-to-right
+/// fold would pay one level per shard.
+pub fn merge_summaries(
+    summaries: Vec<LoadedSummary>,
+    budget: Option<usize>,
+    seed: u64,
+) -> Result<LoadedSummary, CliError> {
+    if summaries.is_empty() {
+        return err("nothing to merge");
     }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut level = summaries;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.0.merge_in_place(b.0, budget, &mut rng)
+                    .map_err(|e| CliError(e.to_string()))?;
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    Ok(level.pop().expect("non-empty input"))
+}
+
+/// Renders the `sas info` report: build metadata from the erased summary
+/// (kind, size on the paper's space axis, serialized bytes) plus the
+/// on-disk size when the summary came from a file.
+pub fn info_text(summary: &LoadedSummary, file_bytes: Option<u64>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kind: {}", summary.kind());
+    let _ = writeln!(out, "keys: {}", summary.item_count());
+    let _ = writeln!(out, "dims: {}", summary.dims());
+    if let Some(tau) = summary.tau() {
+        let _ = writeln!(out, "tau: {tau}");
+    }
+    let _ = writeln!(out, "total estimate: {}", summary.total_estimate());
+    let _ = writeln!(
+        out,
+        "serialized bytes: {}",
+        encode_summary(&**summary).len()
+    );
+    if let Some(n) = file_bytes {
+        let _ = writeln!(out, "file bytes: {n}");
+    }
+    out
 }
 
 #[cfg(test)]
@@ -358,8 +581,9 @@ mod tests {
         assert_eq!(sample.len(), 3);
         let text = write_summary(&sample, &d);
         let loaded = read_summary(&text).unwrap();
-        assert_eq!(loaded.dims, 1);
-        assert_eq!(loaded.sample.len(), 3);
+        assert_eq!(loaded.dims(), 1);
+        assert_eq!(loaded.item_count(), 3);
+        assert_eq!(loaded.kind(), SummaryKind::Sample);
         // Full summary: estimates exact.
         let r = parse_range("0..100", 1).unwrap();
         assert!((query(&loaded, &r) - 9.5).abs() < 1e-9);
@@ -372,10 +596,125 @@ mod tests {
         assert_eq!(dims, 2);
         let text = write_summary(&sample, &d);
         let loaded = read_summary(&text).unwrap();
-        assert_eq!(loaded.dims, 2);
+        assert_eq!(loaded.dims(), 2);
         let r = parse_range("0..39,0..59", 2).unwrap();
         // Contains points (10,20) and (30,40): weight 7.
         assert!((query(&loaded, &r) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_roundtrip_matches_tsv_queries() {
+        let d = parse_dataset(ONE_D).unwrap();
+        let erased = build_summary(&d, 3, 7, 1, SummaryKind::Sample).unwrap();
+        let bytes = encode_summary(erased.as_ref());
+        let loaded = load_summary(&bytes).unwrap();
+        assert_eq!(loaded.kind(), SummaryKind::Sample);
+        let r = parse_range("0..100", 1).unwrap();
+        assert_eq!(query(&loaded, &r).to_bits(), erased.range_sum(&r).to_bits());
+    }
+
+    #[test]
+    fn build_summary_covers_every_kind() {
+        let d1 = parse_dataset(ONE_D).unwrap();
+        let d2 = parse_dataset(TWO_D).unwrap();
+        for kind in SummaryKind::all() {
+            let data = match kind {
+                SummaryKind::Sample | SummaryKind::VarOptReservoir => &d1,
+                _ => &d2,
+            };
+            let s = build_summary(data, 3, 7, 1, kind).unwrap();
+            assert_eq!(s.kind(), kind, "{kind}");
+            // Total weight is 9.5 (1-D) / 15.0 (2-D); every kind's full-
+            // domain estimate recovers it (sketch: within noise, but the
+            // budget here far exceeds the data).
+            let truth = if s.dims() == 1 { 9.5 } else { 15.0 };
+            let full: Vec<(u64, u64)> = vec![(0, u64::MAX); s.dims()];
+            assert!(
+                (s.range_sum(&full) - truth).abs() < 1e-6,
+                "{kind}: {} vs {truth}",
+                s.range_sum(&full)
+            );
+            // And the binary round trip is queried identically.
+            let loaded = load_summary(&encode_summary(s.as_ref())).unwrap();
+            assert_eq!(
+                loaded.range_sum(&full).to_bits(),
+                s.range_sum(&full).to_bits(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_summary_rejects_shape_mismatches() {
+        let d1 = parse_dataset(ONE_D).unwrap();
+        let d2 = parse_dataset(TWO_D).unwrap();
+        assert!(build_summary(&d2, 3, 0, 1, SummaryKind::VarOptReservoir).is_err());
+        for kind in [
+            SummaryKind::QDigest,
+            SummaryKind::Wavelet,
+            SummaryKind::CountSketch,
+        ] {
+            assert!(build_summary(&d1, 3, 0, 1, kind).is_err(), "{kind}");
+            assert!(build_summary(&d2, 3, 0, 2, kind).is_err(), "{kind} sharded");
+        }
+    }
+
+    #[test]
+    fn merge_summaries_concatenates_and_respects_budget() {
+        let (a, b): (Vec<WeightedKey>, Vec<WeightedKey>) = (
+            (0..40u64)
+                .map(|k| WeightedKey::new(k, 1.0 + k as f64))
+                .collect(),
+            (40..80u64)
+                .map(|k| WeightedKey::new(k, 1.0 + k as f64))
+                .collect(),
+        );
+        let truth: f64 = (0..80u64).map(|k| 1.0 + k as f64).sum();
+        let build = |rows: &Vec<WeightedKey>, seed| {
+            build_summary(
+                &Dataset::OneDim(rows.clone()),
+                20,
+                seed,
+                1,
+                SummaryKind::Sample,
+            )
+            .map(LoadedSummary)
+            .unwrap()
+        };
+        // Unbudgeted: concatenation, 40 entries.
+        let merged = merge_summaries(vec![build(&a, 1), build(&b, 2)], None, 3).unwrap();
+        assert_eq!(merged.item_count(), 40);
+        assert!((merged.total_estimate() - truth).abs() / truth < 1e-9);
+        // Budgeted: re-subsampled down to 25, total still conserved.
+        let merged = merge_summaries(vec![build(&a, 1), build(&b, 2)], Some(25), 3).unwrap();
+        assert_eq!(merged.item_count(), 25);
+        assert!((merged.total_estimate() - truth).abs() / truth < 1e-9);
+    }
+
+    #[test]
+    fn merge_summaries_rejects_kind_mismatch() {
+        let d1 = parse_dataset(ONE_D).unwrap();
+        let a = LoadedSummary(build_summary(&d1, 3, 0, 1, SummaryKind::Sample).unwrap());
+        let b = LoadedSummary(build_summary(&d1, 3, 0, 1, SummaryKind::VarOptReservoir).unwrap());
+        assert!(merge_summaries(vec![a, b], None, 0).is_err());
+        assert!(merge_summaries(vec![], None, 0).is_err());
+    }
+
+    #[test]
+    fn info_reports_kind_and_sizes() {
+        let d = parse_dataset(ONE_D).unwrap();
+        let loaded = LoadedSummary(build_summary(&d, 3, 7, 1, SummaryKind::Sample).unwrap());
+        let encoded = encode_summary(&*loaded).len();
+        let info = info_text(&loaded, Some(999));
+        assert!(info.contains("kind: sample"), "{info}");
+        assert!(info.contains("keys: 3"), "{info}");
+        assert!(
+            info.contains(&format!("serialized bytes: {encoded}")),
+            "{info}"
+        );
+        assert!(info.contains("file bytes: 999"), "{info}");
+        // Without a file, the on-disk line is omitted.
+        assert!(!info_text(&loaded, None).contains("file bytes"));
     }
 
     #[test]
@@ -401,6 +740,25 @@ mod tests {
     }
 
     #[test]
+    fn per_shard_samples_merge_back_to_sharded_result() {
+        use std::fmt::Write as _;
+        let mut text = String::new();
+        for i in 0..3000u64 {
+            let w = 0.5 + (i % 11) as f64;
+            let _ = writeln!(text, "{i}\t{w}");
+        }
+        let d = parse_dataset(&text).unwrap();
+        let shards = summarize_per_shard(&d, 100, 7, 4).unwrap();
+        assert_eq!(shards.len(), 4);
+        for s in &shards {
+            assert_eq!(s.len(), 100);
+        }
+        // 2-D data is rejected.
+        let d2 = parse_dataset(TWO_D).unwrap();
+        assert!(summarize_per_shard(&d2, 10, 7, 2).is_err());
+    }
+
+    #[test]
     fn sharded_rejects_bad_configs() {
         let d1 = parse_dataset(ONE_D).unwrap();
         assert!(summarize_sharded(&d1, 3, 0, 0).is_err());
@@ -423,6 +781,9 @@ mod tests {
         assert!(read_summary("not a header\n1\t2\t3\n").is_err());
         assert!(read_summary("#sas-summary tau=1.0 dims=7\n").is_err());
         assert!(read_summary("#sas-summary tau=1.0 dims=1\n1\t2\n").is_err());
+        // Corrupted binary is an error, not a panic.
+        assert!(load_summary(b"SASF garbage").is_err());
+        assert!(load_summary(&[0xFF, 0xFE, 0x00]).is_err());
     }
 
     #[test]

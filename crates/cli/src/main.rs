@@ -1,20 +1,35 @@
-//! `sas` — build structure-aware sample summaries from TSV data and answer
-//! range queries from the summary file alone.
+//! `sas` — build structure-aware summaries from TSV data, persist them as
+//! versioned binary files, merge them across processes, and answer range
+//! queries from a summary file alone.
 //!
 //! ```text
-//! sas summarize <data.tsv> --size N [--seed S] [--shards N] > summary.tsv
-//! sas query <summary.tsv> --range lo..hi            # 1-D
-//! sas query <summary.tsv> --range x0..x1,y0..y1     # 2-D
-//! sas info <summary.tsv>
+//! sas summarize <data.tsv> --size N [--seed S] [--shards N]
+//!               [--kind sample|varopt|qdigest|wavelet|sketch]
+//!               [--out file.sas] [--per-shard]        > summary.tsv
+//! sas merge <a.sas> <b.sas> [...] --out all.sas [--size N] [--seed S]
+//! sas query <summary> --range lo..hi                  # 1-D
+//! sas query <summary> --range x0..x1,y0..y1           # 2-D
+//! sas info <summary>
 //! ```
+//!
+//! `query` and `info` accept both binary frames and legacy TSV summaries.
+//! Without `--out`, `summarize` prints the legacy TSV format (sample kind
+//! only) on stdout. `--per-shard` writes one unmerged frame per shard
+//! (`file.sas.0`, `file.sas.1`, …) for a later `sas merge` — summaries
+//! built by different processes or machines combine exactly like the
+//! in-memory merge.
 
 use std::process::ExitCode;
 
-use sas_cli::{parse_dataset, parse_range, query, read_summary, summarize_sharded, write_summary};
+use sas_cli::{
+    build_summary, info_text, load_summary, merge_summaries, parse_dataset, parse_range, query,
+    summarize_per_shard, summarize_sharded, write_summary, LoadedSummary,
+};
+use sas_summaries::{encode_summary, StoredSample, SummaryKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N]\n  sas query <summary.tsv> --range lo..hi[,lo..hi]\n  sas info <summary.tsv>"
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi]\n  sas info <summary>\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
     );
     ExitCode::from(2)
 }
@@ -26,6 +41,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "summarize" => cmd_summarize(&args[1..]),
+        "merge" => cmd_merge(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "info" => cmd_info(&args[1..]),
         _ => return usage(),
@@ -46,43 +62,128 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, Box<dyn std::error::Error>> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {flag}").into()),
+    }
+}
+
 fn cmd_summarize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing input path")?;
     let size: usize = flag_value(args, "--size")
         .ok_or("missing --size")?
         .parse()
         .map_err(|_| "bad --size")?;
-    let seed: u64 = flag_value(args, "--seed")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|_| "bad --seed")?
-        .unwrap_or(0);
-    let shards: usize = flag_value(args, "--shards")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|_| "bad --shards")?
-        .unwrap_or(1);
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let shards: usize = parse_flag(args, "--shards", 1)?;
+    let kind = match flag_value(args, "--kind") {
+        None => SummaryKind::Sample,
+        Some(name) => SummaryKind::from_name(name)
+            .ok_or_else(|| format!("unknown --kind '{name}' (see usage)"))?,
+    };
+    let out = flag_value(args, "--out");
     let text = std::fs::read_to_string(path)?;
     let data = parse_dataset(&text)?;
-    let (sample, dims) = summarize_sharded(&data, size, seed, shards)?;
+
+    if has_flag(args, "--per-shard") {
+        let base = out.ok_or("--per-shard requires --out")?;
+        if kind != SummaryKind::Sample {
+            return Err("--per-shard supports --kind sample only".into());
+        }
+        let samples = summarize_per_shard(&data, size, seed, shards)?;
+        // Tiny inputs may collapse to fewer shards than requested; report
+        // the files actually written so scripted merges see real paths.
+        let written = samples.len();
+        for (i, sample) in samples.into_iter().enumerate() {
+            let shard_path = format!("{base}.{i}");
+            let stored = StoredSample::one_dim(sample);
+            std::fs::write(&shard_path, encode_summary(&stored))?;
+        }
+        eprintln!(
+            "wrote {written} unmerged shard summaries to {base}.0..{base}.{}",
+            written - 1
+        );
+        return Ok(());
+    }
+
+    match out {
+        Some(out_path) => {
+            let summary = build_summary(&data, size, seed, shards, kind)?;
+            let bytes = encode_summary(summary.as_ref());
+            std::fs::write(out_path, &bytes)?;
+            eprintln!(
+                "wrote {}-item {}–D {} summary ({} bytes) to {out_path}",
+                summary.item_count(),
+                summary.dims(),
+                summary.kind(),
+                bytes.len(),
+            );
+        }
+        None => {
+            if kind != SummaryKind::Sample {
+                return Err(format!(
+                    "--kind {kind} has no TSV form; write a binary file with --out"
+                )
+                .into());
+            }
+            let (sample, dims) = summarize_sharded(&data, size, seed, shards)?;
+            eprintln!(
+                "built {}-key {}–D structure-aware summary (tau = {:.6}, {} shard{})",
+                sample.len(),
+                dims,
+                sample.tau(),
+                shards,
+                if shards == 1 { "" } else { "s" }
+            );
+            print!("{}", write_summary(&sample, &data));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    // Positional arguments (input paths) end at the first flag.
+    let inputs: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    if inputs.len() < 2 {
+        return Err("merge needs at least two summary files".into());
+    }
+    let out = flag_value(args, "--out").ok_or("missing --out")?;
+    let budget: Option<usize> = flag_value(args, "--size")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --size")?;
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let summaries = inputs
+        .iter()
+        .map(|p| load_summary(&std::fs::read(p.as_str())?).map_err(Into::into))
+        .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
+    let n = summaries.len();
+    let merged = merge_summaries(summaries, budget, seed)?;
+    let bytes = encode_summary(&*merged);
+    std::fs::write(out, &bytes)?;
     eprintln!(
-        "built {}-key {}–D structure-aware summary (tau = {:.6}, {} shard{})",
-        sample.len(),
-        dims,
-        sample.tau(),
-        shards,
-        if shards == 1 { "" } else { "s" }
+        "merged {n} {} summaries into {}-item {out} ({} bytes)",
+        merged.kind(),
+        merged.item_count(),
+        bytes.len(),
     );
-    print!("{}", write_summary(&sample, &data));
     Ok(())
 }
 
 fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing summary path")?;
     let spec = flag_value(args, "--range").ok_or("missing --range")?;
-    let text = std::fs::read_to_string(path)?;
-    let summary = read_summary(&text)?;
-    let range = parse_range(spec, summary.dims)?;
+    let summary = load_summary(&std::fs::read(path)?)?;
+    let range = parse_range(spec, summary.dims())?;
     let est = query(&summary, &range);
     println!("{est}");
     Ok(())
@@ -90,14 +191,8 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing summary path")?;
-    let text = std::fs::read_to_string(path)?;
-    let s = read_summary(&text)?;
-    println!(
-        "keys: {}\ndims: {}\ntau: {}\ntotal estimate: {}",
-        s.sample.len(),
-        s.dims,
-        s.sample.tau(),
-        s.sample.total_estimate()
-    );
+    let bytes = std::fs::read(path)?;
+    let summary: LoadedSummary = load_summary(&bytes)?;
+    print!("{}", info_text(&summary, Some(bytes.len() as u64)));
     Ok(())
 }

@@ -313,6 +313,93 @@ impl VarOptSampler {
         Sample::from_entries(entries, self.tau)
     }
 
+    // -- state exposure for persistence ------------------------------------
+    //
+    // A reservoir is durable state: `sas-summaries` serializes it so that
+    // streaming can continue in another process. The large partition is
+    // exposed (and restored) in its exact heap order so a decode→encode
+    // round trip is byte-faithful and the restored sampler draws the same
+    // random decisions as the original would.
+
+    /// The large partition (keys with weight above τ) in internal heap
+    /// order, as `(key, weight)` pairs.
+    pub fn large_entries(&self) -> impl Iterator<Item = (KeyId, f64)> + '_ {
+        self.large.iter().map(|h| (h.key, h.weight))
+    }
+
+    /// The small partition: keys whose adjusted weight is exactly τ.
+    pub fn small_keys(&self) -> &[KeyId] {
+        &self.small
+    }
+
+    /// Total weight processed so far.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Reassembles a sampler from persisted state. `large` must be given in
+    /// the heap order produced by [`VarOptSampler::large_entries`].
+    ///
+    /// Validates every invariant a corrupted file could violate: positive
+    /// capacity, finite non-negative weights and threshold, `held ≤ s`,
+    /// `count ≥ held`, small keys only after the reservoir has a threshold,
+    /// and the min-heap property of the large partition.
+    pub fn from_parts(
+        s: usize,
+        large: Vec<(KeyId, f64)>,
+        small: Vec<KeyId>,
+        tau: f64,
+        count: usize,
+        total_weight: f64,
+    ) -> Result<Self, String> {
+        if s == 0 {
+            return Err("capacity must be positive".into());
+        }
+        if !(tau.is_finite() && tau >= 0.0) {
+            return Err(format!("invalid threshold {tau}"));
+        }
+        if !(total_weight.is_finite() && total_weight >= 0.0) {
+            return Err(format!("invalid total weight {total_weight}"));
+        }
+        let held = large.len() + small.len();
+        if held > s {
+            return Err(format!("{held} held keys exceed capacity {s}"));
+        }
+        if count < held {
+            return Err(format!("count {count} below {held} held keys"));
+        }
+        if tau == 0.0 && !small.is_empty() {
+            return Err("small keys require a positive threshold".into());
+        }
+        for &(_, w) in &large {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(format!("invalid large-key weight {w}"));
+            }
+            // The large partition holds keys at or above the threshold
+            // (streaming keeps w > τ; a merge may leave w == τ', and a
+            // restart sets τ = 0 under arbitrary positive weights).
+            if w < tau {
+                return Err(format!("large-key weight {w} below threshold {tau}"));
+            }
+        }
+        for (i, &(_, w)) in large.iter().enumerate() {
+            if i > 0 && large[(i - 1) / 2].1 > w {
+                return Err("large partition is not in heap order".into());
+            }
+        }
+        Ok(Self {
+            s,
+            large: large
+                .into_iter()
+                .map(|(key, weight)| Held { key, weight })
+                .collect(),
+            small,
+            tau,
+            count,
+            total_weight,
+        })
+    }
+
     /// Convenience: sample a whole slice.
     pub fn sample_slice<R: Rng + ?Sized>(s: usize, data: &[WeightedKey], rng: &mut R) -> Sample {
         let mut sampler = Self::new(s);
@@ -704,6 +791,68 @@ mod tests {
         }
         Mergeable::merge_with(&mut a, b, &mut rng);
         assert_eq!(a.held(), 10);
+    }
+
+    #[test]
+    fn state_roundtrips_through_parts() {
+        let data = data_mixed(500, 61);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sampler = VarOptSampler::new(20);
+        for wk in &data[..400] {
+            sampler.push(wk.key, wk.weight, &mut rng);
+        }
+        let rebuilt = VarOptSampler::from_parts(
+            sampler.capacity(),
+            sampler.large_entries().collect(),
+            sampler.small_keys().to_vec(),
+            sampler.tau(),
+            sampler.count(),
+            sampler.total_weight(),
+        )
+        .expect("valid state");
+        // Identical state ⇒ identical behaviour under the same RNG stream.
+        let mut r1 = StdRng::seed_from_u64(33);
+        let mut r2 = StdRng::seed_from_u64(33);
+        let mut original = sampler;
+        let mut restored = rebuilt;
+        for wk in &data[400..] {
+            original.push(wk.key, wk.weight, &mut r1);
+            restored.push(wk.key, wk.weight, &mut r2);
+        }
+        let a = original.finish();
+        let b = restored.finish();
+        assert_eq!(a.tau(), b.tau());
+        let ka: Vec<_> = a.keys().collect();
+        let kb: Vec<_> = b.keys().collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn from_parts_rejects_invalid_state() {
+        // Zero capacity.
+        assert!(VarOptSampler::from_parts(0, vec![], vec![], 0.0, 0, 0.0).is_err());
+        // Held exceeds capacity.
+        assert!(
+            VarOptSampler::from_parts(1, vec![(1, 2.0), (2, 3.0)], vec![], 0.0, 2, 5.0).is_err()
+        );
+        // Count below held.
+        assert!(VarOptSampler::from_parts(4, vec![(1, 2.0)], vec![], 0.0, 0, 2.0).is_err());
+        // Small keys with zero threshold.
+        assert!(VarOptSampler::from_parts(4, vec![], vec![7], 0.0, 1, 1.0).is_err());
+        // Non-finite threshold / weight.
+        assert!(VarOptSampler::from_parts(4, vec![], vec![], f64::NAN, 0, 0.0).is_err());
+        assert!(VarOptSampler::from_parts(4, vec![(1, f64::NAN)], vec![], 0.0, 1, 1.0).is_err());
+        assert!(VarOptSampler::from_parts(4, vec![(1, -1.0)], vec![], 0.0, 1, 1.0).is_err());
+        // Heap order violated: parent heavier than child.
+        assert!(
+            VarOptSampler::from_parts(4, vec![(1, 5.0), (2, 3.0)], vec![], 0.0, 2, 8.0).is_err()
+        );
+        // Large key below the threshold (corrupted partition).
+        assert!(VarOptSampler::from_parts(4, vec![(1, 1.0)], vec![2], 5.0, 2, 6.0).is_err());
+        // A valid small state is accepted.
+        assert!(
+            VarOptSampler::from_parts(4, vec![(1, 3.0), (2, 5.0)], vec![3], 2.0, 5, 12.0).is_ok()
+        );
     }
 
     #[test]

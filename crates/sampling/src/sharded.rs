@@ -205,11 +205,26 @@ pub fn merge_samples<R: Rng + ?Sized>(a: Sample, b: Sample, s: usize, rng: &mut 
 /// grows only with `log₂(shards)` (see the module docs). With `shards == 1`
 /// this is exactly the serial `order::sample`.
 pub fn summarize_sharded(data: &[WeightedKey], s: usize, cfg: &ShardedConfig) -> Sample {
+    let per_shard = per_shard_samples(data, s, cfg);
+    let mut rng = StdRng::seed_from_u64(merge_seed(cfg.seed));
+    merge_sample_tree(per_shard, s, &mut rng)
+}
+
+/// Runs only the parallel sampling phase of [`summarize_sharded`]: one
+/// finished budget-`s` sample per shard, in shard order, without the final
+/// merge.
+///
+/// This is the distributed entry point: each worker's sample can be
+/// serialized to its own file (`sas summarize --per-shard`) and the merge
+/// performed later — in another process, or on another machine — with
+/// [`merge_sample_tree`] or the erased merge of `sas-summaries`. With one
+/// shard (or fewer items than shards) the result is a single serial sample.
+pub fn per_shard_samples(data: &[WeightedKey], s: usize, cfg: &ShardedConfig) -> Vec<Sample> {
     assert!(s > 0, "summary size must be positive");
     assert!(cfg.shards > 0, "shard count must be positive");
     if cfg.shards == 1 || data.len() <= cfg.shards {
         let mut rng = StdRng::seed_from_u64(shard_seed(cfg.seed, 0));
-        return order::sample(data, s, &mut rng);
+        return vec![order::sample(data, s, &mut rng)];
     }
 
     let parts = partition(data, cfg);
@@ -233,17 +248,23 @@ pub fn summarize_sharded(data: &[WeightedKey], s: usize, cfg: &ShardedConfig) ->
                 .map(|h| h.join().expect("shard worker panicked")),
         );
     });
+    per_shard
+}
 
-    // Bottom-up binary merge of adjacent shards (preserves key locality for
-    // the key-range topology).
-    let mut rng = StdRng::seed_from_u64(merge_seed(cfg.seed));
-    let mut level = per_shard;
+/// Merges per-shard samples bottom-up in a binary tree (adjacent pairs —
+/// preserves key locality for the key-range topology), landing at budget
+/// `s`. With `L` merge levels the interval discrepancy bound is
+/// `2·(L + 1)`; a left-to-right fold would pay one level per shard instead
+/// of `log₂(shards)`.
+pub fn merge_sample_tree<R: Rng + ?Sized>(samples: Vec<Sample>, s: usize, rng: &mut R) -> Sample {
+    assert!(s > 0, "merge budget must be positive");
+    let mut level = samples;
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
         let mut it = level.into_iter();
         while let Some(a) = it.next() {
             match it.next() {
-                Some(b) => next.push(merge_samples(a, b, s, &mut rng)),
+                Some(b) => next.push(merge_samples(a, b, s, rng)),
                 None => next.push(a),
             }
         }
@@ -403,6 +424,24 @@ mod tests {
             let smp = summarize_sharded(&data, 30, &cfg);
             assert!(smp.contains(123) && smp.contains(877), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn per_shard_samples_recombine_to_the_sharded_summary() {
+        // Persisting per-shard samples and merging later must equal the
+        // single-process sharded run exactly (same seeds, same tree).
+        let data = stream(2400, 21);
+        let s = 90;
+        let cfg = ShardedConfig::key_range(4, 17);
+        let direct = summarize_sharded(&data, s, &cfg);
+        let shards = per_shard_samples(&data, s, &cfg);
+        assert_eq!(shards.len(), 4);
+        let mut rng = StdRng::seed_from_u64(merge_seed(cfg.seed));
+        let recombined = merge_sample_tree(shards, s, &mut rng);
+        let ka: Vec<_> = direct.keys().collect();
+        let kb: Vec<_> = recombined.keys().collect();
+        assert_eq!(ka, kb);
+        assert_eq!(direct.tau().to_bits(), recombined.tau().to_bits());
     }
 
     #[test]

@@ -109,6 +109,131 @@ impl SketchSummary {
             bits_y,
         }
     }
+
+    /// Merges a sketch of disjoint data by counter addition (linearity:
+    /// the result is identical to a sketch built over the union). Fails
+    /// without mutating `self` if the geometries (domain bits, counter
+    /// width, hash seeds) differ — adding counters hashed differently
+    /// would be meaningless.
+    pub fn try_merge(&mut self, other: Self) -> Result<(), String> {
+        if (self.bits_x, self.bits_y) != (other.bits_x, other.bits_y) {
+            return Err(format!(
+                "sketch domain mismatch: 2^{}×2^{} vs 2^{}×2^{}",
+                self.bits_x, self.bits_y, other.bits_x, other.bits_y
+            ));
+        }
+        for (rows_a, rows_b) in self.sketches.iter().zip(&other.sketches) {
+            for (a, b) in rows_a.iter().zip(rows_b) {
+                if a.width != b.width {
+                    return Err("sketch width mismatch".into());
+                }
+                if a.seeds != b.seeds {
+                    return Err("sketch seed mismatch".into());
+                }
+            }
+        }
+        for (rows_a, rows_b) in self.sketches.iter_mut().zip(other.sketches) {
+            for (a, b) in rows_a.iter_mut().zip(rows_b) {
+                for (ca, cb) in a.counters.iter_mut().zip(b.counters) {
+                    *ca += cb;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the wire representation (see `sas-codec` for the framing).
+    pub(crate) fn write_wire(&self, w: &mut sas_codec::Writer) {
+        let width = self.sketches[0][0].width as u64;
+        w.section(1, |w| {
+            w.put_u32(self.bits_x);
+            w.put_u32(self.bits_y);
+            w.put_u64(width);
+            w.put_u8(ROWS as u8);
+        });
+        w.section(2, |w| {
+            for rows in &self.sketches {
+                for sk in rows {
+                    for &seed in &sk.seeds {
+                        w.put_u64(seed);
+                    }
+                    for &c in &sk.counters {
+                        w.put_f64(c);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Reads the wire representation, validating the geometry before any
+    /// large allocation (never panics).
+    pub(crate) fn read_wire(r: &mut sas_codec::Reader<'_>) -> Result<Self, sas_codec::CodecError> {
+        use sas_codec::CodecError;
+        let mut meta = r.expect_section(1)?;
+        let bits_x = meta.get_u32()?;
+        let bits_y = meta.get_u32()?;
+        let width = meta.get_u64()? as usize;
+        let rows = meta.get_u8()? as usize;
+        meta.finish()?;
+        if rows != ROWS {
+            return Err(CodecError::Invalid(format!(
+                "sketch has {rows} rows, this build expects {ROWS}"
+            )));
+        }
+        if width == 0 {
+            return Err(CodecError::Invalid("zero sketch width".into()));
+        }
+        if bits_x >= 32 || bits_y >= 32 {
+            return Err(CodecError::Invalid(format!(
+                "sketch domain bits ({bits_x}, {bits_y}) too large"
+            )));
+        }
+        let mut body = r.expect_section(2)?;
+        // One sketch is 3 seeds + ROWS·width counters; reject a corrupt
+        // width before allocating anything near it. Every step is checked:
+        // a crafted width must not wrap the arithmetic into a size that
+        // matches the body (and then blow up in Vec::with_capacity).
+        let pairs = ((bits_x + 1) * (bits_y + 1)) as usize;
+        let overflow = || CodecError::Invalid(format!("sketch geometry {pairs}×{width} overflows"));
+        let counters_per_sketch = ROWS.checked_mul(width).ok_or_else(overflow)?;
+        let per_sketch = counters_per_sketch
+            .checked_mul(8)
+            .and_then(|v| v.checked_add(3 * 8))
+            .ok_or_else(overflow)?;
+        let needed = pairs.checked_mul(per_sketch).ok_or_else(overflow)?;
+        if needed != body.remaining() {
+            return Err(CodecError::LengthMismatch {
+                declared: needed as u64,
+                actual: body.remaining() as u64,
+            });
+        }
+        let mut sketches = Vec::with_capacity((bits_x + 1) as usize);
+        for _ in 0..=bits_x {
+            let mut row = Vec::with_capacity((bits_y + 1) as usize);
+            for _ in 0..=bits_y {
+                let mut seeds = [0u64; ROWS];
+                for s in &mut seeds {
+                    *s = body.get_u64()?;
+                }
+                let mut counters = Vec::with_capacity(counters_per_sketch);
+                for _ in 0..counters_per_sketch {
+                    counters.push(body.get_finite_f64()?);
+                }
+                row.push(CountSketch {
+                    width,
+                    counters,
+                    seeds,
+                });
+            }
+            sketches.push(row);
+        }
+        body.finish()?;
+        Ok(Self {
+            sketches,
+            bits_x,
+            bits_y,
+        })
+    }
 }
 
 /// Count-sketches are linear: two sketches built with the same geometry
@@ -121,20 +246,7 @@ impl SketchSummary {
 /// counter width, or build seed) — merging those is not meaningful.
 impl Mergeable for SketchSummary {
     fn merge_with<R: rand::Rng + ?Sized>(&mut self, other: Self, _rng: &mut R) {
-        assert_eq!(
-            (self.bits_x, self.bits_y),
-            (other.bits_x, other.bits_y),
-            "sketch domain mismatch"
-        );
-        for (rows_a, rows_b) in self.sketches.iter_mut().zip(other.sketches) {
-            for (a, b) in rows_a.iter_mut().zip(rows_b) {
-                assert_eq!(a.width, b.width, "sketch width mismatch");
-                assert_eq!(a.seeds, b.seeds, "sketch seed mismatch");
-                for (ca, cb) in a.counters.iter_mut().zip(b.counters) {
-                    *ca += cb;
-                }
-            }
-        }
+        self.try_merge(other).unwrap();
     }
 }
 

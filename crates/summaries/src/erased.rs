@@ -1,0 +1,767 @@
+//! The erased [`Summary`] trait and the [`SummaryKind`] registry: every
+//! summary in this workspace — VarOpt reservoir state, finished samples,
+//! q-digest, wavelet, count-sketch — behind one object-safe interface with
+//! a versioned binary persistence format.
+//!
+//! This is what lets a summary outlive the process that built it: `sas
+//! summarize --out part.sas` writes a frame (see `sas-codec` for the
+//! layout), `sas merge` combines frames from different processes through
+//! [`Summary::merge_in_place`], and `sas query` answers range sums from a
+//! frame alone — all without a single per-kind `match` in the caller.
+//!
+//! ## Adding a kind
+//!
+//! 1. give the type `write_wire`/`read_wire` methods in its own module;
+//! 2. implement [`Summary`] for it here;
+//! 3. append a [`KindEntry`] to [`REGISTRY`] with a **fresh tag** (tags are
+//!    part of the wire format and must never be reused or renumbered).
+
+use std::any::Any;
+use std::fmt;
+
+use rand::RngCore;
+
+use sas_codec::{encode_frame, open_frame, CodecError, Reader, Writer};
+use sas_core::varopt::VarOptSampler;
+use sas_core::KeyId;
+use sas_structures::product::BoxRange;
+
+use crate::countsketch::SketchSummary;
+use crate::qdigest::QDigestSummary;
+use crate::stored::StoredSample;
+use crate::wavelet::WaveletSummary;
+use crate::RangeSumSummary;
+
+/// The registered summary kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SummaryKind {
+    /// A finished sample with HT adjusted weights ([`StoredSample`]).
+    Sample,
+    /// Live VarOpt reservoir state ([`VarOptSampler`]) — resumable.
+    VarOptReservoir,
+    /// 2-D q-digest ([`QDigestSummary`]).
+    QDigest,
+    /// 2-D thresholded Haar wavelet ([`WaveletSummary`]).
+    Wavelet,
+    /// Dyadic count-sketch ([`SketchSummary`]).
+    CountSketch,
+}
+
+impl SummaryKind {
+    /// The kind's wire tag (stable; part of the format).
+    pub fn tag(self) -> u16 {
+        self.entry().tag
+    }
+
+    /// Short stable name (`sample`, `varopt`, `qdigest`, `wavelet`,
+    /// `sketch`) — accepted by `sas summarize --kind`.
+    pub fn name(self) -> &'static str {
+        self.entry().name
+    }
+
+    /// Looks a kind up by wire tag.
+    pub fn from_tag(tag: u16) -> Option<Self> {
+        REGISTRY.iter().find(|e| e.tag == tag).map(|e| e.kind)
+    }
+
+    /// Looks a kind up by name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        REGISTRY.iter().find(|e| e.name == name).map(|e| e.kind)
+    }
+
+    /// All registered kinds.
+    pub fn all() -> impl Iterator<Item = Self> {
+        REGISTRY.iter().map(|e| e.kind)
+    }
+
+    fn entry(self) -> &'static KindEntry {
+        REGISTRY
+            .iter()
+            .find(|e| e.kind == self)
+            .expect("every kind is registered")
+    }
+}
+
+impl fmt::Display for SummaryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors from the erased summary layer.
+#[derive(Debug)]
+pub enum SummaryError {
+    /// Decoding failed (corruption, truncation, version/kind mismatch).
+    Codec(CodecError),
+    /// A merge was rejected (kind, dimensionality, or geometry mismatch).
+    Merge(String),
+}
+
+impl fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryError::Codec(e) => write!(f, "{e}"),
+            SummaryError::Merge(msg) => write!(f, "merge rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+impl From<CodecError> for SummaryError {
+    fn from(e: CodecError) -> Self {
+        SummaryError::Codec(e)
+    }
+}
+
+/// An object-safe, persistable, mergeable summary.
+///
+/// Implementations answer range-sum queries, expose their build metadata
+/// (kind, dimensionality, size, threshold), merge type-erased peers, and
+/// encode themselves onto the `sas-codec` wire format. Everything a caller
+/// needs lives behind `Box<dyn Summary>` — no downcasting outside this
+/// module.
+pub trait Summary: fmt::Debug {
+    /// Which registered kind this is.
+    fn kind(&self) -> SummaryKind;
+
+    /// Dimensionality of the key domain the summary answers queries over.
+    fn dims(&self) -> usize;
+
+    /// Stored elements (keys / nodes / coefficients / counters) — the
+    /// paper's space axis.
+    fn item_count(&self) -> usize;
+
+    /// Estimate of the total data weight.
+    fn total_estimate(&self) -> f64;
+
+    /// The IPPS threshold, for sample-based kinds.
+    fn tau(&self) -> Option<f64> {
+        None
+    }
+
+    /// Estimated weight inside an axis-aligned range: `range[i]` is the
+    /// closed interval on axis `i`; missing axes default to the full
+    /// domain.
+    fn range_sum(&self, range: &[(u64, u64)]) -> f64;
+
+    /// Merges a type-erased summary of *disjoint* data into `self`.
+    ///
+    /// `budget` bounds the merged size where the kind supports it (finished
+    /// samples re-subsample down to it; reservoirs already carry their
+    /// capacity; deterministic summaries merge by addition and ignore it).
+    /// Randomized merges draw from `rng`; deterministic ones ignore it.
+    /// Fails — without mutating `self` — on kind, dimensionality, or
+    /// geometry mismatch.
+    fn merge_in_place(
+        &mut self,
+        other: Box<dyn Summary>,
+        budget: Option<usize>,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), SummaryError>;
+
+    /// Writes the kind-specific frame body (sections only; the envelope is
+    /// added by [`encode_summary`]).
+    fn encode_body(&self, w: &mut Writer);
+
+    /// Upcast for inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcast for consuming downcasts (used by merge implementations).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// One registry row: the kind, its stable wire tag and name, and the
+/// decoder producing the erased summary from a frame body.
+pub struct KindEntry {
+    /// The kind.
+    pub kind: SummaryKind,
+    /// Stable wire tag.
+    pub tag: u16,
+    /// Stable CLI name.
+    pub name: &'static str,
+    /// Body decoder.
+    pub decode: for<'a> fn(&mut Reader<'a>) -> Result<Box<dyn Summary>, CodecError>,
+}
+
+/// The kind registry: the single place associating tags, names, and
+/// decoders. Order is cosmetic; tags are forever.
+pub static REGISTRY: &[KindEntry] = &[
+    KindEntry {
+        kind: SummaryKind::Sample,
+        tag: 1,
+        name: "sample",
+        decode: |r| Ok(Box::new(StoredSample::read_wire(r)?)),
+    },
+    KindEntry {
+        kind: SummaryKind::VarOptReservoir,
+        tag: 2,
+        name: "varopt",
+        decode: |r| Ok(Box::new(decode_varopt(r)?)),
+    },
+    KindEntry {
+        kind: SummaryKind::QDigest,
+        tag: 3,
+        name: "qdigest",
+        decode: |r| Ok(Box::new(QDigestSummary::read_wire(r)?)),
+    },
+    KindEntry {
+        kind: SummaryKind::Wavelet,
+        tag: 4,
+        name: "wavelet",
+        decode: |r| Ok(Box::new(WaveletSummary::read_wire(r)?)),
+    },
+    KindEntry {
+        kind: SummaryKind::CountSketch,
+        tag: 5,
+        name: "sketch",
+        decode: |r| Ok(Box::new(SketchSummary::read_wire(r)?)),
+    },
+];
+
+/// Encodes any summary into a self-describing binary frame.
+pub fn encode_summary(s: &dyn Summary) -> Vec<u8> {
+    encode_frame(s.kind().tag(), |w| s.encode_body(w))
+}
+
+/// Decodes a binary frame into the summary it holds, dispatching through
+/// the registry. Never panics on corrupted input.
+pub fn decode_summary(bytes: &[u8]) -> Result<Box<dyn Summary>, CodecError> {
+    let mut frame = open_frame(bytes)?;
+    let entry = REGISTRY
+        .iter()
+        .find(|e| e.tag == frame.kind)
+        .ok_or(CodecError::UnknownKind(frame.kind))?;
+    let summary = (entry.decode)(&mut frame.body)?;
+    frame.body.finish()?;
+    Ok(summary)
+}
+
+/// Consuming downcast with a kind-aware error.
+fn downcast<T: Any>(other: Box<dyn Summary>, into: SummaryKind) -> Result<Box<T>, SummaryError> {
+    let found = other.kind();
+    other.into_any().downcast::<T>().map_err(|_| {
+        SummaryError::Merge(format!(
+            "cannot merge a {found} summary into a {into} summary"
+        ))
+    })
+}
+
+// --- Sample ----------------------------------------------------------------
+
+impl Summary for StoredSample {
+    fn kind(&self) -> SummaryKind {
+        SummaryKind::Sample
+    }
+
+    fn dims(&self) -> usize {
+        self.dims()
+    }
+
+    fn item_count(&self) -> usize {
+        self.sample().len()
+    }
+
+    fn total_estimate(&self) -> f64 {
+        self.sample().total_estimate()
+    }
+
+    fn tau(&self) -> Option<f64> {
+        Some(self.sample().tau())
+    }
+
+    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        StoredSample::range_sum(self, range)
+    }
+
+    fn merge_in_place(
+        &mut self,
+        other: Box<dyn Summary>,
+        budget: Option<usize>,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), SummaryError> {
+        let other = downcast::<StoredSample>(other, SummaryKind::Sample)?;
+        self.merge(*other, budget, rng).map_err(SummaryError::Merge)
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        self.write_wire(w);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// --- VarOpt reservoir ------------------------------------------------------
+
+fn decode_varopt(r: &mut Reader<'_>) -> Result<VarOptSampler, CodecError> {
+    let mut meta = r.expect_section(1)?;
+    let s = meta.get_u64()? as usize;
+    let tau = meta.get_f64()?;
+    let count = meta.get_u64()? as usize;
+    let total_weight = meta.get_f64()?;
+    meta.finish()?;
+    let mut large_sec = r.expect_section(2)?;
+    let n_large = large_sec.get_len(16)?; // u64 + f64 per entry
+    let mut large = Vec::with_capacity(n_large);
+    for _ in 0..n_large {
+        let key = large_sec.get_u64()?;
+        let weight = large_sec.get_f64()?;
+        large.push((key, weight));
+    }
+    large_sec.finish()?;
+    let mut small_sec = r.expect_section(3)?;
+    let n_small = small_sec.get_len(8)?;
+    let mut small = Vec::with_capacity(n_small);
+    for _ in 0..n_small {
+        small.push(small_sec.get_u64()?);
+    }
+    small_sec.finish()?;
+    VarOptSampler::from_parts(s, large, small, tau, count, total_weight)
+        .map_err(CodecError::Invalid)
+}
+
+impl Summary for VarOptSampler {
+    fn kind(&self) -> SummaryKind {
+        SummaryKind::VarOptReservoir
+    }
+
+    fn dims(&self) -> usize {
+        1
+    }
+
+    fn item_count(&self) -> usize {
+        self.held()
+    }
+
+    fn total_estimate(&self) -> f64 {
+        let tau = self.tau();
+        let large: f64 = self.large_entries().map(|(_, w)| w.max(tau)).sum();
+        large + self.small_keys().len() as f64 * tau
+    }
+
+    fn tau(&self) -> Option<f64> {
+        Some(self.tau())
+    }
+
+    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        let (lo, hi) = range.first().copied().unwrap_or((0, u64::MAX));
+        let tau = self.tau();
+        let in_range = |k: KeyId| (lo..=hi).contains(&k);
+        let large: f64 = self
+            .large_entries()
+            .filter(|&(k, _)| in_range(k))
+            .map(|(_, w)| w.max(tau))
+            .sum();
+        let small = self.small_keys().iter().filter(|&&k| in_range(k)).count();
+        large + small as f64 * tau
+    }
+
+    fn merge_in_place(
+        &mut self,
+        other: Box<dyn Summary>,
+        _budget: Option<usize>,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), SummaryError> {
+        // The reservoir's own capacity *is* the budget: the threshold merge
+        // re-subsamples the union down to it.
+        let other = downcast::<VarOptSampler>(other, SummaryKind::VarOptReservoir)?;
+        self.merge(*other, rng);
+        Ok(())
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.section(1, |w| {
+            w.put_u64(self.capacity() as u64);
+            w.put_f64(self.tau());
+            w.put_u64(self.count() as u64);
+            w.put_f64(self.total_weight());
+        });
+        w.section(2, |w| {
+            w.put_u64(self.large_entries().count() as u64);
+            for (key, weight) in self.large_entries() {
+                w.put_u64(key);
+                w.put_f64(weight);
+            }
+        });
+        w.section(3, |w| {
+            w.put_u64(self.small_keys().len() as u64);
+            for &key in self.small_keys() {
+                w.put_u64(key);
+            }
+        });
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// --- Q-digest --------------------------------------------------------------
+
+impl Summary for QDigestSummary {
+    fn kind(&self) -> SummaryKind {
+        SummaryKind::QDigest
+    }
+
+    fn dims(&self) -> usize {
+        2
+    }
+
+    fn item_count(&self) -> usize {
+        self.size_elements()
+    }
+
+    fn total_estimate(&self) -> f64 {
+        self.stored_total()
+    }
+
+    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        self.estimate_box(&box_from(range))
+    }
+
+    fn merge_in_place(
+        &mut self,
+        other: Box<dyn Summary>,
+        _budget: Option<usize>,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), SummaryError> {
+        // Deterministic node addition; the budget does not apply (rebuild
+        // from data to recompress).
+        let other = downcast::<QDigestSummary>(other, SummaryKind::QDigest)?;
+        sas_core::Mergeable::merge_with(self, *other, rng);
+        Ok(())
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        self.write_wire(w);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// --- Wavelet ---------------------------------------------------------------
+
+impl Summary for WaveletSummary {
+    fn kind(&self) -> SummaryKind {
+        SummaryKind::Wavelet
+    }
+
+    fn dims(&self) -> usize {
+        2
+    }
+
+    fn item_count(&self) -> usize {
+        self.size_elements()
+    }
+
+    fn total_estimate(&self) -> f64 {
+        self.estimate_box(&box_from(&[]))
+    }
+
+    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        self.estimate_box(&box_from(range))
+    }
+
+    fn merge_in_place(
+        &mut self,
+        other: Box<dyn Summary>,
+        _budget: Option<usize>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<(), SummaryError> {
+        let other = downcast::<WaveletSummary>(other, SummaryKind::Wavelet)?;
+        self.try_merge(*other).map_err(SummaryError::Merge)
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        self.write_wire(w);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// --- Count-sketch ----------------------------------------------------------
+
+impl Summary for SketchSummary {
+    fn kind(&self) -> SummaryKind {
+        SummaryKind::CountSketch
+    }
+
+    fn dims(&self) -> usize {
+        2
+    }
+
+    fn item_count(&self) -> usize {
+        self.size_elements()
+    }
+
+    fn total_estimate(&self) -> f64 {
+        self.estimate_box(&box_from(&[]))
+    }
+
+    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        self.estimate_box(&box_from(range))
+    }
+
+    fn merge_in_place(
+        &mut self,
+        other: Box<dyn Summary>,
+        _budget: Option<usize>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<(), SummaryError> {
+        let other = downcast::<SketchSummary>(other, SummaryKind::CountSketch)?;
+        self.try_merge(*other).map_err(SummaryError::Merge)
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        self.write_wire(w);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Builds a 2-D box from axis ranges; missing axes span the full domain
+/// (the estimators clamp to their own domain bits).
+fn box_from(range: &[(u64, u64)]) -> BoxRange {
+    let axis = |i: usize| range.get(i).copied().unwrap_or((0, u64::MAX));
+    let (x0, x1) = axis(0);
+    let (y0, y1) = axis(1);
+    BoxRange::xy(x0, x1, y0, y1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sas_core::WeightedKey;
+    use sas_sampling::product::SpatialData;
+
+    fn spatial(n: usize, bits: u32, seed: u64) -> SpatialData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let side = 1u64 << bits;
+        let rows: Vec<(u64, u64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..side),
+                    rng.gen_range(0..side),
+                    rng.gen_range(0.5..5.0),
+                )
+            })
+            .collect();
+        SpatialData::from_xyw(&rows)
+    }
+
+    fn keys(n: u64, seed: u64) -> Vec<WeightedKey> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|k| WeightedKey::new(k, rng.gen_range(0.1..20.0)))
+            .collect()
+    }
+
+    /// Builds one fixture per registered kind (used by the sweeps below).
+    fn fixtures() -> Vec<Box<dyn Summary>> {
+        let data1 = keys(300, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sample = sas_sampling::order::sample(&data1, 40, &mut rng);
+        let stored = StoredSample::one_dim(sample);
+
+        let mut varopt = VarOptSampler::new(25);
+        for wk in &data1 {
+            varopt.push(wk.key, wk.weight, &mut rng);
+        }
+
+        let data2 = spatial(200, 6, 3);
+        let qdigest = QDigestSummary::build(&data2, 6, 50);
+        let wavelet = WaveletSummary::build(&data2, 6, 6, 60);
+        let sketch = SketchSummary::build(&data2, 6, 6, 800, 7);
+
+        vec![
+            Box::new(stored),
+            Box::new(varopt),
+            Box::new(qdigest),
+            Box::new(wavelet),
+            Box::new(sketch),
+        ]
+    }
+
+    fn probe_ranges() -> Vec<Vec<(u64, u64)>> {
+        vec![
+            vec![(0, u64::MAX), (0, u64::MAX)],
+            vec![(0, 31), (0, 31)],
+            vec![(10, 50), (5, 60)],
+            vec![(100, 250)],
+        ]
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        // Tags and names are unique; lookups invert each other.
+        let mut tags = std::collections::HashSet::new();
+        let mut names = std::collections::HashSet::new();
+        for e in REGISTRY {
+            assert!(tags.insert(e.tag), "duplicate tag {}", e.tag);
+            assert!(names.insert(e.name), "duplicate name {}", e.name);
+            assert_eq!(SummaryKind::from_tag(e.tag), Some(e.kind));
+            assert_eq!(SummaryKind::from_name(e.name), Some(e.kind));
+            assert_eq!(e.kind.tag(), e.tag);
+            assert_eq!(e.kind.name(), e.name);
+        }
+        assert_eq!(SummaryKind::all().count(), 5);
+        assert_eq!(SummaryKind::from_tag(999), None);
+        assert_eq!(SummaryKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn every_kind_roundtrips_bit_exactly() {
+        for original in fixtures() {
+            let bytes = encode_summary(original.as_ref());
+            let decoded = decode_summary(&bytes)
+                .unwrap_or_else(|e| panic!("{}: decode failed: {e}", original.kind()));
+            assert_eq!(decoded.kind(), original.kind());
+            assert_eq!(decoded.dims(), original.dims());
+            assert_eq!(decoded.item_count(), original.item_count());
+            assert_eq!(decoded.tau(), original.tau());
+            for range in probe_ranges() {
+                let a = original.range_sum(&range);
+                let b = decoded.range_sum(&range);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: range {range:?}: {a} vs {b}",
+                    original.kind()
+                );
+            }
+            // Re-encoding the decoded summary reproduces the same bytes.
+            assert_eq!(
+                bytes,
+                encode_summary(decoded.as_ref()),
+                "{}",
+                original.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_kind_merges_are_rejected() {
+        let all = fixtures();
+        for (i, a) in fixtures().into_iter().enumerate() {
+            let mut a = a;
+            for (j, b) in all.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let b = decode_summary(&encode_summary(b.as_ref())).unwrap();
+                let mut rng = StdRng::seed_from_u64(1);
+                assert!(
+                    a.merge_in_place(b, None, &mut rng).is_err(),
+                    "merging kind {j} into kind {i} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn varopt_reservoir_resumes_after_decode() {
+        // The round-tripped reservoir is live state: pushing the same
+        // suffix with the same RNG stream matches the original exactly.
+        let data = keys(600, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut original = VarOptSampler::new(30);
+        for wk in &data[..400] {
+            original.push(wk.key, wk.weight, &mut rng);
+        }
+        let bytes = encode_summary(&original);
+        let decoded = decode_summary(&bytes).unwrap();
+        let mut restored = *decoded.into_any().downcast::<VarOptSampler>().unwrap();
+        let (mut r1, mut r2) = (StdRng::seed_from_u64(99), StdRng::seed_from_u64(99));
+        for wk in &data[400..] {
+            original.push(wk.key, wk.weight, &mut r1);
+            restored.push(wk.key, wk.weight, &mut r2);
+        }
+        let (a, b) = (original.finish(), restored.finish());
+        assert_eq!(a.tau().to_bits(), b.tau().to_bits());
+        let ka: Vec<_> = a.keys().collect();
+        let kb: Vec<_> = b.keys().collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn geometry_mismatches_fail_cleanly() {
+        let d = spatial(50, 5, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        // Sketch: different build seeds → different hash seeds.
+        let mut a: Box<dyn Summary> = Box::new(SketchSummary::build(&d, 5, 5, 400, 1));
+        let b: Box<dyn Summary> = Box::new(SketchSummary::build(&d, 5, 5, 400, 2));
+        assert!(a.merge_in_place(b, None, &mut rng).is_err());
+        // Wavelet: different domain bits.
+        let mut wa: Box<dyn Summary> = Box::new(WaveletSummary::build(&d, 5, 5, 40));
+        let wb: Box<dyn Summary> = Box::new(WaveletSummary::build(&d, 6, 6, 40));
+        assert!(wa.merge_in_place(wb, None, &mut rng).is_err());
+    }
+
+    #[test]
+    fn erased_merge_matches_concrete_merge() {
+        // Wavelet: erased merge must equal the concrete coefficient merge.
+        let all = spatial(300, 6, 31);
+        let rows: Vec<(u64, u64, f64)> = all
+            .keys
+            .iter()
+            .zip(&all.points)
+            .map(|(wk, p)| (p.coord(0), p.coord(1), wk.weight))
+            .collect();
+        let (first, second) = rows.split_at(150);
+        let build = |rows: &[(u64, u64, f64)]| {
+            WaveletSummary::build(&SpatialData::from_xyw(rows), 6, 6, 5000)
+        };
+        let mut concrete = build(first);
+        concrete.try_merge(build(second)).unwrap();
+        let mut erased: Box<dyn Summary> = Box::new(build(first));
+        let mut rng = StdRng::seed_from_u64(1);
+        erased
+            .merge_in_place(Box::new(build(second)), None, &mut rng)
+            .unwrap();
+        for range in probe_ranges() {
+            assert_eq!(
+                concrete.range_sum(&range).to_bits(),
+                erased.range_sum(&range).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let bytes = sas_codec::encode_frame(999, |w| w.put_u64(0));
+        assert!(matches!(
+            decode_summary(&bytes),
+            Err(CodecError::UnknownKind(999))
+        ));
+    }
+}

@@ -23,15 +23,28 @@
 //! data combine by node/counter addition, mirroring the mergeable VarOpt
 //! samples of `sas-sampling::sharded`.
 
+//!
+//! The [`erased`] module adds the durability layer: the object-safe
+//! [`Summary`] trait (build metadata, range-sum queries, type-erased merge,
+//! encode/decode onto the `sas-codec` wire format) and the [`SummaryKind`]
+//! registry, so VarOpt reservoirs, finished samples ([`stored`]), q-digests,
+//! wavelets, and count-sketches can be saved, merged, and queried across
+//! process boundaries.
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod countsketch;
+pub mod erased;
 pub mod exact;
 pub mod qdigest;
 pub mod qdigest1d;
+pub mod stored;
 pub mod wavelet;
 pub mod wavelet1d;
+
+pub use erased::{decode_summary, encode_summary, Summary, SummaryError, SummaryKind};
+pub use stored::StoredSample;
 
 use sas_structures::product::{BoxRange, MultiRangeQuery};
 

@@ -92,12 +92,21 @@ impl QDigestSummary {
 
         let mut threshold = total / s as f64;
         loop {
-            let nodes = Self::compress(&leaves, bits, threshold);
+            let mut nodes = Self::compress(&leaves, bits, threshold);
             if nodes.len() <= s {
+                Self::canonicalize(&mut nodes);
                 return Self { nodes, threshold };
             }
             threshold *= 2.0;
         }
+    }
+
+    /// Sorts nodes into the canonical (level, ix, iy) order. The compress
+    /// and merge passes go through hash maps whose iteration order varies
+    /// run to run; canonical order makes builds, merges, estimate sums, and
+    /// encodings byte-for-byte deterministic.
+    fn canonicalize(nodes: &mut [(Cell, f64)]) {
+        nodes.sort_unstable_by_key(|(c, _)| (c.level, c.ix, c.iy));
     }
 
     /// One bottom-up compression pass at a fixed threshold: cells whose
@@ -159,6 +168,63 @@ impl QDigestSummary {
         self.threshold
     }
 
+    /// Writes the wire representation (see `sas-codec` for the framing).
+    pub(crate) fn write_wire(&self, w: &mut sas_codec::Writer) {
+        w.section(1, |w| w.put_f64(self.threshold));
+        w.section(2, |w| {
+            w.put_u64(self.nodes.len() as u64);
+            for (cell, weight) in &self.nodes {
+                w.put_u32(cell.level);
+                w.put_u64(cell.ix);
+                w.put_u64(cell.iy);
+                w.put_f64(*weight);
+            }
+        });
+    }
+
+    /// Reads the wire representation, validating every invariant a
+    /// corrupted file could violate (never panics).
+    pub(crate) fn read_wire(r: &mut sas_codec::Reader<'_>) -> Result<Self, sas_codec::CodecError> {
+        use sas_codec::CodecError;
+        let mut meta = r.expect_section(1)?;
+        let threshold = meta.get_finite_f64()?;
+        if threshold < 0.0 {
+            return Err(CodecError::Invalid(format!(
+                "negative threshold {threshold}"
+            )));
+        }
+        meta.finish()?;
+        let mut body = r.expect_section(2)?;
+        let n = body.get_len(28)?; // u32 + 2×u64 + f64 per node
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let level = body.get_u32()?;
+            let ix = body.get_u64()?;
+            let iy = body.get_u64()?;
+            let weight = body.get_finite_f64()?;
+            if weight < 0.0 {
+                return Err(CodecError::Invalid(format!(
+                    "negative node weight {weight}"
+                )));
+            }
+            if level >= 64 {
+                return Err(CodecError::Invalid(format!("cell level {level} too deep")));
+            }
+            // The cell's box must fit in u64: (i + 1) · 2^level − 1 ≤ u64::MAX.
+            let side = 1u64 << level;
+            for i in [ix, iy] {
+                if i.checked_add(1).and_then(|v| v.checked_mul(side)).is_none() {
+                    return Err(CodecError::Invalid(format!(
+                        "cell ({level}, {ix}, {iy}) overflows the domain"
+                    )));
+                }
+            }
+            nodes.push((Cell { level, ix, iy }, weight));
+        }
+        body.finish()?;
+        Ok(Self { nodes, threshold })
+    }
+
     /// Total weight stored (equals the data total).
     pub fn stored_total(&self) -> f64 {
         self.nodes.iter().map(|(_, w)| w).sum()
@@ -177,6 +243,7 @@ impl Mergeable for QDigestSummary {
             *by_cell.entry(cell).or_insert(0.0) += w;
         }
         self.nodes = by_cell.into_iter().collect();
+        Self::canonicalize(&mut self.nodes);
         self.threshold = self.threshold.max(other.threshold);
     }
 }

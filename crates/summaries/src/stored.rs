@@ -1,0 +1,293 @@
+//! [`StoredSample`] — a finished sample as a durable, mergeable summary.
+//!
+//! This is the persistent form of the paper's headline object: the sampled
+//! keys with their Horvitz–Thompson adjusted weights (plus locations for
+//! 2-D data), self-contained enough to answer any subset-sum query without
+//! the underlying data set. The CLI's TSV summaries and the binary frames
+//! of `sas-codec` both load into this type.
+
+use std::collections::{HashMap, HashSet};
+
+use sas_core::estimate::{Sample, SampleEntry};
+use sas_core::KeyId;
+use sas_structures::product::{BoxRange, Point};
+
+/// A finished sample with optional 2-D locations.
+#[derive(Debug, Clone)]
+pub struct StoredSample {
+    sample: Sample,
+    /// Location per sampled key (empty for 1-D, where keys are positions).
+    points: HashMap<KeyId, Point>,
+    dims: usize,
+}
+
+impl StoredSample {
+    /// Wraps a 1-D sample (keys are positions on the line).
+    pub fn one_dim(sample: Sample) -> Self {
+        Self {
+            sample,
+            points: HashMap::new(),
+            dims: 1,
+        }
+    }
+
+    /// Wraps a 2-D sample; every sampled key must have a location.
+    pub fn two_dim(sample: Sample, points: HashMap<KeyId, Point>) -> Result<Self, String> {
+        for e in sample.iter() {
+            match points.get(&e.key) {
+                None => return Err(format!("sampled key {} has no location", e.key)),
+                Some(p) if p.dim() != 2 => {
+                    return Err(format!("key {} has a {}-D location", e.key, p.dim()))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(Self {
+            sample,
+            points,
+            dims: 2,
+        })
+    }
+
+    /// The underlying sample.
+    pub fn sample(&self) -> &Sample {
+        &self.sample
+    }
+
+    /// The location map (empty for 1-D summaries).
+    pub fn points(&self) -> &HashMap<KeyId, Point> {
+        &self.points
+    }
+
+    /// Dimensionality (1 or 2).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// HT estimate of the weight inside an axis-aligned range
+    /// (`range[0]` on the key line for 1-D; `range[0]`, `range[1]` as a box
+    /// for 2-D). Missing axes default to the full domain.
+    pub fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        let axis = |i: usize| range.get(i).copied().unwrap_or((0, u64::MAX));
+        match self.dims {
+            1 => {
+                let (lo, hi) = axis(0);
+                self.sample.subset_estimate(|k| (lo..=hi).contains(&k))
+            }
+            _ => {
+                let (x0, x1) = axis(0);
+                let (y0, y1) = axis(1);
+                let b = BoxRange::xy(x0, x1, y0, y1);
+                self.sample
+                    .subset_estimate(|k| self.points.get(&k).is_some_and(|p| b.contains(p)))
+            }
+        }
+    }
+
+    /// Merges a sample of disjoint data.
+    ///
+    /// With `budget: None` the entries are concatenated (each keeps the
+    /// adjusted weight its own sampler assigned — exact and unbiased, but
+    /// the size grows). With `budget: Some(s)` the union is re-subsampled
+    /// down to `s` entries by the structure-aware threshold merge
+    /// (`sas_sampling::sharded::merge_samples`), which aggregates in key
+    /// order and conserves the total exactly.
+    pub fn merge<R: rand::Rng + ?Sized>(
+        &mut self,
+        other: StoredSample,
+        budget: Option<usize>,
+        rng: &mut R,
+    ) -> Result<(), String> {
+        if self.dims != other.dims {
+            return Err(format!(
+                "cannot merge a {}-D sample into a {}-D sample",
+                other.dims, self.dims
+            ));
+        }
+        let mine = std::mem::take(&mut self.sample);
+        self.sample = match budget {
+            Some(s) if s > 0 => sas_sampling::sharded::merge_samples(mine, other.sample, s, rng),
+            Some(_) => return Err("merge budget must be positive".into()),
+            None => {
+                let mut m = mine;
+                m.merge(other.sample);
+                m
+            }
+        };
+        if self.dims == 2 {
+            self.points.extend(other.points);
+            // Re-subsampling may have dropped keys; keep the location map
+            // aligned with the surviving entries so size stays honest.
+            let kept: HashSet<KeyId> = self.sample.keys().collect();
+            self.points.retain(|k, _| kept.contains(k));
+        }
+        Ok(())
+    }
+
+    /// Writes the wire representation (see `sas-codec` for the framing).
+    pub(crate) fn write_wire(&self, w: &mut sas_codec::Writer) {
+        w.section(1, |w| {
+            w.put_u8(self.dims as u8);
+            w.put_f64(self.sample.tau());
+        });
+        w.section(2, |w| {
+            w.put_u64(self.sample.len() as u64);
+            for e in self.sample.iter() {
+                w.put_u64(e.key);
+                w.put_f64(e.weight);
+                w.put_f64(e.adjusted_weight);
+            }
+        });
+        w.section(3, |w| {
+            if self.dims == 2 {
+                // Locations aligned with the entry order of section 2.
+                w.put_u64(self.sample.len() as u64);
+                for e in self.sample.iter() {
+                    let p = &self.points[&e.key];
+                    w.put_u64(p.coord(0));
+                    w.put_u64(p.coord(1));
+                }
+            } else {
+                w.put_u64(0);
+            }
+        });
+    }
+
+    /// Reads the wire representation (never panics on corrupted input).
+    pub(crate) fn read_wire(r: &mut sas_codec::Reader<'_>) -> Result<Self, sas_codec::CodecError> {
+        use sas_codec::CodecError;
+        let mut meta = r.expect_section(1)?;
+        let dims = meta.get_u8()? as usize;
+        let tau = meta.get_finite_f64()?;
+        meta.finish()?;
+        if dims != 1 && dims != 2 {
+            return Err(CodecError::Invalid(format!("unsupported dims {dims}")));
+        }
+        if tau < 0.0 {
+            return Err(CodecError::Invalid(format!("negative threshold {tau}")));
+        }
+        let mut body = r.expect_section(2)?;
+        let n = body.get_len(24)?; // u64 + 2×f64 per entry
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = body.get_u64()?;
+            let weight = body.get_finite_f64()?;
+            let adjusted_weight = body.get_finite_f64()?;
+            if weight < 0.0 || adjusted_weight < 0.0 {
+                return Err(CodecError::Invalid(format!("negative weight on key {key}")));
+            }
+            entries.push(SampleEntry {
+                key,
+                weight,
+                adjusted_weight,
+            });
+        }
+        body.finish()?;
+        let mut locs = r.expect_section(3)?;
+        let n_points = locs.get_len(16)?; // 2×u64 per point
+        let expected = if dims == 2 { entries.len() } else { 0 };
+        if n_points != expected {
+            return Err(CodecError::Invalid(format!(
+                "{n_points} locations for {expected} expected"
+            )));
+        }
+        let mut points = HashMap::with_capacity(n_points);
+        for e in entries.iter().take(n_points) {
+            let x = locs.get_u64()?;
+            let y = locs.get_u64()?;
+            points.insert(e.key, Point::xy(x, y));
+        }
+        locs.finish()?;
+        Ok(Self {
+            sample: Sample::from_entries(entries, tau),
+            points,
+            dims,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn entry(key: KeyId, w: f64, a: f64) -> SampleEntry {
+        SampleEntry {
+            key,
+            weight: w,
+            adjusted_weight: a,
+        }
+    }
+
+    #[test]
+    fn one_dim_range_sums() {
+        let s = StoredSample::one_dim(Sample::from_entries(
+            vec![entry(1, 2.0, 4.0), entry(5, 9.0, 9.0), entry(9, 1.0, 4.0)],
+            4.0,
+        ));
+        assert_eq!(s.dims(), 1);
+        assert_eq!(s.range_sum(&[(0, 4)]), 4.0);
+        assert_eq!(s.range_sum(&[(1, 9)]), 17.0);
+        assert_eq!(s.range_sum(&[]), 17.0); // missing axis = full domain
+    }
+
+    #[test]
+    fn two_dim_requires_locations() {
+        let sample = Sample::from_entries(vec![entry(1, 2.0, 2.0)], 0.0);
+        assert!(StoredSample::two_dim(sample.clone(), HashMap::new()).is_err());
+        let mut points = HashMap::new();
+        points.insert(1, Point::xy(3, 4));
+        let s = StoredSample::two_dim(sample, points).unwrap();
+        assert_eq!(s.range_sum(&[(0, 9), (0, 9)]), 2.0);
+        assert_eq!(s.range_sum(&[(0, 2), (0, 9)]), 0.0);
+    }
+
+    #[test]
+    fn concat_merge_extends() {
+        let mut a = StoredSample::one_dim(Sample::from_entries(vec![entry(1, 2.0, 4.0)], 4.0));
+        let b = StoredSample::one_dim(Sample::from_entries(vec![entry(2, 3.0, 3.0)], 1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        a.merge(b, None, &mut rng).unwrap();
+        assert_eq!(a.sample().len(), 2);
+        assert_eq!(a.range_sum(&[(0, 10)]), 7.0);
+    }
+
+    #[test]
+    fn budget_merge_respects_size_and_total() {
+        let entries_a: Vec<SampleEntry> = (0..30).map(|k| entry(k, 1.0, 2.0)).collect();
+        let entries_b: Vec<SampleEntry> = (30..60).map(|k| entry(k, 1.0, 2.0)).collect();
+        let mut a = StoredSample::one_dim(Sample::from_entries(entries_a, 2.0));
+        let b = StoredSample::one_dim(Sample::from_entries(entries_b, 2.0));
+        let mut rng = StdRng::seed_from_u64(2);
+        a.merge(b, Some(20), &mut rng).unwrap();
+        assert_eq!(a.sample().len(), 20);
+        assert!((a.range_sum(&[(0, 59)]) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dims_mismatch_rejected() {
+        let mut a = StoredSample::one_dim(Sample::from_entries(vec![entry(1, 1.0, 1.0)], 0.0));
+        let mut points = HashMap::new();
+        points.insert(2, Point::xy(0, 0));
+        let b = StoredSample::two_dim(Sample::from_entries(vec![entry(2, 1.0, 1.0)], 0.0), points)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(a.merge(b, None, &mut rng).is_err());
+    }
+
+    #[test]
+    fn budget_merge_prunes_stale_locations() {
+        let mk = |range: std::ops::Range<u64>| {
+            let entries: Vec<SampleEntry> = range.clone().map(|k| entry(k, 1.0, 2.0)).collect();
+            let points: HashMap<KeyId, Point> = range.map(|k| (k, Point::xy(k, k))).collect();
+            StoredSample::two_dim(Sample::from_entries(entries, 2.0), points).unwrap()
+        };
+        let mut a = mk(0..25);
+        let b = mk(25..50);
+        let mut rng = StdRng::seed_from_u64(4);
+        a.merge(b, Some(10), &mut rng).unwrap();
+        assert_eq!(a.sample().len(), 10);
+        assert_eq!(a.points().len(), 10);
+    }
+}

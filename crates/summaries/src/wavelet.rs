@@ -93,6 +93,28 @@ fn level_scale(b: Basis1D, bits: u32) -> f64 {
     }
 }
 
+/// Canonical tie-break key: coefficients of equal importance come out of a
+/// hash map in arbitrary order, and summation order must be deterministic
+/// for byte-stable encodings and bit-identical merged estimates.
+fn basis_key(b: Basis1D) -> (u8, u32, u64) {
+    match b {
+        Basis1D::Scaling => (0, 0, 0),
+        Basis1D::Wavelet { level, k } => (1, level, k),
+    }
+}
+
+/// Sorts coefficients by descending range-sum impact with a canonical
+/// tie-break (see [`basis_key`]).
+fn sort_by_importance(coeffs: &mut [Coefficient], bits_x: u32, bits_y: u32) {
+    let importance =
+        |c: &Coefficient| c.value.abs() * level_scale(c.bx, bits_x) * level_scale(c.by, bits_y);
+    coeffs.sort_by(|a, b| {
+        importance(b).total_cmp(&importance(a)).then_with(|| {
+            (basis_key(a.bx), basis_key(a.by)).cmp(&(basis_key(b.bx), basis_key(b.by)))
+        })
+    });
+}
+
 /// Size of `[a,b] ∩ [lo,hi]` over integers.
 fn overlap(a: u64, b: u64, lo: u64, hi: u64) -> u64 {
     let l = a.max(lo);
@@ -163,9 +185,7 @@ impl WaveletSummary {
         // range sums than pointwise L2 thresholding would suggest. This is
         // the standard normalization for selectivity-estimation wavelets
         // [Matias–Vitter–Wang].
-        let importance =
-            |c: &Coefficient| c.value.abs() * level_scale(c.bx, bits_x) * level_scale(c.by, bits_y);
-        all.sort_by(|a, b| importance(b).total_cmp(&importance(a)));
+        sort_by_importance(&mut all, bits_x, bits_y);
         all.truncate(s);
         Self {
             coeffs: all,
@@ -189,6 +209,120 @@ impl WaveletSummary {
             bits_x: self.bits_x,
             bits_y: self.bits_y,
         }
+    }
+
+    /// Merges a summary of disjoint data by coefficient-wise addition — the
+    /// Haar transform is linear, so the merged coefficients equal those of a
+    /// transform over the union (restricted to the retained basis
+    /// functions). The union of the two coefficient sets is kept, re-sorted
+    /// by range-sum impact; truncate with [`WaveletSummary::truncated`] to
+    /// restore a size budget.
+    ///
+    /// Fails (no mutation) if the domain geometries differ.
+    pub fn try_merge(&mut self, other: Self) -> Result<(), String> {
+        if (self.bits_x, self.bits_y) != (other.bits_x, other.bits_y) {
+            return Err(format!(
+                "wavelet domain mismatch: 2^{}×2^{} vs 2^{}×2^{}",
+                self.bits_x, self.bits_y, other.bits_x, other.bits_y
+            ));
+        }
+        let mut acc: HashMap<(Basis1D, Basis1D), f64> = self
+            .coeffs
+            .drain(..)
+            .map(|c| ((c.bx, c.by), c.value))
+            .collect();
+        for c in other.coeffs {
+            *acc.entry((c.bx, c.by)).or_insert(0.0) += c.value;
+        }
+        let mut all: Vec<Coefficient> = acc
+            .into_iter()
+            .map(|((bx, by), value)| Coefficient { bx, by, value })
+            .collect();
+        sort_by_importance(&mut all, self.bits_x, self.bits_y);
+        self.coeffs = all;
+        Ok(())
+    }
+
+    /// Writes the wire representation (see `sas-codec` for the framing).
+    pub(crate) fn write_wire(&self, w: &mut sas_codec::Writer) {
+        fn put_basis(w: &mut sas_codec::Writer, b: Basis1D) {
+            match b {
+                Basis1D::Scaling => {
+                    w.put_u8(0);
+                    w.put_u32(0);
+                    w.put_u64(0);
+                }
+                Basis1D::Wavelet { level, k } => {
+                    w.put_u8(1);
+                    w.put_u32(level);
+                    w.put_u64(k);
+                }
+            }
+        }
+        w.section(1, |w| {
+            w.put_u32(self.bits_x);
+            w.put_u32(self.bits_y);
+        });
+        w.section(2, |w| {
+            w.put_u64(self.coeffs.len() as u64);
+            for c in &self.coeffs {
+                put_basis(w, c.bx);
+                put_basis(w, c.by);
+                w.put_f64(c.value);
+            }
+        });
+    }
+
+    /// Reads the wire representation, validating basis indices against the
+    /// domain geometry (never panics).
+    pub(crate) fn read_wire(r: &mut sas_codec::Reader<'_>) -> Result<Self, sas_codec::CodecError> {
+        use sas_codec::CodecError;
+        fn get_basis(r: &mut sas_codec::Reader<'_>, bits: u32) -> Result<Basis1D, CodecError> {
+            let tag = r.get_u8()?;
+            let level = r.get_u32()?;
+            let k = r.get_u64()?;
+            match tag {
+                0 => Ok(Basis1D::Scaling),
+                1 => {
+                    if level == 0 || level > bits {
+                        return Err(CodecError::Invalid(format!(
+                            "wavelet level {level} outside [1, {bits}]"
+                        )));
+                    }
+                    if bits < 64 && k >= 1u64 << (bits - level) {
+                        return Err(CodecError::Invalid(format!(
+                            "wavelet block {k} outside level-{level} domain"
+                        )));
+                    }
+                    Ok(Basis1D::Wavelet { level, k })
+                }
+                t => Err(CodecError::Invalid(format!("unknown basis tag {t}"))),
+            }
+        }
+        let mut meta = r.expect_section(1)?;
+        let bits_x = meta.get_u32()?;
+        let bits_y = meta.get_u32()?;
+        meta.finish()?;
+        if bits_x >= 64 || bits_y >= 64 {
+            return Err(CodecError::Invalid(format!(
+                "domain bits ({bits_x}, {bits_y}) too large"
+            )));
+        }
+        let mut body = r.expect_section(2)?;
+        let n = body.get_len(34)?; // 2 × (u8 + u32 + u64) + f64 per coefficient
+        let mut coeffs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bx = get_basis(&mut body, bits_x)?;
+            let by = get_basis(&mut body, bits_y)?;
+            let value = body.get_finite_f64()?;
+            coeffs.push(Coefficient { bx, by, value });
+        }
+        body.finish()?;
+        Ok(Self {
+            coeffs,
+            bits_x,
+            bits_y,
+        })
     }
 }
 

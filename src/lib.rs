@@ -10,13 +10,19 @@
 //! * [`sampling`] — the structure-aware samplers (the paper's contribution)
 //!   and the sharded parallel summarization driver
 //!   ([`sampling::sharded::summarize_sharded`]).
-//! * [`summaries`] — baseline summaries (wavelet, q-digest, count-sketch).
+//! * [`summaries`] — baseline summaries (wavelet, q-digest, count-sketch)
+//!   and the erased [`Summary`] trait with its [`SummaryKind`] registry.
+//! * [`codec`] — the versioned binary wire format behind
+//!   [`summaries::encode_summary`] / [`summaries::decode_summary`]: save,
+//!   merge, and query summaries across process boundaries.
 //! * [`data`] — synthetic workload and query generators.
 //!
-//! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the experiment index.
+//! See `examples/quickstart.rs` for a guided tour
+//! (`examples/save_merge_query.rs` for the persistence workflow), and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the experiment index.
 
 pub use sas_apps as apps;
+pub use sas_codec as codec;
 pub use sas_core as core;
 pub use sas_data as data;
 pub use sas_sampling as sampling;
@@ -24,3 +30,4 @@ pub use sas_structures as structures;
 pub use sas_summaries as summaries;
 
 pub use sas_core::Mergeable;
+pub use sas_summaries::{Summary, SummaryKind};

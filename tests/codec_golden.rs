@@ -1,0 +1,140 @@
+//! Golden-file check for the binary wire format: committed `.sas` frames
+//! (one per summary kind, under `tests/golden/`) must keep decoding, must
+//! re-encode byte-for-byte, and freshly built fixtures must reproduce them
+//! exactly. Any drift in the format — section layout, field widths, kind
+//! tags, canonical ordering — fails here before it can silently orphan
+//! files written by earlier builds.
+//!
+//! Regenerate after an *intentional* format change (bump
+//! `sas_codec::VERSION` first!) with:
+//!
+//! ```sh
+//! SAS_REGEN_GOLDEN=1 cargo test --test codec_golden
+//! ```
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use structure_aware_sampling::core::varopt::VarOptSampler;
+use structure_aware_sampling::core::WeightedKey;
+use structure_aware_sampling::sampling::product::SpatialData;
+use structure_aware_sampling::summaries::countsketch::SketchSummary;
+use structure_aware_sampling::summaries::qdigest::QDigestSummary;
+use structure_aware_sampling::summaries::wavelet::WaveletSummary;
+use structure_aware_sampling::summaries::{decode_summary, encode_summary, StoredSample};
+use structure_aware_sampling::SummaryKind;
+
+/// Expected decode-time metadata per golden file.
+struct Golden {
+    file: &'static str,
+    kind: SummaryKind,
+    dims: usize,
+    bytes: Vec<u8>,
+}
+
+/// Deterministic workload: no RNG in the data, fixed seeds in the builds.
+fn golden_fixtures() -> Vec<Golden> {
+    let data: Vec<WeightedKey> = (0..200u64)
+        .map(|k| WeightedKey::new(k, 1.0 + ((k * 37) % 101) as f64 / 4.0))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(42);
+    let sample = structure_aware_sampling::sampling::order::sample(&data, 24, &mut rng);
+
+    let mut varopt = VarOptSampler::new(16);
+    let mut vrng = StdRng::seed_from_u64(43);
+    for wk in &data {
+        varopt.push(wk.key, wk.weight, &mut vrng);
+    }
+
+    let rows: Vec<(u64, u64, f64)> = (0..120u64)
+        .map(|i| ((i * 13) % 32, (i * 29) % 32, 1.0 + (i % 9) as f64))
+        .collect();
+    let spatial = SpatialData::from_xyw(&rows);
+
+    vec![
+        Golden {
+            file: "sample_v1.sas",
+            kind: SummaryKind::Sample,
+            dims: 1,
+            bytes: encode_summary(&StoredSample::one_dim(sample)),
+        },
+        Golden {
+            file: "varopt_v1.sas",
+            kind: SummaryKind::VarOptReservoir,
+            dims: 1,
+            bytes: encode_summary(&varopt),
+        },
+        Golden {
+            file: "qdigest_v1.sas",
+            kind: SummaryKind::QDigest,
+            dims: 2,
+            bytes: encode_summary(&QDigestSummary::build(&spatial, 5, 20)),
+        },
+        Golden {
+            file: "wavelet_v1.sas",
+            kind: SummaryKind::Wavelet,
+            dims: 2,
+            bytes: encode_summary(&WaveletSummary::build(&spatial, 5, 5, 30)),
+        },
+        Golden {
+            file: "sketch_v1.sas",
+            kind: SummaryKind::CountSketch,
+            dims: 2,
+            bytes: encode_summary(&SketchSummary::build(&spatial, 5, 5, 300, 7)),
+        },
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn golden_files_pin_the_wire_format() {
+    let dir = golden_dir();
+    let regen = std::env::var_os("SAS_REGEN_GOLDEN").is_some();
+    for golden in golden_fixtures() {
+        let path = dir.join(golden.file);
+        if regen {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, &golden.bytes).expect("write golden file");
+            continue;
+        }
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden file ({e}); see module docs",
+                golden.file
+            )
+        });
+
+        // 1. The committed frame still decodes, to the right kind.
+        let decoded = decode_summary(&committed)
+            .unwrap_or_else(|e| panic!("{}: committed frame no longer decodes: {e}", golden.file));
+        assert_eq!(decoded.kind(), golden.kind, "{}", golden.file);
+        assert_eq!(decoded.dims(), golden.dims, "{}", golden.file);
+        assert!(decoded.item_count() > 0, "{}", golden.file);
+
+        // 2. Encoding is canonical: re-encoding the decoded summary
+        //    reproduces the committed bytes exactly.
+        assert_eq!(
+            encode_summary(decoded.as_ref()),
+            committed,
+            "{}: decode→encode drifted from the committed frame",
+            golden.file
+        );
+
+        // 3. A fresh build of the same fixture still serializes to the
+        //    committed bytes — the build and the format are both stable.
+        assert_eq!(
+            golden.bytes, committed,
+            "{}: freshly built fixture no longer matches the committed frame",
+            golden.file
+        );
+    }
+    assert!(
+        !regen,
+        "golden files regenerated; rerun without SAS_REGEN_GOLDEN"
+    );
+}

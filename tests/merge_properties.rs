@@ -269,3 +269,177 @@ fn merged_varopt_inclusion_follows_effective_ipps() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Persistence properties: encoding is transparent. For every summary kind,
+// encode→decode→query must equal the original's answers exactly (bit-level),
+// and merging decoded summaries must equal the same merge performed on the
+// in-memory objects — persistence cannot change a single estimate.
+// ---------------------------------------------------------------------------
+
+use structure_aware_sampling::sampling::product::SpatialData;
+use structure_aware_sampling::summaries::countsketch::SketchSummary;
+use structure_aware_sampling::summaries::qdigest::QDigestSummary;
+use structure_aware_sampling::summaries::wavelet::WaveletSummary;
+use structure_aware_sampling::summaries::{decode_summary, encode_summary, StoredSample};
+use structure_aware_sampling::Summary;
+
+fn spatial_data(n: usize, bits: u32, seed: u64) -> SpatialData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = 1u64 << bits;
+    let rows: Vec<(u64, u64, f64)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..side),
+                rng.gen_range(0..side),
+                rng.gen_range(0.2..8.0),
+            )
+        })
+        .collect();
+    SpatialData::from_xyw(&rows)
+}
+
+fn query_battery(dims: usize, seed: u64) -> Vec<Vec<(u64, u64)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![vec![(0, u64::MAX); dims]];
+    for _ in 0..25 {
+        out.push(
+            (0..dims)
+                .map(|_| {
+                    let lo = rng.gen_range(0..400u64);
+                    (lo, lo + rng.gen_range(0..200u64))
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+/// Asserts two erased summaries answer the whole battery bit-identically.
+fn assert_identical_answers(name: &str, a: &dyn Summary, b: &dyn Summary) {
+    assert_eq!(a.dims(), b.dims(), "{name}");
+    assert_eq!(a.item_count(), b.item_count(), "{name}");
+    assert_eq!(a.tau(), b.tau(), "{name}");
+    for range in query_battery(a.dims(), 7) {
+        let (ea, eb) = (a.range_sum(&range), b.range_sum(&range));
+        assert_eq!(
+            ea.to_bits(),
+            eb.to_bits(),
+            "{name}: range {range:?}: {ea} vs {eb}"
+        );
+    }
+}
+
+/// One in-memory summary of every kind over deterministic data. The
+/// sketch's hash seeds come from `sketch_seed`: two sketches merge only
+/// when they share it.
+fn kind_fixtures_seeded(seed: u64, sketch_seed: u64) -> Vec<(&'static str, Box<dyn Summary>)> {
+    let data = mixed_data(500, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let sample = order::sample(&data, 60, &mut rng);
+    let mut varopt = VarOptSampler::new(40);
+    for wk in &data {
+        varopt.push(wk.key, wk.weight, &mut rng);
+    }
+    let sp = spatial_data(300, 9, seed ^ 0x77);
+    vec![
+        (
+            "sample",
+            Box::new(StoredSample::one_dim(sample)) as Box<dyn Summary>,
+        ),
+        ("varopt", Box::new(varopt)),
+        ("qdigest", Box::new(QDigestSummary::build(&sp, 9, 60))),
+        ("wavelet", Box::new(WaveletSummary::build(&sp, 9, 9, 80))),
+        (
+            "sketch",
+            Box::new(SketchSummary::build(&sp, 9, 9, 2000, sketch_seed)),
+        ),
+    ]
+}
+
+fn kind_fixtures(seed: u64) -> Vec<(&'static str, Box<dyn Summary>)> {
+    kind_fixtures_seeded(seed, seed)
+}
+
+#[test]
+fn encode_decode_query_is_exact_for_every_kind_across_seeds() {
+    for seed in 0..20u64 {
+        for (name, original) in kind_fixtures(seed) {
+            let bytes = encode_summary(original.as_ref());
+            let decoded =
+                decode_summary(&bytes).unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_identical_answers(name, original.as_ref(), decoded.as_ref());
+            // Encoding is canonical: decode→encode reproduces the bytes.
+            assert_eq!(
+                bytes,
+                encode_summary(decoded.as_ref()),
+                "{name} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn decoded_merge_equals_in_memory_merge_for_every_kind() {
+    // Build two summaries per kind over disjoint data, then merge twice:
+    // once with the in-memory objects, once with decoded copies — with the
+    // same RNG seed the results must answer queries bit-identically.
+    for seed in 0..10u64 {
+        let halves = |half: u64| kind_fixtures_seeded(seed * 2 + half, seed);
+        for ((name, a), (_, b)) in halves(0).into_iter().zip(halves(1)) {
+            let (bytes_a, bytes_b) = (encode_summary(a.as_ref()), encode_summary(b.as_ref()));
+            let mut mem = a;
+            let mut rng_mem = StdRng::seed_from_u64(900 + seed);
+            mem.merge_in_place(b, Some(50), &mut rng_mem)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: in-memory merge: {e}"));
+
+            let mut disk = decode_summary(&bytes_a).unwrap();
+            let mut rng_disk = StdRng::seed_from_u64(900 + seed);
+            disk.merge_in_place(decode_summary(&bytes_b).unwrap(), Some(50), &mut rng_disk)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: decoded merge: {e}"));
+
+            assert_identical_answers(name, mem.as_ref(), disk.as_ref());
+        }
+    }
+}
+
+#[test]
+fn budgeted_sample_merge_roundtrip_conserves_invariants() {
+    // The full distributed pipeline in miniature: shard → encode → decode →
+    // budgeted merge; size exact, totals conserved, estimates unbiased
+    // within the discrepancy envelope (reuses the tier-1 bound: 1 merge
+    // level ⇒ Δ < 4 per interval).
+    let s = 30;
+    for seed in 0..60u64 {
+        let data = mixed_data(400, 5000 + seed);
+        let mid = data.len() / 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = StoredSample::one_dim(order::sample(&data[..mid], s, &mut rng));
+        let b = StoredSample::one_dim(order::sample(&data[mid..], s, &mut rng));
+        let mut merged = decode_summary(&encode_summary(&a)).unwrap();
+        merged
+            .merge_in_place(
+                decode_summary(&encode_summary(&b)).unwrap(),
+                Some(s),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(merged.item_count(), s, "seed {seed}");
+        let truth = total_weight(&data);
+        let est = merged.range_sum(&[(0, u64::MAX)]);
+        assert!(
+            (est - truth).abs() / truth < 1e-9,
+            "seed {seed}: total {est} vs {truth}"
+        );
+        let tau = merged.tau().expect("sample kind reports tau");
+        for (lo, hi) in [(0u64, 199u64), (100, 299), (200, 399)] {
+            let truth: f64 = data
+                .iter()
+                .filter(|wk| (lo..=hi).contains(&wk.key))
+                .map(|wk| wk.weight)
+                .sum();
+            let delta = (merged.range_sum(&[(lo, hi)]) - truth).abs() / tau;
+            assert!(delta < 4.0 + 1e-6, "seed {seed} [{lo},{hi}]: Δ = {delta}");
+        }
+    }
+}
