@@ -1,0 +1,154 @@
+//! Store-layer throughput: windowed ingest (batches and rows per second,
+//! including the per-batch frame + manifest persistence), one compaction
+//! pass, and snapshot query throughput at 1/4/8 reader threads — cold
+//! (distinct ranges, every query walks the summaries) and hot (repeated
+//! range, served by the LRU cache).
+//!
+//! Environment knobs: `SAS_STORE_BATCHES` (default 240), `SAS_STORE_ROWS`
+//! (rows per batch, default 500), `SAS_STORE_QUERIES` (queries per thread
+//! count, default 4000), `SAS_STORE_BUDGET` (window budget, default 4000).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sas_bench::{print_table, timed};
+use sas_core::WeightedKey;
+use sas_store::{Store, StoreConfig};
+use sas_summaries::{StoredSample, Summary, SummaryKind};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// splitmix64: decorrelates the query index from the probed range (a
+/// linear stride aliases modulo the key span and quietly turns the cold
+/// runs into cache hits).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let batches = env_usize("SAS_STORE_BATCHES", 240);
+    let rows = env_usize("SAS_STORE_ROWS", 500) as u64;
+    let queries = env_usize("SAS_STORE_QUERIES", 4000);
+    let budget = env_usize("SAS_STORE_BUDGET", 4000);
+
+    let dir = std::env::temp_dir().join(format!("sas-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(
+        Store::open(
+            &dir,
+            StoreConfig {
+                budget: Some(budget),
+                cache_capacity: 4096,
+            },
+        )
+        .expect("open store"),
+    );
+
+    // Pre-build the batch summaries so ingest timing measures the store
+    // (merge + frame write + manifest + snapshot swap), not the sampler.
+    let built: Vec<(u64, Box<dyn Summary>)> = (0..batches as u64)
+        .map(|i| {
+            let data: Vec<WeightedKey> = (0..rows)
+                .map(|r| WeightedKey::new(i * rows + r, 0.5 + ((i + r) % 13) as f64))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(i);
+            let sample = sas_sampling::order::sample(&data, (rows as usize).min(budget), &mut rng);
+            // 45-tick spacing crosses minute windows and spans hours, so
+            // the compaction pass below has real work.
+            (
+                i * 45,
+                Box::new(StoredSample::one_dim(sample)) as Box<dyn Summary>,
+            )
+        })
+        .collect();
+    let total_rows = batches as u64 * rows;
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    let (_, secs) = timed(|| {
+        for (ts, batch) in built {
+            store.ingest("bench", ts, batch).expect("ingest");
+        }
+    });
+    table.push(vec![
+        "ingest".into(),
+        "1".into(),
+        format!("{:.0}", batches as f64 / secs),
+        format!("{:.3e}", total_rows as f64 / secs),
+    ]);
+
+    let (rollups, secs) = timed(|| store.compact_once().expect("compact"));
+    table.push(vec![
+        format!("compact({rollups} rollups)"),
+        "1".into(),
+        format!("{:.0}", rollups as f64 / secs.max(1e-9)),
+        "-".into(),
+    ]);
+
+    let key_span = total_rows;
+    for threads in [1usize, 4, 8] {
+        for (mode, hot) in [("query-cold", false), ("query-hot", true)] {
+            let per_thread = queries / threads;
+            let (_, secs) = timed(|| {
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let store = store.clone();
+                        scope.spawn(move || {
+                            for i in 0..per_thread {
+                                // Salt with the thread count so each run
+                                // probes ranges no earlier run cached.
+                                let lo = if hot {
+                                    0
+                                } else {
+                                    mix((threads * 1_000_003 + t * per_thread + i) as u64)
+                                        % key_span
+                                };
+                                let range = [(lo, lo + key_span / 4)];
+                                let ans = store.query("bench", SummaryKind::Sample, &range, None);
+                                assert!(ans.value >= 0.0);
+                            }
+                        });
+                    }
+                });
+            });
+            let done = (per_thread * threads) as f64;
+            table.push(vec![
+                mode.into(),
+                threads.to_string(),
+                format!("{:.0}", done / secs),
+                "-".into(),
+            ]);
+        }
+    }
+
+    let stats = store.stats();
+    let get = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    eprintln!(
+        "# windows={} frame_bytes={} cache_hits={} cache_misses={}",
+        get("windows"),
+        get("frame_bytes"),
+        get("cache_hits"),
+        get("cache_misses"),
+    );
+    print_table(
+        "store throughput (ingest: batches/s + rows/s; query: ops/s)",
+        &["op", "threads", "ops_per_sec", "rows_per_sec"],
+        &table,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -480,34 +480,22 @@ pub fn query(summary: &LoadedSummary, range: &[(u64, u64)]) -> f64 {
 /// no per-kind branching. `budget` bounds the merged size for kinds that
 /// support re-subsampling; `seed` drives the randomized merges.
 ///
-/// Adjacent pairs are merged bottom-up in a binary tree, mirroring
-/// `sas_sampling::sharded::summarize_sharded`: for budgeted samples each
-/// merge level adds less than 2 to any interval's discrepancy, so merging
-/// `N` shard files from disk pays `O(log₂ N)` levels — a left-to-right
-/// fold would pay one level per shard.
+/// Delegates to [`sas_summaries::merge_tree`]: adjacent pairs merge
+/// bottom-up in a binary tree (for budgeted samples each merge level adds
+/// less than 2 to any interval's discrepancy, so merging `N` shard files
+/// pays `O(log₂ N)` levels). The store's window compaction uses the same
+/// function, which is what makes `sas merge` a faithful offline replay of
+/// a compaction.
 pub fn merge_summaries(
     summaries: Vec<LoadedSummary>,
     budget: Option<usize>,
     seed: u64,
 ) -> Result<LoadedSummary, CliError> {
-    if summaries.is_empty() {
-        return err("nothing to merge");
-    }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut level = summaries;
-    while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
-        let mut it = level.into_iter();
-        while let Some(mut a) = it.next() {
-            if let Some(b) = it.next() {
-                a.0.merge_in_place(b.0, budget, &mut rng)
-                    .map_err(|e| CliError(e.to_string()))?;
-            }
-            next.push(a);
-        }
-        level = next;
-    }
-    Ok(level.pop().expect("non-empty input"))
+    let erased: Vec<Box<dyn Summary>> = summaries.into_iter().map(|s| s.0).collect();
+    sas_summaries::merge_tree(erased, budget, &mut rng)
+        .map(LoadedSummary)
+        .map_err(|e| CliError(e.to_string()))
 }
 
 /// Renders the `sas info` report: build metadata from the erased summary

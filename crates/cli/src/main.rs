@@ -1,6 +1,6 @@
 //! `sas` — build structure-aware summaries from TSV data, persist them as
-//! versioned binary files, merge them across processes, and answer range
-//! queries from a summary file alone.
+//! versioned binary files, merge them across processes, answer range
+//! queries from a summary file alone, and run the summary-store daemon.
 //!
 //! ```text
 //! sas summarize <data.tsv> --size N [--seed S] [--shards N]
@@ -9,27 +9,41 @@
 //! sas merge <a.sas> <b.sas> [...] --out all.sas [--size N] [--seed S]
 //! sas query <summary> --range lo..hi                  # 1-D
 //! sas query <summary> --range x0..x1,y0..y1           # 2-D
-//! sas info <summary>
+//! sas info <summary|dir> [more paths...]
+//! sas serve <store-dir> [--addr H:P] [--threads N] [--budget N]
+//!           [--cache N] [--compact-every MS]
+//! sas client <addr> query --dataset D --range R [--kind K]
+//!            [--since T] [--until T]
+//! sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K]
+//!            [--size N] [--seed S]
+//! sas client <addr> list | stats | shutdown
 //! ```
 //!
-//! `query` and `info` accept both binary frames and legacy TSV summaries.
-//! Without `--out`, `summarize` prints the legacy TSV format (sample kind
-//! only) on stdout. `--per-shard` writes one unmerged frame per shard
-//! (`file.sas.0`, `file.sas.1`, …) for a later `sas merge` — summaries
-//! built by different processes or machines combine exactly like the
-//! in-memory merge.
+//! `query` and `info` accept both binary frames and legacy TSV summaries;
+//! `info` with several paths (or a store directory) prints one line per
+//! frame. Every file the CLI writes goes through temp-file + `rename`, so
+//! a crash can never leave a torn frame. `serve` runs the `sas-store`
+//! daemon (windowed ingest, merge-tree compaction, snapshot reads) and
+//! `client` speaks its wire protocol.
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use sas_cli::{
     build_summary, info_text, load_summary, merge_summaries, parse_dataset, parse_range, query,
-    summarize_per_shard, summarize_sharded, write_summary, LoadedSummary,
+    summarize_per_shard, summarize_sharded, write_summary, Dataset, LoadedSummary,
 };
+use sas_store::client::Client;
+use sas_store::manifest::Manifest;
+use sas_store::server::Server;
+use sas_store::{fsio, Compactor, Store, StoreConfig};
 use sas_summaries::{encode_summary, StoredSample, SummaryKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi]\n  sas info <summary>\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi]\n  sas info <summary|dir> [more paths...]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> list | stats | shutdown\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
     );
     ExitCode::from(2)
 }
@@ -44,6 +58,8 @@ fn main() -> ExitCode {
         "merge" => cmd_merge(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "info" => cmd_info(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -106,7 +122,7 @@ fn cmd_summarize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         for (i, sample) in samples.into_iter().enumerate() {
             let shard_path = format!("{base}.{i}");
             let stored = StoredSample::one_dim(sample);
-            std::fs::write(&shard_path, encode_summary(&stored))?;
+            fsio::write_atomic(Path::new(&shard_path), &encode_summary(&stored))?;
         }
         eprintln!(
             "wrote {written} unmerged shard summaries to {base}.0..{base}.{}",
@@ -119,7 +135,7 @@ fn cmd_summarize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some(out_path) => {
             let summary = build_summary(&data, size, seed, shards, kind)?;
             let bytes = encode_summary(summary.as_ref());
-            std::fs::write(out_path, &bytes)?;
+            fsio::write_atomic(Path::new(out_path), &bytes)?;
             eprintln!(
                 "wrote {}-item {}–D {} summary ({} bytes) to {out_path}",
                 summary.item_count(),
@@ -169,7 +185,7 @@ fn cmd_merge(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let n = summaries.len();
     let merged = merge_summaries(summaries, budget, seed)?;
     let bytes = encode_summary(&*merged);
-    std::fs::write(out, &bytes)?;
+    fsio::write_atomic(Path::new(out), &bytes)?;
     eprintln!(
         "merged {n} {} summaries into {}-item {out} ({} bytes)",
         merged.kind(),
@@ -190,9 +206,186 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let path = args.first().ok_or("missing summary path")?;
-    let bytes = std::fs::read(path)?;
-    let summary: LoadedSummary = load_summary(&bytes)?;
-    print!("{}", info_text(&summary, Some(bytes.len() as u64)));
+    let paths: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        return Err("missing summary path".into());
+    }
+    // Expand directories (store layouts) into their frame files, skipping
+    // in-flight temp debris.
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for p in &paths {
+        let path = Path::new(p.as_str());
+        if path.is_dir() {
+            files.extend(fsio::walk_files(path)?.into_iter().filter(|f| {
+                f.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| !n.contains(fsio::TEMP_INFIX))
+            }));
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    if files.len() == 1 && !Path::new(paths[0].as_str()).is_dir() {
+        // Single file keeps the detailed multi-line report.
+        let bytes = std::fs::read(&files[0])?;
+        let summary: LoadedSummary = load_summary(&bytes)?;
+        print!("{}", info_text(&summary, Some(bytes.len() as u64)));
+        return Ok(());
+    }
+    // Several paths or a directory: one `path kind items bytes` line per
+    // frame (manifests report their window count as items).
+    for file in &files {
+        let bytes = std::fs::read(file)?;
+        let line = match load_summary(&bytes) {
+            Ok(summary) => format!(
+                "{}\t{}\t{}\t{}",
+                file.display(),
+                summary.kind(),
+                summary.item_count(),
+                bytes.len()
+            ),
+            Err(load_err) => match Manifest::decode(&bytes) {
+                Ok(manifest) => format!(
+                    "{}\tmanifest\t{}\t{}",
+                    file.display(),
+                    manifest.entries.len(),
+                    bytes.len()
+                ),
+                Err(_) => format!("{}\terror\t-\t{load_err}", file.display()),
+            },
+        };
+        println!("{line}");
+    }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args.first().ok_or("missing store directory")?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:4741");
+    let threads: usize = parse_flag(args, "--threads", 4)?;
+    let budget: Option<usize> = flag_value(args, "--budget")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --budget")?;
+    let cache_capacity: usize = parse_flag(args, "--cache", 1024)?;
+    let compact_every_ms: u64 = parse_flag(args, "--compact-every", 1000)?;
+
+    let store = Arc::new(Store::open(
+        dir.as_str(),
+        StoreConfig {
+            budget,
+            cache_capacity,
+        },
+    )?);
+    let recovered = store.list().len();
+    let server = Server::start(store.clone(), addr, threads)?;
+    // The "listening" line is the readiness signal scripts wait for; it
+    // reports the real port when --addr used an ephemeral one.
+    eprintln!("sas-store: listening on {}", server.local_addr());
+    eprintln!("sas-store: {recovered} windows recovered from {dir}");
+    let compactor = (compact_every_ms > 0)
+        .then(|| Compactor::start(store, Duration::from_millis(compact_every_ms)));
+    server.wait();
+    drop(compactor);
+    eprintln!("sas-store: shut down cleanly");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.first().ok_or("missing server address")?;
+    let sub = args.get(1).ok_or("missing client subcommand")?;
+    let rest = &args[2..];
+    let mut client = Client::connect(addr.as_str())?;
+    match sub.as_str() {
+        "query" => {
+            let dataset = flag_value(rest, "--dataset").ok_or("missing --dataset")?;
+            let kind = parse_kind(rest)?;
+            let spec = flag_value(rest, "--range").ok_or("missing --range")?;
+            // The daemon knows the series' dimensionality; infer axes from
+            // the spec itself.
+            let dims = spec.split(',').count();
+            let range = parse_range(spec, dims)?;
+            let since: Option<u64> = flag_value(rest, "--since")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --since")?;
+            let until: Option<u64> = flag_value(rest, "--until")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --until")?;
+            let time = match (since, until) {
+                (None, None) => None,
+                (t0, t1) => Some((t0.unwrap_or(0), t1.unwrap_or(u64::MAX))),
+            };
+            let ans = client.query(dataset, kind, &range, time)?;
+            println!("{}", ans.value);
+            eprintln!(
+                "consulted {} window{}{}",
+                ans.windows,
+                if ans.windows == 1 { "" } else { "s" },
+                if ans.cached { " (cached)" } else { "" }
+            );
+        }
+        "ingest" => {
+            // The data path is strictly positional (before any flag), like
+            // every other subcommand — scanning further would mistake flag
+            // values for it.
+            let path = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("missing data path (it must come before the flags)")?;
+            let dataset = flag_value(rest, "--dataset").ok_or("missing --dataset")?;
+            let ts: u64 = parse_flag(rest, "--ts", 0)?;
+            let kind = parse_kind(rest)?;
+            let seed: u64 = parse_flag(rest, "--seed", 0)?;
+            let text = std::fs::read_to_string(path.as_str())?;
+            let data = parse_dataset(&text)?;
+            let rows = match &data {
+                Dataset::OneDim(rows) => rows.len(),
+                Dataset::TwoDim(s) => s.len(),
+            };
+            // Default batch budget: every row survives (an exact batch).
+            let size: usize = parse_flag(rest, "--size", rows)?;
+            let summary = build_summary(&data, size, seed, 1, kind)?;
+            let ack = client.ingest(dataset, ts, encode_summary(summary.as_ref()))?;
+            eprintln!(
+                "ingested {rows} rows into {}/{kind}/{}/{} ({} items)",
+                dataset, ack.level, ack.start, ack.items
+            );
+        }
+        "list" => {
+            for row in client.list()? {
+                println!(
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    row.key.dataset,
+                    row.key.kind,
+                    row.key.level,
+                    row.key.start,
+                    row.items,
+                    row.batches,
+                    row.frame_bytes
+                );
+            }
+        }
+        "stats" => {
+            for (name, value) in client.stats()? {
+                println!("{name}: {value}");
+            }
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            eprintln!("server shut down");
+        }
+        other => return Err(format!("unknown client subcommand '{other}'").into()),
+    }
+    Ok(())
+}
+
+fn parse_kind(args: &[String]) -> Result<SummaryKind, Box<dyn std::error::Error>> {
+    match flag_value(args, "--kind") {
+        None => Ok(SummaryKind::Sample),
+        Some(name) => {
+            SummaryKind::from_name(name).ok_or_else(|| format!("unknown --kind '{name}'").into())
+        }
+    }
 }

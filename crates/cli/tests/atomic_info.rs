@@ -1,0 +1,88 @@
+//! Satellite coverage: atomic `--out` persistence (a simulated crash can
+//! never leave a torn frame) and the multi-path / directory form of
+//! `sas info`.
+
+mod common;
+
+use std::fs;
+
+use common::{parse_info_field, sas, TempFile};
+
+/// `sas summarize --out` goes through temp-file + rename: the destination
+/// is either absent or a complete decodable frame, and a crash's truncated
+/// temp file is ignored by every reader.
+#[test]
+fn out_files_are_atomic_and_torn_temps_are_inert() {
+    let data = TempFile::create("atomic.tsv", "1\t5.0\n2\t3.0\n9\t1.5\n4\t2.5\n");
+    let out = TempFile::create("atomic.sas", "");
+    sas(
+        &["summarize", data.path(), "--size", "4", "--out", out.path()],
+        true,
+    );
+    let full = fs::read(out.path()).unwrap();
+
+    // Simulate a crash mid-rewrite: a truncated temp next to the
+    // destination (exactly what write_atomic leaves if killed before
+    // rename — the destination itself still holds the previous bytes).
+    let torn = format!("{}.tmp-99999-0", out.path());
+    fs::write(&torn, &full[..10]).unwrap();
+    let (stdout, _) = sas(&["query", out.path(), "--range", "0..100"], true);
+    assert_eq!(stdout.trim(), "12");
+    let (info, _) = sas(&["info", out.path()], true);
+    assert_eq!(parse_info_field(&info, "keys"), 4.0);
+    fs::remove_file(&torn).unwrap();
+
+    // The temp file itself is not a valid frame — a reader that somehow
+    // opens one fails loudly instead of serving a prefix.
+    let prefix = TempFile::create("prefix.sas", "");
+    fs::write(prefix.path(), &full[..full.len() / 2]).unwrap();
+    let (_, stderr) = sas(&["query", prefix.path(), "--range", "0..100"], false);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+/// `sas info` with several paths prints one `path kind items bytes` line
+/// per frame; directories are expanded recursively.
+#[test]
+fn info_lists_multiple_paths_and_directories() {
+    let data = TempFile::create("multi.tsv", "1\t5.0\n2\t3.0\n9\t1.5\n");
+    let a = TempFile::create("a.sas", "");
+    let b = TempFile::create("b.sas", "");
+    sas(
+        &["summarize", data.path(), "--size", "3", "--out", a.path()],
+        true,
+    );
+    sas(
+        &[
+            "summarize",
+            data.path(),
+            "--size",
+            "2",
+            "--kind",
+            "varopt",
+            "--out",
+            b.path(),
+        ],
+        true,
+    );
+    let (out, _) = sas(&["info", a.path(), b.path()], true);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "{out}");
+    assert!(lines[0].starts_with(a.path()) && lines[0].contains("\tsample\t3\t"));
+    assert!(lines[1].starts_with(b.path()) && lines[1].contains("\tvaropt\t2\t"));
+
+    // Directory form: nested frames are found, temp debris is skipped,
+    // and undecodable files report an error line without aborting the
+    // listing.
+    let dir = std::env::temp_dir().join(format!("sas-info-dir-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("nested")).unwrap();
+    fs::copy(a.path(), dir.join("nested/a.sas")).unwrap();
+    fs::write(dir.join("junk.sas"), b"not a frame").unwrap();
+    fs::write(dir.join("a.sas.tmp-1-1"), b"torn").unwrap();
+    let (out, _) = sas(&["info", dir.to_str().unwrap()], true);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "temp file must be skipped:\n{out}");
+    assert!(out.contains("nested/a.sas\tsample\t3\t"), "{out}");
+    assert!(out.contains("junk.sas\terror\t-\t"), "{out}");
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,4 +1,6 @@
-//! Shared plumbing for the `sas` binary integration tests (smoke, golden).
+//! Shared plumbing for the `sas` binary integration tests (smoke, golden,
+//! persistence, daemon, atomic/info).
+#![allow(dead_code)] // each test binary uses a different subset
 
 use std::fs;
 use std::path::PathBuf;

@@ -197,6 +197,12 @@ impl Writer {
         self.put_u64(v.to_bits());
     }
 
+    /// Appends a length-prefixed UTF-8 string (`len: u64, bytes`).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.put_bytes(s.as_bytes());
+    }
+
     /// Writes a length-prefixed section: `id, len, payload` where the
     /// payload is whatever `f` writes.
     pub fn section(&mut self, id: u16, f: impl FnOnce(&mut Writer)) {
@@ -303,6 +309,14 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Reads a length-prefixed UTF-8 string written by [`Writer::put_str`].
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let len = self.get_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Invalid("string is not UTF-8".into()))
+    }
+
     /// Reads a collection length and validates it against the bytes left:
     /// a corrupted length cannot trigger a huge allocation because at least
     /// `elem_size` bytes must remain per element.
@@ -406,6 +420,87 @@ pub fn open_frame(bytes: &[u8]) -> Result<Frame<'_>, CodecError> {
 /// loaders that also accept the legacy TSV format).
 pub fn is_frame(bytes: &[u8]) -> bool {
     bytes.len() >= 4 && bytes[..4] == MAGIC
+}
+
+/// Frame kinds and stream framing for the `sas serve` wire protocol and the
+/// store manifest.
+///
+/// The daemon speaks the same self-describing frame format as persisted
+/// summaries: every request, response, and manifest is an
+/// [`encode_frame`]-built frame whose kind tag lives in the ranges reserved
+/// here. Summary kinds occupy low tags (1..=31, registry in
+/// `sas-summaries`); the store manifest and protocol messages start at 48
+/// and 64 so the two spaces can never collide.
+///
+/// On a byte stream the frames are length-prefixed: `len: u32 LE` followed
+/// by exactly `len` frame bytes ([`write_message`] / [`read_message`]). The
+/// length prefix bounds the read before any allocation; the frame's own
+/// CRC-32 then vouches for the payload.
+pub mod proto {
+    use std::io::{self, Read, Write};
+
+    /// Store manifest frame (body layout owned by `sas-store`).
+    pub const TAG_MANIFEST: u16 = 48;
+
+    /// Request: range query against a dataset series.
+    pub const REQ_QUERY: u16 = 64;
+    /// Request: ingest a batch summary frame into a time window.
+    pub const REQ_INGEST: u16 = 65;
+    /// Request: list the catalog's windows.
+    pub const REQ_LIST: u16 = 66;
+    /// Request: store statistics.
+    pub const REQ_STATS: u16 = 67;
+    /// Request: clean daemon shutdown.
+    pub const REQ_SHUTDOWN: u16 = 68;
+
+    /// Response: success; body layout depends on the request kind.
+    pub const RESP_OK: u16 = 80;
+    /// Response: failure; body is one section holding a message string.
+    pub const RESP_ERR: u16 = 81;
+
+    /// Hard cap on a single protocol message (frame bytes). A batch of a
+    /// few million sample entries fits; a corrupted length prefix cannot
+    /// force an unbounded allocation.
+    pub const MAX_MESSAGE_LEN: u32 = 256 * 1024 * 1024;
+
+    /// Writes one length-prefixed frame to a stream.
+    pub fn write_message(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+        let len: u32 = frame
+            .len()
+            .try_into()
+            .ok()
+            .filter(|&n| n <= MAX_MESSAGE_LEN)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("message of {} bytes exceeds the protocol cap", frame.len()),
+                )
+            })?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(frame)?;
+        w.flush()
+    }
+
+    /// Reads one length-prefixed frame from a stream. Returns `Ok(None)` on
+    /// a clean EOF at a message boundary (peer closed the connection).
+    pub fn read_message(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+        let mut len_bytes = [0u8; 4];
+        match r.read_exact(&mut len_bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_MESSAGE_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("message length {len} exceeds the protocol cap"),
+            ));
+        }
+        let mut frame = vec![0u8; len as usize];
+        r.read_exact(&mut frame)?;
+        Ok(Some(frame))
+    }
 }
 
 #[cfg(test)]
@@ -545,6 +640,68 @@ mod tests {
     fn crc32_known_vector() {
         // The canonical IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn string_roundtrip_and_rejection() {
+        let mut w = Writer::new();
+        w.put_str("déjà vu");
+        w.put_str("");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_str().unwrap(), "déjà vu");
+        assert_eq!(r.get_str().unwrap(), "");
+        assert!(r.finish().is_ok());
+        // Truncated length and invalid UTF-8 both fail cleanly.
+        let mut short = Reader::new(&bytes[..4]);
+        assert!(short.get_str().is_err());
+        let mut w = Writer::new();
+        w.put_u64(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bad = w.into_bytes();
+        assert!(Reader::new(&bad).get_str().is_err());
+    }
+
+    #[test]
+    fn stream_messages_roundtrip() {
+        let frames = [sample_frame(), encode_frame(proto::REQ_LIST, |_| {})];
+        let mut wire = Vec::new();
+        for f in &frames {
+            proto::write_message(&mut wire, f).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for f in &frames {
+            let got = proto::read_message(&mut cursor).unwrap().expect("a frame");
+            assert_eq!(&got, f);
+        }
+        // Clean EOF at a boundary is None, not an error.
+        assert!(proto::read_message(&mut cursor).unwrap().is_none());
+        // EOF mid-message is an error.
+        let mut torn = &wire[..wire.len() - 1];
+        proto::read_message(&mut torn).unwrap();
+        assert!(proto::read_message(&mut torn).is_err());
+        // A hostile length prefix is rejected before allocation.
+        let huge = u32::MAX.to_le_bytes();
+        assert!(proto::read_message(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn proto_tags_avoid_summary_tag_space() {
+        // Summary kinds use low tags; manifest and protocol tags must never
+        // collide with them (or each other).
+        let tags = [
+            proto::TAG_MANIFEST,
+            proto::REQ_QUERY,
+            proto::REQ_INGEST,
+            proto::REQ_LIST,
+            proto::REQ_STATS,
+            proto::REQ_SHUTDOWN,
+            proto::RESP_OK,
+            proto::RESP_ERR,
+        ];
+        let unique: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(unique.len(), tags.len());
+        assert!(tags.iter().all(|&t| t >= 32));
     }
 
     #[test]

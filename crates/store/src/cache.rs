@@ -1,0 +1,184 @@
+//! LRU cache for range-query answers.
+//!
+//! Keys embed the catalog snapshot **version**, so a cache entry can never
+//! serve a stale answer: any ingest or compaction bumps the version and all
+//! older entries simply stop being addressable (and age out of the LRU).
+//! Lookups and inserts take a short mutex; the summaries themselves are
+//! never touched under the lock.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// What a cached answer is keyed by: snapshot version plus the full query
+/// coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Snapshot version the answer was computed against.
+    pub version: u64,
+    /// Dataset name.
+    pub dataset: String,
+    /// Summary kind wire tag.
+    pub kind_tag: u16,
+    /// Query range, one `(lo, hi)` per axis.
+    pub range: Vec<(u64, u64)>,
+    /// Optional window-time filter.
+    pub time: Option<(u64, u64)>,
+}
+
+/// A cached query answer: the estimate plus the window count it consulted
+/// (both pure functions of the versioned key, so a hit answers the whole
+/// query without touching the catalog).
+pub type CachedAnswer = (f64, u64);
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// key → (answer, recency stamp)
+    map: HashMap<CacheKey, (CachedAnswer, u64)>,
+    /// recency stamp → key (oldest first; stamps are unique)
+    order: BTreeMap<u64, CacheKey>,
+    next_stamp: u64,
+}
+
+/// A fixed-capacity LRU map from query coordinates to answers.
+#[derive(Debug)]
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` answers (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up an answer, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        let (value, old_stamp) = match inner.map.get_mut(key) {
+            None => return None,
+            Some((value, at)) => {
+                let old = *at;
+                *at = stamp;
+                (*value, old)
+            }
+        };
+        inner.order.remove(&old_stamp);
+        inner.order.insert(stamp, key.clone());
+        Some(value)
+    }
+
+    /// Stores an answer, evicting the least-recently-used entry at
+    /// capacity.
+    pub fn put(&self, key: CacheKey, value: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some((_, old_stamp)) = inner.map.insert(key.clone(), (value, stamp)) {
+            inner.order.remove(&old_stamp);
+        }
+        inner.order.insert(stamp, key);
+        while inner.map.len() > self.capacity {
+            let (&oldest, _) = inner.order.iter().next().expect("non-empty order index");
+            let victim = inner.order.remove(&oldest).expect("indexed key");
+            inner.map.remove(&victim);
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(version: u64, lo: u64) -> CacheKey {
+        CacheKey {
+            version,
+            dataset: "d".into(),
+            kind_tag: 1,
+            range: vec![(lo, lo + 10)],
+            time: None,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_version_isolation() {
+        let cache = QueryCache::new(8);
+        assert_eq!(cache.get(&key(1, 0)), None);
+        cache.put(key(1, 0), (42.0, 1));
+        assert_eq!(cache.get(&key(1, 0)), Some((42.0, 1)));
+        // A new snapshot version misses — stale answers are unaddressable.
+        assert_eq!(cache.get(&key(2, 0)), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = QueryCache::new(2);
+        cache.put(key(1, 0), (0.0, 1));
+        cache.put(key(1, 1), (1.0, 1));
+        // Touch key 0 so key 1 is the LRU victim.
+        assert_eq!(cache.get(&key(1, 0)), Some((0.0, 1)));
+        cache.put(key(1, 2), (2.0, 1));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(1, 1)), None, "LRU entry evicted");
+        assert_eq!(cache.get(&key(1, 0)), Some((0.0, 1)));
+        assert_eq!(cache.get(&key(1, 2)), Some((2.0, 1)));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growing() {
+        let cache = QueryCache::new(2);
+        cache.put(key(1, 0), (1.0, 1));
+        cache.put(key(1, 0), (2.0, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(1, 0)), Some((2.0, 1)));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = QueryCache::new(0);
+        cache.put(key(1, 0), (1.0, 1));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1, 0)), None);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(QueryCache::new(64));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        cache.put(key(t, i % 40), (i as f64, 1));
+                        cache.get(&key(t, (i + 7) % 40));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 64);
+    }
+}

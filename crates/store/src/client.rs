@@ -1,0 +1,183 @@
+//! Blocking client for the `sas serve` protocol — one TCP connection,
+//! request/response in lockstep. Used by `sas client` and the integration
+//! tests; scripts can hold one connection open across many queries.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sas_codec::{open_frame, proto, CodecError};
+use sas_summaries::SummaryKind;
+
+use crate::window::Level;
+use crate::wire::{decode_response, encode_request, Request, Response, WindowRow};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The daemon's bytes did not decode.
+    Codec(CodecError),
+    /// The daemon answered, with an error message.
+    Server(String),
+    /// The daemon closed the connection mid-exchange.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Codec(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// A query answer as reported by the daemon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteAnswer {
+    /// The estimate.
+    pub value: f64,
+    /// Windows consulted.
+    pub windows: u64,
+    /// Whether the daemon's LRU cache served it.
+    pub cached: bool,
+}
+
+/// Where an ingested batch landed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestAck {
+    /// Window level.
+    pub level: Level,
+    /// Window start tick.
+    pub start: u64,
+    /// Items now in the window.
+    pub items: u64,
+}
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn exchange(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let frame = encode_request(req);
+        let request_tag = open_frame(&frame).expect("self-encoded frame").kind;
+        proto::write_message(&mut self.writer, &frame)?;
+        let reply = proto::read_message(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+        match decode_response(&reply, request_tag)? {
+            Response::Err(msg) => Err(ClientError::Server(msg)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Range query against a dataset series.
+    pub fn query(
+        &mut self,
+        dataset: &str,
+        kind: SummaryKind,
+        range: &[(u64, u64)],
+        time: Option<(u64, u64)>,
+    ) -> Result<RemoteAnswer, ClientError> {
+        match self.exchange(&Request::Query {
+            dataset: dataset.to_string(),
+            kind,
+            range: range.to_vec(),
+            time,
+        })? {
+            Response::Query {
+                value,
+                windows,
+                cached,
+            } => Ok(RemoteAnswer {
+                value,
+                windows,
+                cached,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends a batch summary frame for the minute window containing `ts`.
+    pub fn ingest(
+        &mut self,
+        dataset: &str,
+        ts: u64,
+        frame: Vec<u8>,
+    ) -> Result<IngestAck, ClientError> {
+        match self.exchange(&Request::Ingest {
+            dataset: dataset.to_string(),
+            ts,
+            frame,
+        })? {
+            Response::Ingest {
+                level,
+                start,
+                items,
+            } => Ok(IngestAck {
+                level,
+                start,
+                items,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Lists the daemon's windows.
+    pub fn list(&mut self) -> Result<Vec<WindowRow>, ClientError> {
+        match self.exchange(&Request::List)? {
+            Response::List(rows) => Ok(rows),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches store statistics.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.exchange(&Request::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.exchange(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    ClientError::Server(format!("unexpected response {resp:?}"))
+}

@@ -1,0 +1,136 @@
+//! Crash-safe file persistence: every frame (window, manifest, or CLI
+//! `--out`) is written to a temp file in the destination directory and
+//! atomically `rename`d into place, so a reader can never observe a torn
+//! frame — it sees either the old bytes or the new bytes, completely.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Infix marking an in-flight temp file; anything containing it is garbage
+/// left by a crash and is swept by [`remove_temp_files`].
+pub const TEMP_INFIX: &str = ".tmp-";
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory
+/// (rename is only atomic within a filesystem), flushed and fsync'd, then
+/// renamed over the destination. Parent directories are created as needed.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_os_string();
+    let mut temp_name = file_name;
+    temp_name.push(format!("{TEMP_INFIX}{}-{id}", std::process::id()));
+    let temp_path = path.with_file_name(temp_name);
+    let result = (|| {
+        let mut f = fs::File::create(&temp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&temp_path, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&temp_path);
+    }
+    result
+}
+
+/// Recursively removes leftover temp files under `dir` (crash debris).
+/// Returns how many were swept.
+pub fn remove_temp_files(dir: &Path) -> io::Result<u64> {
+    let mut removed = 0;
+    for path in walk_files(dir)? {
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains(TEMP_INFIX))
+        {
+            fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// All regular files under `dir`, recursively, in sorted order (so every
+/// directory scan in the store is deterministic).
+pub fn walk_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                stack.push(path);
+            } else {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sas-fsio-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_parents_and_replaces() {
+        let dir = temp_dir("basic");
+        let path = dir.join("a/b/frame.sas");
+        write_atomic(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        // No temp debris left behind.
+        assert_eq!(remove_temp_files(&dir).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_debris_is_swept_and_never_tears_the_original() {
+        let dir = temp_dir("debris");
+        let path = dir.join("frame.sas");
+        write_atomic(&path, b"intact").unwrap();
+        // Simulate a crash mid-write: a truncated temp file next to the
+        // destination, never renamed.
+        let torn = dir.join(format!("frame.sas{TEMP_INFIX}999-0"));
+        fs::write(&torn, b"in").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"intact", "original untouched");
+        assert_eq!(remove_temp_files(&dir).unwrap(), 1);
+        assert!(!torn.exists());
+        assert_eq!(fs::read(&path).unwrap(), b"intact");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn walk_is_recursive_and_sorted() {
+        let dir = temp_dir("walk");
+        fs::create_dir_all(dir.join("z")).unwrap();
+        fs::write(dir.join("z/2.sas"), b"x").unwrap();
+        fs::write(dir.join("1.sas"), b"x").unwrap();
+        let files = walk_files(&dir).unwrap();
+        assert_eq!(
+            files,
+            vec![dir.join("1.sas"), dir.join("z/2.sas")],
+            "sorted, recursive"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,686 @@
+//! # sas-store — a concurrent, persistent catalog of summary windows
+//!
+//! The paper's summaries are mergeable and persistable (PR 2/PR 3); this
+//! crate turns those two properties into a long-running system: a catalog
+//! keyed by `(dataset, kind, time-window)` that ingests batches while
+//! serving range queries from consistent snapshots, in the spirit of
+//! continuously-aggregated sketch stores.
+//!
+//! ## Architecture
+//!
+//! * **Windowed ingest** — every batch is an erased
+//!   [`Summary`](sas_summaries::Summary) that lands in the minute window
+//!   containing its timestamp, merged through the same type-erased
+//!   `merge_in_place` that `sas merge` uses.
+//! * **Snapshot-swapped reads** — the whole catalog lives in one immutable
+//!   [`Snapshot`] behind an `Arc`. Readers clone the `Arc` (a refcount
+//!   bump under a briefly-held read lock) and then query entirely
+//!   lock-free; writers build the next snapshot on the side and swap it in.
+//!   An LRU [`QueryCache`](cache::QueryCache) keyed by snapshot version
+//!   memoizes hot range queries and can never serve a stale answer.
+//! * **Merge-tree compaction** — a background pass rolls sealed minute
+//!   windows into hours and hours into days with
+//!   [`sas_summaries::merge_tree`] under a per-window deterministic seed,
+//!   so a compacted window is **bit-identical** to an offline rebuild of
+//!   its children ([`rebuild_parent`]).
+//! * **Crash-safe persistence** — every window is a `sas-codec` frame
+//!   written via temp-file + `rename` ([`fsio::write_atomic`]), referenced
+//!   by an atomically-rewritten [`Manifest`](manifest::Manifest). Restart
+//!   recovery replays the manifest and sweeps crash debris.
+//!
+//! The TCP daemon (`sas serve`) and its client live in [`server`] and
+//! [`client`]; the wire messages in [`wire`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod client;
+pub mod fsio;
+pub mod manifest;
+pub mod server;
+pub mod window;
+pub mod wire;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sas_codec::CodecError;
+use sas_summaries::{
+    decode_summary, encode_summary, merge_tree, Summary, SummaryError, SummaryKind,
+};
+
+use cache::{CacheKey, QueryCache};
+use manifest::{Manifest, ManifestEntry};
+use window::{valid_dataset, window_seed, Level, WindowKey};
+
+/// File name of the store manifest inside the store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.sas";
+
+/// Tuning knobs for a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Size budget applied to every window merge (ingest and compaction).
+    /// Sample-based kinds re-subsample down to it; deterministic kinds
+    /// ignore it. `None` lets windows grow by concatenation.
+    pub budget: Option<usize>,
+    /// Capacity of the LRU query cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            budget: None,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Everything that can go wrong inside the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure, annotated with the path involved.
+    Io(PathBuf, io::Error),
+    /// A frame or manifest failed to decode.
+    Codec(CodecError),
+    /// A summary merge was rejected.
+    Summary(SummaryError),
+    /// The caller's request is invalid (bad dataset name, kind mismatch…).
+    BadRequest(String),
+    /// An ingest landed below the compaction floor: its minute window was
+    /// already rolled up and the roll-up is immutable.
+    Stale {
+        /// The minute window the batch would have landed in.
+        key: WindowKey,
+        /// First tick still accepting ingest for the series.
+        floor: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            StoreError::Codec(e) => write!(f, "{e}"),
+            StoreError::Summary(e) => write!(f, "{e}"),
+            StoreError::BadRequest(msg) => write!(f, "{msg}"),
+            StoreError::Stale { key, floor } => write!(
+                f,
+                "window {key} was already compacted (series accepts ticks >= {floor})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<SummaryError> for StoreError {
+    fn from(e: SummaryError) -> Self {
+        StoreError::Summary(e)
+    }
+}
+
+/// One immutable window: its coordinate, its summary, and its write state.
+#[derive(Debug)]
+pub struct WindowState {
+    /// Catalog coordinate.
+    pub key: WindowKey,
+    /// The window's summary.
+    pub summary: Box<dyn Summary>,
+    /// Batches merged in so far.
+    pub batches: u64,
+    /// Size of the persisted frame in bytes.
+    pub frame_bytes: u64,
+}
+
+/// An immutable, internally consistent view of the whole catalog. Cheap to
+/// clone (`Arc` per window); readers hold it for as long as they like while
+/// writers publish newer versions.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotonic version, bumped by every mutation.
+    pub version: u64,
+    /// All windows in key order.
+    pub windows: BTreeMap<WindowKey, Arc<WindowState>>,
+}
+
+impl Snapshot {
+    /// The windows a query over `(dataset, kind, time)` consults, in key
+    /// order.
+    pub fn matching(
+        &self,
+        dataset: &str,
+        kind: SummaryKind,
+        time: Option<(u64, u64)>,
+    ) -> Vec<Arc<WindowState>> {
+        self.windows
+            .values()
+            .filter(|w| {
+                w.key.dataset == dataset
+                    && w.key.kind == kind
+                    && time.is_none_or(|(t0, t1)| w.key.overlaps(t0, t1))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Directly computes a range query against this snapshot (no cache):
+    /// the sum of every matching window's estimate. Returns the value and
+    /// the number of windows consulted.
+    pub fn query(
+        &self,
+        dataset: &str,
+        kind: SummaryKind,
+        range: &[(u64, u64)],
+        time: Option<(u64, u64)>,
+    ) -> (f64, u64) {
+        let windows = self.matching(dataset, kind, time);
+        let value: f64 = windows.iter().map(|w| w.summary.range_sum(range)).sum();
+        // f64's empty-sum identity is -0.0; serve a plain 0 instead.
+        (value + 0.0, windows.len() as u64)
+    }
+}
+
+/// A range-query answer from [`Store::query`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryAnswer {
+    /// The estimate.
+    pub value: f64,
+    /// Windows consulted.
+    pub windows: u64,
+    /// Whether the value came from the LRU cache.
+    pub cached: bool,
+    /// Snapshot version answered against.
+    pub version: u64,
+}
+
+/// Per-series mutable writer state (watermarks drive compaction sealing,
+/// floors reject writes into already-compacted history).
+#[derive(Debug, Default)]
+struct WriterState {
+    /// Highest ingested tick's window end, per `(dataset, kind tag)`.
+    watermarks: HashMap<(String, u16), u64>,
+    /// First tick still accepting ingest, per `(dataset, kind tag)`.
+    floors: HashMap<(String, u16), u64>,
+    manifest_sequence: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    ingested: AtomicU64,
+    rollups: AtomicU64,
+    compaction_passes: AtomicU64,
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    recovered_windows: AtomicU64,
+    orphans_removed: AtomicU64,
+    temp_files_swept: AtomicU64,
+}
+
+/// The concurrent summary catalog. See the crate docs for the design.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    snapshot: RwLock<Arc<Snapshot>>,
+    writer: Mutex<WriterState>,
+    cache: QueryCache,
+    counters: Counters,
+}
+
+impl Store {
+    /// Opens (or creates) a store directory, sweeping crash debris,
+    /// replaying the manifest, and removing orphaned frames.
+    pub fn open(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::Io(dir.clone(), e))?;
+        let swept = fsio::remove_temp_files(&dir).map_err(|e| StoreError::Io(dir.clone(), e))?;
+
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = if manifest_path.exists() {
+            let bytes =
+                fs::read(&manifest_path).map_err(|e| StoreError::Io(manifest_path.clone(), e))?;
+            Manifest::decode(&bytes)?
+        } else {
+            Manifest::default()
+        };
+
+        let mut windows = BTreeMap::new();
+        let mut writer = WriterState {
+            manifest_sequence: manifest.sequence,
+            ..WriterState::default()
+        };
+        for entry in &manifest.entries {
+            let path = frame_path(&dir, &entry.key);
+            let bytes = fs::read(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
+            let summary = decode_summary(&bytes)?;
+            if summary.kind() != entry.key.kind {
+                return Err(StoreError::BadRequest(format!(
+                    "manifest says {} holds a {} summary, file holds {}",
+                    entry.key,
+                    entry.key.kind,
+                    summary.kind()
+                )));
+            }
+            let series = series_of(&entry.key);
+            let end = entry.key.end();
+            bump_max(&mut writer.watermarks, series.clone(), end);
+            if entry.key.level != Level::Minute {
+                bump_max(&mut writer.floors, series, end);
+            }
+            windows.insert(
+                entry.key.clone(),
+                Arc::new(WindowState {
+                    key: entry.key.clone(),
+                    summary,
+                    batches: entry.batches,
+                    frame_bytes: bytes.len() as u64,
+                }),
+            );
+        }
+
+        // Orphans: frame files on disk the manifest does not name (debris
+        // of a crash between a roll-up's frame writes and its child
+        // deletions). The manifest is authoritative; sweep them.
+        let expected: std::collections::HashSet<PathBuf> =
+            windows.keys().map(|k| frame_path(&dir, k)).collect();
+        let mut orphans = 0;
+        for path in fsio::walk_files(&dir).map_err(|e| StoreError::Io(dir.clone(), e))? {
+            if path == manifest_path || expected.contains(&path) {
+                continue;
+            }
+            fs::remove_file(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
+            orphans += 1;
+        }
+
+        let store = Store {
+            dir,
+            cache: QueryCache::new(config.cache_capacity),
+            config,
+            snapshot: RwLock::new(Arc::new(Snapshot {
+                version: 1,
+                windows,
+            })),
+            writer: Mutex::new(writer),
+            counters: Counters::default(),
+        };
+        store
+            .counters
+            .recovered_windows
+            .store(manifest.entries.len() as u64, Ordering::Relaxed);
+        store
+            .counters
+            .orphans_removed
+            .store(orphans, Ordering::Relaxed);
+        store
+            .counters
+            .temp_files_swept
+            .store(swept, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current catalog snapshot (lock-free to use; the read lock is
+    /// held only for the `Arc` clone).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.snapshot.read().expect("snapshot lock").clone()
+    }
+
+    /// Merges a batch summary into the minute window containing `ts`,
+    /// persists the window and manifest, and publishes a new snapshot.
+    /// Returns the updated window.
+    pub fn ingest(
+        &self,
+        dataset: &str,
+        ts: u64,
+        batch: Box<dyn Summary>,
+    ) -> Result<Arc<WindowState>, StoreError> {
+        if !valid_dataset(dataset) {
+            return Err(StoreError::BadRequest(format!(
+                "invalid dataset name '{dataset}' (want [A-Za-z0-9_-]+, at most 128 chars)"
+            )));
+        }
+        let key = WindowKey::minute(dataset, batch.kind(), ts);
+        let mut writer = self.writer.lock().expect("writer lock");
+        let series = series_of(&key);
+        let floor = writer.floors.get(&series).copied().unwrap_or(0);
+        if key.start < floor {
+            return Err(StoreError::Stale { key, floor });
+        }
+
+        let snap = self.snapshot();
+        let (summary, batches) = match snap.windows.get(&key) {
+            None => (batch, 1),
+            Some(existing) => {
+                let mut merged = existing.summary.clone();
+                // Seed from the window plus its batch counter: replaying
+                // the same ingest sequence reproduces the same window.
+                let mut rng = StdRng::seed_from_u64(
+                    window_seed(&key).wrapping_add(existing.batches.wrapping_mul(GOLDEN)),
+                );
+                merged.merge_in_place(batch, self.config.budget, &mut rng)?;
+                (merged, existing.batches + 1)
+            }
+        };
+
+        let bytes = encode_summary(summary.as_ref());
+        let path = frame_path(&self.dir, &key);
+        fsio::write_atomic(&path, &bytes).map_err(|e| StoreError::Io(path, e))?;
+
+        let state = Arc::new(WindowState {
+            key: key.clone(),
+            summary,
+            batches,
+            frame_bytes: bytes.len() as u64,
+        });
+        let mut windows = snap.windows.clone();
+        windows.insert(key.clone(), state.clone());
+        self.persist_and_publish(&mut writer, windows, snap.version)?;
+        bump_max(&mut writer.watermarks, series, key.end());
+        self.counters.ingested.fetch_add(1, Ordering::Relaxed);
+        Ok(state)
+    }
+
+    /// Answers a range query from the current snapshot, through the LRU
+    /// cache.
+    pub fn query(
+        &self,
+        dataset: &str,
+        kind: SummaryKind,
+        range: &[(u64, u64)],
+        time: Option<(u64, u64)>,
+    ) -> QueryAnswer {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let snap = self.snapshot();
+        let cache_key = CacheKey {
+            version: snap.version,
+            dataset: dataset.to_string(),
+            kind_tag: kind.tag(),
+            range: range.to_vec(),
+            time,
+        };
+        if let Some((value, windows)) = self.cache.get(&cache_key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return QueryAnswer {
+                value,
+                windows,
+                cached: true,
+                version: snap.version,
+            };
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let (value, windows) = snap.query(dataset, kind, range, time);
+        self.cache.put(cache_key, (value, windows));
+        QueryAnswer {
+            value,
+            windows,
+            cached: false,
+            version: snap.version,
+        }
+    }
+
+    /// Lists the catalog's windows in key order.
+    pub fn list(&self) -> Vec<wire::WindowRow> {
+        self.snapshot()
+            .windows
+            .values()
+            .map(|w| wire::WindowRow {
+                key: w.key.clone(),
+                items: w.summary.item_count() as u64,
+                batches: w.batches,
+                frame_bytes: w.frame_bytes,
+            })
+            .collect()
+    }
+
+    /// Store statistics as ordered name/value pairs (also the `stats`
+    /// protocol response).
+    pub fn stats(&self) -> Vec<(String, u64)> {
+        let snap = self.snapshot();
+        let per_level =
+            |level: Level| snap.windows.keys().filter(|k| k.level == level).count() as u64;
+        let items: u64 = snap
+            .windows
+            .values()
+            .map(|w| w.summary.item_count() as u64)
+            .sum();
+        let bytes: u64 = snap.windows.values().map(|w| w.frame_bytes).sum();
+        let c = &self.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        vec![
+            ("windows".into(), snap.windows.len() as u64),
+            ("minute_windows".into(), per_level(Level::Minute)),
+            ("hour_windows".into(), per_level(Level::Hour)),
+            ("day_windows".into(), per_level(Level::Day)),
+            ("items".into(), items),
+            ("frame_bytes".into(), bytes),
+            ("snapshot_version".into(), snap.version),
+            ("ingested_batches".into(), get(&c.ingested)),
+            ("rollups".into(), get(&c.rollups)),
+            ("compaction_passes".into(), get(&c.compaction_passes)),
+            ("queries".into(), get(&c.queries)),
+            ("cache_hits".into(), get(&c.cache_hits)),
+            ("cache_misses".into(), get(&c.cache_misses)),
+            ("cache_entries".into(), self.cache.len() as u64),
+            ("recovered_windows".into(), get(&c.recovered_windows)),
+            ("orphans_removed".into(), get(&c.orphans_removed)),
+            ("temp_files_swept".into(), get(&c.temp_files_swept)),
+        ]
+    }
+
+    /// Runs one compaction pass: every sealed parent window (its span
+    /// entirely below the series watermark) absorbs its children via the
+    /// deterministic merge tree. Returns the number of roll-ups performed.
+    pub fn compact_once(&self) -> Result<usize, StoreError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        self.counters
+            .compaction_passes
+            .fetch_add(1, Ordering::Relaxed);
+        let snap = self.snapshot();
+        let mut windows = snap.windows.clone();
+        let mut doomed_paths: Vec<PathBuf> = Vec::new();
+        let mut rollups = 0usize;
+
+        // Minute→hour first so freshly built hours can cascade into days
+        // within the same pass.
+        for level in [Level::Minute, Level::Hour] {
+            let mut groups: BTreeMap<WindowKey, Vec<Arc<WindowState>>> = BTreeMap::new();
+            for (key, state) in windows.iter().filter(|(k, _)| k.level == level) {
+                let parent = key.parent().expect("minute/hour have parents");
+                let watermark = writer.watermarks.get(&series_of(key)).copied().unwrap_or(0);
+                if parent.end() <= watermark {
+                    // BTreeMap iteration is key-ordered, so children arrive
+                    // in ascending window-start order — the rebuild order.
+                    groups.entry(parent).or_default().push(state.clone());
+                }
+            }
+            for (parent_key, children) in groups {
+                let batches: u64 = children.iter().map(|c| c.batches).sum();
+                let merged = rebuild_parent(
+                    &parent_key,
+                    children.iter().map(|c| c.summary.clone()).collect(),
+                    self.config.budget,
+                )?;
+                let bytes = encode_summary(merged.as_ref());
+                let path = frame_path(&self.dir, &parent_key);
+                fsio::write_atomic(&path, &bytes).map_err(|e| StoreError::Io(path, e))?;
+                for child in &children {
+                    windows.remove(&child.key);
+                    doomed_paths.push(frame_path(&self.dir, &child.key));
+                }
+                bump_max(&mut writer.floors, series_of(&parent_key), parent_key.end());
+                windows.insert(
+                    parent_key.clone(),
+                    Arc::new(WindowState {
+                        key: parent_key.clone(),
+                        summary: merged,
+                        batches,
+                        frame_bytes: bytes.len() as u64,
+                    }),
+                );
+                rollups += 1;
+            }
+        }
+
+        if rollups > 0 {
+            self.persist_and_publish(&mut writer, windows, snap.version)?;
+            // Child frames go last: if we crash before this point the
+            // manifest no longer names them and open() sweeps them as
+            // orphans.
+            for path in doomed_paths {
+                fs::remove_file(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
+            }
+            self.counters
+                .rollups
+                .fetch_add(rollups as u64, Ordering::Relaxed);
+        }
+        Ok(rollups)
+    }
+
+    /// Writes the manifest for `windows` and swaps in the new snapshot.
+    /// Callers must hold the writer lock (enforced by the `&mut
+    /// WriterState` borrow).
+    fn persist_and_publish(
+        &self,
+        writer: &mut WriterState,
+        windows: BTreeMap<WindowKey, Arc<WindowState>>,
+        prev_version: u64,
+    ) -> Result<(), StoreError> {
+        writer.manifest_sequence += 1;
+        let manifest = Manifest {
+            sequence: writer.manifest_sequence,
+            entries: windows
+                .values()
+                .map(|w| ManifestEntry {
+                    key: w.key.clone(),
+                    batches: w.batches,
+                    frame_bytes: w.frame_bytes,
+                })
+                .collect(),
+        };
+        let path = self.dir.join(MANIFEST_FILE);
+        fsio::write_atomic(&path, &manifest.encode()).map_err(|e| StoreError::Io(path, e))?;
+        let next = Arc::new(Snapshot {
+            version: prev_version + 1,
+            windows,
+        });
+        *self.snapshot.write().expect("snapshot lock") = next;
+        Ok(())
+    }
+}
+
+/// The multiplier spreading a window's batch counter into its merge seed.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Rebuilds a parent window from its children — the *definition* of what
+/// compaction must produce: child summaries in ascending window order,
+/// merged bottom-up by [`merge_tree`] under the parent's deterministic
+/// seed. Offline verification decodes persisted child frames and calls
+/// this; the result is bit-identical to the store's own roll-up.
+pub fn rebuild_parent(
+    parent: &WindowKey,
+    children: Vec<Box<dyn Summary>>,
+    budget: Option<usize>,
+) -> Result<Box<dyn Summary>, StoreError> {
+    let mut rng = StdRng::seed_from_u64(window_seed(parent));
+    Ok(merge_tree(children, budget, &mut rng)?)
+}
+
+/// On-disk location of a window's frame.
+pub fn frame_path(dir: &Path, key: &WindowKey) -> PathBuf {
+    dir.join(&key.dataset)
+        .join(key.kind.name())
+        .join(key.level.name())
+        .join(format!("{}.sas", key.start))
+}
+
+fn series_of(key: &WindowKey) -> (String, u16) {
+    (key.dataset.clone(), key.kind.tag())
+}
+
+fn bump_max(map: &mut HashMap<(String, u16), u64>, series: (String, u16), value: u64) {
+    let slot = map.entry(series).or_insert(0);
+    *slot = (*slot).max(value);
+}
+
+/// Handle to the background compaction thread; stops and joins on drop.
+#[derive(Debug)]
+pub struct Compactor {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Spawns a thread running [`Store::compact_once`] every `interval`.
+    pub fn start(store: Arc<Store>, interval: Duration) -> Compactor {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("sas-store-compactor".into())
+            .spawn(move || {
+                let (lock, cvar) = &*thread_stop;
+                let mut stopped = lock.lock().expect("compactor lock");
+                loop {
+                    let (guard, _) = cvar
+                        .wait_timeout(stopped, interval)
+                        .expect("compactor wait");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped);
+                    // Compaction failures must not kill the thread; the
+                    // next pass retries (the store itself stays valid —
+                    // snapshots only swap after a full successful pass).
+                    let _ = store.compact_once();
+                    stopped = lock.lock().expect("compactor lock");
+                }
+            })
+            .expect("spawn compactor");
+        Compactor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the thread and waits for it to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("compactor lock") = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

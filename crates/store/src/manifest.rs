@@ -1,0 +1,229 @@
+//! The store manifest: the single source of truth for which window frames
+//! a store directory contains.
+//!
+//! The manifest is itself a `sas-codec` frame (tag
+//! [`sas_codec::proto::TAG_MANIFEST`]) written atomically after every
+//! mutation, *after* the frames it references — so at any crash point the
+//! manifest only ever names frames that are fully on disk. Files present
+//! but unlisted are compaction/crash orphans and are swept on open.
+
+use sas_codec::{encode_frame, open_frame, proto, CodecError, Reader, Writer};
+use sas_summaries::SummaryKind;
+
+use crate::window::{Level, WindowKey};
+
+/// One manifest row: a window's key plus the writer state needed to resume
+/// it (batch counter for deterministic ingest-merge seeds) and its frame
+/// size for integrity checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// The window's catalog coordinate.
+    pub key: WindowKey,
+    /// Batches merged into the window so far.
+    pub batches: u64,
+    /// Size of the window's frame file in bytes.
+    pub frame_bytes: u64,
+}
+
+/// The decoded manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// Monotonic write counter (diagnostics; bumped every rewrite).
+    pub sequence: u64,
+    /// All live windows, in key order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Serializes the manifest as a frame.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_frame(proto::TAG_MANIFEST, |w| {
+            w.section(1, |w| {
+                w.put_u64(self.sequence);
+            });
+            w.section(2, |w| {
+                w.put_u64(self.entries.len() as u64);
+                for e in &self.entries {
+                    write_entry(w, e);
+                }
+            });
+        })
+    }
+
+    /// Decodes a manifest frame (never panics on corrupted input).
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, CodecError> {
+        let mut frame = open_frame(bytes)?;
+        if frame.kind != proto::TAG_MANIFEST {
+            return Err(CodecError::UnknownKind(frame.kind));
+        }
+        let mut meta = frame.body.expect_section(1)?;
+        let sequence = meta.get_u64()?;
+        meta.finish()?;
+        let mut sec = frame.body.expect_section(2)?;
+        // Smallest possible entry: 1-byte dataset + fixed fields.
+        let n = sec.get_len(8 + 1 + 2 + 1 + 8 + 8 + 8)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(read_entry(&mut sec)?);
+        }
+        sec.finish()?;
+        frame.body.finish()?;
+        Ok(Manifest { sequence, entries })
+    }
+}
+
+fn write_entry(w: &mut Writer, e: &ManifestEntry) {
+    w.put_str(&e.key.dataset);
+    w.put_u16(e.key.kind.tag());
+    w.put_u8(e.key.level.tag());
+    w.put_u64(e.key.start);
+    w.put_u64(e.batches);
+    w.put_u64(e.frame_bytes);
+}
+
+fn read_entry(r: &mut Reader<'_>) -> Result<ManifestEntry, CodecError> {
+    let dataset = r.get_str()?;
+    // Re-establish the ingest-time invariant on the recovery path: a
+    // crafted or foreign manifest must not be able to point frame paths
+    // outside the store directory (e.g. dataset "..").
+    if !crate::window::valid_dataset(&dataset) {
+        return Err(CodecError::Invalid(format!(
+            "manifest dataset '{dataset}' is not a valid dataset name"
+        )));
+    }
+    let kind_tag = r.get_u16()?;
+    let kind = SummaryKind::from_tag(kind_tag).ok_or(CodecError::UnknownKind(kind_tag))?;
+    let level_tag = r.get_u8()?;
+    let level = Level::from_tag(level_tag)
+        .ok_or_else(|| CodecError::Invalid(format!("unknown window level {level_tag}")))?;
+    let start = r.get_u64()?;
+    if start % level.span() != 0 {
+        return Err(CodecError::Invalid(format!(
+            "window start {start} is not aligned to a {level} span"
+        )));
+    }
+    let batches = r.get_u64()?;
+    let frame_bytes = r.get_u64()?;
+    Ok(ManifestEntry {
+        key: WindowKey {
+            dataset,
+            kind,
+            level,
+            start,
+        },
+        batches,
+        frame_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            sequence: 17,
+            entries: vec![
+                ManifestEntry {
+                    key: WindowKey {
+                        dataset: "web".into(),
+                        kind: SummaryKind::Sample,
+                        level: Level::Minute,
+                        start: 120,
+                    },
+                    batches: 3,
+                    frame_bytes: 999,
+                },
+                ManifestEntry {
+                    key: WindowKey {
+                        dataset: "web".into(),
+                        kind: SummaryKind::Sample,
+                        level: Level::Hour,
+                        start: 0,
+                    },
+                    batches: 60,
+                    frame_bytes: 12345,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), m);
+        // Empty manifests are valid too.
+        let empty = Manifest::default();
+        assert_eq!(Manifest::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn corruption_is_rejected_not_panicking() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            assert!(Manifest::decode(&bytes[..len]).is_err(), "prefix {len}");
+        }
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(Manifest::decode(&corrupt).is_err(), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn summary_frames_are_not_manifests() {
+        let frame = encode_frame(SummaryKind::Sample.tag(), |w| w.put_u64(0));
+        assert!(matches!(
+            Manifest::decode(&frame),
+            Err(CodecError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn path_traversal_dataset_rejected() {
+        // A manifest naming dataset ".." must not drive frame paths
+        // outside the store directory on recovery.
+        for hostile in ["..", "../../etc", "a/b", ""] {
+            let bytes = encode_frame(proto::TAG_MANIFEST, |w| {
+                w.section(1, |w| w.put_u64(1));
+                w.section(2, |w| {
+                    w.put_u64(1);
+                    w.put_str(hostile);
+                    w.put_u16(SummaryKind::Sample.tag());
+                    w.put_u8(Level::Minute.tag());
+                    w.put_u64(0);
+                    w.put_u64(0);
+                    w.put_u64(0);
+                });
+            });
+            // Non-empty hostile names reach the validity check (Invalid);
+            // the empty name already dies at the section length floor.
+            assert!(
+                Manifest::decode(&bytes).is_err(),
+                "dataset '{hostile}' must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_start_rejected() {
+        // Hand-build a manifest whose hour window starts mid-span.
+        let bytes = encode_frame(proto::TAG_MANIFEST, |w| {
+            w.section(1, |w| w.put_u64(1));
+            w.section(2, |w| {
+                w.put_u64(1);
+                w.put_str("d");
+                w.put_u16(SummaryKind::Sample.tag());
+                w.put_u8(Level::Hour.tag());
+                w.put_u64(1800);
+                w.put_u64(0);
+                w.put_u64(0);
+            });
+        });
+        assert!(matches!(
+            Manifest::decode(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,230 @@
+//! The `sas serve` daemon: a std-only TCP server answering the wire
+//! protocol over length-prefixed frames.
+//!
+//! One acceptor thread feeds connections to a fixed pool of worker threads
+//! through a channel; each worker runs a connection's request loop to
+//! completion (requests on one connection are pipelined sequentially;
+//! concurrency comes from concurrent connections). Reads go through the
+//! store's snapshot path, so heavy query traffic never blocks ingest.
+//! `shutdown` flips a flag, wakes the acceptor with a loopback connection,
+//! and closes every registered connection socket so blocked reads unblock —
+//! even clients idling on a long-lived connection cannot keep the daemon
+//! alive — then [`Server::wait`] joins everything.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use sas_codec::proto;
+use sas_summaries::decode_summary;
+
+use crate::wire::{decode_request, encode_response, Request, Response};
+use crate::Store;
+
+/// Live connections, tracked so shutdown can close their sockets and
+/// unblock workers parked in reads.
+#[derive(Debug, Default)]
+struct ConnRegistry {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream) -> io::Result<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let clone = stream.try_clone()?;
+        self.conns.lock().expect("registry lock").insert(id, clone);
+        Ok(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns.lock().expect("registry lock").remove(&id);
+    }
+
+    fn close_all(&self) {
+        for stream in self.conns.lock().expect("registry lock").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Everything a connection handler needs to participate in shutdown.
+#[derive(Debug)]
+struct Shared {
+    store: Arc<Store>,
+    shutdown: AtomicBool,
+    registry: ConnRegistry,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flips the flag, wakes the acceptor, and unblocks every parked read.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+            self.registry.close_all();
+        }
+    }
+}
+
+/// A running daemon.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop plus `threads` workers.
+    pub fn start(
+        store: Arc<Store>,
+        addr: impl ToSocketAddrs,
+        threads: usize,
+    ) -> io::Result<Server> {
+        let threads = threads.max(1);
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            store,
+            shutdown: AtomicBool::new(false),
+            registry: ConnRegistry::default(),
+            addr: listener.local_addr()?,
+        });
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("sas-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Holding the receiver lock only while popping keeps
+                        // the pool work-stealing: the next idle worker gets
+                        // the next connection.
+                        let conn = rx.lock().expect("worker queue lock").recv();
+                        match conn {
+                            Err(_) => return, // acceptor gone, queue drained
+                            Ok(stream) => {
+                                let _ = serve_connection(&shared, stream);
+                            }
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_shared = shared.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("sas-serve-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        return; // dropping tx ends the workers
+                    }
+                    if let Ok(stream) = stream {
+                        if tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            shared,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Asks the daemon to stop: wakes the acceptor and closes every open
+    /// connection. Call [`Server::wait`] to join.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the acceptor and every worker have exited.
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Runs one connection's request loop until the peer closes, a request
+/// asks for shutdown, or shutdown closes the socket under us.
+fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    let id = shared.registry.register(&stream)?;
+    // A shutdown that raced the registration may have missed this socket;
+    // the flag check closes the window (flag is set before close_all).
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.registry.deregister(id);
+        return Ok(());
+    }
+    let result = (|| {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        while let Some(frame) = proto::read_message(&mut reader)? {
+            let (response, stop) = match decode_request(&frame) {
+                Err(e) => (Response::Err(format!("bad request: {e}")), false),
+                Ok(Request::Shutdown) => (Response::Shutdown, true),
+                Ok(req) => (handle_request(&shared.store, req), false),
+            };
+            proto::write_message(&mut writer, &encode_response(&response))?;
+            if stop {
+                shared.begin_shutdown();
+                break;
+            }
+        }
+        Ok(())
+    })();
+    shared.registry.deregister(id);
+    result
+}
+
+/// Dispatches one decoded request against the store. Pure: no I/O beyond
+/// the store itself, so it is directly unit-testable without sockets.
+pub fn handle_request(store: &Store, req: Request) -> Response {
+    match req {
+        Request::Query {
+            dataset,
+            kind,
+            range,
+            time,
+        } => {
+            let answer = store.query(&dataset, kind, &range, time);
+            Response::Query {
+                value: answer.value,
+                windows: answer.windows,
+                cached: answer.cached,
+            }
+        }
+        Request::Ingest { dataset, ts, frame } => match decode_summary(&frame) {
+            Err(e) => Response::Err(format!("bad batch frame: {e}")),
+            Ok(batch) => match store.ingest(&dataset, ts, batch) {
+                Err(e) => Response::Err(e.to_string()),
+                Ok(window) => Response::Ingest {
+                    level: window.key.level,
+                    start: window.key.start,
+                    items: window.summary.item_count() as u64,
+                },
+            },
+        },
+        Request::List => Response::List(store.list()),
+        Request::Stats => Response::Stats(store.stats()),
+        Request::Shutdown => Response::Shutdown,
+    }
+}

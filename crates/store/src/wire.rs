@@ -1,0 +1,482 @@
+//! Request/response messages for the `sas serve` protocol.
+//!
+//! Every message is a `sas-codec` frame (tags in [`sas_codec::proto`]) sent
+//! length-prefixed over TCP. Frames keep the codec's robustness contract:
+//! decoding a hostile message never panics and never allocates beyond the
+//! message cap. Responses to different requests have different body
+//! layouts, so decoding a response requires naming the request it answers
+//! ([`decode_response`]).
+
+use sas_codec::{encode_frame, open_frame, proto, CodecError, Reader, Writer};
+use sas_summaries::SummaryKind;
+
+use crate::window::{Level, WindowKey};
+
+/// A client→daemon request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Estimate the weight in `range` for a dataset series, optionally
+    /// restricted to windows overlapping `time`.
+    Query {
+        /// Dataset name.
+        dataset: String,
+        /// Series kind.
+        kind: SummaryKind,
+        /// One `(lo, hi)` per axis.
+        range: Vec<(u64, u64)>,
+        /// Optional closed tick interval filtering windows.
+        time: Option<(u64, u64)>,
+    },
+    /// Merge a batch summary (a complete summary frame) into the minute
+    /// window containing `ts`.
+    Ingest {
+        /// Dataset name.
+        dataset: String,
+        /// Batch timestamp (ticks).
+        ts: u64,
+        /// Encoded summary frame.
+        frame: Vec<u8>,
+    },
+    /// List the catalog's windows.
+    List,
+    /// Store statistics.
+    Stats,
+    /// Stop the daemon after draining in-flight connections.
+    Shutdown,
+}
+
+/// One row of a [`Response::List`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// The window's catalog coordinate.
+    pub key: WindowKey,
+    /// Stored elements in the window summary.
+    pub items: u64,
+    /// Batches merged into the window.
+    pub batches: u64,
+    /// Frame file size in bytes.
+    pub frame_bytes: u64,
+}
+
+/// A daemon→client response. `Err` can answer any request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Query`].
+    Query {
+        /// The estimate.
+        value: f64,
+        /// Windows consulted.
+        windows: u64,
+        /// Whether the answer came from the LRU cache.
+        cached: bool,
+    },
+    /// Answer to [`Request::Ingest`]: where the batch landed.
+    Ingest {
+        /// Window level (always minute today).
+        level: Level,
+        /// Window start tick.
+        start: u64,
+        /// Items now in the window summary.
+        items: u64,
+    },
+    /// Answer to [`Request::List`].
+    List(Vec<WindowRow>),
+    /// Answer to [`Request::Stats`]: ordered name/value pairs.
+    Stats(Vec<(String, u64)>),
+    /// Answer to [`Request::Shutdown`].
+    Shutdown,
+    /// Any request can fail with a message.
+    Err(String),
+}
+
+/// Encodes a request frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Query {
+            dataset,
+            kind,
+            range,
+            time,
+        } => encode_frame(proto::REQ_QUERY, |w| {
+            w.section(1, |w| {
+                w.put_str(dataset);
+                w.put_u16(kind.tag());
+                put_time(w, *time);
+            });
+            w.section(2, |w| {
+                w.put_u64(range.len() as u64);
+                for &(lo, hi) in range {
+                    w.put_u64(lo);
+                    w.put_u64(hi);
+                }
+            });
+        }),
+        Request::Ingest { dataset, ts, frame } => encode_frame(proto::REQ_INGEST, |w| {
+            w.section(1, |w| {
+                w.put_str(dataset);
+                w.put_u64(*ts);
+            });
+            w.section(2, |w| w.put_bytes(frame));
+        }),
+        Request::List => encode_frame(proto::REQ_LIST, |_| {}),
+        Request::Stats => encode_frame(proto::REQ_STATS, |_| {}),
+        Request::Shutdown => encode_frame(proto::REQ_SHUTDOWN, |_| {}),
+    }
+}
+
+/// Decodes a request frame (the daemon's half).
+pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
+    let mut frame = open_frame(bytes)?;
+    let req = match frame.kind {
+        proto::REQ_QUERY => {
+            let mut meta = frame.body.expect_section(1)?;
+            let dataset = meta.get_str()?;
+            let tag = meta.get_u16()?;
+            let kind = SummaryKind::from_tag(tag).ok_or(CodecError::UnknownKind(tag))?;
+            let time = get_time(&mut meta)?;
+            meta.finish()?;
+            let mut axes = frame.body.expect_section(2)?;
+            let n = axes.get_len(16)?;
+            let mut range = Vec::with_capacity(n);
+            for _ in 0..n {
+                let lo = axes.get_u64()?;
+                let hi = axes.get_u64()?;
+                if lo > hi {
+                    return Err(CodecError::Invalid(format!("empty range {lo}..{hi}")));
+                }
+                range.push((lo, hi));
+            }
+            axes.finish()?;
+            Request::Query {
+                dataset,
+                kind,
+                range,
+                time,
+            }
+        }
+        proto::REQ_INGEST => {
+            let mut meta = frame.body.expect_section(1)?;
+            let dataset = meta.get_str()?;
+            let ts = meta.get_u64()?;
+            meta.finish()?;
+            let mut body = frame.body.expect_section(2)?;
+            let frame_bytes = body.get_bytes(body.remaining())?.to_vec();
+            Request::Ingest {
+                dataset,
+                ts,
+                frame: frame_bytes,
+            }
+        }
+        proto::REQ_LIST => Request::List,
+        proto::REQ_STATS => Request::Stats,
+        proto::REQ_SHUTDOWN => Request::Shutdown,
+        other => return Err(CodecError::UnknownKind(other)),
+    };
+    frame.body.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Err(msg) => encode_frame(proto::RESP_ERR, |w| {
+            w.section(1, |w| w.put_str(msg));
+        }),
+        Response::Query {
+            value,
+            windows,
+            cached,
+        } => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| {
+                w.put_f64(*value);
+                w.put_u64(*windows);
+                w.put_u8(*cached as u8);
+            });
+        }),
+        Response::Ingest {
+            level,
+            start,
+            items,
+        } => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| {
+                w.put_u8(level.tag());
+                w.put_u64(*start);
+                w.put_u64(*items);
+            });
+        }),
+        Response::List(rows) => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| {
+                w.put_u64(rows.len() as u64);
+                for r in rows {
+                    w.put_str(&r.key.dataset);
+                    w.put_u16(r.key.kind.tag());
+                    w.put_u8(r.key.level.tag());
+                    w.put_u64(r.key.start);
+                    w.put_u64(r.items);
+                    w.put_u64(r.batches);
+                    w.put_u64(r.frame_bytes);
+                }
+            });
+        }),
+        Response::Stats(pairs) => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| {
+                w.put_u64(pairs.len() as u64);
+                for (name, value) in pairs {
+                    w.put_str(name);
+                    w.put_u64(*value);
+                }
+            });
+        }),
+        Response::Shutdown => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |_| {});
+        }),
+    }
+}
+
+/// Decodes the response to a request of kind `request_tag` (the client's
+/// half; OK-response layouts differ per request).
+pub fn decode_response(bytes: &[u8], request_tag: u16) -> Result<Response, CodecError> {
+    let mut frame = open_frame(bytes)?;
+    if frame.kind == proto::RESP_ERR {
+        let mut sec = frame.body.expect_section(1)?;
+        let msg = sec.get_str()?;
+        sec.finish()?;
+        frame.body.finish()?;
+        return Ok(Response::Err(msg));
+    }
+    if frame.kind != proto::RESP_OK {
+        return Err(CodecError::UnknownKind(frame.kind));
+    }
+    let mut sec = frame.body.expect_section(1)?;
+    let resp = match request_tag {
+        proto::REQ_QUERY => Response::Query {
+            value: sec.get_f64()?,
+            windows: sec.get_u64()?,
+            cached: sec.get_u8()? != 0,
+        },
+        proto::REQ_INGEST => {
+            let tag = sec.get_u8()?;
+            Response::Ingest {
+                level: Level::from_tag(tag)
+                    .ok_or_else(|| CodecError::Invalid(format!("unknown level {tag}")))?,
+                start: sec.get_u64()?,
+                items: sec.get_u64()?,
+            }
+        }
+        proto::REQ_LIST => {
+            let n = sec.get_len(8 + 1 + 2 + 1 + 8 + 8 + 8 + 8)?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let dataset = sec.get_str()?;
+                let tag = sec.get_u16()?;
+                let kind = SummaryKind::from_tag(tag).ok_or(CodecError::UnknownKind(tag))?;
+                let level_tag = sec.get_u8()?;
+                let level = Level::from_tag(level_tag)
+                    .ok_or_else(|| CodecError::Invalid(format!("unknown level {level_tag}")))?;
+                let start = sec.get_u64()?;
+                rows.push(WindowRow {
+                    key: WindowKey {
+                        dataset,
+                        kind,
+                        level,
+                        start,
+                    },
+                    items: sec.get_u64()?,
+                    batches: sec.get_u64()?,
+                    frame_bytes: sec.get_u64()?,
+                });
+            }
+            Response::List(rows)
+        }
+        proto::REQ_STATS => {
+            let n = sec.get_len(8 + 1 + 8)?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = sec.get_str()?;
+                pairs.push((name, sec.get_u64()?));
+            }
+            Response::Stats(pairs)
+        }
+        proto::REQ_SHUTDOWN => Response::Shutdown,
+        other => return Err(CodecError::UnknownKind(other)),
+    };
+    sec.finish()?;
+    frame.body.finish()?;
+    Ok(resp)
+}
+
+fn put_time(w: &mut Writer, time: Option<(u64, u64)>) {
+    match time {
+        None => w.put_u8(0),
+        Some((t0, t1)) => {
+            w.put_u8(1);
+            w.put_u64(t0);
+            w.put_u64(t1);
+        }
+    }
+}
+
+fn get_time(r: &mut Reader<'_>) -> Result<Option<(u64, u64)>, CodecError> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => {
+            let t0 = r.get_u64()?;
+            let t1 = r.get_u64()?;
+            if t0 > t1 {
+                return Err(CodecError::Invalid(format!("empty time filter {t0}..{t1}")));
+            }
+            Ok(Some((t0, t1)))
+        }
+        other => Err(CodecError::Invalid(format!("bad time-filter flag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_fixtures() -> Vec<(Request, u16)> {
+        vec![
+            (
+                Request::Query {
+                    dataset: "web".into(),
+                    kind: SummaryKind::Sample,
+                    range: vec![(0, 99), (5, 10)],
+                    time: Some((60, 119)),
+                },
+                proto::REQ_QUERY,
+            ),
+            (
+                Request::Ingest {
+                    dataset: "web".into(),
+                    ts: 61,
+                    frame: vec![1, 2, 3, 4],
+                },
+                proto::REQ_INGEST,
+            ),
+            (Request::List, proto::REQ_LIST),
+            (Request::Stats, proto::REQ_STATS),
+            (Request::Shutdown, proto::REQ_SHUTDOWN),
+        ]
+    }
+
+    fn response_fixtures() -> Vec<(Response, u16)> {
+        let row = WindowRow {
+            key: WindowKey {
+                dataset: "web".into(),
+                kind: SummaryKind::QDigest,
+                level: Level::Hour,
+                start: 3600,
+            },
+            items: 7,
+            batches: 9,
+            frame_bytes: 321,
+        };
+        vec![
+            (
+                Response::Query {
+                    value: -1.5,
+                    windows: 3,
+                    cached: true,
+                },
+                proto::REQ_QUERY,
+            ),
+            (
+                Response::Ingest {
+                    level: Level::Minute,
+                    start: 60,
+                    items: 12,
+                },
+                proto::REQ_INGEST,
+            ),
+            (Response::List(vec![row]), proto::REQ_LIST),
+            (Response::List(vec![]), proto::REQ_LIST),
+            (
+                Response::Stats(vec![("queries".into(), 4), ("windows".into(), 2)]),
+                proto::REQ_STATS,
+            ),
+            (Response::Shutdown, proto::REQ_SHUTDOWN),
+            (Response::Err("boom".into()), proto::REQ_QUERY),
+            (Response::Err("boom".into()), proto::REQ_LIST),
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for (req, tag) in request_fixtures() {
+            let bytes = encode_request(&req);
+            assert_eq!(open_frame(&bytes).unwrap().kind, tag);
+            assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for (resp, tag) in response_fixtures() {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes, tag).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_messages_never_panic() {
+        for (req, _) in request_fixtures() {
+            let bytes = encode_request(&req);
+            for len in 0..bytes.len() {
+                let _ = decode_request(&bytes[..len]);
+            }
+            for bit in 0..bytes.len() * 8 {
+                let mut corrupt = bytes.clone();
+                corrupt[bit / 8] ^= 1 << (bit % 8);
+                assert!(decode_request(&corrupt).is_err(), "{req:?} bit {bit}");
+            }
+        }
+        for (resp, tag) in response_fixtures() {
+            let bytes = encode_response(&resp);
+            for bit in 0..bytes.len() * 8 {
+                let mut corrupt = bytes.clone();
+                corrupt[bit / 8] ^= 1 << (bit % 8);
+                assert!(
+                    decode_response(&corrupt, tag).is_err(),
+                    "{resp:?} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        // Empty axis range.
+        let bytes = encode_frame(proto::REQ_QUERY, |w| {
+            w.section(1, |w| {
+                w.put_str("d");
+                w.put_u16(SummaryKind::Sample.tag());
+                w.put_u8(0);
+            });
+            w.section(2, |w| {
+                w.put_u64(1);
+                w.put_u64(9);
+                w.put_u64(3);
+            });
+        });
+        assert!(decode_request(&bytes).is_err());
+        // A summary frame is not a request.
+        let frame = encode_frame(SummaryKind::Sample.tag(), |w| w.put_u64(0));
+        assert!(matches!(
+            decode_request(&frame),
+            Err(CodecError::UnknownKind(_))
+        ));
+        // Inverted time filter.
+        let bytes = encode_frame(proto::REQ_QUERY, |w| {
+            w.section(1, |w| {
+                w.put_str("d");
+                w.put_u16(SummaryKind::Sample.tag());
+                w.put_u8(1);
+                w.put_u64(100);
+                w.put_u64(50);
+            });
+            w.section(2, |w| w.put_u64(0));
+        });
+        assert!(decode_request(&bytes).is_err());
+    }
+}

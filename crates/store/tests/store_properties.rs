@@ -1,0 +1,519 @@
+//! System-level properties of the summary store: persistence and restart
+//! recovery, compaction-vs-rebuild bit-identity, snapshot consistency
+//! under concurrent ingest + query, and the TCP daemon round trip.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sas_core::WeightedKey;
+use sas_store::client::{Client, ClientError};
+use sas_store::server::Server;
+use sas_store::window::{Level, WindowKey};
+use sas_store::{frame_path, rebuild_parent, Store, StoreConfig, StoreError};
+use sas_summaries::{decode_summary, encode_summary, StoredSample, Summary, SummaryKind};
+
+/// A unique store directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sas-store-test-{}-{id}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// An *exact* 1-D sample batch: budget ≥ rows, so every key survives with
+/// its original weight and range sums are exact — which is what lets the
+/// tests assert equality rather than tolerances.
+fn batch(lo: u64, n: u64, seed: u64) -> Box<dyn Summary> {
+    let rows: Vec<WeightedKey> = (lo..lo + n)
+        .map(|k| WeightedKey::new(k, 1.0 + (k % 7) as f64))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Box::new(StoredSample::one_dim(sas_sampling::order::sample(
+        &rows,
+        rows.len(),
+        &mut rng,
+    )))
+}
+
+fn exact_total(lo: u64, n: u64) -> f64 {
+    (lo..lo + n).map(|k| 1.0 + (k % 7) as f64).sum()
+}
+
+const FULL: &[(u64, u64)] = &[(0, u64::MAX)];
+
+#[test]
+fn ingest_persists_and_recovers_bit_identically() {
+    let dir = TempDir::new("recover");
+    let ranges: Vec<Vec<(u64, u64)>> = vec![vec![(0, u64::MAX)], vec![(0, 120)], vec![(40, 90)]];
+    let (answers, rows) = {
+        let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+        store.ingest("web", 5, batch(0, 100, 1)).unwrap();
+        store.ingest("web", 65, batch(100, 50, 2)).unwrap();
+        store.ingest("web", 70, batch(150, 50, 3)).unwrap(); // same window as 65
+        store.ingest("api", 5, batch(0, 30, 4)).unwrap();
+        let answers: Vec<f64> = ranges
+            .iter()
+            .map(|r| store.query("web", SummaryKind::Sample, r, None).value)
+            .collect();
+        assert_eq!(
+            store.query("web", SummaryKind::Sample, FULL, None).value,
+            exact_total(0, 200)
+        );
+        // Two minute windows for web (65 and 70 share one), one for api.
+        assert_eq!(store.list().len(), 3);
+        (answers, store.list())
+    };
+    // A fresh process recovers the catalog purely from disk.
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    assert_eq!(store.list(), rows);
+    for (r, expect) in ranges.iter().zip(&answers) {
+        let got = store.query("web", SummaryKind::Sample, r, None).value;
+        assert_eq!(got.to_bits(), expect.to_bits(), "range {r:?}");
+    }
+    // Time filtering selects windows by span.
+    assert_eq!(
+        store
+            .query("web", SummaryKind::Sample, FULL, Some((0, 59)))
+            .value,
+        exact_total(0, 100)
+    );
+    assert_eq!(
+        store
+            .query("web", SummaryKind::Sample, FULL, Some((60, 119)))
+            .value,
+        exact_total(100, 100)
+    );
+}
+
+#[test]
+fn compaction_is_bit_identical_to_offline_rebuild() {
+    let dir = TempDir::new("compact");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    // Three minutes in hour 0, two in hour 1, one in hour 2 (the sealer).
+    for (i, ts) in [0u64, 60, 120, 3600, 3660, 7200].into_iter().enumerate() {
+        store
+            .ingest("web", ts, batch(i as u64 * 1000, 80, i as u64))
+            .unwrap();
+    }
+    let total_before = store.query("web", SummaryKind::Sample, FULL, None).value;
+
+    // Capture the minute frames compaction will consume.
+    let minute_frames: Vec<(WindowKey, Vec<u8>)> = store
+        .list()
+        .iter()
+        .map(|r| {
+            let path = frame_path(dir.path(), &r.key);
+            (r.key.clone(), fs::read(path).unwrap())
+        })
+        .collect();
+
+    // Hours 0 and 1 are sealed (watermark = 7260); hour 2 is still open.
+    assert_eq!(store.compact_once().unwrap(), 2);
+    let list = store.list();
+    let levels: Vec<Level> = list.iter().map(|r| r.key.level).collect();
+    assert_eq!(levels, vec![Level::Minute, Level::Hour, Level::Hour]);
+
+    for hour_start in [0u64, 3600] {
+        let hour_key = WindowKey {
+            dataset: "web".into(),
+            kind: SummaryKind::Sample,
+            level: Level::Hour,
+            start: hour_start,
+        };
+        let children: Vec<Box<dyn Summary>> = minute_frames
+            .iter()
+            .filter(|(k, _)| k.parent().unwrap() == hour_key)
+            .map(|(_, bytes)| decode_summary(bytes).unwrap())
+            .collect();
+        assert!(!children.is_empty());
+        let rebuilt = rebuild_parent(&hour_key, children, None).unwrap();
+        let on_disk = fs::read(frame_path(dir.path(), &hour_key)).unwrap();
+        assert_eq!(
+            on_disk,
+            encode_summary(rebuilt.as_ref()),
+            "hour {hour_start}: compaction must equal the offline rebuild byte-for-byte"
+        );
+        // The consumed minute frames are gone from disk.
+        for (k, _) in minute_frames
+            .iter()
+            .filter(|(k, _)| k.level == Level::Minute)
+        {
+            if k.parent().unwrap() == hour_key {
+                assert!(!frame_path(dir.path(), k).exists());
+            }
+        }
+    }
+
+    // The answers survive the roll-up (same data, re-associated sum).
+    let total_after = store.query("web", SummaryKind::Sample, FULL, None).value;
+    assert!((total_after - total_before).abs() / total_before < 1e-12);
+
+    // History below the compaction floor is immutable.
+    match store.ingest("web", 30, batch(0, 5, 9)) {
+        Err(StoreError::Stale { floor, .. }) => assert_eq!(floor, 7200),
+        other => panic!("expected Stale, got {other:?}"),
+    }
+
+    // An ingest past the day boundary seals everything: the leftover
+    // minute cascades into its hour and the hours into the day, in one
+    // pass.
+    store.ingest("web", 86_460, batch(9000, 40, 7)).unwrap();
+    assert_eq!(store.compact_once().unwrap(), 2);
+    let levels: Vec<Level> = store.list().iter().map(|r| r.key.level).collect();
+    assert_eq!(levels, vec![Level::Minute, Level::Day]);
+    let total_final = store.query("web", SummaryKind::Sample, FULL, None).value;
+    let truth = total_before + exact_total(9000, 40);
+    assert!((total_final - truth).abs() / truth < 1e-12);
+
+    // Restart after compaction recovers the same catalog and answers.
+    let answer = store
+        .query("web", SummaryKind::Sample, &[(0, 5000)], None)
+        .value;
+    drop(store);
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    assert_eq!(
+        store
+            .query("web", SummaryKind::Sample, &[(0, 5000)], None)
+            .value
+            .to_bits(),
+        answer.to_bits()
+    );
+    // And a compacted store still refuses stale writes after restart.
+    assert!(matches!(
+        store.ingest("web", 30, batch(0, 5, 9)),
+        Err(StoreError::Stale { .. })
+    ));
+}
+
+#[test]
+fn budgeted_windows_stay_bounded_and_conserve_totals() {
+    let dir = TempDir::new("budget");
+    let store = Store::open(
+        dir.path(),
+        StoreConfig {
+            budget: Some(64),
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..12u64 {
+        store.ingest("web", 7, batch(i * 500, 300, i)).unwrap();
+    }
+    let rows = store.list();
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].items <= 64, "window capped by the merge budget");
+    let truth: f64 = (0..12u64).map(|i| exact_total(i * 500, 300)).sum();
+    let est = store.query("web", SummaryKind::Sample, FULL, None).value;
+    // The threshold merge conserves the total exactly.
+    assert!((est - truth).abs() / truth < 1e-9, "{est} vs {truth}");
+}
+
+#[test]
+fn concurrent_ingest_and_queries_see_consistent_snapshots() {
+    let dir = TempDir::new("concurrent");
+    let store = Arc::new(Store::open(dir.path(), StoreConfig::default()).unwrap());
+    let done = Arc::new(AtomicBool::new(false));
+    const BATCHES: u64 = 40;
+
+    // Two writers on separate datasets ingesting in parallel.
+    let writers: Vec<_> = ["web", "api"]
+        .into_iter()
+        .enumerate()
+        .map(|(w, dataset)| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for i in 0..BATCHES {
+                    let ts = i * 45; // crosses minute windows
+                    store
+                        .ingest(dataset, ts, batch(i * 200, 100, w as u64 * 1000 + i))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // Four readers issuing full-range queries throughout. Monotonicity is
+    // the consistency property: ingest only appends weight, so for an
+    // unbudgeted sample store both the snapshot version and the
+    // full-domain estimate must never decrease.
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let store = store.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let dataset = if r % 2 == 0 { "web" } else { "api" };
+                let mut last_version = 0;
+                let mut last_value = 0.0f64;
+                let mut observed = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let ans = store.query(dataset, SummaryKind::Sample, FULL, None);
+                    assert!(
+                        ans.version >= last_version,
+                        "snapshot versions must be monotone"
+                    );
+                    assert!(
+                        ans.value >= last_value,
+                        "{dataset}: estimate went backwards: {} after {}",
+                        ans.value,
+                        last_value
+                    );
+                    last_version = ans.version;
+                    last_value = ans.value;
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().unwrap() > 0, "readers must have run");
+    }
+
+    // Quiesced: the served answers equal an offline recompute from the
+    // persisted frames, summed in catalog order — bit for bit.
+    for dataset in ["web", "api"] {
+        let offline: f64 = store
+            .list()
+            .iter()
+            .filter(|r| r.key.dataset == dataset)
+            .map(|r| {
+                let bytes = fs::read(frame_path(dir.path(), &r.key)).unwrap();
+                decode_summary(&bytes).unwrap().range_sum(FULL)
+            })
+            .sum();
+        let served = store.query(dataset, SummaryKind::Sample, FULL, None).value;
+        assert_eq!(served.to_bits(), offline.to_bits(), "{dataset}");
+        let truth: f64 = (0..BATCHES).map(|i| exact_total(i * 200, 100)).sum();
+        assert!((served - truth).abs() / truth < 1e-9);
+    }
+}
+
+#[test]
+fn daemon_round_trip_over_tcp() {
+    let dir = TempDir::new("daemon");
+    let store = Arc::new(Store::open(dir.path(), StoreConfig::default()).unwrap());
+    let server = Server::start(store.clone(), "127.0.0.1:0", 4).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let ack = client
+        .ingest("web", 61, encode_summary(batch(0, 120, 1).as_ref()))
+        .unwrap();
+    assert_eq!((ack.level, ack.start, ack.items), (Level::Minute, 60, 120));
+
+    let remote = client
+        .query("web", SummaryKind::Sample, FULL, None)
+        .unwrap();
+    let local = store.query("web", SummaryKind::Sample, FULL, None);
+    assert_eq!(remote.value.to_bits(), local.value.to_bits());
+    assert_eq!(remote.windows, 1);
+    // Same query again: served from the LRU cache.
+    let again = client
+        .query("web", SummaryKind::Sample, FULL, None)
+        .unwrap();
+    assert!(again.cached);
+    assert_eq!(again.value.to_bits(), remote.value.to_bits());
+
+    let rows = client.list().unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].key.dataset, "web");
+    let stats = client.stats().unwrap();
+    let get = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+            .1
+    };
+    assert_eq!(get("windows"), 1);
+    assert_eq!(get("ingested_batches"), 1);
+    assert!(get("cache_hits") >= 1);
+
+    // Server-side errors arrive as messages, not hangups: the connection
+    // keeps working afterwards.
+    match client.ingest("bad/name", 0, encode_summary(batch(0, 5, 2).as_ref())) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("dataset"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    match client.ingest("web", 0, b"SASF not really".to_vec()) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("bad batch frame"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    assert!(client.query("web", SummaryKind::Sample, FULL, None).is_ok());
+
+    // Parallel clients hammer queries while another client ingests.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut last = 0.0f64;
+                for _ in 0..50 {
+                    let ans = c.query("web", SummaryKind::Sample, FULL, None).unwrap();
+                    assert!(ans.value >= last);
+                    last = ans.value;
+                }
+            })
+        })
+        .collect();
+    for i in 0..10u64 {
+        client
+            .ingest(
+                "web",
+                61,
+                encode_summary(batch(1000 + i * 50, 50, i).as_ref()),
+            )
+            .unwrap();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // An idle client holding its connection open must not keep the daemon
+    // alive: shutdown closes parked connections (regression: wait() used
+    // to hang forever here).
+    let _idle = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    server.wait();
+    // The daemon is gone; a fresh exchange cannot complete.
+    let mut dead = match Client::connect(addr) {
+        Err(_) => return,
+        Ok(c) => c,
+    };
+    assert!(dead.query("web", SummaryKind::Sample, FULL, None).is_err());
+}
+
+#[test]
+fn background_compactor_rolls_up_sealed_windows() {
+    let dir = TempDir::new("compactor");
+    let store = Arc::new(Store::open(dir.path(), StoreConfig::default()).unwrap());
+    for ts in [0u64, 60, 120] {
+        store.ingest("web", ts, batch(ts, 50, ts)).unwrap();
+    }
+    // Seal hour 0 by moving the watermark past it.
+    store.ingest("web", 3600, batch(9000, 10, 9)).unwrap();
+    let compactor = sas_store::Compactor::start(store.clone(), std::time::Duration::from_millis(5));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let hours = store
+            .list()
+            .iter()
+            .filter(|r| r.key.level == Level::Hour)
+            .count();
+        if hours == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compactor never rolled up: {:?}",
+            store.list()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    compactor.stop();
+    // Ingest keeps working after the compactor is gone.
+    store.ingest("web", 3660, batch(500, 10, 10)).unwrap();
+}
+
+#[test]
+fn crash_debris_and_orphans_are_swept_on_open() {
+    let dir = TempDir::new("debris");
+    {
+        let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+        store.ingest("web", 5, batch(0, 60, 1)).unwrap();
+    }
+    // Simulate a crash mid-write (truncated temp never renamed) and a
+    // frame orphaned by an interrupted compaction.
+    let window_dir = dir.path().join("web/sample/minute");
+    fs::write(window_dir.join("0.sas.tmp-12345-0"), b"torn").unwrap();
+    fs::write(
+        window_dir.join("999960.sas"),
+        encode_summary(batch(0, 10, 2).as_ref()),
+    )
+    .unwrap();
+
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    assert_eq!(store.list().len(), 1, "orphan not resurrected");
+    assert_eq!(
+        store.query("web", SummaryKind::Sample, FULL, None).value,
+        exact_total(0, 60)
+    );
+    let stats = store.stats();
+    let get = |name: &str| stats.iter().find(|(n, _)| n == name).unwrap().1;
+    assert_eq!(get("temp_files_swept"), 1);
+    assert_eq!(get("orphans_removed"), 1);
+    assert!(!window_dir.join("999960.sas").exists());
+
+    // A corrupted manifest is an error, not a panic or a silent reset.
+    fs::write(dir.path().join("MANIFEST.sas"), b"SASF junk").unwrap();
+    assert!(Store::open(dir.path(), StoreConfig::default()).is_err());
+}
+
+#[test]
+fn cache_serves_repeats_and_never_goes_stale() {
+    let dir = TempDir::new("cache");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store.ingest("web", 5, batch(0, 50, 1)).unwrap();
+    let r = [(0u64, 30u64)];
+    let first = store.query("web", SummaryKind::Sample, &r, None);
+    assert!(!first.cached);
+    let second = store.query("web", SummaryKind::Sample, &r, None);
+    assert!(second.cached);
+    assert_eq!(second.value.to_bits(), first.value.to_bits());
+    // Ingest bumps the snapshot version: the cache may not answer with
+    // the old value.
+    store.ingest("web", 7, batch(10_000, 20, 2)).unwrap();
+    let third = store.query("web", SummaryKind::Sample, &r, None);
+    assert!(!third.cached, "version bump must invalidate");
+    assert_eq!(third.value.to_bits(), first.value.to_bits()); // keys 10000.. outside range
+    let fourth = store.query("web", SummaryKind::Sample, FULL, None);
+    assert_eq!(fourth.value, exact_total(0, 50) + exact_total(10_000, 20));
+}
+
+#[test]
+fn mixed_kinds_coexist_and_mismatches_fail_cleanly() {
+    let dir = TempDir::new("kinds");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store.ingest("web", 5, batch(0, 40, 1)).unwrap();
+    // A varopt series for the same dataset lives alongside the samples.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut varopt = sas_core::varopt::VarOptSampler::new(16);
+    for k in 0..200u64 {
+        varopt.push(k, 1.0 + (k % 5) as f64, &mut rng);
+    }
+    store.ingest("web", 5, Box::new(varopt)).unwrap();
+    assert_eq!(store.list().len(), 2);
+    let sample_ans = store.query("web", SummaryKind::Sample, FULL, None);
+    let varopt_ans = store.query("web", SummaryKind::VarOptReservoir, FULL, None);
+    assert_eq!(sample_ans.windows, 1);
+    assert_eq!(varopt_ans.windows, 1);
+    assert!(varopt_ans.value > 0.0);
+    // Unknown series: zero windows, zero estimate — not an error.
+    let missing = store.query("nope", SummaryKind::Sample, FULL, None);
+    assert_eq!((missing.value, missing.windows), (0.0, 0));
+}

@@ -121,7 +121,10 @@ impl From<CodecError> for SummaryError {
 /// encode themselves onto the `sas-codec` wire format. Everything a caller
 /// needs lives behind `Box<dyn Summary>` — no downcasting outside this
 /// module.
-pub trait Summary: fmt::Debug {
+///
+/// `Send + Sync` is part of the contract: summaries are plain data, and
+/// the store serves them from shared snapshots across threads.
+pub trait Summary: fmt::Debug + Send + Sync {
     /// Which registered kind this is.
     fn kind(&self) -> SummaryKind;
 
@@ -164,11 +167,22 @@ pub trait Summary: fmt::Debug {
     /// added by [`encode_summary`]).
     fn encode_body(&self, w: &mut Writer);
 
+    /// Deep copy behind the erased interface — what lets a concurrent
+    /// catalog hand out immutable snapshots while a writer merges into a
+    /// private copy (`Box<dyn Summary>` implements [`Clone`] through this).
+    fn clone_box(&self) -> Box<dyn Summary>;
+
     /// Upcast for inspection.
     fn as_any(&self) -> &dyn Any;
 
     /// Upcast for consuming downcasts (used by merge implementations).
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl Clone for Box<dyn Summary> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// One registry row: the kind, its stable wire tag and name, and the
@@ -237,6 +251,37 @@ pub fn decode_summary(bytes: &[u8]) -> Result<Box<dyn Summary>, CodecError> {
     Ok(summary)
 }
 
+/// Merges summaries of *disjoint* data bottom-up in a binary tree:
+/// adjacent pairs merge level by level, so `N` inputs pay `O(log₂ N)`
+/// merge levels (for budgeted samples each level adds less than 2 to any
+/// interval's discrepancy — a left-to-right fold would pay one level per
+/// input). This is the single merge order shared by `sas merge`, sharded
+/// summarization, and the store's window compaction: given the same
+/// inputs, budget, and RNG stream, the result is bit-identical wherever
+/// it runs.
+pub fn merge_tree(
+    summaries: Vec<Box<dyn Summary>>,
+    budget: Option<usize>,
+    rng: &mut dyn RngCore,
+) -> Result<Box<dyn Summary>, SummaryError> {
+    if summaries.is_empty() {
+        return Err(SummaryError::Merge("nothing to merge".into()));
+    }
+    let mut level = summaries;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge_in_place(b, budget, rng)?;
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    Ok(level.pop().expect("non-empty input"))
+}
+
 /// Consuming downcast with a kind-aware error.
 fn downcast<T: Any>(other: Box<dyn Summary>, into: SummaryKind) -> Result<Box<T>, SummaryError> {
     let found = other.kind();
@@ -286,6 +331,10 @@ impl Summary for StoredSample {
 
     fn encode_body(&self, w: &mut Writer) {
         self.write_wire(w);
+    }
+
+    fn clone_box(&self) -> Box<dyn Summary> {
+        Box::new(self.clone())
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -397,6 +446,10 @@ impl Summary for VarOptSampler {
         });
     }
 
+    fn clone_box(&self) -> Box<dyn Summary> {
+        Box::new(self.clone())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -446,6 +499,10 @@ impl Summary for QDigestSummary {
         self.write_wire(w);
     }
 
+    fn clone_box(&self) -> Box<dyn Summary> {
+        Box::new(self.clone())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -492,6 +549,10 @@ impl Summary for WaveletSummary {
         self.write_wire(w);
     }
 
+    fn clone_box(&self) -> Box<dyn Summary> {
+        Box::new(self.clone())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -536,6 +597,10 @@ impl Summary for SketchSummary {
 
     fn encode_body(&self, w: &mut Writer) {
         self.write_wire(w);
+    }
+
+    fn clone_box(&self) -> Box<dyn Summary> {
+        Box::new(self.clone())
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -754,6 +819,76 @@ mod tests {
                 erased.range_sum(&range).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn clone_box_is_a_deep_independent_copy() {
+        for original in fixtures() {
+            let clone = original.clone_box();
+            assert_eq!(clone.kind(), original.kind());
+            // Byte-identical encodings…
+            assert_eq!(
+                encode_summary(original.as_ref()),
+                encode_summary(clone.as_ref()),
+                "{}",
+                original.kind()
+            );
+            // …and mutating the clone (merge into itself) never disturbs
+            // the original's encoding.
+            let mut clone = clone;
+            let peer = decode_summary(&encode_summary(original.as_ref())).unwrap();
+            let before = encode_summary(original.as_ref());
+            let mut rng = StdRng::seed_from_u64(7);
+            clone
+                .merge_in_place(peer, None, &mut rng)
+                .unwrap_or_else(|e| panic!("{}: self-merge failed: {e}", original.kind()));
+            assert_eq!(before, encode_summary(original.as_ref()));
+        }
+    }
+
+    #[test]
+    fn merge_tree_matches_cli_merge_order() {
+        // Four disjoint parts, merged as a tree, equal the explicit
+        // ((a+b)+(c+d)) pairing bit-for-bit.
+        let parts: Vec<Vec<WeightedKey>> = (0..4u64)
+            .map(|p| {
+                keys(50, p + 40)
+                    .iter()
+                    .map(|wk| WeightedKey::new(wk.key + p * 1000, wk.weight))
+                    .collect()
+            })
+            .collect();
+        let build = |rows: &Vec<WeightedKey>, seed| -> Box<dyn Summary> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Box::new(StoredSample::one_dim(sas_sampling::order::sample(
+                rows, 20, &mut rng,
+            )))
+        };
+        let summaries: Vec<Box<dyn Summary>> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| build(p, i as u64))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let tree = merge_tree(summaries, Some(30), &mut rng).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ab = build(&parts[0], 0);
+        ab.merge_in_place(build(&parts[1], 1), Some(30), &mut rng)
+            .unwrap();
+        let mut cd = build(&parts[2], 2);
+        cd.merge_in_place(build(&parts[3], 3), Some(30), &mut rng)
+            .unwrap();
+        ab.merge_in_place(cd, Some(30), &mut rng).unwrap();
+        assert_eq!(encode_summary(tree.as_ref()), encode_summary(ab.as_ref()));
+        // Empty input is an error, single input is the identity.
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(merge_tree(vec![], None, &mut rng).is_err());
+        let one = merge_tree(vec![build(&parts[0], 0)], None, &mut rng).unwrap();
+        assert_eq!(
+            encode_summary(one.as_ref()),
+            encode_summary(build(&parts[0], 0).as_ref())
+        );
     }
 
     #[test]

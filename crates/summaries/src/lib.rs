@@ -43,7 +43,7 @@ pub mod stored;
 pub mod wavelet;
 pub mod wavelet1d;
 
-pub use erased::{decode_summary, encode_summary, Summary, SummaryError, SummaryKind};
+pub use erased::{decode_summary, encode_summary, merge_tree, Summary, SummaryError, SummaryKind};
 pub use stored::StoredSample;
 
 use sas_structures::product::{BoxRange, MultiRangeQuery};

@@ -15,6 +15,9 @@
 //! * [`codec`] — the versioned binary wire format behind
 //!   [`summaries::encode_summary`] / [`summaries::decode_summary`]: save,
 //!   merge, and query summaries across process boundaries.
+//! * [`store`] — the concurrent summary catalog: windowed ingest,
+//!   merge-tree compaction, snapshot-swapped reads, crash-safe
+//!   persistence, and the `sas serve` TCP daemon.
 //! * [`data`] — synthetic workload and query generators.
 //!
 //! See `examples/quickstart.rs` for a guided tour
@@ -26,6 +29,7 @@ pub use sas_codec as codec;
 pub use sas_core as core;
 pub use sas_data as data;
 pub use sas_sampling as sampling;
+pub use sas_store as store;
 pub use sas_structures as structures;
 pub use sas_summaries as summaries;
 
