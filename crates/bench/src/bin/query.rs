@@ -1,0 +1,213 @@
+//! Query-API throughput: batch vs. loop evaluation across the five summary
+//! kinds, and estimate throughput against a live store at 1/4/8 reader
+//! threads — the measurement behind the `QueryBatch` one-pass claim.
+//!
+//! Two tables:
+//!
+//! 1. **summary-level** — per kind, `M` mixed queries answered one
+//!    `answer()` call at a time (loop) vs. one `answer_batch()` call
+//!    (batch: a single pass over the sample items for the sample-based
+//!    kinds).
+//! 2. **store-level** — `Store::estimate` ops/s at 1/4/8 threads, cold
+//!    (distinct canonical queries, every call walks the windows) and hot
+//!    (one repeated query, served by the LRU cache).
+//!
+//! Environment knobs: `SAS_QUERY_ITEMS` (rows per dataset, default 20000),
+//! `SAS_QUERY_BATCH` (queries per batch, default 64), `SAS_QUERY_OPS`
+//! (store queries per thread count, default 4000).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sas_bench::{print_table, timed};
+use sas_core::varopt::VarOptSampler;
+use sas_core::WeightedKey;
+use sas_sampling::product::SpatialData;
+use sas_store::{Store, StoreConfig};
+use sas_summaries::countsketch::SketchSummary;
+use sas_summaries::qdigest::QDigestSummary;
+use sas_summaries::wavelet::WaveletSummary;
+use sas_summaries::{Query, StoredSample, Summary, SummaryKind};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// splitmix64, decorrelating query indices from probed ranges.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A mixed battery over a 1-D key span or a 2-D `2^bits` square: boxes,
+/// multi-ranges, points, hierarchy nodes, and totals.
+fn battery(count: usize, dims: usize, span: u64, salt: u64) -> Vec<Query> {
+    (0..count as u64)
+        .map(|i| {
+            let lo = mix(i ^ salt) % span;
+            let hi = lo + (mix(i ^ salt ^ 1) % (span - lo)).max(1);
+            match i % 5 {
+                0 => {
+                    if dims == 1 {
+                        Query::BoxRange(vec![(lo, hi)])
+                    } else {
+                        Query::BoxRange(vec![(lo, hi), (mix(i) % span, span - 1)])
+                    }
+                }
+                1 => {
+                    let mid = lo + (hi - lo) / 2;
+                    if mid + 1 < hi && lo < mid {
+                        Query::MultiRange(vec![vec![(lo, mid)], vec![(mid + 1, hi)]])
+                    } else {
+                        Query::BoxRange(vec![(lo, hi)])
+                    }
+                }
+                2 => Query::Point(vec![lo % span; dims]),
+                3 => Query::HierarchyNode {
+                    level: 4,
+                    index: (lo % span) >> 4,
+                },
+                _ => Query::Total,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let items = env_usize("SAS_QUERY_ITEMS", 20_000);
+    let batch = env_usize("SAS_QUERY_BATCH", 64);
+    let ops = env_usize("SAS_QUERY_OPS", 4000);
+    let confidence = 0.95;
+
+    let data: Vec<WeightedKey> = (0..items as u64)
+        .map(|k| WeightedKey::new(k, 0.5 + (k % 13) as f64))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let sample = sas_sampling::order::sample(&data, 2000, &mut rng);
+    let mut varopt = VarOptSampler::new(2000);
+    for wk in &data {
+        varopt.push(wk.key, wk.weight, &mut rng);
+    }
+    let rows: Vec<(u64, u64, f64)> = (0..items as u64)
+        .map(|i| (mix(i) % 256, mix(i ^ 99) % 256, 0.5 + (i % 9) as f64))
+        .collect();
+    let spatial = SpatialData::from_xyw(&rows);
+    let summaries: Vec<(SummaryKind, Box<dyn Summary>)> = vec![
+        (
+            SummaryKind::Sample,
+            Box::new(StoredSample::one_dim(sample.clone())),
+        ),
+        (SummaryKind::VarOptReservoir, Box::new(varopt)),
+        (
+            SummaryKind::QDigest,
+            Box::new(QDigestSummary::build(&spatial, 8, 800)),
+        ),
+        (
+            SummaryKind::Wavelet,
+            Box::new(WaveletSummary::build(&spatial, 8, 8, 800)),
+        ),
+        (
+            SummaryKind::CountSketch,
+            Box::new(SketchSummary::build(&spatial, 8, 8, 4000, 7)),
+        ),
+    ];
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for (kind, summary) in &summaries {
+        let dims = summary.dims();
+        let span = if dims == 1 { items as u64 } else { 256 };
+        let queries = battery(batch, dims, span, kind.tag() as u64);
+        let (loop_answers, loop_secs) = timed(|| {
+            queries
+                .iter()
+                .map(|q| summary.answer(q, confidence).expect("loop answer"))
+                .collect::<Vec<_>>()
+        });
+        let (batch_answers, batch_secs) = timed(|| {
+            summary
+                .answer_batch(&queries, confidence)
+                .expect("batch answer")
+        });
+        assert_eq!(loop_answers.len(), batch_answers.len());
+        for (a, b) in loop_answers.iter().zip(&batch_answers) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "{kind}");
+        }
+        table.push(vec![
+            kind.name().into(),
+            format!("{:.0}", queries.len() as f64 / loop_secs),
+            format!("{:.0}", queries.len() as f64 / batch_secs),
+            format!("{:.2}", loop_secs / batch_secs),
+        ]);
+    }
+    print_table(
+        "batch vs loop (queries/s, one summary per kind)",
+        &["kind", "loop_qps", "batch_qps", "speedup"],
+        &table,
+    );
+
+    // Store-level: ingest one window per kind, then hammer estimates.
+    let dir = std::env::temp_dir().join(format!("sas-query-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(
+        Store::open(
+            &dir,
+            StoreConfig {
+                budget: None,
+                cache_capacity: 4096,
+            },
+        )
+        .expect("open store"),
+    );
+    for (i, (_, summary)) in summaries.iter().enumerate() {
+        store
+            .ingest("bench", i as u64 * 60, summary.clone())
+            .expect("ingest");
+    }
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for threads in [1usize, 4, 8] {
+        for (mode, hot) in [("estimate-cold", false), ("estimate-hot", true)] {
+            let per_thread = ops / threads;
+            let (_, secs) = timed(|| {
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let store = store.clone();
+                        scope.spawn(move || {
+                            for i in 0..per_thread {
+                                let lo = if hot {
+                                    0
+                                } else {
+                                    mix((threads * 1_000_003 + t * per_thread + i) as u64)
+                                        % items as u64
+                                };
+                                let q = Query::interval(lo, lo + items as u64 / 4);
+                                let ans = store
+                                    .estimate("bench", SummaryKind::Sample, &q, confidence, None)
+                                    .expect("estimate");
+                                assert!(ans.estimate.lower <= ans.estimate.upper);
+                            }
+                        });
+                    }
+                });
+            });
+            table.push(vec![
+                mode.into(),
+                threads.to_string(),
+                format!("{:.0}", (per_thread * threads) as f64 / secs),
+            ]);
+        }
+    }
+    print_table(
+        "store estimate throughput (ops/s)",
+        &["op", "threads", "ops_per_sec"],
+        &table,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -34,7 +34,9 @@ use sas_structures::product::Point;
 use sas_summaries::countsketch::SketchSummary;
 use sas_summaries::qdigest::QDigestSummary;
 use sas_summaries::wavelet::WaveletSummary;
-use sas_summaries::{decode_summary, encode_summary, StoredSample, Summary, SummaryKind};
+use sas_summaries::{
+    decode_summary, encode_summary, Estimate, Query, QueryBatch, StoredSample, Summary, SummaryKind,
+};
 
 /// Parsed input data: 1-D weighted keys or 2-D located keys.
 #[derive(Debug, Clone)]
@@ -441,7 +443,38 @@ pub fn read_summary(text: &str) -> Result<LoadedSummary, CliError> {
     Ok(LoadedSummary(Box::new(stored)))
 }
 
-/// Parses a range spec: `lo..hi` (1-D) or `x0..x1,y0..y1` (2-D).
+/// Parses one axis spec: `lo..hi` or `lo:hi`, either endpoint optional
+/// (`..hi` / `:hi` clamps to 0, `lo..` / `lo:` clamps to the domain top,
+/// `:` alone spans everything). Reversed bounds are a hard error — never a
+/// silent 0-mass range.
+fn parse_axis(p: &str) -> Result<(u64, u64), CliError> {
+    let (lo, hi) = p
+        .split_once("..")
+        .or_else(|| p.split_once(':'))
+        .ok_or(CliError(format!("bad range '{p}' (want lo..hi or lo:hi)")))?;
+    let lo: u64 = if lo.is_empty() {
+        0
+    } else {
+        lo.parse()
+            .map_err(|_| CliError(format!("bad bound '{lo}'")))?
+    };
+    let hi: u64 = if hi.is_empty() {
+        u64::MAX
+    } else {
+        hi.parse()
+            .map_err(|_| CliError(format!("bad bound '{hi}'")))?
+    };
+    if lo > hi {
+        return err(format!(
+            "reversed range '{p}': lower bound {lo} exceeds upper bound {hi}"
+        ));
+    }
+    Ok((lo, hi))
+}
+
+/// Parses a range spec: one axis spec per summary dimension, separated by
+/// commas — `lo..hi` (1-D) or `x0..x1,y0..y1` (2-D), open-ended endpoints
+/// allowed (`:100,50:` clamps to the domain).
 pub fn parse_range(spec: &str, dims: usize) -> Result<Vec<(u64, u64)>, CliError> {
     let parts: Vec<&str> = spec.split(',').collect();
     if parts.len() != dims {
@@ -450,30 +483,150 @@ pub fn parse_range(spec: &str, dims: usize) -> Result<Vec<(u64, u64)>, CliError>
             parts.len()
         ));
     }
-    parts
-        .iter()
-        .map(|p| {
-            let (lo, hi) = p
-                .split_once("..")
-                .ok_or(CliError(format!("bad range '{p}' (want lo..hi)")))?;
-            let lo: u64 = lo
-                .parse()
-                .map_err(|_| CliError(format!("bad bound '{lo}'")))?;
-            let hi: u64 = hi
-                .parse()
-                .map_err(|_| CliError(format!("bad bound '{hi}'")))?;
-            if lo > hi {
-                return err(format!("empty range {lo}..{hi}"));
-            }
-            Ok((lo, hi))
-        })
-        .collect()
+    parts.iter().map(|p| parse_axis(p)).collect()
+}
+
+/// Parses one query spec (a `--queries` file line or a `--range` value):
+///
+/// * `total` — the total weight;
+/// * `point C[,C]` — a single key / location;
+/// * `node LEVEL/INDEX` — a dyadic hierarchy node on axis 0;
+/// * a range spec (see [`parse_range`]), or several separated by `;` for a
+///   disjoint multi-range sum.
+pub fn parse_query(spec: &str, dims: usize) -> Result<Query, CliError> {
+    let spec = spec.trim();
+    if spec == "total" {
+        return Ok(Query::Total);
+    }
+    if let Some(rest) = spec.strip_prefix("point ") {
+        let coords = rest
+            .trim()
+            .split(',')
+            .map(|c| {
+                c.trim()
+                    .parse::<u64>()
+                    .map_err(|_| CliError(format!("bad coordinate '{c}'")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if coords.len() != dims {
+            return err(format!(
+                "point needs {dims} coordinate(s), got {}",
+                coords.len()
+            ));
+        }
+        return Ok(Query::Point(coords));
+    }
+    if let Some(rest) = spec.strip_prefix("node ") {
+        let (level, index) = rest
+            .trim()
+            .split_once('/')
+            .ok_or(CliError(format!("bad node '{rest}' (want LEVEL/INDEX)")))?;
+        let level: u32 = level
+            .parse()
+            .map_err(|_| CliError(format!("bad node level '{level}'")))?;
+        let index: u64 = index
+            .parse()
+            .map_err(|_| CliError(format!("bad node index '{index}'")))?;
+        return Ok(Query::HierarchyNode { level, index });
+    }
+    let boxes = spec
+        .split(';')
+        .map(|r| parse_range(r.trim(), dims))
+        .collect::<Result<Vec<_>, _>>()?;
+    let query = if boxes.len() == 1 {
+        Query::BoxRange(boxes.into_iter().next().expect("one box"))
+    } else {
+        Query::MultiRange(boxes)
+    };
+    // Surface structural problems (overlapping multi-range boxes) here,
+    // with the CLI's error prefix, rather than at answer time.
+    query.canonical().map_err(|e| CliError(e.to_string()))?;
+    Ok(query)
 }
 
 /// Answers a range query from a loaded summary — pure trait dispatch, no
-/// per-kind branching.
+/// per-kind branching. Value-only; [`answer_queries`] returns bounds.
 pub fn query(summary: &LoadedSummary, range: &[(u64, u64)]) -> f64 {
     summary.range_sum(range)
+}
+
+/// Answers a batch of queries with error bounds — one pass over the
+/// summary's items for sample-based kinds.
+pub fn answer_queries(
+    summary: &LoadedSummary,
+    queries: &[Query],
+    confidence: f64,
+) -> Result<Vec<Estimate>, CliError> {
+    let batch =
+        QueryBatch::new(queries.to_vec(), confidence).map_err(|e| CliError(e.to_string()))?;
+    batch
+        .evaluate(&**summary)
+        .map_err(|e| CliError(e.to_string()))
+}
+
+/// Output shape for query answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// One human-readable `value ±half [lower, upper] @confidence` line.
+    Bounds,
+    /// Tab-separated: `query value lower upper variance confidence`.
+    Tsv,
+    /// A JSON array of answer objects.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` value (`tsv` or `json`).
+    pub fn from_name(name: &str) -> Result<Self, CliError> {
+        match name {
+            "tsv" => Ok(OutputFormat::Tsv),
+            "json" => Ok(OutputFormat::Json),
+            other => err(format!("unknown --format '{other}' (want tsv or json)")),
+        }
+    }
+}
+
+/// Renders query answers in the requested format.
+pub fn format_estimates(queries: &[Query], estimates: &[Estimate], format: OutputFormat) -> String {
+    let mut out = String::new();
+    match format {
+        OutputFormat::Bounds => {
+            for e in estimates {
+                let _ = writeln!(
+                    out,
+                    "{} ±{} [{}, {}] @{}",
+                    e.value,
+                    e.half_width(),
+                    e.lower,
+                    e.upper,
+                    e.confidence
+                );
+            }
+        }
+        OutputFormat::Tsv => {
+            let _ = writeln!(out, "#query\tvalue\tlower\tupper\tvariance\tconfidence");
+            for (q, e) in queries.iter().zip(estimates) {
+                let _ = writeln!(
+                    out,
+                    "{q}\t{}\t{}\t{}\t{}\t{}",
+                    e.value, e.lower, e.upper, e.variance, e.confidence
+                );
+            }
+        }
+        OutputFormat::Json => {
+            let _ = writeln!(out, "[");
+            for (i, (q, e)) in queries.iter().zip(estimates).enumerate() {
+                let comma = if i + 1 == estimates.len() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "  {{\"query\": \"{q}\", \"value\": {}, \"lower\": {}, \"upper\": {}, \"variance\": {}, \"confidence\": {}}}{comma}",
+                    e.value, e.lower, e.upper, e.variance, e.confidence
+                );
+            }
+            let _ = writeln!(out, "]");
+        }
+    }
+    out
 }
 
 /// Merges summaries (disjoint underlying data) through the erased merge —
@@ -761,6 +914,114 @@ mod tests {
         assert!(parse_range("1..2", 2).is_err());
         assert!(parse_range("a..b", 1).is_err());
         assert_eq!(parse_range("1..2,3..4", 2).unwrap(), vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn range_parse_open_endpoints_clamp_to_domain() {
+        assert_eq!(parse_range("..100", 1).unwrap(), vec![(0, 100)]);
+        assert_eq!(parse_range("50..", 1).unwrap(), vec![(50, u64::MAX)]);
+        assert_eq!(
+            parse_range(":100,50:", 2).unwrap(),
+            vec![(0, 100), (50, u64::MAX)]
+        );
+        assert_eq!(parse_range(":", 1).unwrap(), vec![(0, u64::MAX)]);
+        assert_eq!(parse_range("7:9", 1).unwrap(), vec![(7, 9)]);
+        // Reversed bounds are a clear error, not a silent empty range.
+        let msg = parse_range("9:3", 1).unwrap_err().to_string();
+        assert!(msg.contains("reversed"), "{msg}");
+        let msg = parse_range("5..3", 1).unwrap_err().to_string();
+        assert!(msg.contains("reversed"), "{msg}");
+    }
+
+    #[test]
+    fn query_specs_parse_every_kind() {
+        assert_eq!(parse_query("total", 1).unwrap(), Query::Total);
+        assert_eq!(parse_query("point 42", 1).unwrap(), Query::Point(vec![42]));
+        assert_eq!(
+            parse_query("point 3,7", 2).unwrap(),
+            Query::Point(vec![3, 7])
+        );
+        assert_eq!(
+            parse_query("node 4/3", 1).unwrap(),
+            Query::HierarchyNode { level: 4, index: 3 }
+        );
+        assert_eq!(
+            parse_query("10..19", 1).unwrap(),
+            Query::BoxRange(vec![(10, 19)])
+        );
+        assert_eq!(
+            parse_query("0..9;20..29", 1).unwrap(),
+            Query::MultiRange(vec![vec![(0, 9)], vec![(20, 29)]])
+        );
+        // Errors: wrong arity, overlapping multi-range, bad node.
+        assert!(parse_query("point 1,2", 1).is_err());
+        assert!(parse_query("0..10;5..20", 1).is_err());
+        assert!(parse_query("node 99", 1).is_err());
+    }
+
+    #[test]
+    fn answers_carry_bounds_and_match_plain_query() {
+        use std::fmt::Write as _;
+        let mut text = String::new();
+        for i in 0..2000u64 {
+            let w = 0.5 + (i % 7) as f64;
+            let _ = writeln!(text, "{i}\t{w}");
+        }
+        let d = parse_dataset(&text).unwrap();
+        let loaded = LoadedSummary(build_summary(&d, 120, 3, 1, SummaryKind::Sample).unwrap());
+        let queries = vec![
+            parse_query("100..999", 1).unwrap(),
+            parse_query("0..99;1500..1999", 1).unwrap(),
+            parse_query("total", 1).unwrap(),
+            parse_query("point 17", 1).unwrap(),
+            parse_query("node 8/2", 1).unwrap(),
+        ];
+        let estimates = answer_queries(&loaded, &queries, 0.9).unwrap();
+        assert_eq!(estimates.len(), queries.len());
+        for (q, e) in queries.iter().zip(&estimates) {
+            assert!(e.lower <= e.value && e.value <= e.upper, "{q}: {e:?}");
+        }
+        // The box answer's value is bit-identical to the plain query path.
+        let r = parse_range("100..999", 1).unwrap();
+        assert_eq!(estimates[0].value.to_bits(), query(&loaded, &r).to_bits());
+        // The exact total is inside the Total query's interval.
+        let truth: f64 = (0..2000u64).map(|i| 0.5 + (i % 7) as f64).sum();
+        assert!(
+            estimates[2].lower <= truth && truth <= estimates[2].upper,
+            "total {truth} outside [{}, {}]",
+            estimates[2].lower,
+            estimates[2].upper
+        );
+    }
+
+    #[test]
+    fn estimate_formats_render() {
+        let queries = vec![Query::interval(0, 9), Query::Total];
+        let estimates = vec![
+            Estimate {
+                value: 10.0,
+                variance: 4.0,
+                lower: 7.0,
+                upper: 15.0,
+                confidence: 0.9,
+            },
+            Estimate::exact(40.0),
+        ];
+        let bounds = format_estimates(&queries, &estimates, OutputFormat::Bounds);
+        assert!(bounds.contains("10 ±4 [7, 15] @0.9"), "{bounds}");
+        let tsv = format_estimates(&queries, &estimates, OutputFormat::Tsv);
+        assert!(tsv.starts_with("#query\tvalue"), "{tsv}");
+        assert!(tsv.contains("0..9\t10\t7\t15\t4\t0.9"), "{tsv}");
+        assert!(tsv.contains("total\t40\t40\t40\t0\t1"), "{tsv}");
+        let json = format_estimates(&queries, &estimates, OutputFormat::Json);
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(
+            json.contains("\"query\": \"0..9\", \"value\": 10"),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), 2, "{json}");
+        assert!(OutputFormat::from_name("bogus").is_err());
+        assert_eq!(OutputFormat::from_name("json").unwrap(), OutputFormat::Json);
     }
 
     #[test]

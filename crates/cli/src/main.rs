@@ -9,11 +9,13 @@
 //! sas merge <a.sas> <b.sas> [...] --out all.sas [--size N] [--seed S]
 //! sas query <summary> --range lo..hi                  # 1-D
 //! sas query <summary> --range x0..x1,y0..y1           # 2-D
+//! sas query <summary> --range :100 --confidence 0.95  # value ± bound
+//! sas query <summary> --queries FILE [--format tsv|json]
 //! sas info <summary|dir> [more paths...]
 //! sas serve <store-dir> [--addr H:P] [--threads N] [--budget N]
 //!           [--cache N] [--compact-every MS]
 //! sas client <addr> query --dataset D --range R [--kind K]
-//!            [--since T] [--until T]
+//!            [--since T] [--until T] [--confidence C]
 //! sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K]
 //!            [--size N] [--seed S]
 //! sas client <addr> list | stats | shutdown
@@ -32,8 +34,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sas_cli::{
-    build_summary, info_text, load_summary, merge_summaries, parse_dataset, parse_range, query,
-    summarize_per_shard, summarize_sharded, write_summary, Dataset, LoadedSummary,
+    answer_queries, build_summary, format_estimates, info_text, load_summary, merge_summaries,
+    parse_dataset, parse_query, parse_range, summarize_per_shard, summarize_sharded, write_summary,
+    Dataset, LoadedSummary, OutputFormat,
 };
 use sas_store::client::Client;
 use sas_store::manifest::Manifest;
@@ -43,7 +46,7 @@ use sas_summaries::{encode_summary, StoredSample, SummaryKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi]\n  sas info <summary|dir> [more paths...]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> list | stats | shutdown\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> list | stats | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
     );
     ExitCode::from(2)
 }
@@ -195,13 +198,65 @@ fn cmd_merge(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Parses and range-checks a `--confidence` value: `(0, 1]` (1 is only
+/// certifiable by the deterministic kinds; sample kinds reject it at
+/// answer time when a probabilistic bound is needed).
+fn parse_confidence(value: &str) -> Result<f64, Box<dyn std::error::Error>> {
+    let c: f64 = value.parse().map_err(|_| "bad --confidence")?;
+    if !(c > 0.0 && c <= 1.0) {
+        return Err(format!("bad --confidence {value} (want 0 < c <= 1)").into());
+    }
+    Ok(c)
+}
+
 fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("missing summary path")?;
-    let spec = flag_value(args, "--range").ok_or("missing --range")?;
     let summary = load_summary(&std::fs::read(path)?)?;
-    let range = parse_range(spec, summary.dims())?;
-    let est = query(&summary, &range);
-    println!("{est}");
+    let confidence_flag = flag_value(args, "--confidence");
+    let confidence: f64 = match confidence_flag {
+        None => 0.95,
+        Some(v) => parse_confidence(v)?,
+    };
+    let format = flag_value(args, "--format")
+        .map(OutputFormat::from_name)
+        .transpose()?;
+
+    // Batch mode: one query spec per line (ranges, multi-ranges, points,
+    // hierarchy nodes, total), answered in a single pass for sample kinds.
+    if let Some(file) = flag_value(args, "--queries") {
+        let text = std::fs::read_to_string(file)?;
+        let queries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| parse_query(l, summary.dims()))
+            .collect::<Result<Vec<_>, _>>()?;
+        if queries.is_empty() {
+            return Err("no queries in the batch file".into());
+        }
+        let estimates = answer_queries(&summary, &queries, confidence)?;
+        print!(
+            "{}",
+            format_estimates(&queries, &estimates, format.unwrap_or(OutputFormat::Tsv))
+        );
+        return Ok(());
+    }
+
+    let spec = flag_value(args, "--range").ok_or("missing --range (or --queries FILE)")?;
+    let q = parse_query(spec, summary.dims())?;
+    let estimates = answer_queries(&summary, std::slice::from_ref(&q), confidence)?;
+    match (format, confidence_flag) {
+        // Bare `--range`: the historical single-value contract.
+        (None, None) => println!("{}", estimates[0].value),
+        (None, Some(_)) => print!(
+            "{}",
+            format_estimates(std::slice::from_ref(&q), &estimates, OutputFormat::Bounds)
+        ),
+        (Some(f), _) => print!(
+            "{}",
+            format_estimates(std::slice::from_ref(&q), &estimates, f)
+        ),
+    }
     Ok(())
 }
 
@@ -317,13 +372,34 @@ fn cmd_client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 (None, None) => None,
                 (t0, t1) => Some((t0.unwrap_or(0), t1.unwrap_or(u64::MAX))),
             };
-            let ans = client.query(dataset, kind, &range, time)?;
-            println!("{}", ans.value);
+            let (windows, cached) = match flag_value(rest, "--confidence") {
+                // New protocol: value with an error bar.
+                Some(c) => {
+                    let confidence = parse_confidence(c)?;
+                    let q = sas_summaries::Query::BoxRange(range);
+                    let ans = client.estimate(dataset, kind, &q, confidence, time)?;
+                    let e = ans.estimate;
+                    println!(
+                        "{} ±{} [{}, {}] @{}",
+                        e.value,
+                        e.half_width(),
+                        e.lower,
+                        e.upper,
+                        e.confidence
+                    );
+                    (ans.windows, ans.cached)
+                }
+                // Old wire tag, still answered: bare value.
+                None => {
+                    let ans = client.query(dataset, kind, &range, time)?;
+                    println!("{}", ans.value);
+                    (ans.windows, ans.cached)
+                }
+            };
             eprintln!(
-                "consulted {} window{}{}",
-                ans.windows,
-                if ans.windows == 1 { "" } else { "s" },
-                if ans.cached { " (cached)" } else { "" }
+                "consulted {windows} window{}{}",
+                if windows == 1 { "" } else { "s" },
+                if cached { " (cached)" } else { "" }
             );
         }
         "ingest" => {

@@ -303,6 +303,115 @@ fn daemon_serves_concurrent_clients_and_recovers_bit_identically() {
 }
 
 #[test]
+fn mixed_old_and_new_tag_clients_get_identical_values() {
+    // One server, two protocols: the legacy REQ_QUERY tag (bare value) and
+    // the PR-5 REQ_ESTIMATE tag (`--confidence`, value ± bound) must agree
+    // on every value, bit for bit (shortest-roundtrip float printing makes
+    // string equality exactly bit equality) — and the estimate's interval
+    // must contain its own value.
+    let work = TempDir::new("mixed-tags");
+    let store_dir = work.path().join("store");
+    let daemon = Daemon::spawn(&store_dir, &["--compact-every", "0"]);
+    let addr = daemon.addr.clone();
+
+    for (i, ts) in [30u64, 90, 150].iter().enumerate() {
+        let data = write_tsv(work.path(), &format!("m{i}.tsv"), *ts * 10, 200);
+        sas(
+            &[
+                "client",
+                &addr,
+                "ingest",
+                data.to_str().unwrap(),
+                "--dataset",
+                "web",
+                "--ts",
+                &ts.to_string(),
+            ],
+            true,
+        );
+    }
+
+    let probes = ["0..99999999", "300..1499", "0..999", "1500.."];
+    for range in probes {
+        let (old_out, _) = sas(
+            &[
+                "client",
+                &addr,
+                "query",
+                "--dataset",
+                "web",
+                "--range",
+                range,
+            ],
+            true,
+        );
+        let (new_out, new_err) = sas(
+            &[
+                "client",
+                &addr,
+                "query",
+                "--dataset",
+                "web",
+                "--range",
+                range,
+                "--confidence",
+                "0.95",
+            ],
+            true,
+        );
+        let old_value = old_out.trim();
+        // New-tag output: `value ±half [lower, upper] @confidence`.
+        let mut parts = new_out.split_whitespace();
+        let new_value = parts.next().expect("value field");
+        assert_eq!(
+            new_value, old_value,
+            "range {range}: old tag {old_value} vs new tag {new_value}"
+        );
+        let lower: f64 = parts
+            .nth(1)
+            .expect("lower field")
+            .trim_matches(['[', ','])
+            .parse()
+            .expect("numeric lower");
+        let upper: f64 = parts
+            .next()
+            .expect("upper field")
+            .trim_matches([']', ','])
+            .parse()
+            .expect("numeric upper");
+        let value: f64 = new_value.parse().expect("numeric value");
+        assert!(
+            lower <= value && value <= upper,
+            "range {range}: value {value} outside [{lower}, {upper}]"
+        );
+        assert!(new_err.contains("window"), "{new_err}");
+    }
+
+    // Both tags share the canonical-query cache: the same estimate asked
+    // twice reports a cache hit the second time.
+    let ask = || {
+        sas(
+            &[
+                "client",
+                &addr,
+                "query",
+                "--dataset",
+                "web",
+                "--range",
+                "0..999",
+                "--confidence",
+                "0.9",
+            ],
+            true,
+        )
+    };
+    ask();
+    let (_, stderr) = ask();
+    assert!(stderr.contains("(cached)"), "{stderr}");
+    daemon.shutdown();
+}
+
+#[test]
 fn daemon_rejects_garbage_and_stays_up() {
     let work = TempDir::new("errors");
     let store_dir = work.path().join("store");

@@ -196,6 +196,112 @@ fn sharded_summarize_matches_serial_guarantees() {
 }
 
 #[test]
+fn query_bounds_batch_and_formats() {
+    // Build a modest budgeted summary, then drive every new query surface:
+    // open-ended ranges, --confidence bounds output, --queries batch mode
+    // in tsv and json.
+    let mut data = String::new();
+    let mut total = 0.0;
+    for k in 0..800u64 {
+        let w = 0.5 + (k % 9) as f64;
+        total += w;
+        data.push_str(&format!("{k}\t{w}\n"));
+    }
+    let input = TempFile::create("bounds-data.tsv", &data);
+    let summary = TempFile::create("bounds-summary.sas", "");
+    sas(
+        &[
+            "summarize",
+            input.path(),
+            "--size",
+            "80",
+            "--seed",
+            "3",
+            "--out",
+            summary.path(),
+        ],
+        true,
+    );
+
+    // Open-ended range, bare value (back-compat contract).
+    let (bare, _) = sas(&["query", summary.path(), "--range", ":"], true);
+    let bare: f64 = bare.trim().parse().expect("bare value");
+    assert!((bare - total).abs() <= 1e-6 * total);
+
+    // Same query with --confidence: `value ±half [lower, upper] @c`, the
+    // value identical and the interval containing the exact total.
+    let (bounds, _) = sas(
+        &[
+            "query",
+            summary.path(),
+            "--range",
+            ":",
+            "--confidence",
+            "0.9",
+        ],
+        true,
+    );
+    let fields: Vec<&str> = bounds.split_whitespace().collect();
+    assert_eq!(fields[0].parse::<f64>().unwrap().to_bits(), bare.to_bits());
+    let lower: f64 = fields[2].trim_matches(['[', ',']).parse().unwrap();
+    let upper: f64 = fields[3].trim_matches([']']).parse().unwrap();
+    assert!(
+        lower <= total && total <= upper,
+        "total {total} outside [{lower}, {upper}]: {bounds}"
+    );
+    assert!(fields[4].starts_with('@'), "{bounds}");
+
+    // Reversed bounds fail loudly, not as a silent empty range.
+    let (_, stderr) = sas(&["query", summary.path(), "--range", "9..3"], false);
+    assert!(stderr.contains("reversed"), "{stderr}");
+
+    // Batch mode: every query shape in one file, tsv and json output.
+    let batch = TempFile::create(
+        "bounds-queries.txt",
+        "# one query per line\n:199\n200..399;600:\npoint 17\nnode 6/3\ntotal\n",
+    );
+    let (tsv, _) = sas(&["query", summary.path(), "--queries", batch.path()], true);
+    let rows: Vec<&str> = tsv.lines().collect();
+    assert!(rows[0].starts_with("#query"), "{tsv}");
+    assert_eq!(rows.len(), 6, "{tsv}");
+    for row in &rows[1..] {
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols.len(), 6, "{row}");
+        let value: f64 = cols[1].parse().unwrap();
+        let lower: f64 = cols[2].parse().unwrap();
+        let upper: f64 = cols[3].parse().unwrap();
+        assert!(lower <= value && value <= upper, "{row}");
+    }
+    // The total row's value matches the bare full-domain query.
+    let total_row: Vec<&str> = rows[5].split('\t').collect();
+    assert_eq!(total_row[0], "total");
+    assert_eq!(
+        total_row[1].parse::<f64>().unwrap().to_bits(),
+        bare.to_bits()
+    );
+
+    let (json, _) = sas(
+        &[
+            "query",
+            summary.path(),
+            "--queries",
+            batch.path(),
+            "--format",
+            "json",
+        ],
+        true,
+    );
+    assert!(json.trim_start().starts_with('['), "{json}");
+    assert_eq!(json.matches("\"query\"").count(), 5, "{json}");
+    assert!(json.contains("\"confidence\": 0.95"), "{json}");
+
+    // An overlapping multi-range in the batch file is rejected.
+    let bad = TempFile::create("bounds-bad.txt", "0..10;5..20\n");
+    let (_, stderr) = sas(&["query", summary.path(), "--queries", bad.path()], false);
+    assert!(stderr.contains("overlap"), "{stderr}");
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     // Unknown subcommand and missing file must not succeed (or panic).
     sas(&["frobnicate"], false);

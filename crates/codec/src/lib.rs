@@ -442,6 +442,14 @@ pub mod proto {
     /// Store manifest frame (body layout owned by `sas-store`).
     pub const TAG_MANIFEST: u16 = 48;
 
+    /// A standalone query AST frame (body layout owned by
+    /// `sas-summaries::query`).
+    pub const TAG_QUERY: u16 = 49;
+
+    /// A standalone estimate frame — a value with error bounds (body layout
+    /// owned by `sas-summaries::query`).
+    pub const TAG_ESTIMATE: u16 = 50;
+
     /// Request: range query against a dataset series.
     pub const REQ_QUERY: u16 = 64;
     /// Request: ingest a batch summary frame into a time window.
@@ -452,6 +460,10 @@ pub mod proto {
     pub const REQ_STATS: u16 = 67;
     /// Request: clean daemon shutdown.
     pub const REQ_SHUTDOWN: u16 = 68;
+    /// Request: estimate a [`TAG_QUERY`] query against a dataset series,
+    /// answered with a [`TAG_ESTIMATE`]-shaped body (value + error bounds).
+    /// The older [`REQ_QUERY`] tag remains answered for compatibility.
+    pub const REQ_ESTIMATE: u16 = 69;
 
     /// Response: success; body layout depends on the request kind.
     pub const RESP_OK: u16 = 80;

@@ -1,13 +1,18 @@
-//! LRU cache for range-query answers.
+//! LRU cache for query answers.
 //!
 //! Keys embed the catalog snapshot **version**, so a cache entry can never
 //! serve a stale answer: any ingest or compaction bumps the version and all
 //! older entries simply stop being addressable (and age out of the LRU).
-//! Lookups and inserts take a short mutex; the summaries themselves are
-//! never touched under the lock.
+//! The query itself is keyed by its **canonical wire bytes**
+//! ([`sas_summaries::Query::canonical_bytes`]): equivalent spellings — a
+//! full-domain box and `Total`, a point and its degenerate box, re-ordered
+//! multi-range boxes — share one cache line. Lookups and inserts take a
+//! short mutex; the summaries themselves are never touched under the lock.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
+
+use sas_summaries::Estimate;
 
 /// What a cached answer is keyed by: snapshot version plus the full query
 /// coordinates.
@@ -19,16 +24,31 @@ pub struct CacheKey {
     pub dataset: String,
     /// Summary kind wire tag.
     pub kind_tag: u16,
-    /// Query range, one `(lo, hi)` per axis.
-    pub range: Vec<(u64, u64)>,
+    /// Canonical wire bytes of the query.
+    pub query: Vec<u8>,
+    /// Bit pattern of the requested confidence, or [`PLAIN_CONFIDENCE`]
+    /// for the value-only legacy path (a NaN pattern no real confidence
+    /// can collide with).
+    pub confidence_bits: u64,
     /// Optional window-time filter.
     pub time: Option<(u64, u64)>,
 }
 
-/// A cached query answer: the estimate plus the window count it consulted
-/// (both pure functions of the versioned key, so a hit answers the whole
-/// query without touching the catalog).
-pub type CachedAnswer = (f64, u64);
+/// The `confidence_bits` sentinel for the value-only (pre-estimate) query
+/// path.
+pub const PLAIN_CONFIDENCE: u64 = u64::MAX;
+
+/// A cached answer: either a plain value (legacy `REQ_QUERY` path) or a
+/// full estimate, each with the window count it consulted (both pure
+/// functions of the versioned key, so a hit answers the whole query
+/// without touching the catalog).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CachedAnswer {
+    /// Value-only answer.
+    Plain(f64, u64),
+    /// Estimate with bounds.
+    Estimate(Estimate, u64),
+}
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -110,54 +130,112 @@ impl QueryCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sas_summaries::Query;
 
     fn key(version: u64, lo: u64) -> CacheKey {
         CacheKey {
             version,
             dataset: "d".into(),
             kind_tag: 1,
-            range: vec![(lo, lo + 10)],
+            query: Query::interval(lo, lo + 10).canonical_bytes().unwrap(),
+            confidence_bits: PLAIN_CONFIDENCE,
             time: None,
         }
+    }
+
+    fn plain(v: f64) -> CachedAnswer {
+        CachedAnswer::Plain(v, 1)
     }
 
     #[test]
     fn hit_miss_and_version_isolation() {
         let cache = QueryCache::new(8);
         assert_eq!(cache.get(&key(1, 0)), None);
-        cache.put(key(1, 0), (42.0, 1));
-        assert_eq!(cache.get(&key(1, 0)), Some((42.0, 1)));
+        cache.put(key(1, 0), plain(42.0));
+        assert_eq!(cache.get(&key(1, 0)), Some(plain(42.0)));
         // A new snapshot version misses — stale answers are unaddressable.
         assert_eq!(cache.get(&key(2, 0)), None);
     }
 
     #[test]
+    fn canonical_spellings_share_a_line() {
+        let cache = QueryCache::new(8);
+        let spellings = [
+            Query::BoxRange(vec![(0, u64::MAX)]),
+            Query::Total,
+            Query::HierarchyNode {
+                level: 64,
+                index: 0,
+            },
+        ];
+        let mk = |q: &Query| CacheKey {
+            version: 1,
+            dataset: "d".into(),
+            kind_tag: 1,
+            query: q.canonical_bytes().unwrap(),
+            confidence_bits: PLAIN_CONFIDENCE,
+            time: None,
+        };
+        cache.put(mk(&spellings[0]), plain(7.0));
+        for q in &spellings {
+            assert_eq!(cache.get(&mk(q)), Some(plain(7.0)), "{q}");
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn confidence_isolates_estimates_from_plain_answers() {
+        let cache = QueryCache::new(8);
+        let mk = |bits: u64| CacheKey {
+            confidence_bits: bits,
+            ..key(1, 0)
+        };
+        cache.put(mk(PLAIN_CONFIDENCE), plain(5.0));
+        assert_eq!(cache.get(&mk(0.95f64.to_bits())), None);
+        let est = CachedAnswer::Estimate(
+            Estimate {
+                value: 5.0,
+                variance: 1.0,
+                lower: 3.0,
+                upper: 8.0,
+                confidence: 0.95,
+            },
+            2,
+        );
+        cache.put(mk(0.95f64.to_bits()), est);
+        assert_eq!(cache.get(&mk(0.95f64.to_bits())), Some(est));
+        assert_eq!(cache.get(&mk(PLAIN_CONFIDENCE)), Some(plain(5.0)));
+        // A different confidence is a different answer.
+        assert_eq!(cache.get(&mk(0.5f64.to_bits())), None);
+    }
+
+    #[test]
     fn lru_evicts_least_recently_used() {
         let cache = QueryCache::new(2);
-        cache.put(key(1, 0), (0.0, 1));
-        cache.put(key(1, 1), (1.0, 1));
-        // Touch key 0 so key 1 is the LRU victim.
-        assert_eq!(cache.get(&key(1, 0)), Some((0.0, 1)));
-        cache.put(key(1, 2), (2.0, 1));
+        cache.put(key(1, 0), plain(0.0));
+        cache.put(key(1, 100), plain(1.0));
+        // Touch key 0 so key 100 is the LRU victim.
+        assert_eq!(cache.get(&key(1, 0)), Some(plain(0.0)));
+        cache.put(key(1, 200), plain(2.0));
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&key(1, 1)), None, "LRU entry evicted");
-        assert_eq!(cache.get(&key(1, 0)), Some((0.0, 1)));
-        assert_eq!(cache.get(&key(1, 2)), Some((2.0, 1)));
+        assert_eq!(cache.get(&key(1, 100)), None, "LRU entry evicted");
+        assert_eq!(cache.get(&key(1, 0)), Some(plain(0.0)));
+        assert_eq!(cache.get(&key(1, 200)), Some(plain(2.0)));
     }
 
     #[test]
     fn reinsert_updates_value_without_growing() {
         let cache = QueryCache::new(2);
-        cache.put(key(1, 0), (1.0, 1));
-        cache.put(key(1, 0), (2.0, 1));
+        cache.put(key(1, 0), plain(1.0));
+        cache.put(key(1, 0), plain(2.0));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(&key(1, 0)), Some((2.0, 1)));
+        assert_eq!(cache.get(&key(1, 0)), Some(plain(2.0)));
     }
 
     #[test]
     fn zero_capacity_disables() {
         let cache = QueryCache::new(0);
-        cache.put(key(1, 0), (1.0, 1));
+        cache.put(key(1, 0), plain(1.0));
         assert!(cache.is_empty());
         assert_eq!(cache.get(&key(1, 0)), None);
     }
@@ -170,8 +248,8 @@ mod tests {
                 let cache = cache.clone();
                 std::thread::spawn(move || {
                     for i in 0..500u64 {
-                        cache.put(key(t, i % 40), (i as f64, 1));
-                        cache.get(&key(t, (i + 7) % 40));
+                        cache.put(key(t, (i % 40) * 100), plain(i as f64));
+                        cache.get(&key(t, ((i + 7) % 40) * 100));
                     }
                 })
             })

@@ -7,7 +7,7 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use sas_codec::{open_frame, proto, CodecError};
-use sas_summaries::SummaryKind;
+use sas_summaries::{Estimate, Query, SummaryKind};
 
 use crate::window::Level;
 use crate::wire::{decode_response, encode_request, Request, Response, WindowRow};
@@ -55,6 +55,17 @@ impl From<CodecError> for ClientError {
 pub struct RemoteAnswer {
     /// The estimate.
     pub value: f64,
+    /// Windows consulted.
+    pub windows: u64,
+    /// Whether the daemon's LRU cache served it.
+    pub cached: bool,
+}
+
+/// A query answer with error bounds as reported by the daemon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteEstimate {
+    /// The estimate with its bounds.
+    pub estimate: Estimate,
     /// Windows consulted.
     pub windows: u64,
     /// Whether the daemon's LRU cache served it.
@@ -121,6 +132,37 @@ impl Client {
                 cached,
             } => Ok(RemoteAnswer {
                 value,
+                windows,
+                cached,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Query with error bounds against a dataset series (the
+    /// `REQ_ESTIMATE` protocol; older daemons answer only
+    /// [`Client::query`]).
+    pub fn estimate(
+        &mut self,
+        dataset: &str,
+        kind: SummaryKind,
+        query: &Query,
+        confidence: f64,
+        time: Option<(u64, u64)>,
+    ) -> Result<RemoteEstimate, ClientError> {
+        match self.exchange(&Request::Estimate {
+            dataset: dataset.to_string(),
+            kind,
+            query: query.clone(),
+            confidence,
+            time,
+        })? {
+            Response::Estimate {
+                estimate,
+                windows,
+                cached,
+            } => Ok(RemoteEstimate {
+                estimate,
                 windows,
                 cached,
             }),

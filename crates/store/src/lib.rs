@@ -56,10 +56,11 @@ use rand::SeedableRng;
 
 use sas_codec::CodecError;
 use sas_summaries::{
-    decode_summary, encode_summary, merge_tree, Summary, SummaryError, SummaryKind,
+    decode_summary, encode_summary, merge_tree, Estimate, Query, QueryError, Summary, SummaryError,
+    SummaryKind,
 };
 
-use cache::{CacheKey, QueryCache};
+use cache::{CacheKey, CachedAnswer, QueryCache, PLAIN_CONFIDENCE};
 use manifest::{Manifest, ManifestEntry};
 use window::{valid_dataset, window_seed, Level, WindowKey};
 
@@ -195,6 +196,38 @@ impl Snapshot {
         // f64's empty-sum identity is -0.0; serve a plain 0 instead.
         (value + 0.0, windows.len() as u64)
     }
+
+    /// Directly computes a query estimate against this snapshot (no
+    /// cache): values, variances, and bounds add across the matching
+    /// windows (disjoint data). The requested failure probability is split
+    /// across the windows (each answers at `1 − δ/k`), so by the union
+    /// bound the summed interval holds at the requested confidence. The
+    /// value accumulates in the same window order as [`Snapshot::query`],
+    /// so old-tag and new-tag clients see bit-identical values.
+    pub fn estimate(
+        &self,
+        dataset: &str,
+        kind: SummaryKind,
+        query: &Query,
+        confidence: f64,
+        time: Option<(u64, u64)>,
+    ) -> Result<(Estimate, u64), QueryError> {
+        let windows = self.matching(dataset, kind, time);
+        if windows.is_empty() {
+            return Ok((Estimate::exact(0.0), 0));
+        }
+        let per_window = 1.0 - (1.0 - confidence) / windows.len() as f64;
+        let mut acc = Estimate::exact(0.0);
+        for w in &windows {
+            acc.merge_disjoint(&w.summary.answer(query, per_window)?);
+        }
+        if acc.confidence < 1.0 {
+            // At least one window answered probabilistically; the union
+            // bound over the δ/k splits certifies the requested level.
+            acc.confidence = confidence;
+        }
+        Ok((acc, windows.len() as u64))
+    }
 }
 
 /// A range-query answer from [`Store::query`].
@@ -205,6 +238,19 @@ pub struct QueryAnswer {
     /// Windows consulted.
     pub windows: u64,
     /// Whether the value came from the LRU cache.
+    pub cached: bool,
+    /// Snapshot version answered against.
+    pub version: u64,
+}
+
+/// A query answer with error bounds, from [`Store::estimate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateAnswer {
+    /// The estimate with its bounds.
+    pub estimate: Estimate,
+    /// Windows consulted.
+    pub windows: u64,
+    /// Whether the answer came from the LRU cache.
     pub cached: bool,
     /// Snapshot version answered against.
     pub version: u64,
@@ -402,8 +448,9 @@ impl Store {
         Ok(state)
     }
 
-    /// Answers a range query from the current snapshot, through the LRU
-    /// cache.
+    /// Answers a value-only range query from the current snapshot, through
+    /// the LRU cache — the legacy `REQ_QUERY` path, kept bit-identical for
+    /// old clients. New code should prefer [`Store::estimate`].
     pub fn query(
         &self,
         dataset: &str,
@@ -413,31 +460,87 @@ impl Store {
     ) -> QueryAnswer {
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let snap = self.snapshot();
-        let cache_key = CacheKey {
-            version: snap.version,
-            dataset: dataset.to_string(),
-            kind_tag: kind.tag(),
-            range: range.to_vec(),
-            time,
-        };
-        if let Some((value, windows)) = self.cache.get(&cache_key) {
-            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return QueryAnswer {
-                value,
-                windows,
-                cached: true,
+        // An unencodable range (reversed bounds) cannot be cached; answer
+        // it directly (range_sum treats it as empty, preserving the old
+        // behaviour).
+        let cache_key = Query::BoxRange(range.to_vec())
+            .canonical_bytes()
+            .ok()
+            .map(|query| CacheKey {
                 version: snap.version,
-            };
+                dataset: dataset.to_string(),
+                kind_tag: kind.tag(),
+                query,
+                confidence_bits: PLAIN_CONFIDENCE,
+                time,
+            });
+        if let Some(key) = &cache_key {
+            if let Some(CachedAnswer::Plain(value, windows)) = self.cache.get(key) {
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return QueryAnswer {
+                    value,
+                    windows,
+                    cached: true,
+                    version: snap.version,
+                };
+            }
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         let (value, windows) = snap.query(dataset, kind, range, time);
-        self.cache.put(cache_key, (value, windows));
+        if let Some(key) = cache_key {
+            self.cache.put(key, CachedAnswer::Plain(value, windows));
+        }
         QueryAnswer {
             value,
             windows,
             cached: false,
             version: snap.version,
         }
+    }
+
+    /// Answers a query with error bounds from the current snapshot,
+    /// through the LRU cache. The cache key is the query's **canonical**
+    /// form, so equivalent spellings share one entry.
+    pub fn estimate(
+        &self,
+        dataset: &str,
+        kind: SummaryKind,
+        query: &Query,
+        confidence: f64,
+        time: Option<(u64, u64)>,
+    ) -> Result<EstimateAnswer, StoreError> {
+        let bad = |e: QueryError| StoreError::BadRequest(e.to_string());
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let snap = self.snapshot();
+        let cache_key = CacheKey {
+            version: snap.version,
+            dataset: dataset.to_string(),
+            kind_tag: kind.tag(),
+            query: query.canonical_bytes().map_err(bad)?,
+            confidence_bits: confidence.to_bits(),
+            time,
+        };
+        if let Some(CachedAnswer::Estimate(estimate, windows)) = self.cache.get(&cache_key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(EstimateAnswer {
+                estimate,
+                windows,
+                cached: true,
+                version: snap.version,
+            });
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let (estimate, windows) = snap
+            .estimate(dataset, kind, query, confidence, time)
+            .map_err(bad)?;
+        self.cache
+            .put(cache_key, CachedAnswer::Estimate(estimate, windows));
+        Ok(EstimateAnswer {
+            estimate,
+            windows,
+            cached: false,
+            version: snap.version,
+        })
     }
 
     /// Lists the catalog's windows in key order.

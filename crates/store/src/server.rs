@@ -212,6 +212,20 @@ pub fn handle_request(store: &Store, req: Request) -> Response {
                 cached: answer.cached,
             }
         }
+        Request::Estimate {
+            dataset,
+            kind,
+            query,
+            confidence,
+            time,
+        } => match store.estimate(&dataset, kind, &query, confidence, time) {
+            Err(e) => Response::Err(e.to_string()),
+            Ok(answer) => Response::Estimate {
+                estimate: answer.estimate,
+                windows: answer.windows,
+                cached: answer.cached,
+            },
+        },
         Request::Ingest { dataset, ts, frame } => match decode_summary(&frame) {
             Err(e) => Response::Err(format!("bad batch frame: {e}")),
             Ok(batch) => match store.ingest(&dataset, ts, batch) {

@@ -8,7 +8,7 @@
 //! ([`decode_response`]).
 
 use sas_codec::{encode_frame, open_frame, proto, CodecError, Reader, Writer};
-use sas_summaries::SummaryKind;
+use sas_summaries::{Estimate, Query, SummaryKind};
 
 use crate::window::{Level, WindowKey};
 
@@ -24,6 +24,22 @@ pub enum Request {
         kind: SummaryKind,
         /// One `(lo, hi)` per axis.
         range: Vec<(u64, u64)>,
+        /// Optional closed tick interval filtering windows.
+        time: Option<(u64, u64)>,
+    },
+    /// Estimate a [`Query`] for a dataset series with error bounds,
+    /// optionally restricted to windows overlapping `time`. The newer,
+    /// richer sibling of [`Request::Query`] (which stays answered for
+    /// compatibility).
+    Estimate {
+        /// Dataset name.
+        dataset: String,
+        /// Series kind.
+        kind: SummaryKind,
+        /// The query.
+        query: Query,
+        /// Confidence for the returned interval.
+        confidence: f64,
         /// Optional closed tick interval filtering windows.
         time: Option<(u64, u64)>,
     },
@@ -70,6 +86,15 @@ pub enum Response {
         /// Whether the answer came from the LRU cache.
         cached: bool,
     },
+    /// Answer to [`Request::Estimate`]: the estimate with its bounds.
+    Estimate {
+        /// The estimate.
+        estimate: Estimate,
+        /// Windows consulted.
+        windows: u64,
+        /// Whether the answer came from the LRU cache.
+        cached: bool,
+    },
     /// Answer to [`Request::Ingest`]: where the batch landed.
     Ingest {
         /// Window level (always minute today).
@@ -110,6 +135,23 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                     w.put_u64(hi);
                 }
             });
+        }),
+        Request::Estimate {
+            dataset,
+            kind,
+            query,
+            confidence,
+            time,
+        } => encode_frame(proto::REQ_ESTIMATE, |w| {
+            w.section(1, |w| {
+                w.put_str(dataset);
+                w.put_u16(kind.tag());
+                w.put_f64(*confidence);
+                put_time(w, *time);
+            });
+            // The query travels as its own sections (the same body layout
+            // as a standalone TAG_QUERY frame).
+            query.write_wire(w);
         }),
         Request::Ingest { dataset, ts, frame } => encode_frame(proto::REQ_INGEST, |w| {
             w.section(1, |w| {
@@ -154,6 +196,28 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
                 time,
             }
         }
+        proto::REQ_ESTIMATE => {
+            let mut meta = frame.body.expect_section(1)?;
+            let dataset = meta.get_str()?;
+            let tag = meta.get_u16()?;
+            let kind = SummaryKind::from_tag(tag).ok_or(CodecError::UnknownKind(tag))?;
+            let confidence = meta.get_finite_f64()?;
+            if !(0.0..=1.0).contains(&confidence) {
+                return Err(CodecError::Invalid(format!(
+                    "confidence {confidence} outside [0, 1]"
+                )));
+            }
+            let time = get_time(&mut meta)?;
+            meta.finish()?;
+            let query = Query::read_wire(&mut frame.body)?;
+            Request::Estimate {
+                dataset,
+                kind,
+                query,
+                confidence,
+                time,
+            }
+        }
         proto::REQ_INGEST => {
             let mut meta = frame.body.expect_section(1)?;
             let dataset = meta.get_str()?;
@@ -192,6 +256,19 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 w.put_u64(*windows);
                 w.put_u8(*cached as u8);
             });
+        }),
+        Response::Estimate {
+            estimate,
+            windows,
+            cached,
+        } => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| {
+                w.put_u64(*windows);
+                w.put_u8(*cached as u8);
+            });
+            // The estimate travels as its own section (the same body
+            // layout as a standalone TAG_ESTIMATE frame).
+            estimate.write_wire(w);
         }),
         Response::Ingest {
             level,
@@ -254,6 +331,18 @@ pub fn decode_response(bytes: &[u8], request_tag: u16) -> Result<Response, Codec
             windows: sec.get_u64()?,
             cached: sec.get_u8()? != 0,
         },
+        proto::REQ_ESTIMATE => {
+            let windows = sec.get_u64()?;
+            let cached = sec.get_u8()? != 0;
+            sec.finish()?;
+            let estimate = Estimate::read_wire(&mut frame.body)?;
+            frame.body.finish()?;
+            return Ok(Response::Estimate {
+                estimate,
+                windows,
+                cached,
+            });
+        }
         proto::REQ_INGEST => {
             let tag = sec.get_u8()?;
             Response::Ingest {
@@ -347,6 +436,26 @@ mod tests {
                 proto::REQ_QUERY,
             ),
             (
+                Request::Estimate {
+                    dataset: "web".into(),
+                    kind: SummaryKind::VarOptReservoir,
+                    query: Query::MultiRange(vec![vec![(0, 9)], vec![(20, 29)]]),
+                    confidence: 0.95,
+                    time: Some((0, 600)),
+                },
+                proto::REQ_ESTIMATE,
+            ),
+            (
+                Request::Estimate {
+                    dataset: "web".into(),
+                    kind: SummaryKind::Sample,
+                    query: Query::Total,
+                    confidence: 0.5,
+                    time: None,
+                },
+                proto::REQ_ESTIMATE,
+            ),
+            (
                 Request::Ingest {
                     dataset: "web".into(),
                     ts: 61,
@@ -380,6 +489,20 @@ mod tests {
                     cached: true,
                 },
                 proto::REQ_QUERY,
+            ),
+            (
+                Response::Estimate {
+                    estimate: Estimate {
+                        value: 41.5,
+                        variance: 2.25,
+                        lower: 38.0,
+                        upper: 47.0,
+                        confidence: 0.9,
+                    },
+                    windows: 4,
+                    cached: false,
+                },
+                proto::REQ_ESTIMATE,
             ),
             (
                 Response::Ingest {
@@ -416,6 +539,30 @@ mod tests {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes, tag).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn estimate_response_is_not_decodable_under_the_old_tag() {
+        // A REQ_ESTIMATE reply misread as a REQ_QUERY reply (or vice versa)
+        // must fail cleanly — the two OK layouts are not interchangeable.
+        let est = Response::Estimate {
+            estimate: Estimate {
+                value: 1.0,
+                variance: 0.5,
+                lower: 0.0,
+                upper: 2.5,
+                confidence: 0.9,
+            },
+            windows: 2,
+            cached: false,
+        };
+        assert!(decode_response(&encode_response(&est), proto::REQ_QUERY).is_err());
+        let plain = Response::Query {
+            value: 1.0,
+            windows: 2,
+            cached: false,
+        };
+        assert!(decode_response(&encode_response(&plain), proto::REQ_ESTIMATE).is_err());
     }
 
     #[test]
@@ -478,5 +625,39 @@ mod tests {
             w.section(2, |w| w.put_u64(0));
         });
         assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn estimate_request_rejects_bad_confidence_and_queries() {
+        let mk = |confidence: f64, query: fn(&mut Writer)| {
+            encode_frame(proto::REQ_ESTIMATE, |w| {
+                w.section(1, |w| {
+                    w.put_str("d");
+                    w.put_u16(SummaryKind::Sample.tag());
+                    w.put_f64(confidence);
+                    w.put_u8(0);
+                });
+                query(w);
+            })
+        };
+        let total: fn(&mut Writer) = |w| {
+            w.section(1, |w| w.put_u8(5));
+            w.section(2, |_| {});
+        };
+        assert!(decode_request(&mk(0.9, total)).is_ok());
+        // Confidence outside [0, 1] (or NaN) is rejected at the wire.
+        assert!(decode_request(&mk(1.5, total)).is_err());
+        assert!(decode_request(&mk(-0.1, total)).is_err());
+        assert!(decode_request(&mk(f64::NAN, total)).is_err());
+        // A structurally invalid embedded query is rejected too.
+        let reversed: fn(&mut Writer) = |w| {
+            w.section(1, |w| w.put_u8(1));
+            w.section(2, |w| {
+                w.put_u64(1);
+                w.put_u64(9);
+                w.put_u64(3);
+            });
+        };
+        assert!(decode_request(&mk(0.9, reversed)).is_err());
     }
 }

@@ -15,7 +15,7 @@ use sas_store::client::{Client, ClientError};
 use sas_store::server::Server;
 use sas_store::window::{Level, WindowKey};
 use sas_store::{frame_path, rebuild_parent, Store, StoreConfig, StoreError};
-use sas_summaries::{decode_summary, encode_summary, StoredSample, Summary, SummaryKind};
+use sas_summaries::{decode_summary, encode_summary, Query, StoredSample, Summary, SummaryKind};
 
 /// A unique store directory, removed on drop.
 struct TempDir(PathBuf);
@@ -493,6 +493,130 @@ fn cache_serves_repeats_and_never_goes_stale() {
     assert_eq!(third.value.to_bits(), first.value.to_bits()); // keys 10000.. outside range
     let fourth = store.query("web", SummaryKind::Sample, FULL, None);
     assert_eq!(fourth.value, exact_total(0, 50) + exact_total(10_000, 20));
+}
+
+#[test]
+fn estimates_carry_bounds_and_match_the_legacy_value_path() {
+    let dir = TempDir::new("estimate");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    // Budgeted (non-exact) batches so the intervals are non-degenerate.
+    for (i, ts) in [5u64, 65, 125].iter().enumerate() {
+        let rows: Vec<WeightedKey> = (0..400u64)
+            .map(|k| WeightedKey::new(i as u64 * 400 + k, 0.5 + (k % 9) as f64))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(*ts);
+        let sampled = sas_sampling::order::sample(&rows, 60, &mut rng);
+        store
+            .ingest("web", *ts, Box::new(StoredSample::one_dim(sampled)))
+            .unwrap();
+    }
+    let queries = [
+        Query::interval(0, 599),
+        Query::Total,
+        Query::MultiRange(vec![vec![(0, 99)], vec![(800, 1199)]]),
+        Query::HierarchyNode { level: 8, index: 1 },
+        Query::Point(vec![42]),
+    ];
+    for q in &queries {
+        let ans = store
+            .estimate("web", SummaryKind::Sample, q, 0.95, None)
+            .unwrap();
+        let e = ans.estimate;
+        assert!(e.lower <= e.value && e.value <= e.upper, "{q}: {e:?}");
+        assert_eq!(ans.windows, 3, "{q}");
+        // Probabilistic answers report the requested confidence; an answer
+        // that happened to be exact in every window (e.g. a point query on
+        // a never-sampled or always-heavy key) reports certainty.
+        assert!(
+            e.confidence == 0.95 || (e.confidence == 1.0 && e.lower == e.upper),
+            "{q}: {e:?}"
+        );
+    }
+    // The estimate's value is bit-identical to the legacy value path for
+    // box queries — old-tag and new-tag clients must agree.
+    let r = [(0u64, 599u64)];
+    let old = store.query("web", SummaryKind::Sample, &r, None);
+    let new = store
+        .estimate("web", SummaryKind::Sample, &queries[0], 0.95, None)
+        .unwrap();
+    assert_eq!(old.value.to_bits(), new.estimate.value.to_bits());
+    // The exact total lies inside the Total estimate's interval (union
+    // bound across the three windows).
+    let truth: f64 = (0..3)
+        .flat_map(|_| (0..400u64).map(|k| 0.5 + (k % 9) as f64))
+        .sum();
+    let total = store
+        .estimate("web", SummaryKind::Sample, &Query::Total, 0.95, None)
+        .unwrap()
+        .estimate;
+    assert!(
+        total.lower <= truth && truth <= total.upper,
+        "total {truth} outside [{}, {}]",
+        total.lower,
+        total.upper
+    );
+    // Unknown series: exact zero over zero windows.
+    let ghost = store
+        .estimate("ghost", SummaryKind::Sample, &Query::Total, 0.95, None)
+        .unwrap();
+    assert_eq!(ghost.windows, 0);
+    assert_eq!(ghost.estimate.value, 0.0);
+    assert_eq!(ghost.estimate.confidence, 1.0);
+    // Malformed queries surface as BadRequest, not a panic.
+    let bad = store.estimate(
+        "web",
+        SummaryKind::Sample,
+        &Query::BoxRange(vec![(9, 3)]),
+        0.95,
+        None,
+    );
+    assert!(matches!(bad, Err(StoreError::BadRequest(_))));
+}
+
+#[test]
+fn estimate_cache_keys_on_canonical_queries() {
+    let dir = TempDir::new("estimate-cache");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store.ingest("web", 5, batch(0, 50, 1)).unwrap();
+    // Equivalent spellings share one cache line…
+    let first = store
+        .estimate(
+            "web",
+            SummaryKind::Sample,
+            &Query::BoxRange(vec![(0, u64::MAX)]),
+            0.9,
+            None,
+        )
+        .unwrap();
+    assert!(!first.cached);
+    for spelling in [
+        Query::Total,
+        Query::HierarchyNode {
+            level: 64,
+            index: 0,
+        },
+        Query::BoxRange(vec![(0, u64::MAX)]),
+    ] {
+        let again = store
+            .estimate("web", SummaryKind::Sample, &spelling, 0.9, None)
+            .unwrap();
+        assert!(again.cached, "{spelling} should hit the canonical cache");
+        assert_eq!(again.estimate, first.estimate);
+    }
+    // …but a different confidence is a different answer…
+    let other = store
+        .estimate("web", SummaryKind::Sample, &Query::Total, 0.5, None)
+        .unwrap();
+    assert!(!other.cached);
+    // …and the legacy value path never collides with estimates.
+    let plain = store.query("web", SummaryKind::Sample, FULL, None);
+    assert_eq!(plain.value.to_bits(), first.estimate.value.to_bits());
+    // Ingest bumps the version: estimates recompute.
+    store.ingest("web", 70, batch(1000, 10, 2)).unwrap();
+    let after = store
+        .estimate("web", SummaryKind::Sample, &Query::Total, 0.9, None)
+        .unwrap();
+    assert!(!after.cached, "version bump must invalidate");
 }
 
 #[test]

@@ -56,7 +56,9 @@ impl CountSketch {
         }
     }
 
-    fn estimate(&self, item: u64) -> f64 {
+    /// Median of the per-row estimates plus their sample variance — the
+    /// spread of the independent rows is the sketch's own error signal.
+    fn estimate_stats(&self, item: u64) -> (f64, f64) {
         let mut ests = [0.0; ROWS];
         for (r, &seed) in self.seeds.iter().enumerate() {
             let h = mix(item ^ seed);
@@ -65,7 +67,11 @@ impl CountSketch {
             ests[r] = sign * self.counters[r * self.width + bucket];
         }
         ests.sort_by(f64::total_cmp);
-        ests[ROWS / 2]
+        let median = ests[ROWS / 2];
+        let mean: f64 = ests.iter().sum::<f64>() / ROWS as f64;
+        let variance: f64 =
+            ests.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / (ROWS as f64 - 1.0);
+        (median, variance)
     }
 }
 
@@ -234,31 +240,15 @@ impl SketchSummary {
             bits_y,
         })
     }
-}
 
-/// Count-sketches are linear: two sketches built with the same geometry
-/// (domain bits, width, and hash seeds) merge by element-wise counter
-/// addition, and the merged sketch is *identical* to one built over the
-/// concatenated data.
-///
-/// # Panics
-/// Panics if the two summaries' geometries differ (different domain bits,
-/// counter width, or build seed) — merging those is not meaningful.
-impl Mergeable for SketchSummary {
-    fn merge_with<R: rand::Rng + ?Sized>(&mut self, other: Self, _rng: &mut R) {
-        self.try_merge(other).unwrap();
-    }
-}
-
-/// Packs 2-D cell coordinates into one hashable id.
-fn cell_id(cx: u64, cy: u64) -> u64 {
-    cx.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ cy
-}
-
-impl RangeSumSummary for SketchSummary {
-    fn estimate_box(&self, query: &BoxRange) -> f64 {
+    /// Box estimate plus a variance proxy: the sum over the query's dyadic
+    /// rectangles of the sample variance of the per-row estimates. The rows
+    /// are independent unbiased estimators, so their spread is the sketch's
+    /// own (heuristic) error signal — what the query API's Chebyshev-style
+    /// interval is built from.
+    pub fn estimate_box_stats(&self, query: &BoxRange) -> (f64, f64) {
         if query.is_empty() {
-            return 0.0;
+            return (0.0, 0.0);
         }
         // Clamp to the domain before dyadic decomposition.
         let max_x = if self.bits_x < 64 {
@@ -282,13 +272,41 @@ impl RangeSumSummary for SketchSummary {
             self.bits_y,
         );
         let mut sum = 0.0;
+        let mut variance = 0.0;
         for dx in &xs {
             for dy in &ys {
                 let sk = &self.sketches[dx.level as usize][dy.level as usize];
-                sum += sk.estimate(cell_id(dx.index, dy.index));
+                let (median, var) = sk.estimate_stats(cell_id(dx.index, dy.index));
+                sum += median;
+                variance += var;
             }
         }
-        sum
+        (sum, variance)
+    }
+}
+
+/// Count-sketches are linear: two sketches built with the same geometry
+/// (domain bits, width, and hash seeds) merge by element-wise counter
+/// addition, and the merged sketch is *identical* to one built over the
+/// concatenated data.
+///
+/// # Panics
+/// Panics if the two summaries' geometries differ (different domain bits,
+/// counter width, or build seed) — merging those is not meaningful.
+impl Mergeable for SketchSummary {
+    fn merge_with<R: rand::Rng + ?Sized>(&mut self, other: Self, _rng: &mut R) {
+        self.try_merge(other).unwrap();
+    }
+}
+
+/// Packs 2-D cell coordinates into one hashable id.
+fn cell_id(cx: u64, cy: u64) -> u64 {
+    cx.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ cy
+}
+
+impl RangeSumSummary for SketchSummary {
+    fn estimate_box(&self, query: &BoxRange) -> f64 {
+        self.estimate_box_stats(query).0
     }
 
     fn size_elements(&self) -> usize {
@@ -334,7 +352,7 @@ mod tests {
         // With 10 items in 64 buckets, collisions are unlikely per row and
         // the median kills outliers.
         for i in 0..10u64 {
-            let est = sk.estimate(i);
+            let (est, _) = sk.estimate_stats(i);
             assert!((est - (i + 1) as f64).abs() < 6.0, "item {i}: est {est}");
         }
     }
@@ -428,5 +446,38 @@ mod tests {
         let mut a = SketchSummary::build(&data, 4, 4, 500, 1);
         let b = SketchSummary::build(&data, 4, 4, 500, 2);
         a.merge_with(b, &mut rng);
+    }
+
+    #[test]
+    fn row_stats_agree_with_the_median_estimate() {
+        let data = random_data(300, 5, 21);
+        let sk = SketchSummary::build(&data, 5, 5, 1500, 4);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..50 {
+            let x0 = rng.gen_range(0..32);
+            let x1 = rng.gen_range(x0..32);
+            let y0 = rng.gen_range(0..32);
+            let y1 = rng.gen_range(y0..32);
+            let q = BoxRange::xy(x0, x1, y0, y1);
+            let (value, variance) = sk.estimate_box_stats(&q);
+            // The stats value IS the estimate (same accumulation).
+            assert_eq!(value.to_bits(), sk.estimate_box(&q).to_bits());
+            assert!(variance >= 0.0, "{q:?}: variance {variance}");
+        }
+        // Empty query: zero value, zero spread.
+        assert_eq!(
+            sk.estimate_box_stats(&BoxRange::xy(9, 3, 0, 31)),
+            (0.0, 0.0)
+        );
+        // A colossal sketch (noise-free): rows agree, so the spread
+        // collapses while the value tracks the truth.
+        let huge = SketchSummary::build(&data, 5, 5, 200_000, 4);
+        let full = BoxRange::xy(0, 31, 0, 31);
+        let (value, variance) = huge.estimate_box_stats(&full);
+        assert!((value - data.total_weight()).abs() < 1e-6);
+        assert!(
+            variance < 1e-9,
+            "noise-free sketch still spread: {variance}"
+        );
     }
 }

@@ -28,6 +28,7 @@ use sas_structures::product::BoxRange;
 
 use crate::countsketch::SketchSummary;
 use crate::qdigest::QDigestSummary;
+use crate::query::{Estimate, Query, QueryError, SampleAccumulator};
 use crate::stored::StoredSample;
 use crate::wavelet::WaveletSummary;
 use crate::RangeSumSummary;
@@ -143,10 +144,49 @@ pub trait Summary: fmt::Debug + Send + Sync {
         None
     }
 
+    /// Answers a [`Query`] with an [`Estimate`] — a value *with an error
+    /// bar*. This is the one query entry point: per kind,
+    ///
+    /// * stored samples / VarOpt reservoirs bound the light-key mass by
+    ///   inverting the paper's Eqn. (4) tail
+    ///   ([`sas_core::bounds::weight_confidence_interval`]) and report an
+    ///   HT variance estimate; `confidence` must lie in `(0, 1)` whenever
+    ///   a probabilistic bound is actually needed;
+    /// * q-digests report deterministic containment bounds, wavelets a
+    ///   deterministic truncation bound — both at `confidence = 1`,
+    ///   whatever was requested;
+    /// * count-sketches report a Chebyshev-style interval from the spread
+    ///   of their per-row estimates.
+    fn answer(&self, query: &Query, confidence: f64) -> Result<Estimate, QueryError>;
+
+    /// Answers a batch of queries, one estimate per query in order.
+    ///
+    /// Sample-based kinds override this to walk their items **once**,
+    /// testing each item against every query, instead of once per query —
+    /// the batched form the store daemon and `sas query --queries` use.
+    fn answer_batch(
+        &self,
+        queries: &[Query],
+        confidence: f64,
+    ) -> Result<Vec<Estimate>, QueryError> {
+        queries.iter().map(|q| self.answer(q, confidence)).collect()
+    }
+
     /// Estimated weight inside an axis-aligned range: `range[i]` is the
     /// closed interval on axis `i`; missing axes default to the full
     /// domain.
-    fn range_sum(&self, range: &[(u64, u64)]) -> f64;
+    ///
+    /// **Deprecated shim** — this is [`Summary::answer`] with a box query,
+    /// discarding the error bounds. Kept (as a provided method, extra axes
+    /// ignored as they historically were) so pre-PR-5 callers and the old
+    /// `REQ_QUERY` wire tag keep receiving bit-identical values; new code
+    /// should call [`Summary::answer`].
+    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        let range = &range[..range.len().min(self.dims())];
+        self.answer(&Query::BoxRange(range.to_vec()), 0.95)
+            .map(|e| e.value)
+            .unwrap_or(0.0)
+    }
 
     /// Merges a type-erased summary of *disjoint* data into `self`.
     ///
@@ -292,6 +332,35 @@ fn downcast<T: Any>(other: Box<dyn Summary>, into: SummaryKind) -> Result<Box<T>
     })
 }
 
+/// One answer through the (overridden) batch path.
+fn answer_one(
+    s: &(impl Summary + ?Sized),
+    query: &Query,
+    confidence: f64,
+) -> Result<Estimate, QueryError> {
+    Ok(s.answer_batch(std::slice::from_ref(query), confidence)?
+        .pop()
+        .expect("one estimate per query"))
+}
+
+fn in_interval((lo, hi): (u64, u64), v: u64) -> bool {
+    (lo..=hi).contains(&v)
+}
+
+/// The deterministic kinds' shared answer shape: per-box values and bounds
+/// add over a disjoint union.
+fn deterministic_estimate(value: f64, lower: f64, upper: f64) -> Estimate {
+    Estimate {
+        value,
+        variance: 0.0,
+        // Float dust between the value and bound accumulations must never
+        // push the value outside its own interval.
+        lower: lower.min(value),
+        upper: upper.max(value),
+        confidence: 1.0,
+    }
+}
+
 // --- Sample ----------------------------------------------------------------
 
 impl Summary for StoredSample {
@@ -315,7 +384,51 @@ impl Summary for StoredSample {
         Some(self.sample().tau())
     }
 
+    fn answer(&self, query: &Query, confidence: f64) -> Result<Estimate, QueryError> {
+        answer_one(self, query, confidence)
+    }
+
+    fn answer_batch(
+        &self,
+        queries: &[Query],
+        confidence: f64,
+    ) -> Result<Vec<Estimate>, QueryError> {
+        let tau = self.sample().tau();
+        let compiled: Vec<Vec<Vec<(u64, u64)>>> = queries
+            .iter()
+            .map(|q| q.boxes(StoredSample::dims(self)))
+            .collect::<Result<_, _>>()?;
+        // One pass over the sample items: each entry is tested against
+        // every query, instead of re-walking the sample per query. The 2-D
+        // location lookup is query-independent, so it is resolved once per
+        // entry, not once per (entry, query) pair.
+        let two_dim = StoredSample::dims(self) == 2;
+        let mut accs = vec![SampleAccumulator::default(); queries.len()];
+        for e in self.sample().iter() {
+            let point = two_dim.then(|| self.points().get(&e.key)).flatten();
+            let hit = |axes: &[(u64, u64)]| {
+                if two_dim {
+                    point.is_some_and(|p| {
+                        in_interval(axes[0], p.coord(0)) && in_interval(axes[1], p.coord(1))
+                    })
+                } else {
+                    in_interval(axes[0], e.key)
+                }
+            };
+            for (acc, boxes) in accs.iter_mut().zip(&compiled) {
+                if boxes.iter().any(|axes| hit(axes)) {
+                    acc.add(e.weight, e.adjusted_weight, tau);
+                }
+            }
+        }
+        accs.into_iter()
+            .map(|a| a.finish(tau, confidence))
+            .collect()
+    }
+
     fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        // Value-only fast path (no confidence-interval inversion); the
+        // accumulation order matches `answer`, so the two are bit-identical.
         StoredSample::range_sum(self, range)
     }
 
@@ -398,7 +511,69 @@ impl Summary for VarOptSampler {
         Some(self.tau())
     }
 
+    fn answer(&self, query: &Query, confidence: f64) -> Result<Estimate, QueryError> {
+        answer_one(self, query, confidence)
+    }
+
+    fn answer_batch(
+        &self,
+        queries: &[Query],
+        confidence: f64,
+    ) -> Result<Vec<Estimate>, QueryError> {
+        let tau = self.tau();
+        let compiled: Vec<Vec<Vec<(u64, u64)>>> = queries
+            .iter()
+            .map(|q| q.boxes(1))
+            .collect::<Result<_, _>>()?;
+        let hit =
+            |boxes: &[Vec<(u64, u64)>], k: KeyId| boxes.iter().any(|axes| in_interval(axes[0], k));
+        // One pass over the reservoir per item class. Large keys are held
+        // with probability 1 (exact); small keys carry the HT weight τ with
+        // unknown original weight, so the variance proxy uses the per-key
+        // ceiling `Var[a(i)]/pᵢ = τ(τ − wᵢ) ≤ τ²`.
+        let mut large_sums = vec![0.0; queries.len()];
+        let mut small_counts = vec![0usize; queries.len()];
+        for (k, w) in self.large_entries() {
+            for (sum, boxes) in large_sums.iter_mut().zip(&compiled) {
+                if hit(boxes, k) {
+                    *sum += w.max(tau);
+                }
+            }
+        }
+        for &k in self.small_keys() {
+            for (count, boxes) in small_counts.iter_mut().zip(&compiled) {
+                if hit(boxes, k) {
+                    *count += 1;
+                }
+            }
+        }
+        large_sums
+            .into_iter()
+            .zip(small_counts)
+            .map(|(large, small)| {
+                let value = large + small as f64 * tau;
+                if tau <= 0.0 || small == 0 {
+                    return Ok(Estimate::exact(value));
+                }
+                if !(confidence > 0.0 && confidence < 1.0) {
+                    return Err(QueryError::BadConfidence(confidence));
+                }
+                let light = small as f64 * tau;
+                let (lo, hi) =
+                    sas_core::bounds::weight_confidence_interval(light, tau, 1.0 - confidence);
+                Ok(Estimate {
+                    value,
+                    variance: small as f64 * tau * tau,
+                    lower: (large + lo).min(value),
+                    upper: (large + hi).max(value),
+                    confidence,
+                })
+            })
+            .collect()
+    }
+
     fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        // Value-only fast path; accumulation matches `answer` bit for bit.
         let (lo, hi) = range.first().copied().unwrap_or((0, u64::MAX));
         let tau = self.tau();
         let in_range = |k: KeyId| (lo..=hi).contains(&k);
@@ -478,7 +653,24 @@ impl Summary for QDigestSummary {
         self.stored_total()
     }
 
+    fn answer(&self, query: &Query, _confidence: f64) -> Result<Estimate, QueryError> {
+        // Deterministic containment bounds: every cell's data lies inside
+        // the cell, so fully-covered cells are a floor and intersecting
+        // cells a ceiling on the exact answer. Reported at confidence 1.
+        let mut value = 0.0;
+        let (mut lower, mut upper) = (0.0, 0.0);
+        for axes in query.boxes(2)? {
+            let b = box_from(&axes);
+            value += self.estimate_box(&b);
+            let (lo, hi) = self.bound_box(&b);
+            lower += lo;
+            upper += hi;
+        }
+        Ok(deterministic_estimate(value, lower, upper))
+    }
+
     fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        // Value-only fast path; matches `answer` bit for bit.
         self.estimate_box(&box_from(range))
     }
 
@@ -531,7 +723,23 @@ impl Summary for WaveletSummary {
         self.estimate_box(&box_from(&[]))
     }
 
+    fn answer(&self, query: &Query, _confidence: f64) -> Result<Estimate, QueryError> {
+        // Deterministic truncation bound (see `WaveletSummary::bound_box`):
+        // dropped coefficients contribute at most the smallest retained
+        // importance each, over the O(log²) basis pairs relevant to the
+        // box. Reported at confidence 1.
+        let mut value = 0.0;
+        let mut err = 0.0;
+        for axes in query.boxes(2)? {
+            let b = box_from(&axes);
+            value += self.estimate_box(&b);
+            err += self.bound_box(&b);
+        }
+        Ok(deterministic_estimate(value, value - err, value + err))
+    }
+
     fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        // Value-only fast path; matches `answer` bit for bit.
         self.estimate_box(&box_from(range))
     }
 
@@ -581,7 +789,35 @@ impl Summary for SketchSummary {
         self.estimate_box(&box_from(&[]))
     }
 
+    fn answer(&self, query: &Query, confidence: f64) -> Result<Estimate, QueryError> {
+        // Sketch confidence comes from the rows: the per-rectangle spread
+        // of the independent row estimates is the variance proxy, turned
+        // into a Chebyshev-style interval `value ± √(σ²/δ)`. Heuristic —
+        // the rows share counters across rectangles — but it tracks the
+        // sketch's actual noise level where deterministic bounds have
+        // nothing to say.
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(QueryError::BadConfidence(confidence));
+        }
+        let mut value = 0.0;
+        let mut variance = 0.0;
+        for axes in query.boxes(2)? {
+            let (v, var) = self.estimate_box_stats(&box_from(&axes));
+            value += v;
+            variance += var;
+        }
+        let dev = (variance / (1.0 - confidence)).sqrt();
+        Ok(Estimate {
+            value,
+            variance,
+            lower: value - dev,
+            upper: value + dev,
+            confidence,
+        })
+    }
+
     fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
+        // Value-only fast path; matches `answer` bit for bit.
         self.estimate_box(&box_from(range))
     }
 
@@ -898,5 +1134,148 @@ mod tests {
             decode_summary(&bytes),
             Err(CodecError::UnknownKind(999))
         ));
+    }
+
+    #[test]
+    fn every_kind_answers_with_bounds_containing_the_value() {
+        for s in fixtures() {
+            for range in probe_ranges() {
+                let range = &range[..range.len().min(s.dims())];
+                let q = Query::BoxRange(range.to_vec());
+                let e = s
+                    .answer(&q, 0.9)
+                    .unwrap_or_else(|err| panic!("{}: {q}: {err}", s.kind()));
+                // The estimate's value is bit-identical to the legacy
+                // range_sum path, and sits inside its own interval.
+                assert_eq!(
+                    e.value.to_bits(),
+                    s.range_sum(range).to_bits(),
+                    "{}: {q}",
+                    s.kind()
+                );
+                assert!(
+                    e.lower <= e.value && e.value <= e.upper,
+                    "{}: {q}: {e:?}",
+                    s.kind()
+                );
+                assert!(e.variance >= 0.0, "{}: {q}", s.kind());
+                assert!(
+                    (0.0..=1.0).contains(&e.confidence),
+                    "{}: {q}: {e:?}",
+                    s.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_kind_answers_every_query_shape() {
+        for s in fixtures() {
+            let queries = if s.dims() == 1 {
+                vec![
+                    Query::Total,
+                    Query::Point(vec![5]),
+                    Query::HierarchyNode { level: 6, index: 1 },
+                    Query::MultiRange(vec![vec![(0, 49)], vec![(100, 199)]]),
+                ]
+            } else {
+                vec![
+                    Query::Total,
+                    Query::Point(vec![5, 9]),
+                    Query::HierarchyNode { level: 4, index: 1 },
+                    Query::MultiRange(vec![vec![(0, 15), (0, 63)], vec![(16, 31), (0, 63)]]),
+                ]
+            };
+            for q in queries {
+                let e = s
+                    .answer(&q, 0.9)
+                    .unwrap_or_else(|err| panic!("{}: {q}: {err}", s.kind()));
+                assert!(
+                    e.lower <= e.value && e.value <= e.upper,
+                    "{}: {q}: {e:?}",
+                    s.kind()
+                );
+            }
+            // Too many axes for the summary's dimensionality is an error.
+            let overdim = Query::BoxRange(vec![(0, 1); s.dims() + 1]);
+            assert!(s.answer(&overdim, 0.9).is_err(), "{}", s.kind());
+        }
+    }
+
+    #[test]
+    fn batch_answers_match_individual_answers_bitwise() {
+        let queries = vec![
+            Query::interval(0, 99),
+            Query::Total,
+            Query::MultiRange(vec![vec![(0, 9)], vec![(50, 149)]]),
+            Query::Point(vec![7]),
+        ];
+        for s in fixtures().into_iter().filter(|s| s.dims() == 1) {
+            let batch = s.answer_batch(&queries, 0.95).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (q, b) in queries.iter().zip(&batch) {
+                let single = s.answer(q, 0.95).unwrap();
+                assert_eq!(
+                    single.value.to_bits(),
+                    b.value.to_bits(),
+                    "{}: {q}",
+                    s.kind()
+                );
+                assert_eq!(
+                    single.lower.to_bits(),
+                    b.lower.to_bits(),
+                    "{}: {q}",
+                    s.kind()
+                );
+                assert_eq!(
+                    single.upper.to_bits(),
+                    b.upper.to_bits(),
+                    "{}: {q}",
+                    s.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multirange_answer_adds_disjoint_boxes() {
+        for s in fixtures() {
+            let (a, b) = if s.dims() == 1 {
+                (vec![(0u64, 99u64)], vec![(200u64, 299u64)])
+            } else {
+                (vec![(0, 31), (0, 31)], vec![(32, 63), (0, 31)])
+            };
+            let ea = s.answer(&Query::BoxRange(a.clone()), 0.9).unwrap();
+            let eb = s.answer(&Query::BoxRange(b.clone()), 0.9).unwrap();
+            let both = s.answer(&Query::MultiRange(vec![a, b]), 0.9).unwrap();
+            assert!(
+                (both.value - (ea.value + eb.value)).abs() <= 1e-9 * (1.0 + both.value.abs()),
+                "{}: {} vs {} + {}",
+                s.kind(),
+                both.value,
+                ea.value,
+                eb.value
+            );
+        }
+    }
+
+    #[test]
+    fn sample_confidence_tightens_with_delta() {
+        // Wider confidence → wider interval, for a sample with light keys.
+        let data = keys(400, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sample = sas_sampling::order::sample(&data, 50, &mut rng);
+        let s: Box<dyn Summary> = Box::new(StoredSample::one_dim(sample));
+        let q = Query::interval(0, 199);
+        let loose = s.answer(&q, 0.5).unwrap();
+        let tight = s.answer(&q, 0.99).unwrap();
+        assert!(loose.upper - loose.lower <= tight.upper - tight.lower);
+        // A probabilistic bound at confidence 1 is rejected.
+        assert!(matches!(
+            s.answer(&q, 1.0),
+            Err(QueryError::BadConfidence(_))
+        ));
+        // Malformed queries are rejected, not mis-answered.
+        assert!(s.answer(&Query::BoxRange(vec![(9, 3)]), 0.9).is_err());
     }
 }

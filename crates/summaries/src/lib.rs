@@ -25,11 +25,19 @@
 
 //!
 //! The [`erased`] module adds the durability layer: the object-safe
-//! [`Summary`] trait (build metadata, range-sum queries, type-erased merge,
+//! [`Summary`] trait (build metadata, queries, type-erased merge,
 //! encode/decode onto the `sas-codec` wire format) and the [`SummaryKind`]
 //! registry, so VarOpt reservoirs, finished samples ([`stored`]), q-digests,
 //! wavelets, and count-sketches can be saved, merged, and queried across
 //! process boundaries.
+//!
+//! The [`query`] module is the unified estimation API on top: every
+//! question is a [`Query`] (box, disjoint multi-range, point, hierarchy
+//! node, total) and every answer an [`Estimate`] — value, variance, and a
+//! confidence interval derived per kind (Chernoff inversion for samples,
+//! deterministic containment/truncation bounds for q-digest/wavelet, row
+//! spread for sketches). [`QueryBatch`] evaluates many queries in one pass
+//! over a summary's items.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,11 +47,13 @@ pub mod erased;
 pub mod exact;
 pub mod qdigest;
 pub mod qdigest1d;
+pub mod query;
 pub mod stored;
 pub mod wavelet;
 pub mod wavelet1d;
 
 pub use erased::{decode_summary, encode_summary, merge_tree, Summary, SummaryError, SummaryKind};
+pub use query::{Estimate, Query, QueryBatch, QueryError};
 pub use stored::StoredSample;
 
 use sas_structures::product::{BoxRange, MultiRangeQuery};

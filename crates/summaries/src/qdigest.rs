@@ -229,6 +229,32 @@ impl QDigestSummary {
     pub fn stored_total(&self) -> f64 {
         self.nodes.iter().map(|(_, w)| w).sum()
     }
+
+    /// Deterministic containment bounds on the exact answer inside `query`.
+    ///
+    /// Every data point aggregated into a cell lies inside that cell, so
+    /// the exact answer is at least the weight of the cells fully covered
+    /// by the query and at most the weight of the cells it intersects at
+    /// all. The proportional estimate of
+    /// [`estimate_box`](RangeSumSummary::estimate_box) always lies inside
+    /// the same interval.
+    pub fn bound_box(&self, query: &BoxRange) -> (f64, f64) {
+        if query.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut lower = 0.0;
+        let mut upper = 0.0;
+        for (cell, w) in &self.nodes {
+            let b = cell.to_box();
+            if query.covers(&b) {
+                lower += w;
+                upper += w;
+            } else if query.overlaps(&b) {
+                upper += w;
+            }
+        }
+        (lower, upper)
+    }
 }
 
 /// Q-digests over disjoint data merge by cell-wise weight addition: the
@@ -378,6 +404,40 @@ mod tests {
         let q = QDigestSummary::build(&data, 4, 10);
         assert_eq!(q.size_elements(), 0);
         assert_eq!(q.estimate_box(&BoxRange::xy(0, 15, 0, 15)), 0.0);
+    }
+
+    #[test]
+    fn containment_bounds_bracket_estimate_and_exact() {
+        let data = random_data(400, 6, 9);
+        let q = QDigestSummary::build(&data, 6, 40);
+        let exact = crate::exact::ExactEngine::new(&data);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..60 {
+            let x0 = rng.gen_range(0..60);
+            let x1 = rng.gen_range(x0..64);
+            let y0 = rng.gen_range(0..60);
+            let y1 = rng.gen_range(y0..64);
+            let b = BoxRange::xy(x0, x1, y0, y1);
+            let (lo, hi) = q.bound_box(&b);
+            let est = q.estimate_box(&b);
+            let truth = exact.box_sum(&b);
+            assert!(lo <= hi, "{b:?}");
+            assert!(
+                lo <= est + 1e-9 && est <= hi + 1e-9,
+                "{b:?}: est {est} outside [{lo}, {hi}]"
+            );
+            assert!(
+                lo <= truth + 1e-9 && truth <= hi + 1e-9,
+                "{b:?}: truth {truth} outside [{lo}, {hi}]"
+            );
+        }
+        // Full domain: both ends collapse onto the exact total.
+        let full = BoxRange::xy(0, 63, 0, 63);
+        let (lo, hi) = q.bound_box(&full);
+        assert!((lo - data.total_weight()).abs() < 1e-6);
+        assert!((hi - data.total_weight()).abs() < 1e-6);
+        // Empty query: zero bounds.
+        assert_eq!(q.bound_box(&BoxRange::xy(5, 4, 0, 63)), (0.0, 0.0));
     }
 
     #[test]

@@ -103,15 +103,22 @@ fn basis_key(b: Basis1D) -> (u8, u32, u64) {
     }
 }
 
+/// Range-sum importance of a coefficient: an upper bound on its
+/// contribution to any box query (`|c| ×` the two axes' maximum range
+/// inner products).
+fn importance(c: &Coefficient, bits_x: u32, bits_y: u32) -> f64 {
+    c.value.abs() * level_scale(c.bx, bits_x) * level_scale(c.by, bits_y)
+}
+
 /// Sorts coefficients by descending range-sum impact with a canonical
 /// tie-break (see [`basis_key`]).
 fn sort_by_importance(coeffs: &mut [Coefficient], bits_x: u32, bits_y: u32) {
-    let importance =
-        |c: &Coefficient| c.value.abs() * level_scale(c.bx, bits_x) * level_scale(c.by, bits_y);
     coeffs.sort_by(|a, b| {
-        importance(b).total_cmp(&importance(a)).then_with(|| {
-            (basis_key(a.bx), basis_key(a.by)).cmp(&(basis_key(b.bx), basis_key(b.by)))
-        })
+        importance(b, bits_x, bits_y)
+            .total_cmp(&importance(a, bits_x, bits_y))
+            .then_with(|| {
+                (basis_key(a.bx), basis_key(a.by)).cmp(&(basis_key(b.bx), basis_key(b.by)))
+            })
     });
 }
 
@@ -140,6 +147,17 @@ pub struct WaveletSummary {
     coeffs: Vec<Coefficient>,
     bits_x: u32,
     bits_y: u32,
+    /// Upper bound on the importance of any coefficient this summary ever
+    /// dropped (0 when the budget kept everything). Tracked through
+    /// truncation and merges so [`bound_box`](WaveletSummary::bound_box)
+    /// stays sound; not persisted (the wire format predates it), so
+    /// decoding falls back to the smallest retained importance.
+    dropped_ceiling: f64,
+    /// Upper bound on the error of any *retained* coefficient: 0 for
+    /// direct builds (retained coefficients are exact), positive after a
+    /// merge (a coefficient retained by one input but dropped by the other
+    /// is missing the dropped input's share).
+    retained_slack: f64,
 }
 
 impl WaveletSummary {
@@ -186,11 +204,21 @@ impl WaveletSummary {
         // the standard normalization for selectivity-estimation wavelets
         // [Matias–Vitter–Wang].
         sort_by_importance(&mut all, bits_x, bits_y);
+        // The largest coefficient the truncation is about to drop caps the
+        // contribution of *every* dropped coefficient to any box query —
+        // the truncation ceiling `bound_box` is built on. A budget that
+        // keeps everything drops nothing: the summary is exact.
+        let dropped_ceiling = all
+            .get(s)
+            .map(|c| importance(c, bits_x, bits_y))
+            .unwrap_or(0.0);
         all.truncate(s);
         Self {
             coeffs: all,
             bits_x,
             bits_y,
+            dropped_ceiling,
+            retained_slack: 0.0,
         }
     }
 
@@ -204,10 +232,17 @@ impl WaveletSummary {
     /// are stored sorted by magnitude), so a single full transform can serve
     /// a whole summary-size sweep.
     pub fn truncated(&self, s: usize) -> Self {
+        let dropped_ceiling = self
+            .coeffs
+            .get(s)
+            .map(|c| importance(c, self.bits_x, self.bits_y))
+            .map_or(self.dropped_ceiling, |i| self.dropped_ceiling.max(i));
         Self {
             coeffs: self.coeffs.iter().take(s).copied().collect(),
             bits_x: self.bits_x,
             bits_y: self.bits_y,
+            dropped_ceiling,
+            retained_slack: self.retained_slack,
         }
     }
 
@@ -240,6 +275,15 @@ impl WaveletSummary {
             .collect();
         sort_by_importance(&mut all, self.bits_x, self.bits_y);
         self.coeffs = all;
+        // Error bookkeeping for `bound_box`: a coefficient missing from
+        // the union was dropped by *both* inputs (errors add); one kept by
+        // a single input is missing the other input's dropped share, so
+        // every retained coefficient now carries up to one input-ceiling
+        // of error each.
+        let self_worst = self.retained_slack.max(self.dropped_ceiling);
+        let other_worst = other.retained_slack.max(other.dropped_ceiling);
+        self.retained_slack = self_worst + other_worst;
+        self.dropped_ceiling += other.dropped_ceiling;
         Ok(())
     }
 
@@ -318,12 +362,98 @@ impl WaveletSummary {
             coeffs.push(Coefficient { bx, by, value });
         }
         body.finish()?;
+        // The frame format predates the error bookkeeping, so decoding
+        // reconstructs the ceiling conservatively from the smallest
+        // retained importance (sound for persisted direct builds — the
+        // largest dropped coefficient cannot outrank the smallest kept
+        // one). A persisted *merged* summary loses its merge slack; see
+        // `bound_box` for the caveat.
+        let dropped_ceiling = coeffs
+            .last()
+            .map(|c| importance(c, bits_x, bits_y))
+            .unwrap_or(0.0);
         Ok(Self {
             coeffs,
             bits_x,
             bits_y,
+            dropped_ceiling,
+            retained_slack: 0.0,
         })
     }
+}
+
+impl WaveletSummary {
+    /// Deterministic bound on the truncation error of
+    /// [`estimate_box`](RangeSumSummary::estimate_box): the exact answer
+    /// lies within `estimate ± bound_box(query)`.
+    ///
+    /// Derivation: the exact answer is the inner product over *all*
+    /// coefficients, and a coefficient's contribution to any box query is
+    /// at most its range-sum importance `|c|·2^(ℓx/2)·2^(ℓy/2)`. Only
+    /// O(log²) basis pairs have a nonzero inner product with a given box
+    /// (a wavelet fully inside or outside the query sums to zero; only the
+    /// ≤ 2 blocks per level straddling a query edge survive), so the error
+    /// is at most the dropped-coefficient ceiling times the number of
+    /// those *relevant* pairs not retained (plus the per-retained-pair
+    /// merge slack, below).
+    ///
+    /// The ceiling on dropped coefficients is tracked explicitly
+    /// (`dropped_ceiling`): the importance of the largest coefficient the
+    /// build's truncation discarded — 0 when the budget kept everything,
+    /// so an untruncated summary answers with a zero-width bound. Merges
+    /// keep the bound sound by adding the inputs' ceilings and charging
+    /// every *retained* coefficient the possible missing share of the
+    /// input that dropped it (`retained_slack`). The one residual caveat:
+    /// the wire format predates this bookkeeping, so a *merged* summary
+    /// that is persisted and decoded falls back to the smallest retained
+    /// importance — sound for direct builds, approximate for re-loaded
+    /// merges (carrying the two floats needs a format-version bump).
+    pub fn bound_box(&self, query: &BoxRange) -> f64 {
+        if query.is_empty() || self.coeffs.is_empty() {
+            return 0.0;
+        }
+        if self.dropped_ceiling == 0.0 && self.retained_slack == 0.0 {
+            return 0.0; // nothing was ever dropped: the transform is exact
+        }
+        let max_x = if self.bits_x < 64 {
+            (1u64 << self.bits_x) - 1
+        } else {
+            u64::MAX
+        };
+        let max_y = if self.bits_y < 64 {
+            (1u64 << self.bits_y) - 1
+        } else {
+            u64::MAX
+        };
+        let (ax, bx) = (query.sides[0].lo.min(max_x), query.sides[0].hi.min(max_x));
+        let (ay, by) = (query.sides[1].lo.min(max_y), query.sides[1].hi.min(max_y));
+        let rel_x = relevant_bases(ax, bx, self.bits_x);
+        let rel_y = relevant_bases(ay, by, self.bits_y);
+        let retained_relevant = self
+            .coeffs
+            .iter()
+            .filter(|c| rel_x.contains(&c.bx) && rel_y.contains(&c.by))
+            .count();
+        let missing = (rel_x.len() * rel_y.len()).saturating_sub(retained_relevant);
+        self.dropped_ceiling * missing as f64 + self.retained_slack * retained_relevant as f64
+    }
+}
+
+/// The basis functions with a nonzero range inner product over `[a, b]`:
+/// the scaling function plus, per level, the at-most-two wavelets whose
+/// support straddles `a` or `b` (fully covered or disjoint supports sum to
+/// zero).
+fn relevant_bases(a: u64, b: u64, bits: u32) -> Vec<Basis1D> {
+    let mut out = vec![Basis1D::Scaling];
+    for level in 1..=bits {
+        for k in [a >> level, b >> level] {
+            let basis = Basis1D::Wavelet { level, k };
+            if basis.range_sum(a, b, bits) != 0.0 && !out.contains(&basis) {
+                out.push(basis);
+            }
+        }
+    }
+    out
 }
 
 /// The `(bits+1)` basis functions with `x` in their support, with values.
@@ -503,5 +633,103 @@ mod tests {
             WaveletSummary::dense_coefficient_bound(&data, 8, 8),
             100 * 81
         );
+    }
+
+    #[test]
+    fn relevant_bases_are_the_only_nonzero_ones() {
+        // The O(log) set `relevant_bases` returns must contain every basis
+        // function with a nonzero inner product over the interval.
+        let bits = 5;
+        let n = 1u64 << bits;
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(a..n);
+            let rel = relevant_bases(a, b, bits);
+            assert!(rel.len() <= 2 * bits as usize + 1);
+            for level in 1..=bits {
+                for k in 0..(n >> level) {
+                    let basis = Basis1D::Wavelet { level, k };
+                    if basis.range_sum(a, b, bits) != 0.0 {
+                        assert!(rel.contains(&basis), "[{a},{b}]: missing {basis:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_bound_contains_exact_answer() {
+        let data = random_data(250, 5, 12);
+        let exact = crate::exact::ExactEngine::new(&data);
+        for budget in [15, 60, 200] {
+            let w = WaveletSummary::build(&data, 5, 5, budget);
+            let mut rng = StdRng::seed_from_u64(13);
+            for _ in 0..50 {
+                let x0 = rng.gen_range(0..32);
+                let x1 = rng.gen_range(x0..32);
+                let y0 = rng.gen_range(0..32);
+                let y1 = rng.gen_range(y0..32);
+                let q = BoxRange::xy(x0, x1, y0, y1);
+                let est = w.estimate_box(&q);
+                let err = w.bound_box(&q);
+                let truth = exact.box_sum(&q);
+                assert!(err >= 0.0);
+                assert!(
+                    (est - truth).abs() <= err + 1e-6,
+                    "budget {budget} {q:?}: |{est} - {truth}| > {err}"
+                );
+            }
+        }
+        // Empty query: zero bound.
+        let w = WaveletSummary::build(&data, 5, 5, 30);
+        assert_eq!(w.bound_box(&BoxRange::xy(9, 3, 0, 31)), 0.0);
+        // A budget that kept every coefficient dropped nothing: the bound
+        // collapses to zero everywhere.
+        let exact_build = WaveletSummary::build(&data, 5, 5, 250 * 36);
+        assert_eq!(exact_build.bound_box(&BoxRange::xy(3, 17, 5, 29)), 0.0);
+    }
+
+    #[test]
+    fn truncation_bound_survives_merges() {
+        // The store's compaction path: two independently truncated halves
+        // merged via try_merge. The merged bound must still contain the
+        // exact answer over the union — the merge bookkeeping (ceiling
+        // addition + retained slack) is what makes this sound.
+        let all = random_data(400, 5, 41);
+        let rows: Vec<(u64, u64, f64)> = all
+            .keys
+            .iter()
+            .zip(&all.points)
+            .map(|(wk, p)| (p.coord(0), p.coord(1), wk.weight))
+            .collect();
+        let (first, second) = rows.split_at(200);
+        let exact = crate::exact::ExactEngine::new(&all);
+        for budget in [20, 80] {
+            let mut merged = WaveletSummary::build(&SpatialData::from_xyw(first), 5, 5, budget);
+            merged
+                .try_merge(WaveletSummary::build(
+                    &SpatialData::from_xyw(second),
+                    5,
+                    5,
+                    budget,
+                ))
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(42);
+            for _ in 0..50 {
+                let x0 = rng.gen_range(0..32);
+                let x1 = rng.gen_range(x0..32);
+                let y0 = rng.gen_range(0..32);
+                let y1 = rng.gen_range(y0..32);
+                let q = BoxRange::xy(x0, x1, y0, y1);
+                let est = merged.estimate_box(&q);
+                let err = merged.bound_box(&q);
+                let truth = exact.box_sum(&q);
+                assert!(
+                    (est - truth).abs() <= err + 1e-6,
+                    "budget {budget} {q:?}: |{est} - {truth}| > {err}"
+                );
+            }
+        }
     }
 }

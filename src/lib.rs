@@ -10,8 +10,11 @@
 //! * [`sampling`] — the structure-aware samplers (the paper's contribution)
 //!   and the sharded parallel summarization driver
 //!   ([`sampling::sharded::summarize_sharded`]).
-//! * [`summaries`] — baseline summaries (wavelet, q-digest, count-sketch)
-//!   and the erased [`Summary`] trait with its [`SummaryKind`] registry.
+//! * [`summaries`] — baseline summaries (wavelet, q-digest, count-sketch),
+//!   the erased [`Summary`] trait with its [`SummaryKind`] registry, and
+//!   the unified query API: every [`Query`] (box, multi-range, point,
+//!   hierarchy node, total) is answered with an [`Estimate`] — a value
+//!   with variance and a per-kind confidence interval.
 //! * [`codec`] — the versioned binary wire format behind
 //!   [`summaries::encode_summary`] / [`summaries::decode_summary`]: save,
 //!   merge, and query summaries across process boundaries.
@@ -34,4 +37,4 @@ pub use sas_structures as structures;
 pub use sas_summaries as summaries;
 
 pub use sas_core::Mergeable;
-pub use sas_summaries::{Summary, SummaryKind};
+pub use sas_summaries::{Estimate, Query, QueryBatch, QueryError, Summary, SummaryKind};

@@ -1,0 +1,213 @@
+//! Wire-format certification for the query API's two new frame kinds:
+//! committed golden frames pin the `Query` and `Estimate` encodings
+//! (tests/golden/query_v1.sas, estimate_v1.sas), and bit-flip/truncation
+//! sweeps mirror tests/codec_robustness.rs — a corrupted or hostile frame
+//! must surface as `Err`, never a panic.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```sh
+//! SAS_REGEN_GOLDEN=1 cargo test --test query_wire
+//! ```
+
+use std::path::PathBuf;
+
+use structure_aware_sampling::codec::{crc32, CodecError, TRAILER_LEN};
+use structure_aware_sampling::summaries::query::{
+    decode_estimate, decode_query, encode_estimate, encode_query,
+};
+use structure_aware_sampling::{Estimate, Query};
+
+/// The pinned query: exercises the multi-range payload (the richest
+/// layout) with sorted disjoint boxes.
+fn golden_query() -> Query {
+    Query::MultiRange(vec![
+        vec![(0, 99), (10, 49)],
+        vec![(200, 299), (10, 49)],
+        vec![(1000, u64::MAX)],
+    ])
+}
+
+/// The pinned estimate: non-trivial value, variance, and bounds.
+fn golden_estimate() -> Estimate {
+    Estimate {
+        value: 1234.5,
+        variance: 42.25,
+        lower: 1190.0,
+        upper: 1280.75,
+        confidence: 0.95,
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn golden_frames_pin_the_query_wire_format() {
+    let dir = golden_dir();
+    let regen = std::env::var_os("SAS_REGEN_GOLDEN").is_some();
+    let fixtures: Vec<(&str, Vec<u8>)> = vec![
+        ("query_v1.sas", encode_query(&golden_query())),
+        ("estimate_v1.sas", encode_estimate(&golden_estimate())),
+    ];
+    for (file, bytes) in &fixtures {
+        let path = dir.join(file);
+        if regen {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, bytes).expect("write golden file");
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{file}: missing golden file ({e}); see module docs"));
+        // The committed frame still decodes to the pinned fixture, and a
+        // fresh encoding reproduces the committed bytes exactly.
+        assert_eq!(
+            bytes, &committed,
+            "{file}: freshly encoded fixture drifted from the committed frame"
+        );
+    }
+    if !regen {
+        let q = decode_query(&std::fs::read(dir.join("query_v1.sas")).unwrap())
+            .expect("committed query frame decodes");
+        assert_eq!(q, golden_query());
+        let e = decode_estimate(&std::fs::read(dir.join("estimate_v1.sas")).unwrap())
+            .expect("committed estimate frame decodes");
+        assert_eq!(e, golden_estimate());
+    }
+    assert!(
+        !regen,
+        "golden files regenerated; rerun without SAS_REGEN_GOLDEN"
+    );
+}
+
+/// Every query shape round-trips through its frame.
+fn query_fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        (
+            "box",
+            encode_query(&Query::BoxRange(vec![(5, 10), (0, 63)])),
+        ),
+        ("multi", encode_query(&golden_query())),
+        ("point", encode_query(&Query::Point(vec![17, 23]))),
+        (
+            "node",
+            encode_query(&Query::HierarchyNode {
+                level: 12,
+                index: 9,
+            }),
+        ),
+        ("total", encode_query(&Query::Total)),
+        ("estimate", encode_estimate(&golden_estimate())),
+    ]
+}
+
+/// Decodes a fixture as whatever frame kind it claims to be.
+fn decode_any(bytes: &[u8]) -> Result<(), CodecError> {
+    match decode_query(bytes) {
+        Ok(_) => Ok(()),
+        Err(CodecError::UnknownKind(_)) => decode_estimate(bytes).map(|_| ()),
+        Err(e) => Err(e),
+    }
+}
+
+#[test]
+fn every_fixture_decodes_cleanly() {
+    for (name, bytes) in query_fixtures() {
+        decode_any(&bytes).unwrap_or_else(|e| panic!("{name}: pristine frame rejected: {e}"));
+    }
+}
+
+#[test]
+fn bit_flip_sweep_rejects_every_corruption() {
+    for (name, bytes) in query_fixtures() {
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_any(&corrupt).is_err(),
+                "{name}: flipping bit {bit} of {} was not rejected",
+                bytes.len() * 8
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_sweep_rejects_every_prefix() {
+    for (name, bytes) in query_fixtures() {
+        for len in 0..bytes.len() {
+            assert!(
+                decode_query(&bytes[..len]).is_err() && decode_estimate(&bytes[..len]).is_err(),
+                "{name}: {len}-byte prefix was not rejected"
+            );
+        }
+    }
+}
+
+/// Recomputes the trailing CRC so tampered frames survive the envelope
+/// check and exercise the field validation underneath.
+fn fix_checksum(bytes: &mut [u8]) {
+    let at = bytes.len() - TRAILER_LEN;
+    let crc = crc32(&bytes[..at]);
+    bytes[at..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn structurally_invalid_queries_are_rejected_behind_valid_envelopes() {
+    use structure_aware_sampling::codec::{encode_frame, proto, Writer};
+    // Reversed bounds.
+    let reversed = encode_frame(proto::TAG_QUERY, |w: &mut Writer| {
+        w.section(1, |w| w.put_u8(1));
+        w.section(2, |w| {
+            w.put_u64(1);
+            w.put_u64(9);
+            w.put_u64(3);
+        });
+    });
+    assert!(decode_query(&reversed).is_err());
+    // Overlapping multi-range boxes.
+    let overlapping = encode_frame(proto::TAG_QUERY, |w: &mut Writer| {
+        w.section(1, |w| w.put_u8(2));
+        w.section(2, |w| {
+            w.put_u64(2);
+            for (lo, hi) in [(0u64, 10u64), (5, 20)] {
+                w.put_u64(1);
+                w.put_u64(lo);
+                w.put_u64(hi);
+            }
+        });
+    });
+    assert!(decode_query(&overlapping).is_err());
+    // Out-of-range hierarchy node.
+    let node = encode_frame(proto::TAG_QUERY, |w: &mut Writer| {
+        w.section(1, |w| w.put_u8(4));
+        w.section(2, |w| {
+            w.put_u32(60);
+            w.put_u64(16); // index ≥ 2^(64-60)
+        });
+    });
+    assert!(decode_query(&node).is_err());
+    // Unknown query kind tag.
+    let unknown = encode_frame(proto::TAG_QUERY, |w: &mut Writer| {
+        w.section(1, |w| w.put_u8(99));
+        w.section(2, |_| {});
+    });
+    assert!(decode_query(&unknown).is_err());
+    // A query frame is not an estimate and vice versa.
+    assert!(matches!(
+        decode_estimate(&encode_query(&Query::Total)),
+        Err(CodecError::UnknownKind(_))
+    ));
+    assert!(matches!(
+        decode_query(&encode_estimate(&golden_estimate())),
+        Err(CodecError::UnknownKind(_))
+    ));
+    // Tampered estimate fields behind a fixed-up checksum: force the
+    // confidence f64 to 7.0 (bytes of the last field) — must be rejected.
+    let mut forged = encode_estimate(&golden_estimate());
+    let at = forged.len() - TRAILER_LEN - 8;
+    forged[at..at + 8].copy_from_slice(&7.0f64.to_bits().to_le_bytes());
+    fix_checksum(&mut forged);
+    assert!(decode_estimate(&forged).is_err());
+}

@@ -121,3 +121,70 @@ fn windowed_store_tracks_direct_summaries_across_kinds_and_restart() {
     assert_eq!(hours, 4);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn facade_estimates_across_kinds_and_compaction() {
+    // The facade path of the PR-5 acceptance criterion: Store::estimate
+    // returns an Estimate with bounds for sampled *and* deterministic
+    // series, the value agrees bit-for-bit with the legacy path, and the
+    // guarantee survives compaction.
+    use structure_aware_sampling::Query;
+    let dir = temp_dir("estimate");
+    let store = Store::open(&dir, StoreConfig::default()).unwrap();
+    for (i, ts) in [0u64, 60, 120, 3700].iter().enumerate() {
+        store
+            .ingest("flows", *ts, sample_batch(i as u64 * 500, 300, *ts))
+            .unwrap();
+        store
+            .ingest("grid", *ts, spatial_batch(i as u64, 80))
+            .unwrap();
+    }
+    let probes = [
+        Query::interval(0, 999),
+        Query::Total,
+        Query::MultiRange(vec![vec![(0, 99)], vec![(700, 1299)]]),
+    ];
+    for q in &probes {
+        let ans = store
+            .estimate("flows", SummaryKind::Sample, q, 0.95, None)
+            .unwrap();
+        let e = ans.estimate;
+        assert!(e.lower <= e.value && e.value <= e.upper, "{q}: {e:?}");
+    }
+    let grid_q = Query::BoxRange(vec![(0, 31), (0, 63)]);
+    let grid = store
+        .estimate("grid", SummaryKind::QDigest, &grid_q, 0.95, None)
+        .unwrap()
+        .estimate;
+    assert_eq!(grid.confidence, 1.0, "deterministic kind certifies");
+    assert!(grid.lower <= grid.value && grid.value <= grid.upper);
+
+    // Values agree with the legacy path before and after compaction.
+    let legacy = store
+        .query("flows", SummaryKind::Sample, &[(0, 999)], None)
+        .value;
+    let est = store
+        .estimate("flows", SummaryKind::Sample, &probes[0], 0.95, None)
+        .unwrap();
+    assert_eq!(legacy.to_bits(), est.estimate.value.to_bits());
+    assert!(store.compact_once().unwrap() > 0);
+    let legacy_after = store
+        .query("flows", SummaryKind::Sample, &[(0, 999)], None)
+        .value;
+    let est_after = store
+        .estimate("flows", SummaryKind::Sample, &probes[0], 0.95, None)
+        .unwrap();
+    assert_eq!(legacy_after.to_bits(), est_after.estimate.value.to_bits());
+    // Exact batches: the interval still contains the exact sub-range sum.
+    let truth: f64 = (0..=999u64)
+        .filter(|k| k % 500 < 300)
+        .map(|k| 0.5 + (k % 11) as f64)
+        .sum();
+    assert!(
+        est_after.estimate.lower <= truth && truth <= est_after.estimate.upper,
+        "exact {truth} outside [{}, {}]",
+        est_after.estimate.lower,
+        est_after.estimate.upper
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
