@@ -13,12 +13,13 @@
 //! sas query <summary> --queries FILE [--format tsv|json]
 //! sas info <summary|dir> [more paths...]
 //! sas serve <store-dir> [--addr H:P] [--threads N] [--budget N]
-//!           [--cache N] [--compact-every MS]
+//!           [--cache N] [--compact-every MS] [--max-conns N]
+//!           [--read-timeout MS] [--shed N]
 //! sas client <addr> query --dataset D --range R [--kind K]
 //!            [--since T] [--until T] [--confidence C]
 //! sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K]
 //!            [--size N] [--seed S]
-//! sas client <addr> list | stats | shutdown
+//! sas client <addr> list | stats | ping | shutdown
 //! ```
 //!
 //! `query` and `info` accept both binary frames and legacy TSV summaries;
@@ -40,13 +41,13 @@ use sas_cli::{
 };
 use sas_store::client::Client;
 use sas_store::manifest::Manifest;
-use sas_store::server::Server;
+use sas_store::server::{Server, ServerConfig};
 use sas_store::{fsio, Compactor, Store, StoreConfig};
 use sas_summaries::{encode_summary, StoredSample, SummaryKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> list | stats | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS] [--max-conns N] [--read-timeout MS] [--shed N]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> list | stats | ping | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
     );
     ExitCode::from(2)
 }
@@ -324,6 +325,14 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .map_err(|_| "bad --budget")?;
     let cache_capacity: usize = parse_flag(args, "--cache", 1024)?;
     let compact_every_ms: u64 = parse_flag(args, "--compact-every", 1000)?;
+    let defaults = ServerConfig::default();
+    let max_conns: usize = parse_flag(args, "--max-conns", defaults.max_conns)?;
+    let read_timeout_ms: u64 = parse_flag(
+        args,
+        "--read-timeout",
+        defaults.read_timeout.as_millis() as u64,
+    )?;
+    let shed: usize = parse_flag(args, "--shed", defaults.dataset_inflight)?;
 
     let store = Arc::new(Store::open(
         dir.as_str(),
@@ -333,7 +342,17 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         },
     )?);
     let recovered = store.list().len();
-    let server = Server::start(store.clone(), addr, threads)?;
+    let server = Server::start_with(
+        store.clone(),
+        addr,
+        ServerConfig {
+            threads,
+            max_conns,
+            read_timeout: Duration::from_millis(read_timeout_ms),
+            dataset_inflight: shed,
+            ..defaults
+        },
+    )?;
     // The "listening" line is the readiness signal scripts wait for; it
     // reports the real port when --addr used an ephemeral one.
     eprintln!("sas-store: listening on {}", server.local_addr());
@@ -447,6 +466,10 @@ fn cmd_client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             for (name, value) in client.stats()? {
                 println!("{name}: {value}");
             }
+        }
+        "ping" => {
+            client.ping()?;
+            println!("pong");
         }
         "shutdown" => {
             client.shutdown()?;

@@ -464,11 +464,20 @@ pub mod proto {
     /// answered with a [`TAG_ESTIMATE`]-shaped body (value + error bounds).
     /// The older [`REQ_QUERY`] tag remains answered for compatibility.
     pub const REQ_ESTIMATE: u16 = 69;
+    /// Request: liveness probe. The daemon answers from its event loop
+    /// without touching the store, so a ping measures loop responsiveness
+    /// even while workers are saturated.
+    pub const REQ_PING: u16 = 70;
 
     /// Response: success; body layout depends on the request kind.
     pub const RESP_OK: u16 = 80;
     /// Response: failure; body is one section holding a message string.
     pub const RESP_ERR: u16 = 81;
+    /// Response: load shed — the daemon refused the request (connection
+    /// limit or per-dataset admission control); body is one section holding
+    /// a reason string. An overloaded daemon answers BUSY explicitly rather
+    /// than silently dropping the connection.
+    pub const RESP_BUSY: u16 = 82;
 
     /// Hard cap on a single protocol message (frame bytes). A batch of a
     /// few million sample entries fits; a corrupted length prefix cannot
@@ -708,8 +717,11 @@ mod tests {
             proto::REQ_LIST,
             proto::REQ_STATS,
             proto::REQ_SHUTDOWN,
+            proto::REQ_ESTIMATE,
+            proto::REQ_PING,
             proto::RESP_OK,
             proto::RESP_ERR,
+            proto::RESP_BUSY,
         ];
         let unique: std::collections::HashSet<_> = tags.iter().collect();
         assert_eq!(unique.len(), tags.len());

@@ -21,6 +21,10 @@ pub enum ClientError {
     Codec(CodecError),
     /// The daemon answered, with an error message.
     Server(String),
+    /// The daemon refused the request because it is overloaded; retrying
+    /// later is reasonable (unlike [`ClientError::Server`], this is not
+    /// the request's fault).
+    Busy(String),
     /// The daemon closed the connection mid-exchange.
     Disconnected,
 }
@@ -31,6 +35,7 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Codec(e) => write!(f, "protocol error: {e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Busy(msg) => write!(f, "server busy: {msg}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
         }
     }
@@ -108,6 +113,7 @@ impl Client {
         let reply = proto::read_message(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
         match decode_response(&reply, request_tag)? {
             Response::Err(msg) => Err(ClientError::Server(msg)),
+            Response::Busy(msg) => Err(ClientError::Busy(msg)),
             resp => Ok(resp),
         }
     }
@@ -207,6 +213,16 @@ impl Client {
     pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
         match self.exchange(&Request::Stats)? {
             Response::Stats(pairs) => Ok(pairs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Liveness probe: answered from the daemon's event loop without
+    /// touching the store, so a `Pong` proves the loop is dispatching even
+    /// when workers are saturated.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.exchange(&Request::Ping)? {
+            Response::Pong => Ok(()),
             other => Err(unexpected(other)),
         }
     }

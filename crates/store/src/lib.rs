@@ -36,8 +36,10 @@
 
 pub mod cache;
 pub mod client;
+pub mod conn;
 pub mod fsio;
 pub mod manifest;
+pub mod poller;
 pub mod server;
 pub mod window;
 pub mod wire;

@@ -57,6 +57,10 @@ pub enum Request {
     List,
     /// Store statistics.
     Stats,
+    /// Liveness probe, answered from the daemon's event loop without
+    /// touching the store — measures loop responsiveness even while every
+    /// worker is busy.
+    Ping,
     /// Stop the daemon after draining in-flight connections.
     Shutdown,
 }
@@ -108,10 +112,16 @@ pub enum Response {
     List(Vec<WindowRow>),
     /// Answer to [`Request::Stats`]: ordered name/value pairs.
     Stats(Vec<(String, u64)>),
+    /// Answer to [`Request::Ping`].
+    Pong,
     /// Answer to [`Request::Shutdown`].
     Shutdown,
     /// Any request can fail with a message.
     Err(String),
+    /// Any request can be load-shed with a reason (connection limit,
+    /// per-dataset admission control). Unlike [`Response::Err`] this is
+    /// not the request's fault: retrying later is reasonable.
+    Busy(String),
 }
 
 /// Encodes a request frame.
@@ -162,6 +172,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }),
         Request::List => encode_frame(proto::REQ_LIST, |_| {}),
         Request::Stats => encode_frame(proto::REQ_STATS, |_| {}),
+        Request::Ping => encode_frame(proto::REQ_PING, |_| {}),
         Request::Shutdown => encode_frame(proto::REQ_SHUTDOWN, |_| {}),
     }
 }
@@ -233,6 +244,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
         }
         proto::REQ_LIST => Request::List,
         proto::REQ_STATS => Request::Stats,
+        proto::REQ_PING => Request::Ping,
         proto::REQ_SHUTDOWN => Request::Shutdown,
         other => return Err(CodecError::UnknownKind(other)),
     };
@@ -304,8 +316,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
             });
         }),
+        Response::Pong => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |_| {});
+        }),
         Response::Shutdown => encode_frame(proto::RESP_OK, |w| {
             w.section(1, |_| {});
+        }),
+        Response::Busy(msg) => encode_frame(proto::RESP_BUSY, |w| {
+            w.section(1, |w| w.put_str(msg));
         }),
     }
 }
@@ -314,12 +332,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 /// half; OK-response layouts differ per request).
 pub fn decode_response(bytes: &[u8], request_tag: u16) -> Result<Response, CodecError> {
     let mut frame = open_frame(bytes)?;
-    if frame.kind == proto::RESP_ERR {
+    if frame.kind == proto::RESP_ERR || frame.kind == proto::RESP_BUSY {
         let mut sec = frame.body.expect_section(1)?;
         let msg = sec.get_str()?;
         sec.finish()?;
         frame.body.finish()?;
-        return Ok(Response::Err(msg));
+        return Ok(if frame.kind == proto::RESP_ERR {
+            Response::Err(msg)
+        } else {
+            Response::Busy(msg)
+        });
     }
     if frame.kind != proto::RESP_OK {
         return Err(CodecError::UnknownKind(frame.kind));
@@ -386,6 +408,7 @@ pub fn decode_response(bytes: &[u8], request_tag: u16) -> Result<Response, Codec
             }
             Response::Stats(pairs)
         }
+        proto::REQ_PING => Response::Pong,
         proto::REQ_SHUTDOWN => Response::Shutdown,
         other => return Err(CodecError::UnknownKind(other)),
     };
@@ -465,6 +488,7 @@ mod tests {
             ),
             (Request::List, proto::REQ_LIST),
             (Request::Stats, proto::REQ_STATS),
+            (Request::Ping, proto::REQ_PING),
             (Request::Shutdown, proto::REQ_SHUTDOWN),
         ]
     }
@@ -518,9 +542,15 @@ mod tests {
                 Response::Stats(vec![("queries".into(), 4), ("windows".into(), 2)]),
                 proto::REQ_STATS,
             ),
+            (Response::Pong, proto::REQ_PING),
             (Response::Shutdown, proto::REQ_SHUTDOWN),
             (Response::Err("boom".into()), proto::REQ_QUERY),
             (Response::Err("boom".into()), proto::REQ_LIST),
+            (Response::Busy("shedding load".into()), proto::REQ_QUERY),
+            (
+                Response::Busy("too many connections".into()),
+                proto::REQ_PING,
+            ),
         ]
     }
 

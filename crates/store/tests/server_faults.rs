@@ -1,0 +1,176 @@
+//! Fault injection against the daemon's event loop: slow-loris trickles,
+//! torn length prefixes, mid-frame half-closes, oversized declared
+//! lengths, and garbage payloads. The invariant throughout: the server
+//! times out or rejects without hanging a worker, and always releases the
+//! connection slot.
+
+mod util;
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use sas_codec::proto;
+use sas_store::client::Client;
+use sas_store::server::ServerConfig;
+use sas_store::wire::{Request, Response};
+
+use util::{message, recv_response, start, wait_closed, wait_metrics};
+
+/// Tuning that makes timeout tests fast without being racy.
+fn quick() -> ServerConfig {
+    ServerConfig {
+        threads: 2,
+        read_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn slow_loris_trickle_is_cut_off() {
+    let (_dir, _store, server) = start("loris", quick());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Declare a 100-byte message, then trickle one byte at a time — the
+    // deadline anchors at the first byte, so progress must not extend it.
+    stream.write_all(&100u32.to_le_bytes()).unwrap();
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(20));
+        if stream.write_all(&[0x5a]).is_err() {
+            break; // server already cut us off
+        }
+    }
+    wait_closed(&mut stream, "slow-loris connection");
+    wait_metrics(&server, "read timeout", |m| m.read_timeouts >= 1);
+    wait_metrics(&server, "slot release", |m| m.active_conns == 0);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn torn_length_prefix_times_out() {
+    let (_dir, _store, server) = start("torn-prefix", quick());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Two of the four prefix bytes, then silence.
+    stream.write_all(&[7, 0]).unwrap();
+    wait_closed(&mut stream, "torn-prefix connection");
+    wait_metrics(&server, "read timeout", |m| m.read_timeouts >= 1);
+    wait_metrics(&server, "slot release", |m| m.active_conns == 0);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn mid_frame_half_close_is_dropped_promptly() {
+    // A long read timeout proves the close comes from the half-close
+    // handling, not the timer: a message that can never complete must not
+    // hold the slot.
+    let (_dir, _store, server) = start(
+        "half-close",
+        ServerConfig {
+            read_timeout: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(&100u32.to_le_bytes()).unwrap();
+    stream.write_all(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    wait_closed(&mut stream, "half-closed connection");
+    wait_metrics(&server, "slot release", |m| m.active_conns == 0);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn oversized_declared_length_is_rejected() {
+    let (_dir, _store, server) = start("oversized", quick());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let huge = proto::MAX_MESSAGE_LEN + 1;
+    stream.write_all(&huge.to_le_bytes()).unwrap();
+    wait_closed(&mut stream, "oversized-length connection");
+    wait_metrics(&server, "protocol error", |m| m.protocol_errors >= 1);
+    wait_metrics(&server, "slot release", |m| m.active_conns == 0);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn garbage_before_frame_answers_err_and_survives() {
+    let (_dir, _store, server) = start("garbage", quick());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Soundly framed garbage: a 4-byte "message" that is not a SASF frame,
+    // followed by a valid ping. The server answers the garbage with an
+    // error message and keeps serving the same connection.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&4u32.to_le_bytes());
+    bytes.extend_from_slice(b"junk");
+    bytes.extend_from_slice(&message(&Request::Ping));
+    stream.write_all(&bytes).unwrap();
+    match recv_response(&mut stream, proto::REQ_PING) {
+        Response::Err(msg) => assert!(msg.contains("bad request"), "{msg}"),
+        other => panic!("expected Err for garbage, got {other:?}"),
+    }
+    assert!(matches!(
+        recv_response(&mut stream, proto::REQ_PING),
+        Response::Pong
+    ));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn empty_message_answers_err_and_survives() {
+    let (_dir, _store, server) = start("empty", quick());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(&0u32.to_le_bytes()).unwrap();
+    stream.write_all(&message(&Request::Ping)).unwrap();
+    match recv_response(&mut stream, proto::REQ_PING) {
+        Response::Err(msg) => assert!(msg.contains("bad request"), "{msg}"),
+        other => panic!("expected Err for empty message, got {other:?}"),
+    }
+    assert!(matches!(
+        recv_response(&mut stream, proto::REQ_PING),
+        Response::Pong
+    ));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn faulted_connection_releases_its_slot_for_new_arrivals() {
+    let (_dir, _store, server) = start(
+        "slot-release",
+        ServerConfig {
+            max_conns: 1,
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    // The lone slot goes to a slow-loris…
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(&[9]).unwrap();
+    wait_closed(&mut loris, "loris holding the only slot");
+    wait_metrics(&server, "slot release", |m| m.active_conns == 0);
+    // …and after the timeout a well-behaved client gets it.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn idle_timeout_reaps_quiet_connections() {
+    let (_dir, _store, server) = start(
+        "idle",
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    wait_closed(&mut stream, "idle connection");
+    wait_metrics(&server, "idle timeout", |m| m.idle_timeouts >= 1);
+    server.shutdown();
+    server.wait();
+}

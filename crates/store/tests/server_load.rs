@@ -1,0 +1,257 @@
+//! Load shedding and backpressure: connections beyond `max_conns` get an
+//! explicit BUSY (never a silent drop), per-dataset admission control
+//! sheds excess in-flight requests, and a peer that refuses to read its
+//! responses cannot grow the server's memory past the write budget.
+
+mod util;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sas_codec::proto;
+use sas_store::client::{Client, ClientError};
+use sas_store::server::ServerConfig;
+use sas_store::wire::{Request, Response};
+
+use util::{batch_frame, message, recv_message, recv_response, start, wait_metrics, Recv};
+
+#[test]
+fn connections_beyond_the_limit_get_explicit_busy() {
+    let (_dir, _store, server) = start(
+        "shed-conns",
+        ServerConfig {
+            max_conns: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    a.ping().unwrap();
+    b.ping().unwrap();
+
+    // Third arrival: an explicit, parseable BUSY frame, then a clean close
+    // — deterministically, not sometimes.
+    for round in 0..3 {
+        let mut shed = TcpStream::connect(addr).unwrap();
+        match recv_message(&mut shed) {
+            Recv::Message(frame) => {
+                match sas_store::wire::decode_response(&frame, proto::REQ_PING) {
+                    Ok(Response::Busy(msg)) => {
+                        assert!(msg.contains("connection limit"), "round {round}: {msg}")
+                    }
+                    other => panic!("round {round}: expected Busy, got {other:?}"),
+                }
+            }
+            other => panic!("round {round}: expected a BUSY frame, got {other:?}"),
+        }
+        // After the frame: EOF at a message boundary.
+        assert!(matches!(recv_message(&mut shed), Recv::Eof));
+    }
+    wait_metrics(&server, "shed count", |m| m.shed_conns >= 3);
+
+    // The blocking client maps the same refusal onto ClientError::Busy.
+    let mut c = Client::connect(addr).unwrap();
+    match c.ping() {
+        Err(ClientError::Busy(msg)) => assert!(msg.contains("connection limit"), "{msg}"),
+        other => panic!("expected ClientError::Busy, got {other:?}"),
+    }
+
+    // Releasing a slot readmits new arrivals.
+    drop(a);
+    wait_metrics(&server, "slot release", |m| m.active_conns <= 1);
+    let mut d = Client::connect(addr).unwrap();
+    d.ping().unwrap();
+    b.ping().unwrap(); // survivor unaffected throughout
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn dataset_admission_control_sheds_excess_in_flight_requests() {
+    let (_dir, _store, server) = start(
+        "shed-requests",
+        ServerConfig {
+            threads: 4,
+            dataset_inflight: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Eight pipelined ingests against one dataset in a single write: the
+    // loop dispatches them in one batch, so at most one is admitted before
+    // the rest see the dataset at its limit.
+    const N: usize = 8;
+    let mut burst = Vec::new();
+    for i in 0..N as u64 {
+        burst.extend_from_slice(&message(&Request::Ingest {
+            dataset: "hot".into(),
+            ts: 61,
+            frame: batch_frame(i * 50, 40, i),
+        }));
+    }
+    stream.write_all(&burst).unwrap();
+    let mut ok = 0;
+    let mut busy = 0;
+    for i in 0..N {
+        match recv_response(&mut stream, proto::REQ_INGEST) {
+            Response::Ingest { .. } => ok += 1,
+            Response::Busy(msg) => {
+                assert!(msg.contains("hot"), "response {i}: {msg}");
+                busy += 1;
+            }
+            other => panic!("response {i}: {other:?}"),
+        }
+    }
+    assert!(ok >= 1, "at least one ingest must be admitted");
+    assert!(busy >= 1, "the burst must trip the admission limit");
+    assert_eq!(ok + busy, N);
+    let m = server.metrics();
+    assert_eq!(m.shed_requests, busy as u64);
+
+    // The limit is per-in-flight, not a ban: with the burst done, the
+    // dataset accepts work again.
+    stream
+        .write_all(&message(&Request::Ingest {
+            dataset: "hot".into(),
+            ts: 121,
+            frame: batch_frame(900, 40, 99),
+        }))
+        .unwrap();
+    assert!(matches!(
+        recv_response(&mut stream, proto::REQ_INGEST),
+        Response::Ingest { .. }
+    ));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn admission_control_is_per_dataset_not_global() {
+    let (_dir, _store, server) = start(
+        "shed-isolated",
+        ServerConfig {
+            threads: 4,
+            dataset_inflight: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Alternating datasets, one in-flight allowed each: every dataset's
+    // first request is admitted regardless of the other's backlog.
+    let mut burst = Vec::new();
+    for i in 0..4u64 {
+        for ds in ["red", "blue"] {
+            burst.extend_from_slice(&message(&Request::Ingest {
+                dataset: ds.into(),
+                ts: 61,
+                frame: batch_frame(i * 50, 30, i),
+            }));
+        }
+    }
+    stream.write_all(&burst).unwrap();
+    let mut ok = [0usize; 2];
+    for _ in 0..8 {
+        match recv_response(&mut stream, proto::REQ_INGEST) {
+            Response::Ingest { .. } => ok[0] += 1,
+            Response::Busy(_) => ok[1] += 1,
+            other => panic!("{other:?}"),
+        }
+    }
+    assert!(ok[0] >= 2, "each dataset must admit at least its first");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn non_draining_reader_cannot_grow_server_memory_past_the_budget() {
+    const BUDGET: usize = 4096;
+    const PIPELINE: usize = 4;
+    let (_dir, store, server) = start(
+        "backpressure",
+        ServerConfig {
+            threads: 2,
+            write_budget: BUDGET,
+            max_pipeline: PIPELINE,
+            ..ServerConfig::default()
+        },
+    );
+    // 64 windows make each List response a few KiB — the total response
+    // volume (megabytes) dwarfs every kernel buffer on the path, so the
+    // outbox must actually absorb backpressure, not just the sndbuf.
+    for i in 0..64u64 {
+        store
+            .ingest("web", 61 + i * 60, util::batch(i * 64, 64, i))
+            .unwrap();
+    }
+    // Measure one response's wire size for the slack computation below.
+    let resp_len = {
+        let mut probe = TcpStream::connect(server.local_addr()).unwrap();
+        probe.write_all(&message(&Request::List)).unwrap();
+        match recv_message(&mut probe) {
+            Recv::Message(m) => 4 + m.len(),
+            other => panic!("probe list failed: {other:?}"),
+        }
+    };
+    assert!(
+        resp_len > BUDGET / 4,
+        "responses must be sizeable: {resp_len}"
+    );
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    const N: usize = 2000;
+    let mut burst = Vec::new();
+    for _ in 0..N {
+        burst.extend_from_slice(&message(&Request::List));
+    }
+    stream.write_all(&burst).unwrap();
+    // The server answers until the outbox passes the budget, then stops
+    // reading; the rest of the backlog stays in kernel buffers, not
+    // server memory.
+    wait_metrics(&server, "backpressure engages", |m| {
+        m.max_queued_bytes >= BUDGET as u64
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let m = server.metrics();
+    // Slack: the budget check happens between whole responses, and up to
+    // max_pipeline worker responses can still land after reads pause.
+    let cap = (BUDGET + 2 * PIPELINE * resp_len) as u64;
+    assert!(
+        m.max_queued_bytes <= cap,
+        "outbox grew to {} > cap {cap} (unbounded would be megabytes)",
+        m.max_queued_bytes
+    );
+
+    // Backpressure, not loss: draining now yields every single response.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    for i in 0..N {
+        match recv_response(&mut stream, proto::REQ_LIST) {
+            Response::List(rows) => assert_eq!(rows.len(), 64, "response {i}"),
+            other => panic!("response {i}: {other:?}"),
+        }
+    }
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn metrics_count_accepts_and_requests() {
+    let (_dir, _store, server) = start("metrics", ServerConfig::default());
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    a.stats().unwrap();
+    b.list().unwrap();
+    a.ping().unwrap(); // inline: not a worker request
+    wait_metrics(&server, "accept count", |m| m.accepted == 2);
+    wait_metrics(&server, "request count", |m| m.requests == 2);
+    wait_metrics(&server, "active count", |m| m.active_conns == 2);
+    drop(a);
+    drop(b);
+    wait_metrics(&server, "disconnect count", |m| m.active_conns == 0);
+    server.shutdown();
+    server.wait();
+}

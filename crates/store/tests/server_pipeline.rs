@@ -1,0 +1,266 @@
+//! Pipelining conformance: many requests written before any response is
+//! read must come back exactly in request order, and byte-identical to the
+//! same requests issued one at a time.
+
+mod util;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sas_codec::proto;
+use sas_store::server::ServerConfig;
+use sas_store::wire::{decode_response, Request, Response};
+use sas_summaries::{Query, SummaryKind};
+
+use util::{batch_frame, message, recv_message, recv_response, start, Recv};
+
+/// The mixed ingest/query/estimate/list/stats/ping workload both modes
+/// run. Ingests use fixed seeds, so every response byte is deterministic.
+fn workload() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for i in 0..4u64 {
+        reqs.push(Request::Ingest {
+            dataset: "web".into(),
+            ts: 61 + i * 60,
+            frame: batch_frame(i * 100, 50, i),
+        });
+        reqs.push(Request::Ping);
+        reqs.push(Request::Query {
+            dataset: "web".into(),
+            kind: SummaryKind::Sample,
+            range: vec![(0, u64::MAX)],
+            time: None,
+        });
+        reqs.push(Request::Estimate {
+            dataset: "web".into(),
+            kind: SummaryKind::Sample,
+            query: Query::Total,
+            confidence: 0.95,
+            time: None,
+        });
+    }
+    reqs.push(Request::List);
+    reqs.push(Request::Stats);
+    reqs
+}
+
+/// One worker thread serializes execution in dispatch order, which is what
+/// makes the two modes byte-comparable (counters, cache flags).
+fn single_worker() -> ServerConfig {
+    ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    }
+}
+
+fn recv_raw(stream: &mut TcpStream) -> Vec<u8> {
+    match recv_message(stream) {
+        Recv::Message(m) => m,
+        other => panic!("expected a message, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipelined_responses_match_sequential_byte_for_byte() {
+    let reqs = workload();
+
+    // Sequential: write one, read one.
+    let (_dir_a, _store_a, seq_server) = start("pipeline-seq", single_worker());
+    let mut seq_stream = TcpStream::connect(seq_server.local_addr()).unwrap();
+    let mut sequential = Vec::new();
+    for req in &reqs {
+        seq_stream.write_all(&message(req)).unwrap();
+        sequential.push(recv_raw(&mut seq_stream));
+    }
+
+    // Pipelined: write everything, then read everything.
+    let (_dir_b, _store_b, pipe_server) = start("pipeline-burst", single_worker());
+    let mut pipe_stream = TcpStream::connect(pipe_server.local_addr()).unwrap();
+    let mut burst = Vec::new();
+    for req in &reqs {
+        burst.extend_from_slice(&message(req));
+    }
+    pipe_stream.write_all(&burst).unwrap();
+    let pipelined: Vec<Vec<u8>> = reqs.iter().map(|_| recv_raw(&mut pipe_stream)).collect();
+
+    assert_eq!(sequential.len(), pipelined.len());
+    for (i, (s, p)) in sequential.iter().zip(&pipelined).enumerate() {
+        assert_eq!(s, p, "response {i} ({:?}) differs between modes", reqs[i]);
+    }
+
+    seq_server.shutdown();
+    seq_server.wait();
+    pipe_server.shutdown();
+    pipe_server.wait();
+}
+
+#[test]
+fn responses_keep_request_order_across_worker_and_inline_paths() {
+    // Four workers, and a workload alternating slow worker requests
+    // (ingest) with instant inline ones (ping): an inline answer must
+    // still wait its turn behind the ingest dispatched before it.
+    let (_dir, _store, server) = start(
+        "pipeline-order",
+        ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut burst = Vec::new();
+    let mut expect: Vec<&'static str> = Vec::new();
+    for i in 0..16u64 {
+        burst.extend_from_slice(&message(&Request::Ingest {
+            dataset: "web".into(),
+            ts: 61,
+            frame: batch_frame(i * 50, 40, i),
+        }));
+        expect.push("ingest");
+        burst.extend_from_slice(&message(&Request::Ping));
+        expect.push("pong");
+    }
+    stream.write_all(&burst).unwrap();
+    for (i, want) in expect.iter().enumerate() {
+        // Ingest responses decode under REQ_INGEST; pongs under REQ_PING.
+        let frame = recv_raw(&mut stream);
+        let tag = if *want == "ingest" {
+            proto::REQ_INGEST
+        } else {
+            proto::REQ_PING
+        };
+        match (decode_response(&frame, tag), *want) {
+            (Ok(Response::Ingest { .. }), "ingest") => {}
+            (Ok(Response::Pong), "pong") => {}
+            (got, _) => panic!("response {i}: expected {want}, got {got:?}"),
+        }
+    }
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn pipeline_depth_limit_parks_reads_without_losing_requests() {
+    // A tiny in-flight cap: the loop stops reading the connection when
+    // full, resumes as workers drain, and every request still gets its
+    // answer in order.
+    let (_dir, _store, server) = start(
+        "pipeline-depth",
+        ServerConfig {
+            threads: 2,
+            max_pipeline: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    const N: usize = 64;
+    let mut burst = Vec::new();
+    for _ in 0..N {
+        burst.extend_from_slice(&message(&Request::Stats));
+    }
+    stream.write_all(&burst).unwrap();
+    for i in 0..N {
+        match recv_response(&mut stream, proto::REQ_STATS) {
+            Response::Stats(pairs) => assert!(!pairs.is_empty(), "response {i}"),
+            other => panic!("response {i}: {other:?}"),
+        }
+    }
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn interleaved_connections_do_not_cross_responses() {
+    // Two pipelining connections against one daemon: each must see its own
+    // responses, in its own order. Different ranges make any cross-wiring
+    // visible in the values.
+    let (_dir, _store, server) = start("pipeline-two-conns", single_worker());
+    let addr = server.local_addr();
+    let mut setup = TcpStream::connect(addr).unwrap();
+    setup
+        .write_all(&message(&Request::Ingest {
+            dataset: "web".into(),
+            ts: 61,
+            frame: batch_frame(0, 100, 7),
+        }))
+        .unwrap();
+    assert!(matches!(
+        recv_response(&mut setup, proto::REQ_INGEST),
+        Response::Ingest { .. }
+    ));
+
+    let queries: Vec<(u64, u64)> = vec![(0, 9), (10, 29), (30, 99), (0, u64::MAX)];
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let mut burst = Vec::new();
+                for &(lo, hi) in &queries {
+                    burst.extend_from_slice(&message(&Request::Query {
+                        dataset: "web".into(),
+                        kind: SummaryKind::Sample,
+                        range: vec![(lo, hi)],
+                        time: None,
+                    }));
+                }
+                stream.write_all(&burst).unwrap();
+                queries
+                    .iter()
+                    .map(|_| match recv_response(&mut stream, proto::REQ_QUERY) {
+                        Response::Query { value, .. } => value,
+                        other => panic!("{other:?}"),
+                    })
+                    .collect::<Vec<f64>>()
+            })
+        })
+        .collect();
+    let answers: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Exact batch: per-range truths are exact sums.
+    let truth = |lo: u64, hi: u64| -> f64 { (lo..=hi.min(99)).map(|k| 1.0 + (k % 7) as f64).sum() };
+    for (c, got) in answers.iter().enumerate() {
+        for (i, (&(lo, hi), &v)) in queries.iter().zip(got).enumerate() {
+            assert_eq!(v, truth(lo, hi), "conn {c} query {i} ({lo}..{hi})");
+        }
+    }
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn burst_larger_than_one_read_quantum_survives() {
+    // A single write far larger than the loop's 64 KiB per-event read
+    // budget: fairness slicing must not drop or reorder anything.
+    let (_dir, _store, server) = start("pipeline-quantum", single_worker());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Each ingest message carries a few KiB of frame, so ~200 of them far
+    // exceed one quantum.
+    const N: u64 = 200;
+    let mut burst = Vec::new();
+    for i in 0..N {
+        burst.extend_from_slice(&message(&Request::Ingest {
+            dataset: "web".into(),
+            ts: 61 + (i % 5) * 60,
+            frame: batch_frame(i * 64, 64, i),
+        }));
+    }
+    assert!(burst.len() > 128 * 1024, "burst must exceed the quantum");
+    // Write on one half, read on a clone: draining responses while the
+    // burst is still going out avoids deadlocking on full buffers.
+    let mut reader = stream.try_clone().unwrap();
+    reader
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let writer = std::thread::spawn(move || stream.write_all(&burst).unwrap());
+    let mut items_last = 0;
+    for i in 0..N {
+        match recv_response(&mut reader, proto::REQ_INGEST) {
+            Response::Ingest { items, .. } => items_last = items.max(items_last),
+            other => panic!("response {i}: {other:?}"),
+        }
+    }
+    writer.join().unwrap();
+    assert!(items_last > 0);
+    server.shutdown();
+    server.wait();
+}

@@ -1,0 +1,140 @@
+//! Shutdown behaviour: a daemon asked to stop — over the wire or through
+//! the API — answers what it owes, closes every connection at a frame
+//! boundary (never mid-frame), and joins its threads. The torn-frame
+//! detector in [`util::recv_message`] is what every test here leans on.
+
+mod util;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sas_codec::proto;
+use sas_store::client::Client;
+use sas_store::server::ServerConfig;
+use sas_store::wire::{decode_response, Request, Response};
+
+use util::{message, recv_message, recv_response, start, wait_closed, Recv};
+
+#[test]
+fn wire_shutdown_is_answered_then_closed_at_a_boundary() {
+    let (_dir, _store, server) = start("shutdown-wire", ServerConfig::default());
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&message(&Request::Shutdown)).unwrap();
+    // The requester gets its acknowledgement…
+    assert!(matches!(
+        recv_response(&mut stream, proto::REQ_SHUTDOWN),
+        Response::Shutdown
+    ));
+    // …then a clean EOF: exactly at a message boundary, never torn.
+    match recv_message(&mut stream) {
+        Recv::Eof => {}
+        other => panic!("expected clean EOF after shutdown ack, got {other:?}"),
+    }
+    server.wait();
+    // The listener is gone with the loop: new connects are refused.
+    assert!(TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn blocking_client_shutdown_round_trips() {
+    let (_dir, _store, server) = start("shutdown-client", ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn api_shutdown_closes_idle_connections_promptly() {
+    let (_dir, _store, server) = start("shutdown-idle", ServerConfig::default());
+    let addr = server.local_addr();
+    let mut a = TcpStream::connect(addr).unwrap();
+    let mut b = TcpStream::connect(addr).unwrap();
+    // Both are registered before we pull the plug.
+    a.write_all(&message(&Request::Ping)).unwrap();
+    b.write_all(&message(&Request::Ping)).unwrap();
+    assert!(matches!(
+        recv_response(&mut a, proto::REQ_PING),
+        Response::Pong
+    ));
+    assert!(matches!(
+        recv_response(&mut b, proto::REQ_PING),
+        Response::Pong
+    ));
+    server.shutdown();
+    // Idle connections owe nothing: they close well inside the grace
+    // period, not at its expiry.
+    wait_closed(&mut a, "idle conn a");
+    wait_closed(&mut b, "idle conn b");
+    server.wait();
+}
+
+#[test]
+fn shutdown_during_pipelined_burst_yields_only_whole_frames() {
+    // The hard case: shutdown lands while a burst is mid-flight. The peer
+    // may see fewer responses than requests — but every frame it does see
+    // must be complete, and the close must land on a boundary.
+    let (_dir, _store, server) = start(
+        "shutdown-burst",
+        ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    const N: usize = 64;
+    let mut burst = Vec::new();
+    for _ in 0..N {
+        burst.extend_from_slice(&message(&Request::Stats));
+    }
+    stream.write_all(&burst).unwrap();
+    // Let the burst get going, then pull the plug mid-stream.
+    let first = match recv_message(&mut stream) {
+        Recv::Message(m) => m,
+        other => panic!("expected the first response, got {other:?}"),
+    };
+    assert!(matches!(
+        decode_response(&first, proto::REQ_STATS),
+        Ok(Response::Stats(_))
+    ));
+    server.shutdown();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut answered = 1;
+    loop {
+        match recv_message(&mut stream) {
+            Recv::Message(frame) => {
+                // Whole frames only, and each one decodes.
+                assert!(matches!(
+                    decode_response(&frame, proto::REQ_STATS),
+                    Ok(Response::Stats(_))
+                ));
+                answered += 1;
+            }
+            Recv::Eof => break,
+            Recv::Torn => panic!("shutdown tore a frame after {answered} responses"),
+        }
+    }
+    assert!(
+        answered <= N,
+        "more responses ({answered}) than requests ({N})"
+    );
+    server.wait();
+}
+
+#[test]
+fn shutdown_is_idempotent() {
+    let (_dir, _store, server) = start("shutdown-twice", ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(&message(&Request::Ping)).unwrap();
+    assert!(matches!(
+        recv_response(&mut stream, proto::REQ_PING),
+        Response::Pong
+    ));
+    server.shutdown();
+    server.shutdown(); // second ask is a no-op, not a panic
+    wait_closed(&mut stream, "conn across double shutdown");
+    server.wait();
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Checks a fresh daemon-bench run (sas-bench --bin store, daemon phase)
+# against the committed baseline in BENCH_store.json.
+#
+#   usage: scripts/bench_regression.sh <current.json> [baseline.json]
+#
+# Hard failures: any error/BUSY response, or any request left unanswered.
+# Soft floor: throughput may jitter on shared hardware, so only a collapse
+# below a quarter of the committed baseline fails the check.
+set -euo pipefail
+
+cur=${1:?usage: bench_regression.sh <current.json> [baseline.json]}
+base=${2:-$(dirname "$0")/../BENCH_store.json}
+
+field() { grep -o "\"$2\": *[0-9.]*" "$1" | head -1 | grep -o '[0-9.]*$'; }
+
+cur_rps=$(field "$cur" throughput_rps)
+cur_err=$(field "$cur" err)
+cur_ok=$(field "$cur" ok)
+cur_req=$(field "$cur" requests)
+base_rps=$(field "$base" throughput_rps)
+
+echo "current:  rps=$cur_rps ok=$cur_ok err=$cur_err requests=$cur_req"
+echo "baseline: rps=$base_rps ($base)"
+
+if [ "$cur_err" != 0 ]; then
+  echo "FAIL: $cur_err error/BUSY responses (expected 0)"
+  exit 1
+fi
+if [ "$cur_ok" != "$cur_req" ]; then
+  echo "FAIL: only $cur_ok of $cur_req requests answered OK"
+  exit 1
+fi
+
+floor=$(awk -v r="$base_rps" 'BEGIN { printf "%.0f", r / 4 }')
+if [ "$(awk -v c="$cur_rps" -v f="$floor" 'BEGIN { print (c >= f) ? 1 : 0 }')" != 1 ]; then
+  echo "FAIL: throughput $cur_rps rps fell below the floor $floor rps (baseline / 4)"
+  exit 1
+fi
+echo "OK: throughput $cur_rps rps >= floor $floor rps"
