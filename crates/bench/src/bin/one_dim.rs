@@ -6,6 +6,9 @@
 //! arrays of counts)" while their 2-D behaviour degrades. This experiment
 //! regenerates the 1-D side of that statement: on a 1-D heavy-tailed array
 //! all three methods are competitive, in stark contrast to the 2-D figures.
+//!
+//! `--json PATH` writes the per-size mean errors in machine-readable form;
+//! any phase failure exits non-zero.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,10 +18,21 @@ use sas_structures::order::Interval;
 use sas_summaries::qdigest1d::QDigest1D;
 use sas_summaries::wavelet1d::Wavelet1D;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("one_dim bench failed: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let json_path = parse_json_flag()?;
     let bits = 16u32;
     let side = 1u64 << bits;
-    let n = 60_000u64;
+    let n = env_usize("SAS_ONEDIM_N", 60_000) as u64;
     let mut rng = StdRng::seed_from_u64(1);
     // Heavy-tailed weights over clustered positions (1-D analogue of the
     // network data).
@@ -39,6 +53,9 @@ fn main() {
         .collect();
     data.sort_by_key(|wk| wk.key);
     let total: f64 = data.iter().map(|wk| wk.weight).sum();
+    if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err("degenerate workload: total weight is not positive".into());
+    }
 
     // Query battery: random intervals of mixed sizes.
     let mut qrng = StdRng::seed_from_u64(2);
@@ -62,9 +79,17 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut sizes_json = JsonObj::new();
     for &s in &[100usize, 300, 1000, 3000] {
         let mut srng = StdRng::seed_from_u64(100 + s as u64);
         let aware = sas_sampling::order::sample_by(&data, s, |k| k, &mut srng);
+        if aware.len() != s.min(data.len()) {
+            return Err(format!(
+                "aware sample has {} entries, expected {}",
+                aware.len(),
+                s.min(data.len())
+            ));
+        }
         let wavelet = Wavelet1D::build(&data, bits, s);
         let qdigest = QDigest1D::build(&data, bits, s);
         let mean_err = |est: &dyn Fn(Interval) -> f64| -> f64 {
@@ -74,11 +99,23 @@ fn main() {
                 .sum::<f64>()
                 / (queries.len() as f64 * total)
         };
+        let aware_err = mean_err(&|iv| aware.subset_estimate(|k| iv.contains(k)));
+        let wavelet_err = mean_err(&|iv| wavelet.estimate(iv));
+        let qdigest_err = mean_err(&|iv| qdigest.estimate(iv));
+        if !aware_err.is_finite() || !wavelet_err.is_finite() || !qdigest_err.is_finite() {
+            return Err(format!("non-finite error at size {s}"));
+        }
+        let mut size_json = JsonObj::new();
+        size_json
+            .num("aware_err", aware_err)
+            .num("wavelet_err", wavelet_err)
+            .num("qdigest_err", qdigest_err);
+        sizes_json.obj(&format!("s{s}"), &size_json);
         rows.push(vec![
             s.to_string(),
-            fmt_err(mean_err(&|iv| aware.subset_estimate(|k| iv.contains(k)))),
-            fmt_err(mean_err(&|iv| wavelet.estimate(iv))),
-            fmt_err(mean_err(&|iv| qdigest.estimate(iv))),
+            fmt_err(aware_err),
+            fmt_err(wavelet_err),
+            fmt_err(qdigest_err),
         ]);
     }
     print_table(
@@ -86,4 +123,15 @@ fn main() {
         &["size", "aware(order)", "wavelet1d", "qdigest1d"],
         &rows,
     );
+
+    if let Some(path) = json_path {
+        let mut obj = JsonObj::new();
+        obj.str("bench", "core_one_dim")
+            .int("n", n)
+            .int("positions", data.len() as u64)
+            .obj("sizes", &sizes_json);
+        obj.write(&path)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
 }

@@ -1,42 +1,42 @@
-//! Query-API throughput: batch vs. loop evaluation across the five summary
-//! kinds, and estimate throughput against a live store at 1/4/8 reader
-//! threads — the measurement behind the `QueryBatch` one-pass claim.
+//! Query-API throughput: batch vs. loop evaluation across the summary
+//! kinds (including a 2-D stored sample — the SoA hot path), and estimate
+//! throughput against a live store at 1/4/8 reader threads.
 //!
 //! Two tables:
 //!
 //! 1. **summary-level** — per kind, `M` mixed queries answered one
 //!    `answer()` call at a time (loop) vs. one `answer_batch()` call
 //!    (batch: a single pass over the sample items for the sample-based
-//!    kinds).
+//!    kinds), repeated `SAS_QUERY_REPS` times for stable rates.
 //! 2. **store-level** — `Store::estimate` ops/s at 1/4/8 threads, cold
 //!    (distinct canonical queries, every call walks the windows) and hot
 //!    (one repeated query, served by the LRU cache).
 //!
 //! Environment knobs: `SAS_QUERY_ITEMS` (rows per dataset, default 20000),
 //! `SAS_QUERY_BATCH` (queries per batch, default 64), `SAS_QUERY_OPS`
-//! (store queries per thread count, default 4000).
+//! (store queries per thread count, default 4000), `SAS_QUERY_REPS`
+//! (summary-level repetitions, default 50).
+//!
+//! `--json PATH` writes the machine-readable result consumed by
+//! `scripts/bench_core.sh`; any phase failure (including a batch answer
+//! drifting from the loop answer bitwise) exits non-zero.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sas_bench::{print_table, timed};
+use sas_bench::{env_usize, parse_json_flag, print_table, timed, JsonObj};
 use sas_core::varopt::VarOptSampler;
-use sas_core::WeightedKey;
+use sas_core::{KeyId, WeightedKey};
 use sas_sampling::product::SpatialData;
 use sas_store::{Store, StoreConfig};
+use sas_structures::product::Point;
 use sas_summaries::countsketch::SketchSummary;
 use sas_summaries::qdigest::QDigestSummary;
 use sas_summaries::wavelet::WaveletSummary;
 use sas_summaries::{Query, StoredSample, Summary, SummaryKind};
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// splitmix64, decorrelating query indices from probed ranges.
 fn mix(mut z: u64) -> u64 {
@@ -80,10 +80,22 @@ fn battery(count: usize, dims: usize, span: u64, salt: u64) -> Vec<Query> {
         .collect()
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("query bench failed: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let json_path = parse_json_flag()?;
     let items = env_usize("SAS_QUERY_ITEMS", 20_000);
     let batch = env_usize("SAS_QUERY_BATCH", 64);
     let ops = env_usize("SAS_QUERY_OPS", 4000);
+    let reps = env_usize("SAS_QUERY_REPS", 50).max(1);
     let confidence = 0.95;
 
     let data: Vec<WeightedKey> = (0..items as u64)
@@ -99,55 +111,100 @@ fn main() {
         .map(|i| (mix(i) % 256, mix(i ^ 99) % 256, 0.5 + (i % 9) as f64))
         .collect();
     let spatial = SpatialData::from_xyw(&rows);
-    let summaries: Vec<(SummaryKind, Box<dyn Summary>)> = vec![
+
+    // The 2-D stored sample: keys are row indices, each carrying its (x, y)
+    // location — the layout whose per-item range tests dominate the
+    // answer_batch profile.
+    let sample2d = {
+        let keys2d: Vec<WeightedKey> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, _, w))| WeightedKey::new(i as u64, w))
+            .collect();
+        let mut r = StdRng::seed_from_u64(2);
+        let smp = sas_sampling::order::sample(&keys2d, 2000, &mut r);
+        let points: HashMap<KeyId, Point> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, _))| (i as u64, Point::xy(x, y)))
+            .collect();
+        StoredSample::two_dim(smp, points).map_err(|e| format!("build 2-D sample: {e}"))?
+    };
+
+    let summaries: Vec<(&str, Box<dyn Summary>)> = vec![
+        ("sample", Box::new(StoredSample::one_dim(sample.clone()))),
+        ("sample2d", Box::new(sample2d)),
+        ("varopt", Box::new(varopt)),
+        ("qdigest", Box::new(QDigestSummary::build(&spatial, 8, 800))),
         (
-            SummaryKind::Sample,
-            Box::new(StoredSample::one_dim(sample.clone())),
-        ),
-        (SummaryKind::VarOptReservoir, Box::new(varopt)),
-        (
-            SummaryKind::QDigest,
-            Box::new(QDigestSummary::build(&spatial, 8, 800)),
-        ),
-        (
-            SummaryKind::Wavelet,
+            "wavelet",
             Box::new(WaveletSummary::build(&spatial, 8, 8, 800)),
         ),
         (
-            SummaryKind::CountSketch,
+            "sketch",
             Box::new(SketchSummary::build(&spatial, 8, 8, 4000, 7)),
         ),
     ];
 
     let mut table: Vec<Vec<String>> = Vec::new();
-    for (kind, summary) in &summaries {
+    let mut rates: Vec<(String, f64, f64)> = Vec::new();
+    for (idx, (label, summary)) in summaries.iter().enumerate() {
         let dims = summary.dims();
         let span = if dims == 1 { items as u64 } else { 256 };
-        let queries = battery(batch, dims, span, kind.tag() as u64);
+        let queries = battery(batch, dims, span, idx as u64 + 1);
+        let mut loop_err = None;
         let (loop_answers, loop_secs) = timed(|| {
-            queries
-                .iter()
-                .map(|q| summary.answer(q, confidence).expect("loop answer"))
-                .collect::<Vec<_>>()
+            let mut last = Vec::new();
+            for _ in 0..reps {
+                match queries
+                    .iter()
+                    .map(|q| summary.answer(q, confidence))
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(a) => last = a,
+                    Err(e) => loop_err = Some(format!("{label}: loop answer: {e}")),
+                }
+            }
+            last
         });
+        let mut batch_err = None;
         let (batch_answers, batch_secs) = timed(|| {
-            summary
-                .answer_batch(&queries, confidence)
-                .expect("batch answer")
+            let mut last = Vec::new();
+            for _ in 0..reps {
+                match summary.answer_batch(&queries, confidence) {
+                    Ok(a) => last = a,
+                    Err(e) => batch_err = Some(format!("{label}: batch answer: {e}")),
+                }
+            }
+            last
         });
-        assert_eq!(loop_answers.len(), batch_answers.len());
-        for (a, b) in loop_answers.iter().zip(&batch_answers) {
-            assert_eq!(a.value.to_bits(), b.value.to_bits(), "{kind}");
+        if let Some(e) = loop_err.or(batch_err) {
+            return Err(e);
         }
+        if loop_answers.len() != batch_answers.len() {
+            return Err(format!("{label}: loop/batch answer count mismatch"));
+        }
+        for (q, (a, b)) in queries.iter().zip(loop_answers.iter().zip(&batch_answers)) {
+            if a.value.to_bits() != b.value.to_bits() {
+                return Err(format!(
+                    "{label}: batch answer drifted from loop answer on {q}: {} vs {}",
+                    a.value, b.value
+                ));
+            }
+        }
+        let total_queries = (queries.len() * reps) as f64;
+        let loop_qps = total_queries / loop_secs;
+        let batch_qps = total_queries / batch_secs;
+        rates.push(((*label).to_string(), loop_qps, batch_qps));
         table.push(vec![
-            kind.name().into(),
-            format!("{:.0}", queries.len() as f64 / loop_secs),
-            format!("{:.0}", queries.len() as f64 / batch_secs),
+            (*label).to_string(),
+            format!("{loop_qps:.0}"),
+            format!("{batch_qps:.0}"),
             format!("{:.2}", loop_secs / batch_secs),
         ]);
     }
     print_table(
-        "batch vs loop (queries/s, one summary per kind)",
+        &format!("batch vs loop (queries/s, {batch} queries x {reps} reps)"),
         &["kind", "loop_qps", "batch_qps", "speedup"],
         &table,
     );
@@ -163,44 +220,65 @@ fn main() {
                 cache_capacity: 4096,
             },
         )
-        .expect("open store"),
+        .map_err(|e| format!("open store: {e}"))?,
     );
     for (i, (_, summary)) in summaries.iter().enumerate() {
         store
             .ingest("bench", i as u64 * 60, summary.clone())
-            .expect("ingest");
+            .map_err(|e| format!("ingest: {e}"))?;
     }
 
     let mut table: Vec<Vec<String>> = Vec::new();
+    let mut store_hot_8t = 0.0;
     for threads in [1usize, 4, 8] {
         for (mode, hot) in [("estimate-cold", false), ("estimate-hot", true)] {
             let per_thread = ops / threads;
-            let (_, secs) = timed(|| {
+            let (worker_results, secs) = timed(|| {
                 std::thread::scope(|scope| {
-                    for t in 0..threads {
-                        let store = store.clone();
-                        scope.spawn(move || {
-                            for i in 0..per_thread {
-                                let lo = if hot {
-                                    0
-                                } else {
-                                    mix((threads * 1_000_003 + t * per_thread + i) as u64)
-                                        % items as u64
-                                };
-                                let q = Query::interval(lo, lo + items as u64 / 4);
-                                let ans = store
-                                    .estimate("bench", SummaryKind::Sample, &q, confidence, None)
-                                    .expect("estimate");
-                                assert!(ans.estimate.lower <= ans.estimate.upper);
-                            }
-                        });
-                    }
-                });
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let store = store.clone();
+                            scope.spawn(move || -> Result<(), String> {
+                                for i in 0..per_thread {
+                                    let lo = if hot {
+                                        0
+                                    } else {
+                                        mix((threads * 1_000_003 + t * per_thread + i) as u64)
+                                            % items as u64
+                                    };
+                                    let q = Query::interval(lo, lo + items as u64 / 4);
+                                    let ans = store
+                                        .estimate(
+                                            "bench",
+                                            SummaryKind::Sample,
+                                            &q,
+                                            confidence,
+                                            None,
+                                        )
+                                        .map_err(|e| format!("estimate: {e}"))?;
+                                    if ans.estimate.lower > ans.estimate.upper {
+                                        return Err("estimate bounds inverted".into());
+                                    }
+                                }
+                                Ok(())
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("estimate worker panicked"))
+                        .collect::<Result<Vec<_>, _>>()
+                })
             });
+            worker_results?;
+            let ops_per_sec = (per_thread * threads) as f64 / secs;
+            if hot && threads == 8 {
+                store_hot_8t = ops_per_sec;
+            }
             table.push(vec![
                 mode.into(),
                 threads.to_string(),
-                format!("{:.0}", (per_thread * threads) as f64 / secs),
+                format!("{ops_per_sec:.0}"),
             ]);
         }
     }
@@ -210,4 +288,32 @@ fn main() {
         &table,
     );
     let _ = std::fs::remove_dir_all(&dir);
+
+    if let Some(path) = json_path {
+        let mut obj = JsonObj::new();
+        obj.str("bench", "core_query")
+            .int("items", items as u64)
+            .int("batch", batch as u64)
+            .int("reps", reps as u64);
+        for (label, loop_qps, batch_qps) in &rates {
+            if label == "sample" {
+                obj.num("answer_batch_1d_qps", *batch_qps)
+                    .num("answer_loop_1d_qps", *loop_qps);
+            } else if label == "sample2d" {
+                obj.num("answer_batch_2d_qps", *batch_qps)
+                    .num("answer_loop_2d_qps", *loop_qps);
+            }
+        }
+        let mut kinds = JsonObj::new();
+        for (label, loop_qps, batch_qps) in &rates {
+            let mut kind = JsonObj::new();
+            kind.num("loop_qps", *loop_qps).num("batch_qps", *batch_qps);
+            kinds.obj(label, &kind);
+        }
+        obj.obj("kinds", &kinds)
+            .num("store_hot_8t_ops_per_s", store_hot_8t);
+        obj.write(&path)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
 }

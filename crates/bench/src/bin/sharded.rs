@@ -1,33 +1,44 @@
-//! Sharded vs serial summarization: wall-clock and accuracy comparison of
-//! `sas_sampling::sharded::summarize_sharded` against the serial
-//! order-structure sampler on one large 1-D stream.
-//!
-//! For each shard count the table reports build time, speedup over serial,
-//! the average relative error over a battery of random intervals, and the
-//! relative total-estimate error (which must be ~0: the threshold merge
-//! conserves totals exactly).
+//! Sharded vs serial summarization, plus merge-tree throughput: the core
+//! ingest path (`sas_sampling::order::sample`), the sharded build
+//! (`summarize_sharded`), and a dedicated merge-tree phase that measures
+//! threshold merges per second *and* heap allocations per merge (this bin
+//! installs a counting global allocator for that purpose).
 //!
 //! Environment knobs: `SAS_SHARD_N` (stream length, default 400000),
-//! `SAS_SHARD_S` (budget, default 2000).
+//! `SAS_SHARD_S` (budget, default 2000), `SAS_SHARD_MERGE_REPS`
+//! (merge-tree repetitions, default 30).
+//!
+//! `--json PATH` writes the machine-readable result consumed by
+//! `scripts/bench_core.sh`; any phase failure exits non-zero.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sas_bench::{fmt_err, print_table, timed};
+use sas_bench::{alloc_count, env_usize, fmt_err, parse_json_flag, print_table, timed, JsonObj};
 use sas_core::{total_weight, Sample, WeightedKey};
 use sas_sampling::order;
-use sas_sampling::sharded::{summarize_sharded, ShardTopology, ShardedConfig};
+use sas_sampling::sharded::{
+    merge_sample_tree, per_shard_samples, summarize_sharded, ShardTopology, ShardedConfig,
+};
 use sas_structures::order::Interval;
 
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+#[global_allocator]
+static ALLOC: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sharded bench failed: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }
 
-fn main() {
+fn run() -> Result<(), String> {
+    let json_path = parse_json_flag()?;
     let n = env_usize("SAS_SHARD_N", 400_000) as u64;
     let s = env_usize("SAS_SHARD_S", 2_000);
+    let merge_reps = env_usize("SAS_SHARD_MERGE_REPS", 30);
     let seed = 7u64;
 
     // Heavy-tailed weights, keys = positions (order structure).
@@ -86,10 +97,19 @@ fn main() {
         eprintln!("note: single core — speedups reflect subdivision only, not parallelism");
     }
 
+    // --- serial ingest (the per-shard sampling kernel) --------------------
     let (serial, t_serial) = timed(|| {
         let mut rng = StdRng::seed_from_u64(seed + 2);
         order::sample(&data, s, &mut rng)
     });
+    if serial.len() != s.min(data.len()) {
+        return Err(format!(
+            "serial sample has {} entries, expected {}",
+            serial.len(),
+            s.min(data.len())
+        ));
+    }
+    let ingest_keys_per_s = n as f64 / t_serial;
 
     let mut rows: Vec<Vec<String>> = vec![vec![
         "serial".into(),
@@ -100,6 +120,7 @@ fn main() {
         format!("{:.2e}", (serial.total_estimate() - total).abs() / total),
     ]];
 
+    let mut sharded8_keys_per_s = 0.0;
     for topology in [ShardTopology::KeyRange, ShardTopology::RoundRobin] {
         for shards in [2usize, 4, 8] {
             let cfg = ShardedConfig {
@@ -108,7 +129,16 @@ fn main() {
                 seed: seed + 3,
             };
             let (smp, t) = timed(|| summarize_sharded(&data, s, &cfg));
-            assert_eq!(smp.len(), s.min(data.len()));
+            if smp.len() != s.min(data.len()) {
+                return Err(format!(
+                    "{topology:?}/{shards}: sharded sample has {} entries, expected {}",
+                    smp.len(),
+                    s.min(data.len())
+                ));
+            }
+            if topology == ShardTopology::KeyRange && shards == 8 {
+                sharded8_keys_per_s = n as f64 / t;
+            }
             rows.push(vec![
                 format!("{topology:?}"),
                 shards.to_string(),
@@ -132,4 +162,60 @@ fn main() {
         ],
         &rows,
     );
+
+    // --- merge-tree throughput + allocations per merge --------------------
+    // Eight per-shard samples merged bottom-up = 7 threshold merges per
+    // tree. The inputs for every repetition are cloned *before* the
+    // measured region so the allocation delta counts only the merges.
+    let cfg8 = ShardedConfig::key_range(8, seed + 3);
+    let parts = per_shard_samples(&data, s, &cfg8);
+    let merges_per_tree = (parts.len() - 1) as u64;
+    let inputs: Vec<Vec<Sample>> = (0..merge_reps).map(|_| parts.clone()).collect();
+    let mut rngs: Vec<StdRng> = (0..merge_reps)
+        .map(|rep| StdRng::seed_from_u64(seed + 100 + rep as u64))
+        .collect();
+
+    let allocs_before = alloc_count::allocations();
+    let (merged_len, t_merge) = timed(|| {
+        let mut last = 0;
+        for (level, rng) in inputs.into_iter().zip(rngs.iter_mut()) {
+            last = merge_sample_tree(level, s, rng).len();
+        }
+        last
+    });
+    let allocs = alloc_count::allocations() - allocs_before;
+    if merged_len != s.min(data.len()) {
+        return Err(format!(
+            "merge tree produced {merged_len} entries, expected {}",
+            s.min(data.len())
+        ));
+    }
+    let total_merges = merges_per_tree * merge_reps as u64;
+    let merge_tree_merges_per_s = total_merges as f64 / t_merge;
+    let merge_tree_allocs_per_merge = allocs as f64 / total_merges as f64;
+
+    print_table(
+        "merge tree (8 shards, 7 threshold merges per tree)",
+        &["reps", "merges_per_s", "allocs_per_merge"],
+        &[vec![
+            merge_reps.to_string(),
+            format!("{merge_tree_merges_per_s:.1}"),
+            format!("{merge_tree_allocs_per_merge:.1}"),
+        ]],
+    );
+
+    if let Some(path) = json_path {
+        let mut obj = JsonObj::new();
+        obj.str("bench", "core_sharded")
+            .int("n", n)
+            .int("s", s as u64)
+            .int("merge_reps", merge_reps as u64)
+            .num("ingest_keys_per_s", ingest_keys_per_s)
+            .num("sharded8_keys_per_s", sharded8_keys_per_s)
+            .num("merge_tree_merges_per_s", merge_tree_merges_per_s)
+            .num("merge_tree_allocs_per_merge", merge_tree_allocs_per_merge);
+        obj.write(&path)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
 }

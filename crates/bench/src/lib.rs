@@ -227,6 +227,158 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Reads a `usize` environment knob with a default (shared by the bins).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses the bin's command line: `--json PATH` selects machine-readable
+/// output alongside the human tables. Unknown arguments are an error so a
+/// scripted invocation with a typo fails loudly instead of silently
+/// printing text and exiting 0.
+pub fn parse_json_flag() -> Result<Option<std::path::PathBuf>, String> {
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                let p = args.next().ok_or("--json requires a path")?;
+                out = Some(std::path::PathBuf::from(p));
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected: --json PATH)"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Incremental writer for the flat JSON objects the bins emit under
+/// `--json`. Fields keep insertion order; one level of nesting via
+/// [`JsonObj::obj`]. Numbers are written as plain decimals (never
+/// scientific notation) so `scripts/bench_regression.sh` can extract them
+/// with a `"name": *[0-9.]*` grep.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a numeric field (non-finite values are recorded as 0).
+    pub fn num(&mut self, name: &str, v: f64) -> &mut Self {
+        let v = if v.is_finite() { v } else { 0.0 };
+        let s = if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.0}")
+        } else if v.abs() < 0.01 {
+            format!("{v:.8}")
+        } else {
+            format!("{v:.3}")
+        };
+        self.fields.push((name.to_string(), s));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, name: &str, v: u64) -> &mut Self {
+        self.fields.push((name.to_string(), v.to_string()));
+        self
+    }
+
+    /// Adds a string field (callers pass plain identifiers; quotes and
+    /// backslashes are escaped just in case).
+    pub fn str(&mut self, name: &str, v: &str) -> &mut Self {
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        self.fields
+            .push((name.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Adds a nested object field.
+    pub fn obj(&mut self, name: &str, v: &JsonObj) -> &mut Self {
+        self.fields.push((name.to_string(), v.render()));
+        self
+    }
+
+    /// Renders the object as a single-line JSON string.
+    pub fn render(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push('"');
+            s.push_str(k);
+            s.push_str("\": ");
+            s.push_str(v);
+        }
+        s.push('}');
+        s
+    }
+
+    /// Writes the rendered object (plus trailing newline) to `path`.
+    pub fn write(&self, path: &std::path::Path) -> Result<(), String> {
+        std::fs::write(path, self.render() + "\n")
+            .map_err(|e| format!("write {}: {e}", path.display()))
+    }
+}
+
+/// A counting global allocator for bins that report allocation deltas
+/// (e.g. allocations per merge). Opt in from a bin with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: sas_bench::alloc_count::CountingAlloc =
+///     sas_bench::alloc_count::CountingAlloc;
+/// ```
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// Forwards to the system allocator, counting every allocation
+    /// (including reallocations, which allocate).
+    pub struct CountingAlloc;
+
+    // SAFETY: pure pass-through to `System`; the counter has no effect on
+    // the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    /// Total allocations since process start (take deltas around a region).
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
 /// Prints a TSV header plus rows; shared output format of the figure bins.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("# {title}");
@@ -275,6 +427,31 @@ mod tests {
         let obliv = build_obliv(&w.data, 500, 1);
         assert_eq!(aware.size_elements(), 500);
         assert_eq!(obliv.size_elements(), 500);
+    }
+
+    #[test]
+    fn json_obj_renders_grepable_fields() {
+        let mut nested = JsonObj::new();
+        nested.num("rate", 12.3456);
+        let mut obj = JsonObj::new();
+        obj.str("bench", "core")
+            .num("whole", 42.0)
+            .int("count", 7)
+            .num("bad", f64::NAN)
+            .obj("inner", &nested);
+        let s = obj.render();
+        assert_eq!(
+            s,
+            "{\"bench\": \"core\", \"whole\": 42, \"count\": 7, \
+             \"bad\": 0, \"inner\": {\"rate\": 12.346}}"
+        );
+        // The regression script's extraction pattern must match.
+        assert!(s.contains("\"whole\": 42"));
+    }
+
+    #[test]
+    fn env_usize_falls_back_to_default() {
+        assert_eq!(env_usize("SAS_BENCH_NO_SUCH_KNOB", 77), 77);
     }
 
     #[test]

@@ -144,6 +144,64 @@ fn partition<'a>(data: &'a [WeightedKey], cfg: &ShardedConfig) -> Partition<'a> 
     }
 }
 
+/// Reusable scratch buffers for [`merge_samples_with`].
+///
+/// A threshold merge needs half a dozen temporary vectors (effective
+/// weights, the active partition, the aggregation state's key/probability
+/// columns, the pair order). Allocating them per merge dominates the cost
+/// of small merges; an arena threaded through a merge tree reuses them
+/// across every level instead. The arena never influences the merge
+/// result: `merge_samples(a, b, s, rng)` and `merge_samples_with(a, b, s,
+/// rng, &mut arena)` are bit-identical for any arena state, because the
+/// buffers are cleared before use and the RNG draw sequence is unchanged.
+#[derive(Debug, Default)]
+pub struct MergeArena {
+    eff: Vec<f64>,
+    active: Vec<SampleEntry>,
+    keys: Vec<KeyId>,
+    probs: Vec<f64>,
+    order_idx: Vec<usize>,
+    /// Retired entry vectors, recycled as the union/kept buffers of later
+    /// merges (a tree merge frees one input per merge — steady state needs
+    /// no fresh allocations at all).
+    entry_pool: Vec<Vec<SampleEntry>>,
+    /// 2-D location scratch for callers that carry per-key coordinates
+    /// through a merge (see `StoredSample::merge` in `sas-summaries`).
+    coord_scratch: std::collections::HashMap<KeyId, (u64, u64)>,
+}
+
+impl MergeArena {
+    /// A fresh arena (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared entry buffer from the pool (or a new one).
+    pub fn take_entries(&mut self) -> Vec<SampleEntry> {
+        let mut v = self.entry_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns an entry buffer to the pool for reuse.
+    pub fn recycle_entries(&mut self, v: Vec<SampleEntry>) {
+        self.entry_pool.push(v);
+    }
+
+    /// Takes the cleared per-key coordinate scratch map (for 2-D merges);
+    /// return it with [`MergeArena::put_coords`] when done.
+    pub fn take_coords(&mut self) -> std::collections::HashMap<KeyId, (u64, u64)> {
+        let mut m = std::mem::take(&mut self.coord_scratch);
+        m.clear();
+        m
+    }
+
+    /// Returns the coordinate scratch map for reuse.
+    pub fn put_coords(&mut self, m: std::collections::HashMap<KeyId, (u64, u64)>) {
+        self.coord_scratch = m;
+    }
+}
+
 /// Merges two finished samples over disjoint key sets down to budget `s`,
 /// preserving structure awareness over the key order.
 ///
@@ -154,44 +212,71 @@ fn partition<'a>(data: &'a [WeightedKey], cfg: &ShardedConfig) -> Partition<'a> 
 /// of the key domain keep low discrepancy through the merge. If the union
 /// already fits in `s`, it is returned unchanged (concatenation).
 pub fn merge_samples<R: Rng + ?Sized>(a: Sample, b: Sample, s: usize, rng: &mut R) -> Sample {
+    merge_samples_with(a, b, s, rng, &mut MergeArena::default())
+}
+
+/// [`merge_samples`] with caller-provided scratch buffers, bit-identical to
+/// it for any arena state. Thread one [`MergeArena`] through a sequence of
+/// merges (a merge tree, a compaction pass) to amortize the per-merge
+/// allocations away.
+pub fn merge_samples_with<R: Rng + ?Sized>(
+    a: Sample,
+    b: Sample,
+    s: usize,
+    rng: &mut R,
+    arena: &mut MergeArena,
+) -> Sample {
     assert!(s > 0, "merge budget must be positive");
     let tau_reported = a.tau().max(b.tau());
     let mut entries = a.into_entries();
-    entries.extend(b.into_entries());
+    let mut b_entries = b.into_entries();
+    entries.append(&mut b_entries);
+    arena.recycle_entries(b_entries);
 
-    let eff: Vec<f64> = entries.iter().map(|e| e.adjusted_weight).collect();
-    let tau_new = ipps::threshold_exact(&eff, s as f64);
+    arena.eff.clear();
+    arena.eff.extend(entries.iter().map(|e| e.adjusted_weight));
+    let tau_new = ipps::threshold_exact(&arena.eff, s as f64);
     if tau_new <= 0.0 {
         // Union fits in the budget: concatenation is the exact merge.
         return Sample::from_entries(entries, tau_reported);
     }
 
-    let mut kept: Vec<SampleEntry> = Vec::with_capacity(s);
-    let mut active: Vec<SampleEntry> = Vec::new();
-    for e in entries {
+    let mut kept: Vec<SampleEntry> = arena.take_entries();
+    kept.reserve(s);
+    arena.active.clear();
+    for e in entries.drain(..) {
         if e.adjusted_weight >= tau_new {
             kept.push(e);
         } else {
-            active.push(e);
+            arena.active.push(e);
         }
     }
+    arena.recycle_entries(entries);
     // Structure-aware re-subsampling: aggregate actives in key order.
-    active.sort_by_key(|e| e.key);
-    let keys: Vec<KeyId> = active.iter().map(|e| e.key).collect();
-    let probs: Vec<f64> = active.iter().map(|e| e.adjusted_weight / tau_new).collect();
-    let order_idx: Vec<usize> = (0..active.len()).collect();
+    arena.active.sort_by_key(|e| e.key);
+    let mut keys = std::mem::take(&mut arena.keys);
+    keys.clear();
+    keys.extend(arena.active.iter().map(|e| e.key));
+    let mut probs = std::mem::take(&mut arena.probs);
+    probs.clear();
+    probs.extend(arena.active.iter().map(|e| e.adjusted_weight / tau_new));
+    arena.order_idx.clear();
+    arena.order_idx.extend(0..arena.active.len());
     let mut state = AggregationState::new(keys, probs);
-    order::os_summarize(&mut state, &order_idx, rng);
+    order::os_summarize(&mut state, &arena.order_idx, rng);
     // Inclusion is read per *index*, not per key: duplicate keys (legal in
     // the input format, and splittable across shards) must be resolved
     // entry-by-entry or the merged size drifts from s.
-    kept.extend(active.into_iter().enumerate().filter_map(|(i, e)| {
+    kept.extend(arena.active.drain(..).enumerate().filter_map(|(i, e)| {
         (state.state(i) == EntryState::Included).then_some(SampleEntry {
             key: e.key,
             weight: e.weight,
             adjusted_weight: tau_new,
         })
     }));
+    let (keys, probs) = state.into_parts();
+    arena.keys = keys;
+    arena.probs = probs;
     Sample::from_entries(kept, tau_new)
 }
 
@@ -258,13 +343,17 @@ pub fn per_shard_samples(data: &[WeightedKey], s: usize, cfg: &ShardedConfig) ->
 /// of `log₂(shards)`.
 pub fn merge_sample_tree<R: Rng + ?Sized>(samples: Vec<Sample>, s: usize, rng: &mut R) -> Sample {
     assert!(s > 0, "merge budget must be positive");
+    // One arena for the whole tree: every merge after the first reuses the
+    // previous merges' scratch (and retired entry buffers) instead of
+    // allocating afresh.
+    let mut arena = MergeArena::default();
     let mut level = samples;
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
         let mut it = level.into_iter();
         while let Some(a) = it.next() {
             match it.next() {
-                Some(b) => next.push(merge_samples(a, b, s, rng)),
+                Some(b) => next.push(merge_samples_with(a, b, s, rng, &mut arena)),
                 None => next.push(a),
             }
         }
@@ -442,6 +531,36 @@ mod tests {
         let kb: Vec<_> = recombined.keys().collect();
         assert_eq!(ka, kb);
         assert_eq!(direct.tau().to_bits(), recombined.tau().to_bits());
+    }
+
+    #[test]
+    fn arena_merge_is_bit_identical_to_fresh_allocation() {
+        // A dirty, reused arena must never change a merge result: same
+        // entries (key, weight, adjusted weight bits) and same threshold
+        // as the allocate-per-merge path, across many seeds.
+        let data = stream(1500, 33);
+        let mut arena = MergeArena::new();
+        for seed in 0..60u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let a1 = order::sample(&data[..700], 60, &mut r1);
+            let b1 = order::sample(&data[700..], 60, &mut r1);
+            let a2 = order::sample(&data[..700], 60, &mut r2);
+            let b2 = order::sample(&data[700..], 60, &mut r2);
+            let fresh = merge_samples(a1, b1, 50, &mut r1);
+            let reused = merge_samples_with(a2, b2, 50, &mut r2, &mut arena);
+            assert_eq!(fresh.tau().to_bits(), reused.tau().to_bits(), "seed {seed}");
+            assert_eq!(fresh.len(), reused.len(), "seed {seed}");
+            for (x, y) in fresh.iter().zip(reused.iter()) {
+                assert_eq!(x.key, y.key, "seed {seed}");
+                assert_eq!(x.weight.to_bits(), y.weight.to_bits(), "seed {seed}");
+                assert_eq!(
+                    x.adjusted_weight.to_bits(),
+                    y.adjusted_weight.to_bits(),
+                    "seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

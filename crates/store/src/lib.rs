@@ -58,8 +58,8 @@ use rand::SeedableRng;
 
 use sas_codec::CodecError;
 use sas_summaries::{
-    decode_summary, encode_summary, merge_tree, Estimate, Query, QueryError, Summary, SummaryError,
-    SummaryKind,
+    decode_summaries, encode_summary, merge_tree_with, Estimate, MergeArena, Query, QueryError,
+    Summary, SummaryError, SummaryKind,
 };
 
 use cache::{CacheKey, CachedAnswer, QueryCache, PLAIN_CONFIDENCE};
@@ -315,10 +315,15 @@ impl Store {
             manifest_sequence: manifest.sequence,
             ..WriterState::default()
         };
+        // Read every frame first, then batch-decode: recovery touches the
+        // disk in one sequential sweep and the decode loop stays tight.
+        let mut frames = Vec::with_capacity(manifest.entries.len());
         for entry in &manifest.entries {
             let path = frame_path(&dir, &entry.key);
-            let bytes = fs::read(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
-            let summary = decode_summary(&bytes)?;
+            frames.push(fs::read(&path).map_err(|e| StoreError::Io(path, e))?);
+        }
+        let summaries = decode_summaries(&frames)?;
+        for ((entry, bytes), summary) in manifest.entries.iter().zip(frames).zip(summaries) {
             if summary.kind() != entry.key.kind {
                 return Err(StoreError::BadRequest(format!(
                     "manifest says {} holds a {} summary, file holds {}",
@@ -606,6 +611,9 @@ impl Store {
         let mut windows = snap.windows.clone();
         let mut doomed_paths: Vec<PathBuf> = Vec::new();
         let mut rollups = 0usize;
+        // One arena serves every roll-up of the pass: the merge scratch is
+        // allocated once, not once per merge (bit-identical either way).
+        let mut arena = MergeArena::new();
 
         // Minute→hour first so freshly built hours can cascade into days
         // within the same pass.
@@ -622,10 +630,11 @@ impl Store {
             }
             for (parent_key, children) in groups {
                 let batches: u64 = children.iter().map(|c| c.batches).sum();
-                let merged = rebuild_parent(
+                let merged = rebuild_parent_with(
                     &parent_key,
                     children.iter().map(|c| c.summary.clone()).collect(),
                     self.config.budget,
+                    &mut arena,
                 )?;
                 let bytes = encode_summary(merged.as_ref());
                 let path = frame_path(&self.dir, &parent_key);
@@ -700,16 +709,28 @@ const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Rebuilds a parent window from its children — the *definition* of what
 /// compaction must produce: child summaries in ascending window order,
-/// merged bottom-up by [`merge_tree`] under the parent's deterministic
-/// seed. Offline verification decodes persisted child frames and calls
-/// this; the result is bit-identical to the store's own roll-up.
+/// merged bottom-up by [`sas_summaries::merge_tree`] under the parent's
+/// deterministic seed. Offline verification decodes persisted child frames
+/// and calls this; the result is bit-identical to the store's own roll-up.
 pub fn rebuild_parent(
     parent: &WindowKey,
     children: Vec<Box<dyn Summary>>,
     budget: Option<usize>,
 ) -> Result<Box<dyn Summary>, StoreError> {
+    rebuild_parent_with(parent, children, budget, &mut MergeArena::new())
+}
+
+/// [`rebuild_parent`] with caller-provided merge scratch — bit-identical
+/// to it for any arena state. The compaction loop threads one arena
+/// through every roll-up of a pass.
+pub fn rebuild_parent_with(
+    parent: &WindowKey,
+    children: Vec<Box<dyn Summary>>,
+    budget: Option<usize>,
+    arena: &mut MergeArena,
+) -> Result<Box<dyn Summary>, StoreError> {
     let mut rng = StdRng::seed_from_u64(window_seed(parent));
-    Ok(merge_tree(children, budget, &mut rng)?)
+    Ok(merge_tree_with(children, budget, &mut rng, arena)?)
 }
 
 /// On-disk location of a window's frame.

@@ -107,6 +107,66 @@ fn ingest_persists_and_recovers_bit_identically() {
 }
 
 #[test]
+fn budgeted_compaction_with_shared_arena_matches_fresh_rebuild() {
+    // Budgeted roll-ups re-subsample through the arena-backed merge path,
+    // and one compaction pass threads a single arena through every
+    // roll-up — dirty from the second hour on. Each hour frame must still
+    // equal the offline `rebuild_parent` (which allocates a fresh arena)
+    // byte for byte, across many store layouts.
+    for seed in 0..30u64 {
+        let dir = TempDir::new("compact-arena");
+        let store = Store::open(
+            dir.path(),
+            StoreConfig {
+                budget: Some(25),
+                cache_capacity: 16,
+            },
+        )
+        .unwrap();
+        // Three minutes in hour 0, two in hour 1, one sealer in hour 2.
+        for (i, ts) in [0u64, 60, 120, 3600, 3660, 7200].into_iter().enumerate() {
+            store
+                .ingest(
+                    "web",
+                    ts,
+                    batch(seed * 6000 + i as u64 * 1000, 80, seed * 10 + i as u64),
+                )
+                .unwrap();
+        }
+        let minute_frames: Vec<(WindowKey, Vec<u8>)> = store
+            .list()
+            .iter()
+            .map(|r| {
+                let path = frame_path(dir.path(), &r.key);
+                (r.key.clone(), fs::read(path).unwrap())
+            })
+            .collect();
+        assert_eq!(store.compact_once().unwrap(), 2);
+        for hour_start in [0u64, 3600] {
+            let hour_key = WindowKey {
+                dataset: "web".into(),
+                kind: SummaryKind::Sample,
+                level: Level::Hour,
+                start: hour_start,
+            };
+            let children: Vec<Box<dyn Summary>> = minute_frames
+                .iter()
+                .filter(|(k, _)| k.parent().unwrap() == hour_key)
+                .map(|(_, bytes)| decode_summary(bytes).unwrap())
+                .collect();
+            let rebuilt = rebuild_parent(&hour_key, children, Some(25)).unwrap();
+            let on_disk = fs::read(frame_path(dir.path(), &hour_key)).unwrap();
+            assert_eq!(
+                on_disk,
+                encode_summary(rebuilt.as_ref()),
+                "seed {seed}, hour {hour_start}: shared-arena compaction must \
+                 equal the fresh-arena rebuild byte-for-byte"
+            );
+        }
+    }
+}
+
+#[test]
 fn compaction_is_bit_identical_to_offline_rebuild() {
     let dir = TempDir::new("compact");
     let store = Store::open(dir.path(), StoreConfig::default()).unwrap();

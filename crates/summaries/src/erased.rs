@@ -24,6 +24,7 @@ use rand::RngCore;
 use sas_codec::{encode_frame, open_frame, CodecError, Reader, Writer};
 use sas_core::varopt::VarOptSampler;
 use sas_core::KeyId;
+use sas_sampling::sharded::MergeArena;
 use sas_structures::product::BoxRange;
 
 use crate::countsketch::SketchSummary;
@@ -177,10 +178,12 @@ pub trait Summary: fmt::Debug + Send + Sync {
     /// domain.
     ///
     /// **Deprecated shim** — this is [`Summary::answer`] with a box query,
-    /// discarding the error bounds. Kept (as a provided method, extra axes
-    /// ignored as they historically were) so pre-PR-5 callers and the old
-    /// `REQ_QUERY` wire tag keep receiving bit-identical values; new code
-    /// should call [`Summary::answer`].
+    /// discarding the error bounds. It is a provided method (extra axes
+    /// ignored as they historically were) and deliberately has **no
+    /// per-kind overrides**: [`Summary::answer`] is the single source of
+    /// truth for query values, so the shim cannot drift from it. Pre-PR-5
+    /// callers and the old `REQ_QUERY` wire tag keep receiving
+    /// bit-identical values; new code should call [`Summary::answer`].
     fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
         let range = &range[..range.len().min(self.dims())];
         self.answer(&Query::BoxRange(range.to_vec()), 0.95)
@@ -202,6 +205,21 @@ pub trait Summary: fmt::Debug + Send + Sync {
         budget: Option<usize>,
         rng: &mut dyn RngCore,
     ) -> Result<(), SummaryError>;
+
+    /// [`Summary::merge_in_place`] with caller-provided scratch buffers —
+    /// bit-identical to it for any arena state. Kinds whose merge allocates
+    /// per call (budgeted samples) override this to recycle the arena's
+    /// buffers; the default ignores the arena. [`merge_tree_with`] threads
+    /// one arena through every merge of a tree.
+    fn merge_in_place_with(
+        &mut self,
+        other: Box<dyn Summary>,
+        budget: Option<usize>,
+        rng: &mut dyn RngCore,
+        _arena: &mut MergeArena,
+    ) -> Result<(), SummaryError> {
+        self.merge_in_place(other, budget, rng)
+    }
 
     /// Writes the kind-specific frame body (sections only; the envelope is
     /// added by [`encode_summary`]).
@@ -291,6 +309,14 @@ pub fn decode_summary(bytes: &[u8]) -> Result<Box<dyn Summary>, CodecError> {
     Ok(summary)
 }
 
+/// Batch-decodes a set of frames in order, stopping at the first corrupt
+/// one. This is the shape store recovery and the merge-from-disk benches
+/// want: decode everything up front, then merge the decoded summaries as
+/// one [`merge_tree_with`] pass instead of interleaving decode and merge.
+pub fn decode_summaries<B: AsRef<[u8]>>(frames: &[B]) -> Result<Vec<Box<dyn Summary>>, CodecError> {
+    frames.iter().map(|b| decode_summary(b.as_ref())).collect()
+}
+
 /// Merges summaries of *disjoint* data bottom-up in a binary tree:
 /// adjacent pairs merge level by level, so `N` inputs pay `O(log₂ N)`
 /// merge levels (for budgeted samples each level adds less than 2 to any
@@ -304,6 +330,20 @@ pub fn merge_tree(
     budget: Option<usize>,
     rng: &mut dyn RngCore,
 ) -> Result<Box<dyn Summary>, SummaryError> {
+    merge_tree_with(summaries, budget, rng, &mut MergeArena::new())
+}
+
+/// [`merge_tree`] with caller-provided scratch buffers — bit-identical to
+/// it for any arena state. One [`MergeArena`] is threaded through all
+/// `N - 1` merges, so the tree pays the merge scratch allocations once
+/// instead of once per merge; a compaction loop can likewise carry a
+/// single arena across many trees.
+pub fn merge_tree_with(
+    summaries: Vec<Box<dyn Summary>>,
+    budget: Option<usize>,
+    rng: &mut dyn RngCore,
+    arena: &mut MergeArena,
+) -> Result<Box<dyn Summary>, SummaryError> {
     if summaries.is_empty() {
         return Err(SummaryError::Merge("nothing to merge".into()));
     }
@@ -313,7 +353,7 @@ pub fn merge_tree(
         let mut it = level.into_iter();
         while let Some(mut a) = it.next() {
             if let Some(b) = it.next() {
-                a.merge_in_place(b, budget, rng)?;
+                a.merge_in_place_with(b, budget, rng, arena)?;
             }
             next.push(a);
         }
@@ -369,19 +409,19 @@ impl Summary for StoredSample {
     }
 
     fn dims(&self) -> usize {
-        self.dims()
+        StoredSample::dims(self)
     }
 
     fn item_count(&self) -> usize {
-        self.sample().len()
+        self.len()
     }
 
     fn total_estimate(&self) -> f64 {
-        self.sample().total_estimate()
+        StoredSample::total_estimate(self)
     }
 
     fn tau(&self) -> Option<f64> {
-        Some(self.sample().tau())
+        Some(StoredSample::tau(self))
     }
 
     fn answer(&self, query: &Query, confidence: f64) -> Result<Estimate, QueryError> {
@@ -393,43 +433,84 @@ impl Summary for StoredSample {
         queries: &[Query],
         confidence: f64,
     ) -> Result<Vec<Estimate>, QueryError> {
-        let tau = self.sample().tau();
+        let tau = StoredSample::tau(self);
         let compiled: Vec<Vec<Vec<(u64, u64)>>> = queries
             .iter()
             .map(|q| q.boxes(StoredSample::dims(self)))
             .collect::<Result<_, _>>()?;
-        // One pass over the sample items: each entry is tested against
-        // every query, instead of re-walking the sample per query. The 2-D
-        // location lookup is query-independent, so it is resolved once per
-        // entry, not once per (entry, query) pair.
+        // One pass over the item columns. Single-box queries (every query
+        // shape except MultiRange) have their bounds flattened into
+        // parallel per-axis columns, so the hot loop tests each item's key
+        // or coordinates against plain bound arrays — contiguous loads, no
+        // nested-Vec indirection, no per-entry map lookup; the multi-box
+        // stragglers ride the same item pass with the usual any-box test.
         let two_dim = StoredSample::dims(self) == 2;
+        let (keys, weights, adjusted) = (self.keys(), self.weights(), self.adjusted_weights());
+        let (xs, ys) = (self.xs(), self.ys());
         let mut accs = vec![SampleAccumulator::default(); queries.len()];
-        for e in self.sample().iter() {
-            let point = two_dim.then(|| self.points().get(&e.key)).flatten();
-            let hit = |axes: &[(u64, u64)]| {
+        let mut qidx: Vec<usize> = Vec::with_capacity(queries.len());
+        let mut b0: Vec<(u64, u64)> = Vec::with_capacity(queries.len());
+        let mut b1: Vec<(u64, u64)> = Vec::with_capacity(queries.len());
+        // Multi-box queries, as (query index, compiled boxes) pairs.
+        type MultiBox<'a> = (usize, &'a [Vec<(u64, u64)>]);
+        let mut multi: Vec<MultiBox<'_>> = Vec::new();
+        for (qi, boxes) in compiled.iter().enumerate() {
+            if let [axes] = boxes.as_slice() {
+                qidx.push(qi);
+                b0.push(axes[0]);
                 if two_dim {
-                    point.is_some_and(|p| {
-                        in_interval(axes[0], p.coord(0)) && in_interval(axes[1], p.coord(1))
-                    })
-                } else {
-                    in_interval(axes[0], e.key)
+                    b1.push(axes[1]);
                 }
-            };
-            for (acc, boxes) in accs.iter_mut().zip(&compiled) {
-                if boxes.iter().any(|axes| hit(axes)) {
-                    acc.add(e.weight, e.adjusted_weight, tau);
+            } else {
+                multi.push((qi, boxes.as_slice()));
+            }
+        }
+        // The light/heavy split and the light item's variance term depend
+        // only on the item, not the query, so both are hoisted out of the
+        // per-query loop (unswitching a branch the compiler can't). Each
+        // accumulator still folds hits in item order, so every answer is
+        // bit-identical to the one-query-at-a-time path.
+        let mut flat = vec![SampleAccumulator::default(); qidx.len()];
+        if two_dim {
+            for (((&x, &y), &w), &a) in xs.iter().zip(ys).zip(weights).zip(adjusted) {
+                let light = tau > 0.0 && w < tau;
+                let light_var = if light { tau * (tau - w) } else { 0.0 };
+                for ((acc, &(x0, x1)), &(y0, y1)) in flat.iter_mut().zip(&b0).zip(&b1) {
+                    if x0 <= x && x <= x1 && y0 <= y && y <= y1 {
+                        acc.add_classified(a, tau, light, light_var);
+                    }
+                }
+                for &(qi, boxes) in &multi {
+                    if boxes
+                        .iter()
+                        .any(|axes| in_interval(axes[0], x) && in_interval(axes[1], y))
+                    {
+                        accs[qi].add_classified(a, tau, light, light_var);
+                    }
                 }
             }
+        } else {
+            for ((&k, &w), &a) in keys.iter().zip(weights).zip(adjusted) {
+                let light = tau > 0.0 && w < tau;
+                let light_var = if light { tau * (tau - w) } else { 0.0 };
+                for (acc, &(lo, hi)) in flat.iter_mut().zip(&b0) {
+                    if lo <= k && k <= hi {
+                        acc.add_classified(a, tau, light, light_var);
+                    }
+                }
+                for &(qi, boxes) in &multi {
+                    if boxes.iter().any(|axes| in_interval(axes[0], k)) {
+                        accs[qi].add_classified(a, tau, light, light_var);
+                    }
+                }
+            }
+        }
+        for (&qi, acc) in qidx.iter().zip(flat) {
+            accs[qi] = acc;
         }
         accs.into_iter()
             .map(|a| a.finish(tau, confidence))
             .collect()
-    }
-
-    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
-        // Value-only fast path (no confidence-interval inversion); the
-        // accumulation order matches `answer`, so the two are bit-identical.
-        StoredSample::range_sum(self, range)
     }
 
     fn merge_in_place(
@@ -440,6 +521,18 @@ impl Summary for StoredSample {
     ) -> Result<(), SummaryError> {
         let other = downcast::<StoredSample>(other, SummaryKind::Sample)?;
         self.merge(*other, budget, rng).map_err(SummaryError::Merge)
+    }
+
+    fn merge_in_place_with(
+        &mut self,
+        other: Box<dyn Summary>,
+        budget: Option<usize>,
+        rng: &mut dyn RngCore,
+        arena: &mut MergeArena,
+    ) -> Result<(), SummaryError> {
+        let other = downcast::<StoredSample>(other, SummaryKind::Sample)?;
+        self.merge_with(*other, budget, rng, arena)
+            .map_err(SummaryError::Merge)
     }
 
     fn encode_body(&self, w: &mut Writer) {
@@ -572,20 +665,6 @@ impl Summary for VarOptSampler {
             .collect()
     }
 
-    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
-        // Value-only fast path; accumulation matches `answer` bit for bit.
-        let (lo, hi) = range.first().copied().unwrap_or((0, u64::MAX));
-        let tau = self.tau();
-        let in_range = |k: KeyId| (lo..=hi).contains(&k);
-        let large: f64 = self
-            .large_entries()
-            .filter(|&(k, _)| in_range(k))
-            .map(|(_, w)| w.max(tau))
-            .sum();
-        let small = self.small_keys().iter().filter(|&&k| in_range(k)).count();
-        large + small as f64 * tau
-    }
-
     fn merge_in_place(
         &mut self,
         other: Box<dyn Summary>,
@@ -669,11 +748,6 @@ impl Summary for QDigestSummary {
         Ok(deterministic_estimate(value, lower, upper))
     }
 
-    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
-        // Value-only fast path; matches `answer` bit for bit.
-        self.estimate_box(&box_from(range))
-    }
-
     fn merge_in_place(
         &mut self,
         other: Box<dyn Summary>,
@@ -736,11 +810,6 @@ impl Summary for WaveletSummary {
             err += self.bound_box(&b);
         }
         Ok(deterministic_estimate(value, value - err, value + err))
-    }
-
-    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
-        // Value-only fast path; matches `answer` bit for bit.
-        self.estimate_box(&box_from(range))
     }
 
     fn merge_in_place(
@@ -814,11 +883,6 @@ impl Summary for SketchSummary {
             upper: value + dev,
             confidence,
         })
-    }
-
-    fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
-        // Value-only fast path; matches `answer` bit for bit.
-        self.estimate_box(&box_from(range))
     }
 
     fn merge_in_place(

@@ -52,8 +52,12 @@ pub mod stored;
 pub mod wavelet;
 pub mod wavelet1d;
 
-pub use erased::{decode_summary, encode_summary, merge_tree, Summary, SummaryError, SummaryKind};
+pub use erased::{
+    decode_summaries, decode_summary, encode_summary, merge_tree, merge_tree_with, Summary,
+    SummaryError, SummaryKind,
+};
 pub use query::{Estimate, Query, QueryBatch, QueryError};
+pub use sas_sampling::sharded::MergeArena;
 pub use stored::StoredSample;
 
 use sas_structures::product::{BoxRange, MultiRangeQuery};

@@ -605,13 +605,28 @@ pub(crate) struct SampleAccumulator {
 }
 
 impl SampleAccumulator {
-    /// Folds one in-range item in.
+    /// Folds one in-range item in. Reference form of [`Self::add_classified`]
+    /// (which the batch hot loop uses with the classification hoisted);
+    /// kept for unit tests pinning the accumulator semantics.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn add(&mut self, weight: f64, adjusted: f64, tau: f64) {
+        let light = tau > 0.0 && weight < tau;
+        let light_var = if light { tau * (tau - weight) } else { 0.0 };
+        self.add_classified(adjusted, tau, light, light_var);
+    }
+
+    /// Folds one in-range item whose light/heavy classification and light
+    /// variance contribution were hoisted out of a per-query loop (they
+    /// depend only on the item, not the query). Bit-identical to
+    /// [`Self::add`] with `light = tau > 0.0 && weight < tau` and
+    /// `light_var = tau * (tau - weight)`.
+    #[inline(always)]
+    pub fn add_classified(&mut self, adjusted: f64, tau: f64, light: bool, light_var: f64) {
         self.value += adjusted;
-        if tau > 0.0 && weight < tau {
+        if light {
             self.light_adjusted += tau;
             self.light_count += 1;
-            self.variance += tau * (tau - weight);
+            self.variance += light_var;
         } else {
             self.heavy += adjusted;
         }

@@ -5,58 +5,106 @@
 //! 2-D data), self-contained enough to answer any subset-sum query without
 //! the underlying data set. The CLI's TSV summaries and the binary frames
 //! of `sas-codec` both load into this type.
+//!
+//! ## Layout
+//!
+//! The sample is held as a struct of arrays: parallel `keys` / `weights` /
+//! `adjusted` columns, plus `xs` / `ys` location columns for 2-D data. A
+//! range test over the summary is then a tight scan of two or three
+//! columns — no per-item hash-map lookup, no pointer chasing — which is
+//! what makes `answer_batch` over thousands of queries cheap. Columns keep
+//! **entry order** (the order the sampler or merge produced), because the
+//! v1 wire format serializes entries in that order and the encoding must
+//! stay bit-identical to the original array-of-structs layout.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use sas_core::estimate::{Sample, SampleEntry};
 use sas_core::KeyId;
-use sas_structures::product::{BoxRange, Point};
+use sas_sampling::sharded::MergeArena;
+use sas_structures::product::Point;
 
-/// A finished sample with optional 2-D locations.
-#[derive(Debug, Clone)]
+/// A finished sample with optional 2-D locations, stored as parallel
+/// columns in entry order (see the module docs).
+#[derive(Debug, Clone, Default)]
 pub struct StoredSample {
-    sample: Sample,
-    /// Location per sampled key (empty for 1-D, where keys are positions).
-    points: HashMap<KeyId, Point>,
+    keys: Vec<KeyId>,
+    weights: Vec<f64>,
+    adjusted: Vec<f64>,
+    /// Per-entry locations, aligned with `keys` (empty for 1-D, where the
+    /// keys themselves are positions on the line).
+    xs: Vec<u64>,
+    ys: Vec<u64>,
+    tau: f64,
     dims: usize,
 }
 
 impl StoredSample {
     /// Wraps a 1-D sample (keys are positions on the line).
     pub fn one_dim(sample: Sample) -> Self {
-        Self {
-            sample,
-            points: HashMap::new(),
+        let tau = sample.tau();
+        let entries = sample.into_entries();
+        let mut s = Self {
+            keys: Vec::with_capacity(entries.len()),
+            weights: Vec::with_capacity(entries.len()),
+            adjusted: Vec::with_capacity(entries.len()),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            tau,
             dims: 1,
+        };
+        for e in entries {
+            s.keys.push(e.key);
+            s.weights.push(e.weight);
+            s.adjusted.push(e.adjusted_weight);
         }
+        s
     }
 
     /// Wraps a 2-D sample; every sampled key must have a location.
     pub fn two_dim(sample: Sample, points: HashMap<KeyId, Point>) -> Result<Self, String> {
-        for e in sample.iter() {
+        let tau = sample.tau();
+        let entries = sample.into_entries();
+        let mut s = Self {
+            keys: Vec::with_capacity(entries.len()),
+            weights: Vec::with_capacity(entries.len()),
+            adjusted: Vec::with_capacity(entries.len()),
+            xs: Vec::with_capacity(entries.len()),
+            ys: Vec::with_capacity(entries.len()),
+            tau,
+            dims: 2,
+        };
+        for e in entries {
             match points.get(&e.key) {
                 None => return Err(format!("sampled key {} has no location", e.key)),
                 Some(p) if p.dim() != 2 => {
                     return Err(format!("key {} has a {}-D location", e.key, p.dim()))
                 }
-                Some(_) => {}
+                Some(p) => {
+                    s.xs.push(p.coord(0));
+                    s.ys.push(p.coord(1));
+                }
             }
+            s.keys.push(e.key);
+            s.weights.push(e.weight);
+            s.adjusted.push(e.adjusted_weight);
         }
-        Ok(Self {
-            sample,
-            points,
-            dims: 2,
-        })
+        Ok(s)
     }
 
-    /// The underlying sample.
-    pub fn sample(&self) -> &Sample {
-        &self.sample
+    /// Number of sampled entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
     }
 
-    /// The location map (empty for 1-D summaries).
-    pub fn points(&self) -> &HashMap<KeyId, Point> {
-        &self.points
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The IPPS threshold.
+    pub fn tau(&self) -> f64 {
+        self.tau
     }
 
     /// Dimensionality (1 or 2).
@@ -64,22 +112,83 @@ impl StoredSample {
         self.dims
     }
 
+    /// The key column (entry order).
+    pub fn keys(&self) -> &[KeyId] {
+        &self.keys
+    }
+
+    /// The original-weight column, aligned with [`StoredSample::keys`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The HT adjusted-weight column, aligned with [`StoredSample::keys`].
+    pub fn adjusted_weights(&self) -> &[f64] {
+        &self.adjusted
+    }
+
+    /// The x-coordinate column (empty for 1-D summaries).
+    pub fn xs(&self) -> &[u64] {
+        &self.xs
+    }
+
+    /// The y-coordinate column (empty for 1-D summaries).
+    pub fn ys(&self) -> &[u64] {
+        &self.ys
+    }
+
+    /// HT estimate of the total data weight.
+    pub fn total_estimate(&self) -> f64 {
+        self.adjusted.iter().sum()
+    }
+
+    /// Materializes the underlying sample (entry order preserved).
+    pub fn to_sample(&self) -> Sample {
+        let entries = (0..self.keys.len())
+            .map(|i| SampleEntry {
+                key: self.keys[i],
+                weight: self.weights[i],
+                adjusted_weight: self.adjusted[i],
+            })
+            .collect();
+        Sample::from_entries(entries, self.tau)
+    }
+
+    /// The location map (empty for 1-D summaries). Built on demand — the
+    /// hot paths read the coordinate columns directly.
+    pub fn point_map(&self) -> HashMap<KeyId, Point> {
+        self.keys
+            .iter()
+            .zip(self.xs.iter().zip(&self.ys))
+            .map(|(&k, (&x, &y))| (k, Point::xy(x, y)))
+            .collect()
+    }
+
     /// HT estimate of the weight inside an axis-aligned range
     /// (`range[0]` on the key line for 1-D; `range[0]`, `range[1]` as a box
-    /// for 2-D). Missing axes default to the full domain.
+    /// for 2-D). Missing axes default to the full domain. Folds from +0.0
+    /// in entry order — bit-identical to the query accumulator, including
+    /// on ranges matching nothing (`Iterator::sum` would give -0.0 there).
     pub fn range_sum(&self, range: &[(u64, u64)]) -> f64 {
         let axis = |i: usize| range.get(i).copied().unwrap_or((0, u64::MAX));
         match self.dims {
             1 => {
                 let (lo, hi) = axis(0);
-                self.sample.subset_estimate(|k| (lo..=hi).contains(&k))
+                self.keys
+                    .iter()
+                    .zip(&self.adjusted)
+                    .filter(|(&k, _)| lo <= k && k <= hi)
+                    .fold(0.0, |acc, (_, &a)| acc + a)
             }
             _ => {
                 let (x0, x1) = axis(0);
                 let (y0, y1) = axis(1);
-                let b = BoxRange::xy(x0, x1, y0, y1);
-                self.sample
-                    .subset_estimate(|k| self.points.get(&k).is_some_and(|p| b.contains(p)))
+                self.xs
+                    .iter()
+                    .zip(&self.ys)
+                    .zip(&self.adjusted)
+                    .filter(|((&x, &y), _)| x0 <= x && x <= x1 && y0 <= y && y <= y1)
+                    .fold(0.0, |acc, (_, &a)| acc + a)
             }
         }
     }
@@ -98,54 +207,135 @@ impl StoredSample {
         budget: Option<usize>,
         rng: &mut R,
     ) -> Result<(), String> {
+        self.merge_with(other, budget, rng, &mut MergeArena::new())
+    }
+
+    /// [`StoredSample::merge`] with caller-provided scratch buffers —
+    /// bit-identical to it for any arena state. A merge tree or compaction
+    /// pass threads one [`MergeArena`] through every merge to amortize the
+    /// per-merge allocations away.
+    pub fn merge_with<R: rand::Rng + ?Sized>(
+        &mut self,
+        other: StoredSample,
+        budget: Option<usize>,
+        rng: &mut R,
+        arena: &mut MergeArena,
+    ) -> Result<(), String> {
         if self.dims != other.dims {
             return Err(format!(
                 "cannot merge a {}-D sample into a {}-D sample",
                 other.dims, self.dims
             ));
         }
-        let mine = std::mem::take(&mut self.sample);
-        self.sample = match budget {
-            Some(s) if s > 0 => sas_sampling::sharded::merge_samples(mine, other.sample, s, rng),
-            Some(_) => return Err("merge budget must be positive".into()),
-            None => {
-                let mut m = mine;
-                m.merge(other.sample);
-                m
+        match budget {
+            Some(s) if s > 0 => {
+                // Per-key locations survive the re-subsampling through the
+                // arena's coordinate scratch (later inserts win, matching
+                // the historical map-extend semantics).
+                let coords = (self.dims == 2).then(|| {
+                    let mut m = arena.take_coords();
+                    for i in 0..self.keys.len() {
+                        m.insert(self.keys[i], (self.xs[i], self.ys[i]));
+                    }
+                    for i in 0..other.keys.len() {
+                        m.insert(other.keys[i], (other.xs[i], other.ys[i]));
+                    }
+                    m
+                });
+                let mine = self.take_sample(arena);
+                let theirs = other.into_sample(arena);
+                let merged = sas_sampling::sharded::merge_samples_with(mine, theirs, s, rng, arena);
+                let result = self.load_sample(merged, coords.as_ref(), arena);
+                if let Some(m) = coords {
+                    arena.put_coords(m);
+                }
+                result
             }
-        };
-        if self.dims == 2 {
-            self.points.extend(other.points);
-            // Re-subsampling may have dropped keys; keep the location map
-            // aligned with the surviving entries so size stays honest.
-            let kept: HashSet<KeyId> = self.sample.keys().collect();
-            self.points.retain(|k, _| kept.contains(k));
+            Some(_) => Err("merge budget must be positive".into()),
+            None => {
+                // Concatenation: extend every column; each entry keeps its
+                // own adjusted weight and location.
+                self.tau = self.tau.max(other.tau);
+                self.keys.extend_from_slice(&other.keys);
+                self.weights.extend_from_slice(&other.weights);
+                self.adjusted.extend_from_slice(&other.adjusted);
+                self.xs.extend_from_slice(&other.xs);
+                self.ys.extend_from_slice(&other.ys);
+                Ok(())
+            }
         }
+    }
+
+    /// Drains the columns into a `Sample` backed by an arena buffer.
+    fn take_sample(&mut self, arena: &mut MergeArena) -> Sample {
+        let mut entries = arena.take_entries();
+        entries.extend((0..self.keys.len()).map(|i| SampleEntry {
+            key: self.keys[i],
+            weight: self.weights[i],
+            adjusted_weight: self.adjusted[i],
+        }));
+        self.keys.clear();
+        self.weights.clear();
+        self.adjusted.clear();
+        self.xs.clear();
+        self.ys.clear();
+        Sample::from_entries(entries, self.tau)
+    }
+
+    /// Consumes `self` into a `Sample` backed by an arena buffer.
+    fn into_sample(mut self, arena: &mut MergeArena) -> Sample {
+        self.take_sample(arena)
+    }
+
+    /// Refills the columns from a merged sample, resolving 2-D locations
+    /// through `coords`; returns the entry buffer to the arena.
+    fn load_sample(
+        &mut self,
+        merged: Sample,
+        coords: Option<&HashMap<KeyId, (u64, u64)>>,
+        arena: &mut MergeArena,
+    ) -> Result<(), String> {
+        self.tau = merged.tau();
+        let entries = merged.into_entries();
+        for e in &entries {
+            self.keys.push(e.key);
+            self.weights.push(e.weight);
+            self.adjusted.push(e.adjusted_weight);
+            if let Some(m) = coords {
+                let &(x, y) = m
+                    .get(&e.key)
+                    .ok_or_else(|| format!("merged key {} has no location", e.key))?;
+                self.xs.push(x);
+                self.ys.push(y);
+            }
+        }
+        arena.recycle_entries(entries);
         Ok(())
     }
 
     /// Writes the wire representation (see `sas-codec` for the framing).
+    /// Entries are serialized in column (= entry) order, bit-identical to
+    /// the format the original array-of-structs layout produced.
     pub(crate) fn write_wire(&self, w: &mut sas_codec::Writer) {
         w.section(1, |w| {
             w.put_u8(self.dims as u8);
-            w.put_f64(self.sample.tau());
+            w.put_f64(self.tau);
         });
         w.section(2, |w| {
-            w.put_u64(self.sample.len() as u64);
-            for e in self.sample.iter() {
-                w.put_u64(e.key);
-                w.put_f64(e.weight);
-                w.put_f64(e.adjusted_weight);
+            w.put_u64(self.keys.len() as u64);
+            for i in 0..self.keys.len() {
+                w.put_u64(self.keys[i]);
+                w.put_f64(self.weights[i]);
+                w.put_f64(self.adjusted[i]);
             }
         });
         w.section(3, |w| {
             if self.dims == 2 {
                 // Locations aligned with the entry order of section 2.
-                w.put_u64(self.sample.len() as u64);
-                for e in self.sample.iter() {
-                    let p = &self.points[&e.key];
-                    w.put_u64(p.coord(0));
-                    w.put_u64(p.coord(1));
+                w.put_u64(self.keys.len() as u64);
+                for i in 0..self.keys.len() {
+                    w.put_u64(self.xs[i]);
+                    w.put_u64(self.ys[i]);
                 }
             } else {
                 w.put_u64(0);
@@ -168,7 +358,15 @@ impl StoredSample {
         }
         let mut body = r.expect_section(2)?;
         let n = body.get_len(24)?; // u64 + 2×f64 per entry
-        let mut entries = Vec::with_capacity(n);
+        let mut s = Self {
+            keys: Vec::with_capacity(n),
+            weights: Vec::with_capacity(n),
+            adjusted: Vec::with_capacity(n),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            tau,
+            dims,
+        };
         for _ in 0..n {
             let key = body.get_u64()?;
             let weight = body.get_finite_f64()?;
@@ -176,33 +374,27 @@ impl StoredSample {
             if weight < 0.0 || adjusted_weight < 0.0 {
                 return Err(CodecError::Invalid(format!("negative weight on key {key}")));
             }
-            entries.push(SampleEntry {
-                key,
-                weight,
-                adjusted_weight,
-            });
+            s.keys.push(key);
+            s.weights.push(weight);
+            s.adjusted.push(adjusted_weight);
         }
         body.finish()?;
         let mut locs = r.expect_section(3)?;
         let n_points = locs.get_len(16)?; // 2×u64 per point
-        let expected = if dims == 2 { entries.len() } else { 0 };
+        let expected = if dims == 2 { n } else { 0 };
         if n_points != expected {
             return Err(CodecError::Invalid(format!(
                 "{n_points} locations for {expected} expected"
             )));
         }
-        let mut points = HashMap::with_capacity(n_points);
-        for e in entries.iter().take(n_points) {
-            let x = locs.get_u64()?;
-            let y = locs.get_u64()?;
-            points.insert(e.key, Point::xy(x, y));
+        s.xs.reserve(n_points);
+        s.ys.reserve(n_points);
+        for _ in 0..n_points {
+            s.xs.push(locs.get_u64()?);
+            s.ys.push(locs.get_u64()?);
         }
         locs.finish()?;
-        Ok(Self {
-            sample: Sample::from_entries(entries, tau),
-            points,
-            dims,
-        })
+        Ok(s)
     }
 }
 
@@ -244,12 +436,29 @@ mod tests {
     }
 
     #[test]
+    fn columns_preserve_entry_order() {
+        let s = StoredSample::one_dim(Sample::from_entries(
+            vec![entry(9, 1.0, 4.0), entry(1, 2.0, 4.0), entry(5, 9.0, 9.0)],
+            4.0,
+        ));
+        // Entry order is the wire order — never silently re-sorted.
+        assert_eq!(s.keys(), &[9, 1, 5]);
+        assert_eq!(s.weights(), &[1.0, 2.0, 9.0]);
+        assert_eq!(s.adjusted_weights(), &[4.0, 4.0, 9.0]);
+        let round = s.to_sample();
+        let keys: Vec<_> = round.keys().collect();
+        assert_eq!(keys, vec![9, 1, 5]);
+        assert_eq!(round.tau(), 4.0);
+    }
+
+    #[test]
     fn concat_merge_extends() {
         let mut a = StoredSample::one_dim(Sample::from_entries(vec![entry(1, 2.0, 4.0)], 4.0));
         let b = StoredSample::one_dim(Sample::from_entries(vec![entry(2, 3.0, 3.0)], 1.0));
         let mut rng = StdRng::seed_from_u64(1);
         a.merge(b, None, &mut rng).unwrap();
-        assert_eq!(a.sample().len(), 2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.tau(), 4.0);
         assert_eq!(a.range_sum(&[(0, 10)]), 7.0);
     }
 
@@ -261,7 +470,7 @@ mod tests {
         let b = StoredSample::one_dim(Sample::from_entries(entries_b, 2.0));
         let mut rng = StdRng::seed_from_u64(2);
         a.merge(b, Some(20), &mut rng).unwrap();
-        assert_eq!(a.sample().len(), 20);
+        assert_eq!(a.len(), 20);
         assert!((a.range_sum(&[(0, 59)]) - 120.0).abs() < 1e-9);
     }
 
@@ -287,7 +496,40 @@ mod tests {
         let b = mk(25..50);
         let mut rng = StdRng::seed_from_u64(4);
         a.merge(b, Some(10), &mut rng).unwrap();
-        assert_eq!(a.sample().len(), 10);
-        assert_eq!(a.points().len(), 10);
+        assert_eq!(a.len(), 10);
+        // Location columns stay aligned with the surviving entries.
+        assert_eq!(a.xs().len(), 10);
+        assert_eq!(a.ys().len(), 10);
+        assert_eq!(a.point_map().len(), 10);
+        for (i, &k) in a.keys().iter().enumerate() {
+            assert_eq!((a.xs()[i], a.ys()[i]), (k, k));
+        }
+    }
+
+    #[test]
+    fn merge_with_reused_arena_matches_fresh_merge() {
+        // The same pair of 2-D summaries merged through a dirty arena and
+        // through the allocating path must encode to identical bytes.
+        let mk = |lo: u64, hi: u64, tau: f64| {
+            let entries: Vec<SampleEntry> = (lo..hi).map(|k| entry(k, 1.0, tau.max(1.0))).collect();
+            let points: HashMap<KeyId, Point> =
+                (lo..hi).map(|k| (k, Point::xy(k % 7, k % 11))).collect();
+            StoredSample::two_dim(Sample::from_entries(entries, tau), points).unwrap()
+        };
+        let mut arena = MergeArena::new();
+        for seed in 0..20u64 {
+            let mut fresh = mk(0, 40, 2.0);
+            let mut reused = mk(0, 40, 2.0);
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            fresh.merge(mk(40, 80, 1.5), Some(25), &mut r1).unwrap();
+            reused
+                .merge_with(mk(40, 80, 1.5), Some(25), &mut r2, &mut arena)
+                .unwrap();
+            assert_eq!(fresh.keys(), reused.keys(), "seed {seed}");
+            assert_eq!(fresh.xs(), reused.xs(), "seed {seed}");
+            assert_eq!(fresh.ys(), reused.ys(), "seed {seed}");
+            assert_eq!(fresh.tau().to_bits(), reused.tau().to_bits(), "seed {seed}");
+        }
     }
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the four core (non-store) bench bins — sharded, codec, query,
+# one_dim — and merges their headline fields into one flat JSON with the
+# shape committed as BENCH_core.json, for scripts/bench_regression.sh
+# --core to gate on.
+#
+#   usage: scripts/bench_core.sh <out.json> [bin-dir]
+#
+# Scale knobs pass through to the bins (SAS_SHARD_N, SAS_CODEC_N,
+# SAS_QUERY_ITEMS, SAS_ONEDIM_N, ...); with smaller inputs the rates only
+# go up, so a bounded CI run stays safe against the committed floors. The
+# one_dim error fields are recorded for the trajectory but not gated —
+# they shift with N, and the accuracy envelopes are pinned by the test
+# suite instead.
+set -euo pipefail
+
+out=${1:?usage: bench_core.sh <out.json> [bin-dir]}
+bindir=${2:-$(dirname "$0")/../target/release}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for bin in sharded codec query one_dim; do
+  "$bindir/$bin" --json "$tmp/$bin.json" >/dev/null
+done
+
+field() { grep -o "\"$2\": *[0-9.]*" "$1" | head -1 | grep -o '[0-9.]*$'; }
+
+{
+  echo '{'
+  echo '  "bench": "core",'
+  printf '  "%s": %s,\n' \
+    ingest_keys_per_s "$(field "$tmp/sharded.json" ingest_keys_per_s)" \
+    sharded8_keys_per_s "$(field "$tmp/sharded.json" sharded8_keys_per_s)" \
+    merge_tree_merges_per_s "$(field "$tmp/sharded.json" merge_tree_merges_per_s)" \
+    merge_tree_allocs_per_merge "$(field "$tmp/sharded.json" merge_tree_allocs_per_merge)" \
+    codec_encode_mb_s "$(field "$tmp/codec.json" codec_encode_mb_s)" \
+    codec_decode_mb_s "$(field "$tmp/codec.json" codec_decode_mb_s)" \
+    merge_from_disk_mb_s "$(field "$tmp/codec.json" merge_from_disk_mb_s)" \
+    merge_from_disk_merges_per_s "$(field "$tmp/codec.json" merge_from_disk_merges_per_s)" \
+    answer_batch_1d_qps "$(field "$tmp/query.json" answer_batch_1d_qps)" \
+    answer_loop_1d_qps "$(field "$tmp/query.json" answer_loop_1d_qps)" \
+    answer_batch_2d_qps "$(field "$tmp/query.json" answer_batch_2d_qps)" \
+    answer_loop_2d_qps "$(field "$tmp/query.json" answer_loop_2d_qps)"
+  printf '  "%s": %s\n' \
+    store_hot_8t_ops_per_s "$(field "$tmp/query.json" store_hot_8t_ops_per_s)"
+  echo '}'
+} > "$out"
+echo "wrote $out"
