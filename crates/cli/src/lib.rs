@@ -35,7 +35,8 @@ use sas_summaries::countsketch::SketchSummary;
 use sas_summaries::qdigest::QDigestSummary;
 use sas_summaries::wavelet::WaveletSummary;
 use sas_summaries::{
-    decode_summary, encode_summary, Estimate, Query, QueryBatch, StoredSample, Summary, SummaryKind,
+    decode_summary, encode_summary, Estimate, Query, QueryBatch, SegmentSummary, StoredSample,
+    Summary, SummaryKind,
 };
 
 /// Parsed input data: 1-D weighted keys or 2-D located keys.
@@ -364,12 +365,19 @@ impl std::ops::Deref for LoadedSummary {
     }
 }
 
-/// Loads a summary from raw file bytes, accepting both representations:
-/// binary frames are detected by magic, anything else parses as TSV.
+/// Loads a summary from raw file bytes, accepting every on-disk
+/// representation: v1 binary frames and v2 segments are detected by magic,
+/// anything else parses as TSV. Segments are hydrated into owned summaries
+/// so the query and merge paths behave exactly as for frames.
 pub fn load_summary(bytes: &[u8]) -> Result<LoadedSummary, CliError> {
     if sas_codec::is_frame(bytes) {
         return decode_summary(bytes)
             .map(LoadedSummary)
+            .map_err(|e| CliError(e.to_string()));
+    }
+    if sas_codec::segment::is_segment(bytes) {
+        return SegmentSummary::from_vec(bytes.to_vec())
+            .map(|s| LoadedSummary(s.hydrate()))
             .map_err(|e| CliError(e.to_string()));
     }
     let text = std::str::from_utf8(bytes)
@@ -674,6 +682,42 @@ pub fn info_text(summary: &LoadedSummary, file_bytes: Option<u64>) -> String {
     out
 }
 
+/// Renders the `sas info` report for a v2 segment file: the parsed header
+/// (format version, kind, CRC status, section table with ids, element
+/// counts, and byte offsets) plus the summary metadata read through the
+/// zero-copy view. A segment file *is* the queryable representation — it
+/// is served in place, never re-encoded — so unlike [`info_text`] there is
+/// no "serialized bytes" line.
+pub fn segment_info_text(bytes: &[u8]) -> Result<String, CliError> {
+    let view = sas_codec::segment::SegmentView::parse(bytes)
+        .map_err(|e| CliError(format!("bad segment: {e}")))?;
+    let summary = SegmentSummary::from_vec(bytes.to_vec())
+        .map_err(|e| CliError(format!("bad segment: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "format: segment v{}",
+        sas_codec::segment::SEGMENT_VERSION
+    );
+    let _ = writeln!(out, "kind: {}", summary.kind());
+    let _ = writeln!(out, "keys: {}", summary.item_count());
+    let _ = writeln!(out, "dims: {}", summary.dims());
+    if let Some(tau) = summary.tau() {
+        let _ = writeln!(out, "tau: {tau}");
+    }
+    let _ = writeln!(out, "total estimate: {}", summary.total_estimate());
+    let _ = writeln!(out, "file bytes: {}", view.file_len());
+    // SegmentView::parse checks the CRC-32 trailer before anything else;
+    // reaching this line certifies it.
+    let _ = writeln!(out, "crc: ok");
+    let _ = writeln!(out, "sections: {}", view.sections().len());
+    let _ = writeln!(out, "  id\telements\toffset\tbytes");
+    for s in view.sections() {
+        let _ = writeln!(out, "  {}\t{}\t{}\t{}", s.id, s.count, s.offset, s.len);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -856,6 +900,50 @@ mod tests {
         assert!(info.contains("file bytes: 999"), "{info}");
         // Without a file, the on-disk line is omitted.
         assert!(!info_text(&loaded, None).contains("file bytes"));
+    }
+
+    #[test]
+    fn segment_info_reports_header_not_serialized_bytes() {
+        let d = parse_dataset(ONE_D).unwrap();
+        let s = build_summary(&d, 3, 7, 1, SummaryKind::Sample).unwrap();
+        let seg = sas_summaries::encode_segment(s.as_ref()).unwrap();
+        let info = segment_info_text(&seg).unwrap();
+        assert!(info.contains("format: segment v2"), "{info}");
+        assert!(info.contains("kind: sample"), "{info}");
+        assert!(info.contains("keys: 3"), "{info}");
+        assert!(info.contains("crc: ok"), "{info}");
+        assert!(
+            info.contains(&format!("file bytes: {}", seg.len())),
+            "{info}"
+        );
+        // The section table lists every column with its offset.
+        assert!(info.contains("sections: "), "{info}");
+        assert!(info.contains("  id\telements\toffset\tbytes"), "{info}");
+        // Segments are served in place; the v1 re-encode size is not shown.
+        assert!(!info.contains("serialized bytes"), "{info}");
+        // A flipped CRC byte is a clear error, not a panic.
+        let mut bad = seg.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        let msg = segment_info_text(&bad).unwrap_err().to_string();
+        assert!(msg.contains("bad segment"), "{msg}");
+        // A v1 frame is rejected by the segment path.
+        assert!(segment_info_text(&encode_summary(s.as_ref())).is_err());
+    }
+
+    #[test]
+    fn load_summary_hydrates_segments_for_query_and_merge() {
+        let d = parse_dataset(ONE_D).unwrap();
+        let s = build_summary(&d, 3, 7, 1, SummaryKind::Sample).unwrap();
+        let seg = sas_summaries::encode_segment(s.as_ref()).unwrap();
+        let loaded = load_summary(&seg).unwrap();
+        let r = parse_range("0..100", 1).unwrap();
+        assert_eq!(query(&loaded, &r).to_bits(), s.range_sum(&r).to_bits());
+        // Hydration is total: the loaded summary re-encodes to the exact v1
+        // frame, and merging (which raw segments refuse) just works.
+        assert_eq!(encode_summary(&*loaded), encode_summary(s.as_ref()));
+        let other = LoadedSummary(build_summary(&d, 3, 9, 1, SummaryKind::Sample).unwrap());
+        let merged = merge_summaries(vec![loaded, other], None, 1).unwrap();
+        assert_eq!(merged.kind(), SummaryKind::Sample);
     }
 
     #[test]

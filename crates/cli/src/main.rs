@@ -36,18 +36,18 @@ use std::time::Duration;
 
 use sas_cli::{
     answer_queries, build_summary, format_estimates, info_text, load_summary, merge_summaries,
-    parse_dataset, parse_query, parse_range, summarize_per_shard, summarize_sharded, write_summary,
-    Dataset, LoadedSummary, OutputFormat,
+    parse_dataset, parse_query, parse_range, segment_info_text, summarize_per_shard,
+    summarize_sharded, write_summary, Dataset, LoadedSummary, OutputFormat,
 };
 use sas_store::client::Client;
 use sas_store::manifest::Manifest;
 use sas_store::server::{Server, ServerConfig};
-use sas_store::{fsio, Compactor, Store, StoreConfig};
+use sas_store::{fsio, Compactor, StorageFormat, Store, StoreConfig};
 use sas_summaries::{encode_summary, StoredSample, SummaryKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS] [--max-conns N] [--read-timeout MS] [--shed N]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> list | stats | ping | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas compact <store-dir> [--format v1|v2]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS] [--max-conns N] [--read-timeout MS] [--shed N]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> list | stats | ping | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
     );
     ExitCode::from(2)
 }
@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         "merge" => cmd_merge(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "info" => cmd_info(&args[1..]),
+        "compact" => cmd_compact(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "client" => cmd_client(&args[1..]),
         _ => return usage(),
@@ -282,8 +283,14 @@ fn cmd_info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if files.len() == 1 && !Path::new(paths[0].as_str()).is_dir() {
-        // Single file keeps the detailed multi-line report.
+        // Single file keeps the detailed multi-line report. A v2 segment
+        // gets its own header dump (section table, CRC status) — it is
+        // served in place, so a v1 "serialized bytes" line would mislead.
         let bytes = std::fs::read(&files[0])?;
+        if sas_codec::segment::is_segment(&bytes) {
+            print!("{}", segment_info_text(&bytes)?);
+            return Ok(());
+        }
         let summary: LoadedSummary = load_summary(&bytes)?;
         print!("{}", info_text(&summary, Some(bytes.len() as u64)));
         return Ok(());
@@ -312,6 +319,26 @@ fn cmd_info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         };
         println!("{line}");
     }
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args.first().ok_or("missing store directory")?;
+    if !Path::new(dir.as_str()).is_dir() {
+        return Err(format!("'{dir}' is not a store directory").into());
+    }
+    let (format, label) = match flag_value(args, "--format") {
+        None | Some("v2") => (StorageFormat::SegmentV2, "v2 segment"),
+        Some("v1") => (StorageFormat::FrameV1, "v1 frame"),
+        Some(other) => return Err(format!("unknown --format '{other}' (want v1 or v2)").into()),
+    };
+    let store = Store::open(dir.as_str(), StoreConfig::default())?;
+    let windows = store.list().len();
+    let converted = store.convert(format)?;
+    eprintln!(
+        "converted {converted} of {windows} window{} in {dir} to {label} files",
+        if windows == 1 { "" } else { "s" }
+    );
     Ok(())
 }
 

@@ -37,6 +37,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod segment;
+
 use std::fmt;
 
 /// File magic: identifies a `sas` binary summary frame.

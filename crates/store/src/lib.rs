@@ -39,6 +39,7 @@ pub mod client;
 pub mod conn;
 pub mod fsio;
 pub mod manifest;
+pub mod mapped;
 pub mod poller;
 pub mod server;
 pub mod window;
@@ -56,10 +57,11 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use sas_codec::segment::is_segment;
 use sas_codec::CodecError;
 use sas_summaries::{
-    decode_summaries, encode_summary, merge_tree_with, Estimate, MergeArena, Query, QueryError,
-    Summary, SummaryError, SummaryKind,
+    decode_summaries, encode_segment, encode_summary, merge_tree_with, Estimate, MergeArena, Query,
+    QueryError, SegmentSummary, Summary, SummaryError, SummaryKind,
 };
 
 use cache::{CacheKey, CachedAnswer, QueryCache, PLAIN_CONFIDENCE};
@@ -317,13 +319,42 @@ impl Store {
         };
         // Read every frame first, then batch-decode: recovery touches the
         // disk in one sequential sweep and the decode loop stays tight.
-        let mut frames = Vec::with_capacity(manifest.entries.len());
+        // Segment files stay *mapped*: their validation pass walks the map
+        // once (warming the page cache) and the window serves queries in
+        // place with no heap copy until a merge hydrates it.
+        enum Slot {
+            Segment(Box<dyn Summary>, u64),
+            Frame(usize),
+        }
+        let mut slots = Vec::with_capacity(manifest.entries.len());
+        let mut frames = Vec::new();
         for entry in &manifest.entries {
             let path = frame_path(&dir, &entry.key);
-            frames.push(fs::read(&path).map_err(|e| StoreError::Io(path, e))?);
+            let buf = mapped::Mapped::open(&path).map_err(|e| StoreError::Io(path, e))?;
+            if is_segment(buf.as_ref()) {
+                let len = buf.len() as u64;
+                let seg = SegmentSummary::open(Arc::new(buf))?;
+                slots.push(Slot::Segment(Box::new(seg), len));
+            } else {
+                frames.push(buf.as_ref().to_vec());
+                slots.push(Slot::Frame(frames.len() - 1));
+            }
         }
-        let summaries = decode_summaries(&frames)?;
-        for ((entry, bytes), summary) in manifest.entries.iter().zip(frames).zip(summaries) {
+        let mut summaries = decode_summaries(&frames)?;
+        // Drain v1 summaries back into entry order (reverse so the vec
+        // pops match the ascending frame indices).
+        let mut resolved: Vec<(Box<dyn Summary>, u64)> = Vec::with_capacity(slots.len());
+        for slot in slots.into_iter().rev() {
+            resolved.push(match slot {
+                Slot::Segment(summary, len) => (summary, len),
+                Slot::Frame(i) => {
+                    let bytes = frames[i].len() as u64;
+                    (summaries.pop().expect("one summary per frame"), bytes)
+                }
+            });
+        }
+        resolved.reverse();
+        for (entry, (summary, bytes)) in manifest.entries.iter().zip(resolved) {
             if summary.kind() != entry.key.kind {
                 return Err(StoreError::BadRequest(format!(
                     "manifest says {} holds a {} summary, file holds {}",
@@ -344,7 +375,7 @@ impl Store {
                     key: entry.key.clone(),
                     summary,
                     batches: entry.batches,
-                    frame_bytes: bytes.len() as u64,
+                    frame_bytes: bytes,
                 }),
             );
         }
@@ -426,7 +457,7 @@ impl Store {
         let (summary, batches) = match snap.windows.get(&key) {
             None => (batch, 1),
             Some(existing) => {
-                let mut merged = existing.summary.clone();
+                let mut merged = hydrate_clone(existing.summary.as_ref());
                 // Seed from the window plus its batch counter: replaying
                 // the same ingest sequence reproduces the same window.
                 let mut rng = StdRng::seed_from_u64(
@@ -632,7 +663,10 @@ impl Store {
                 let batches: u64 = children.iter().map(|c| c.batches).sum();
                 let merged = rebuild_parent_with(
                     &parent_key,
-                    children.iter().map(|c| c.summary.clone()).collect(),
+                    children
+                        .iter()
+                        .map(|c| hydrate_clone(c.summary.as_ref()))
+                        .collect(),
                     self.config.budget,
                     &mut arena,
                 )?;
@@ -672,6 +706,67 @@ impl Store {
         Ok(rollups)
     }
 
+    /// Rewrites every stored-sample window's frame in the requested format
+    /// and publishes the converted catalog. `SegmentV2` leaves each
+    /// converted window **cold**: its summary becomes a mapped
+    /// [`SegmentSummary`] served in place from the new file. `FrameV1`
+    /// hydrates segments back to owned summaries and v1 frames. Windows
+    /// whose kind has no segment layout (the deterministic summaries) are
+    /// left untouched either way. Returns the number of windows rewritten.
+    pub fn convert(&self, format: StorageFormat) -> Result<usize, StoreError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        let snap = self.snapshot();
+        let mut windows = snap.windows.clone();
+        let mut converted = 0usize;
+        for (key, state) in &snap.windows {
+            let is_seg = state
+                .summary
+                .as_any()
+                .downcast_ref::<SegmentSummary>()
+                .is_some();
+            let (bytes, summary): (Vec<u8>, Box<dyn Summary>) = match format {
+                StorageFormat::SegmentV2 => {
+                    if is_seg {
+                        continue;
+                    }
+                    let Some(bytes) = encode_segment(state.summary.as_ref()) else {
+                        continue;
+                    };
+                    let path = frame_path(&self.dir, key);
+                    fsio::write_atomic(&path, &bytes)
+                        .map_err(|e| StoreError::Io(path.clone(), e))?;
+                    let buf = mapped::Mapped::open(&path).map_err(|e| StoreError::Io(path, e))?;
+                    let seg = SegmentSummary::open(Arc::new(buf))?;
+                    (bytes, Box::new(seg))
+                }
+                StorageFormat::FrameV1 => {
+                    if !is_seg {
+                        continue;
+                    }
+                    let summary = hydrate_clone(state.summary.as_ref());
+                    let bytes = encode_summary(summary.as_ref());
+                    let path = frame_path(&self.dir, key);
+                    fsio::write_atomic(&path, &bytes).map_err(|e| StoreError::Io(path, e))?;
+                    (bytes, summary)
+                }
+            };
+            windows.insert(
+                key.clone(),
+                Arc::new(WindowState {
+                    key: key.clone(),
+                    summary,
+                    batches: state.batches,
+                    frame_bytes: bytes.len() as u64,
+                }),
+            );
+            converted += 1;
+        }
+        if converted > 0 {
+            self.persist_and_publish(&mut writer, windows, snap.version)?;
+        }
+        Ok(converted)
+    }
+
     /// Writes the manifest for `windows` and swaps in the new snapshot.
     /// Callers must hold the writer lock (enforced by the `&mut
     /// WriterState` borrow).
@@ -706,6 +801,27 @@ impl Store {
 
 /// The multiplier spreading a window's batch counter into its merge seed.
 const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// On-disk encoding for stored-sample windows, chosen by [`Store::convert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFormat {
+    /// The original framed encoding (`sas-codec` v1 frames).
+    FrameV1,
+    /// The columnar segment encoding, queryable in place when mapped.
+    SegmentV2,
+}
+
+/// Clones a window summary for mutation: mapped segments hydrate into
+/// their owned form (a segment is immutable and cannot merge in place),
+/// everything else is a plain `clone_box`. Hydration and a v1 decode of
+/// the same data are bit-identical, so merge results do not depend on
+/// which format the window happened to be stored in.
+pub fn hydrate_clone(summary: &dyn Summary) -> Box<dyn Summary> {
+    match summary.as_any().downcast_ref::<SegmentSummary>() {
+        Some(seg) => seg.hydrate(),
+        None => summary.clone_box(),
+    }
+}
 
 /// Rebuilds a parent window from its children — the *definition* of what
 /// compaction must produce: child summaries in ascending window order,

@@ -1,0 +1,240 @@
+//! Read-only file buffers for cold segment windows: `mmap` on Linux, a
+//! plain read-into-`Vec` everywhere else.
+//!
+//! A v2 segment (`sas_codec::segment`) is queryable in place, so a cold
+//! window's bytes never need to live on the heap — [`Mapped::open`] maps
+//! the file and the catalog serves estimates straight off the page cache.
+//! Like [`crate::poller`], the single syscall pair is declared here against
+//! the libc that `std` already links; no external crates. The portable
+//! fallback ([`Mapped::open_buffered`]) is exercised in tests on every
+//! platform so it cannot rot.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An immutable byte buffer backed by either a private file mapping or an
+/// owned `Vec`. Dereferences to the file's bytes either way; dropping it
+/// unmaps or frees them.
+#[derive(Debug)]
+pub struct Mapped {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Owned(Vec<u8>),
+    #[cfg(target_os = "linux")]
+    Map(mmap::Mapping),
+}
+
+impl Mapped {
+    /// Opens `path` with the best backend for the platform: a read-only
+    /// `MAP_PRIVATE` mapping on Linux, [`Mapped::open_buffered`] elsewhere.
+    /// Empty files skip the mapping (zero-length `mmap` is an error).
+    pub fn open(path: &Path) -> io::Result<Mapped> {
+        #[cfg(target_os = "linux")]
+        {
+            let file = fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(Mapped {
+                    inner: Inner::Owned(Vec::new()),
+                });
+            }
+            let mapping = mmap::Mapping::new(&file, len as usize)?;
+            Ok(Mapped {
+                inner: Inner::Map(mapping),
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        Self::open_buffered(path)
+    }
+
+    /// Opens `path` by reading it into an owned buffer — the portable
+    /// fallback, also useful when the caller intends to mutate or outlive
+    /// the file.
+    pub fn open_buffered(path: &Path) -> io::Result<Mapped> {
+        Ok(Mapped {
+            inner: Inner::Owned(fs::read(path)?),
+        })
+    }
+
+    /// Whether the bytes come from a file mapping (false for the buffered
+    /// fallback and for empty files).
+    pub fn is_mapped(&self) -> bool {
+        match self.inner {
+            Inner::Owned(_) => false,
+            #[cfg(target_os = "linux")]
+            Inner::Map(_) => true,
+        }
+    }
+
+    /// The buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AsRef<[u8]> for Mapped {
+    fn as_ref(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Owned(v) => v,
+            #[cfg(target_os = "linux")]
+            Inner::Map(m) => m.as_slice(),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod mmap {
+    //! The Linux backend: one `mmap`/`munmap` pair.
+
+    use std::ffi::c_void;
+    use std::fs;
+    use std::io;
+    use std::os::fd::AsRawFd;
+    use std::os::raw::c_int;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 0x1;
+    const MAP_PRIVATE: c_int = 0x02;
+    const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+    /// A read-only private mapping of a whole file. `len` is always
+    /// non-zero (the caller special-cases empty files).
+    pub(super) struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is PROT_READ and never written through; sharing the
+    // pointer across threads is as safe as sharing a `&[u8]`.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        pub fn new(file: &fs::File, len: usize) -> io::Result<Mapping> {
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == MAP_FAILED {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // Safety: the pointer spans `len` readable bytes for the
+            // mapping's lifetime; MAP_PRIVATE isolates us from concurrent
+            // truncation of the *content* (though not of the file length —
+            // the store only maps files it wrote atomically and never
+            // truncates in place).
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl std::fmt::Debug for Mapping {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mapping").field("len", &self.len).finish()
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("sas-mapped-test-{}-{name}", std::process::id()));
+        fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_bytes_match_file() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = temp_file("match", &payload);
+        let mapped = Mapped::open(&path).unwrap();
+        assert_eq!(mapped.as_ref(), &payload[..]);
+        assert_eq!(mapped.len(), payload.len());
+        assert!(!mapped.is_empty());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn buffered_fallback_matches_mapping() {
+        let payload = b"portable fallback".to_vec();
+        let path = temp_file("fallback", &payload);
+        let mapped = Mapped::open(&path).unwrap();
+        let buffered = Mapped::open_buffered(&path).unwrap();
+        assert!(!buffered.is_mapped());
+        assert_eq!(mapped.as_ref(), buffered.as_ref());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_opens_without_mapping() {
+        let path = temp_file("empty", b"");
+        let mapped = Mapped::open(&path).unwrap();
+        assert!(!mapped.is_mapped());
+        assert!(mapped.is_empty());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let path = std::env::temp_dir().join("sas-mapped-test-definitely-missing");
+        assert!(Mapped::open(&path).is_err());
+        assert!(Mapped::open_buffered(&path).is_err());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_open_uses_a_real_mapping() {
+        let path = temp_file("real-map", b"mapped");
+        let mapped = Mapped::open(&path).unwrap();
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.as_ref(), b"mapped");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mapped>();
+    }
+}

@@ -56,7 +56,9 @@ use std::time::{Duration, Instant};
 use sas_codec::proto;
 use sas_summaries::decode_summary;
 
-use crate::conn::{Conn, ConnConfig};
+use sas_summaries::{Query, SummaryKind};
+
+use crate::conn::{Conn, ConnConfig, Payload};
 use crate::poller::{Backend, Event, Interest, InterestCache, Poller, WakeHandle, Waker};
 use crate::wire::{decode_request, encode_response, Request, Response};
 use crate::Store;
@@ -179,7 +181,114 @@ struct Completion {
     token: u64,
     seq: u64,
     dataset: Option<String>,
-    message: Vec<u8>,
+    message: Payload,
+}
+
+/// Key identifying one cacheable estimate response within a snapshot
+/// version: the same fields the store's own LRU keys on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MsgKey {
+    dataset: String,
+    kind_tag: u16,
+    query: Vec<u8>,
+    confidence_bits: u64,
+    time: Option<(u64, u64)>,
+}
+
+/// Fully encoded, length-prefixed `cached = true` estimate messages,
+/// shared across workers and connections. A hit skips the wire encode
+/// entirely and every connection's outbox holds the same `Arc` — the bytes
+/// are copied exactly once, by the kernel, per socket write. Keyed by
+/// snapshot version; any version bump clears the lot (a stale entry could
+/// otherwise outlive the windows it describes).
+/// Snapshot version + the encoded messages cached under it.
+type VersionedMessages = (u64, HashMap<MsgKey, Arc<Vec<u8>>>);
+
+#[derive(Debug)]
+struct MessageCache {
+    max_entries: usize,
+    inner: Mutex<VersionedMessages>,
+}
+
+impl MessageCache {
+    fn new(max_entries: usize) -> MessageCache {
+        MessageCache {
+            max_entries,
+            inner: Mutex::new((0, HashMap::new())),
+        }
+    }
+
+    fn sync_version(
+        guard: &mut VersionedMessages,
+        version: u64,
+    ) -> &mut HashMap<MsgKey, Arc<Vec<u8>>> {
+        if guard.0 != version {
+            guard.1.clear();
+            guard.0 = version;
+        }
+        &mut guard.1
+    }
+
+    fn get(&self, version: u64, key: &MsgKey) -> Option<Arc<Vec<u8>>> {
+        let mut guard = self.inner.lock().expect("message cache lock");
+        Self::sync_version(&mut guard, version).get(key).cloned()
+    }
+
+    fn put(&self, version: u64, key: MsgKey, message: Arc<Vec<u8>>) {
+        let mut guard = self.inner.lock().expect("message cache lock");
+        let map = Self::sync_version(&mut guard, version);
+        // At capacity, skip the insert: the next snapshot bump clears the
+        // map anyway, and an LRU here would buy little for its bookkeeping.
+        if map.len() < self.max_entries {
+            map.insert(key, message);
+        }
+    }
+}
+
+/// Answers an estimate request through the shared message cache: once the
+/// store reports the answer as cached, the encoded response is built one
+/// time per snapshot and every later hit returns the same shared bytes.
+fn estimate_message(
+    store: &Store,
+    cache: &MessageCache,
+    dataset: String,
+    kind: SummaryKind,
+    query: Query,
+    confidence: f64,
+    time: Option<(u64, u64)>,
+) -> Payload {
+    let canonical = query.canonical_bytes().ok();
+    match store.estimate(&dataset, kind, &query, confidence, time) {
+        Err(e) => Payload::Owned(to_message(&encode_response(&Response::Err(e.to_string())))),
+        Ok(answer) => {
+            if answer.cached {
+                if let Some(canonical) = canonical {
+                    let key = MsgKey {
+                        dataset,
+                        kind_tag: kind.tag(),
+                        query: canonical,
+                        confidence_bits: confidence.to_bits(),
+                        time,
+                    };
+                    if let Some(message) = cache.get(answer.version, &key) {
+                        return Payload::Shared(message);
+                    }
+                    let message = Arc::new(to_message(&encode_response(&Response::Estimate {
+                        estimate: answer.estimate,
+                        windows: answer.windows,
+                        cached: true,
+                    })));
+                    cache.put(answer.version, key, message.clone());
+                    return Payload::Shared(message);
+                }
+            }
+            Payload::Owned(to_message(&encode_response(&Response::Estimate {
+                estimate: answer.estimate,
+                windows: answer.windows,
+                cached: answer.cached,
+            })))
+        }
+    }
 }
 
 /// State shared between the public handle, the loop, and the workers.
@@ -252,12 +361,14 @@ impl Server {
         let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = channel();
         let (done_tx, done_rx): (Sender<Completion>, Receiver<Completion>) = channel();
         let job_rx = Arc::new(Mutex::new(job_rx));
+        let message_cache = Arc::new(MessageCache::new(config.max_conns.max(1024)));
         let workers = (0..config.threads)
             .map(|i| {
                 let job_rx = job_rx.clone();
                 let done_tx = done_tx.clone();
                 let store = store.clone();
                 let wake = shared.wake.clone();
+                let message_cache = message_cache.clone();
                 std::thread::Builder::new()
                     .name(format!("sas-serve-worker-{i}"))
                     .spawn(move || loop {
@@ -273,8 +384,27 @@ impl Server {
                         else {
                             return; // loop gone, queue drained
                         };
-                        let response = handle_request(&store, req);
-                        let message = to_message(&encode_response(&response));
+                        let message = match req {
+                            Request::Estimate {
+                                dataset,
+                                kind,
+                                query,
+                                confidence,
+                                time,
+                            } => estimate_message(
+                                &store,
+                                &message_cache,
+                                dataset,
+                                kind,
+                                query,
+                                confidence,
+                                time,
+                            ),
+                            req => {
+                                let response = handle_request(&store, req);
+                                Payload::Owned(to_message(&encode_response(&response)))
+                            }
+                        };
                         if done_tx
                             .send(Completion {
                                 token,

@@ -1,0 +1,206 @@
+//! Cold-catalog properties: converting stored-sample windows to v2
+//! segments must change *where the bytes live* and nothing else — every
+//! query answer, merge result, and compaction roll-up stays bit-identical
+//! to the frame-backed store, across restarts.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sas_core::WeightedKey;
+use sas_store::{frame_path, StorageFormat, Store, StoreConfig};
+use sas_summaries::{Query, StoredSample, Summary, SummaryKind};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "sas-segcat-test-{}-{id}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn batch(lo: u64, n: u64, seed: u64) -> Box<dyn Summary> {
+    let rows: Vec<WeightedKey> = (lo..lo + n)
+        .map(|k| WeightedKey::new(k, 1.0 + (k % 7) as f64))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Budget below the row count so the sample is genuinely probabilistic
+    // (non-zero tau) and estimates carry real intervals.
+    Box::new(StoredSample::one_dim(sas_sampling::order::sample(
+        &rows,
+        (n as usize) / 2,
+        &mut rng,
+    )))
+}
+
+fn probe_queries() -> Vec<Query> {
+    vec![
+        Query::Total,
+        Query::interval(0, 120),
+        Query::interval(40, 90),
+        Query::MultiRange(vec![vec![(0, 20)], vec![(60, 200)]]),
+    ]
+}
+
+fn seeded_store(dir: &TempDir) -> Store {
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store.ingest("web", 5, batch(0, 100, 1)).unwrap();
+    store.ingest("web", 65, batch(100, 80, 2)).unwrap();
+    store.ingest("api", 5, batch(0, 60, 3)).unwrap();
+    store
+}
+
+fn estimates(store: &Store) -> Vec<(u64, u64, f64, f64, f64)> {
+    probe_queries()
+        .iter()
+        .map(|q| {
+            let a = store
+                .estimate("web", SummaryKind::Sample, q, 0.95, None)
+                .unwrap();
+            (
+                a.windows,
+                a.estimate.value.to_bits(),
+                a.estimate.lower,
+                a.estimate.upper,
+                a.estimate.variance,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn converting_to_segments_preserves_every_answer() {
+    let dir = TempDir::new("convert");
+    let store = seeded_store(&dir);
+    let before = estimates(&store);
+    let rows = store.list();
+
+    let converted = store.convert(StorageFormat::SegmentV2).unwrap();
+    assert_eq!(converted, 3);
+    // Idempotent: a second pass finds nothing to do.
+    assert_eq!(store.convert(StorageFormat::SegmentV2).unwrap(), 0);
+
+    assert_eq!(estimates(&store), before);
+    // Same windows and item counts; only the on-disk byte size moved.
+    let cold_rows = store.list();
+    assert_eq!(cold_rows.len(), rows.len());
+    for (a, b) in rows.iter().zip(&cold_rows) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.batches, b.batches);
+    }
+}
+
+#[test]
+fn cold_catalog_survives_restart_mapped() {
+    let dir = TempDir::new("restart");
+    let before = {
+        let store = seeded_store(&dir);
+        store.convert(StorageFormat::SegmentV2).unwrap();
+        estimates(&store)
+    };
+    // Fresh process: recovery must sniff the segment files and serve them
+    // in place, bit-identically.
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    assert_eq!(estimates(&store), before);
+    // The files on disk really are segments.
+    for row in store.list() {
+        let bytes = fs::read(frame_path(dir.path(), &row.key)).unwrap();
+        assert!(sas_codec::segment::is_segment(&bytes));
+    }
+}
+
+#[test]
+fn converting_back_to_frames_restores_v1_bytes() {
+    let frames_of = |store: &Store, dir: &TempDir| -> Vec<Vec<u8>> {
+        store
+            .list()
+            .iter()
+            .map(|row| fs::read(frame_path(dir.path(), &row.key)).unwrap())
+            .collect()
+    };
+    let dir = TempDir::new("roundtrip");
+    let store = seeded_store(&dir);
+    let v1 = frames_of(&store, &dir);
+    store.convert(StorageFormat::SegmentV2).unwrap();
+    assert_eq!(store.convert(StorageFormat::FrameV1).unwrap(), 3);
+    assert_eq!(frames_of(&store, &dir), v1);
+}
+
+#[test]
+fn ingest_into_cold_window_matches_warm_store() {
+    // Two stores ingest the same sequence; one converts to segments midway.
+    // The segment detour must not change a single merge outcome.
+    let warm_dir = TempDir::new("warm");
+    let cold_dir = TempDir::new("cold");
+    let warm = seeded_store(&warm_dir);
+    let cold = seeded_store(&cold_dir);
+    cold.convert(StorageFormat::SegmentV2).unwrap();
+
+    for (ts, lo, seed) in [(6u64, 300u64, 10u64), (66, 400, 11), (7, 500, 12)] {
+        warm.ingest("web", ts, batch(lo, 50, seed)).unwrap();
+        cold.ingest("web", ts, batch(lo, 50, seed)).unwrap();
+    }
+    assert_eq!(estimates(&warm), estimates(&cold));
+    // The re-ingested windows were hydrated and rewritten as v1 frames;
+    // the untouched "api" window is still a segment.
+    for row in cold.list() {
+        let bytes = fs::read(frame_path(cold_dir.path(), &row.key)).unwrap();
+        let expect_segment = row.key.dataset == "api";
+        assert_eq!(sas_codec::segment::is_segment(&bytes), expect_segment);
+    }
+}
+
+#[test]
+fn compaction_over_cold_windows_matches_warm_store() {
+    let warm_dir = TempDir::new("warm-compact");
+    let cold_dir = TempDir::new("cold-compact");
+    let warm = Store::open(warm_dir.path(), StoreConfig::default()).unwrap();
+    let cold = Store::open(cold_dir.path(), StoreConfig::default()).unwrap();
+    // Fill one hour's worth of minute windows, then one more ingest past
+    // the hour so the watermark seals it.
+    for store in [&warm, &cold] {
+        for m in 0..5u64 {
+            store.ingest("web", m * 60, batch(m * 100, 60, m)).unwrap();
+        }
+    }
+    cold.convert(StorageFormat::SegmentV2).unwrap();
+    for store in [&warm, &cold] {
+        store.ingest("web", 3600, batch(900, 30, 99)).unwrap();
+        assert!(store.compact_once().unwrap() > 0);
+    }
+    assert_eq!(estimates(&warm), estimates(&cold));
+    let warm_rows = warm.list();
+    let cold_rows = cold.list();
+    assert_eq!(warm_rows.len(), cold_rows.len());
+    // The rolled-up hour frame is byte-identical across the two stores.
+    for (w, c) in warm_rows.iter().zip(&cold_rows) {
+        assert_eq!(w.key, c.key);
+        assert_eq!(
+            fs::read(frame_path(warm_dir.path(), &w.key)).unwrap(),
+            fs::read(frame_path(cold_dir.path(), &c.key)).unwrap(),
+            "{}",
+            w.key
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! The zero-copy cached-estimate path: repeated identical estimates must
+//! come back byte-identical (the shared message), flip to `cached = true`
+//! after the first answer, and revert to fresh answers the moment an
+//! ingest bumps the snapshot version.
+
+mod util;
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use sas_store::client::Client;
+use sas_store::server::ServerConfig;
+use sas_summaries::{Query, SummaryKind};
+
+use sas_store::wire::{Request, Response};
+use util::{batch, batch_frame, message, recv_response, start};
+
+fn estimate_req() -> Request {
+    Request::Estimate {
+        dataset: "web".into(),
+        kind: SummaryKind::Sample,
+        query: Query::interval(0, 500),
+        confidence: 0.95,
+        time: None,
+    }
+}
+
+#[test]
+fn repeated_estimates_share_one_cached_message() {
+    let (_dir, store, server) = start("estimate-cache", ServerConfig::default());
+    store.ingest("web", 5, batch(0, 100, 1)).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // First answer computes; every repeat is a cache hit and the responses
+    // are byte-identical to each other (one shared encode).
+    stream.write_all(&message(&estimate_req())).unwrap();
+    let first = recv_response(&mut stream, sas_codec::proto::REQ_ESTIMATE);
+    let Response::Estimate { cached: false, .. } = &first else {
+        panic!("expected a fresh estimate, got {first:?}");
+    };
+    let mut repeats = Vec::new();
+    for _ in 0..3 {
+        stream.write_all(&message(&estimate_req())).unwrap();
+        repeats.push(recv_response(&mut stream, sas_codec::proto::REQ_ESTIMATE));
+    }
+    for r in &repeats {
+        let Response::Estimate {
+            estimate,
+            windows,
+            cached,
+        } = r
+        else {
+            panic!("expected an estimate, got {r:?}");
+        };
+        assert!(*cached, "repeat answers come from the cache");
+        assert_eq!(*windows, 1);
+        let Response::Estimate {
+            estimate: fresh, ..
+        } = &first
+        else {
+            unreachable!()
+        };
+        assert_eq!(estimate.value.to_bits(), fresh.value.to_bits());
+        assert_eq!(estimate.lower.to_bits(), fresh.lower.to_bits());
+        assert_eq!(estimate.upper.to_bits(), fresh.upper.to_bits());
+    }
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn ingest_invalidates_the_cached_message() {
+    let (_dir, store, server) = start("estimate-invalidate", ServerConfig::default());
+    store.ingest("web", 5, batch(0, 100, 1)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let q = Query::interval(0, 500);
+    let a = client
+        .estimate("web", SummaryKind::Sample, &q, 0.95, None)
+        .unwrap();
+    assert!(!a.cached);
+    let b = client
+        .estimate("web", SummaryKind::Sample, &q, 0.95, None)
+        .unwrap();
+    assert!(b.cached);
+    assert_eq!(b.estimate.value.to_bits(), a.estimate.value.to_bits());
+    // New data: the snapshot version bumps, so the shared message may not
+    // be served again.
+    client.ingest("web", 6, batch_frame(100, 50, 2)).unwrap();
+    let c = client
+        .estimate("web", SummaryKind::Sample, &q, 0.95, None)
+        .unwrap();
+    assert!(!c.cached, "version bump must invalidate");
+    assert!(c.estimate.value > a.estimate.value);
+    let d = client
+        .estimate("web", SummaryKind::Sample, &q, 0.95, None)
+        .unwrap();
+    assert!(d.cached);
+    assert_eq!(d.estimate.value.to_bits(), c.estimate.value.to_bits());
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn distinct_queries_do_not_collide_in_the_message_cache() {
+    let (_dir, store, server) = start("estimate-distinct", ServerConfig::default());
+    store.ingest("web", 5, batch(0, 100, 1)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let narrow = Query::interval(0, 10);
+    let wide = Query::interval(0, 500);
+    // Warm both so both are served from the cache, then interleave.
+    for q in [&narrow, &wide, &narrow, &wide] {
+        client
+            .estimate("web", SummaryKind::Sample, q, 0.95, None)
+            .unwrap();
+    }
+    let n = client
+        .estimate("web", SummaryKind::Sample, &narrow, 0.95, None)
+        .unwrap();
+    let w = client
+        .estimate("web", SummaryKind::Sample, &wide, 0.95, None)
+        .unwrap();
+    assert!(n.cached && w.cached);
+    assert!(
+        n.estimate.value < w.estimate.value,
+        "each query keeps its own cached message"
+    );
+    // Different confidence is a different cache entry too.
+    let w99 = client
+        .estimate("web", SummaryKind::Sample, &wide, 0.99, None)
+        .unwrap();
+    assert_eq!(w99.estimate.value.to_bits(), w.estimate.value.to_bits());
+    server.shutdown();
+    server.wait();
+}

@@ -373,7 +373,7 @@ fn downcast<T: Any>(other: Box<dyn Summary>, into: SummaryKind) -> Result<Box<T>
 }
 
 /// One answer through the (overridden) batch path.
-fn answer_one(
+pub(crate) fn answer_one(
     s: &(impl Summary + ?Sized),
     query: &Query,
     confidence: f64,
@@ -383,7 +383,7 @@ fn answer_one(
         .expect("one estimate per query"))
 }
 
-fn in_interval((lo, hi): (u64, u64), v: u64) -> bool {
+pub(crate) fn in_interval((lo, hi): (u64, u64), v: u64) -> bool {
     (lo..=hi).contains(&v)
 }
 

@@ -49,6 +49,7 @@ pub mod qdigest;
 pub mod qdigest1d;
 pub mod query;
 pub mod stored;
+pub mod view;
 pub mod wavelet;
 pub mod wavelet1d;
 
@@ -59,6 +60,7 @@ pub use erased::{
 pub use query::{Estimate, Query, QueryBatch, QueryError};
 pub use sas_sampling::sharded::MergeArena;
 pub use stored::StoredSample;
+pub use view::{encode_segment, SegmentSummary};
 
 use sas_structures::product::{BoxRange, MultiRangeQuery};
 

@@ -313,6 +313,29 @@ impl StoredSample {
         Ok(())
     }
 
+    /// Reassembles a sample from already-validated columns. The segment
+    /// view layer (`crate::view`) enforces the same invariants the wire
+    /// decoder does before calling this.
+    pub(crate) fn from_columns(
+        keys: Vec<KeyId>,
+        weights: Vec<f64>,
+        adjusted: Vec<f64>,
+        xs: Vec<u64>,
+        ys: Vec<u64>,
+        tau: f64,
+        dims: usize,
+    ) -> Self {
+        Self {
+            keys,
+            weights,
+            adjusted,
+            xs,
+            ys,
+            tau,
+            dims,
+        }
+    }
+
     /// Writes the wire representation (see `sas-codec` for the framing).
     /// Entries are serialized in column (= entry) order, bit-identical to
     /// the format the original array-of-structs layout produced.

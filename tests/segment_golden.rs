@@ -1,0 +1,170 @@
+//! Golden-file check for the v2 segment format: committed `.sas` segments
+//! (one per stored-sample kind, under `tests/golden/`) must keep parsing,
+//! must answer queries bit-identically to the v1 frame built from the same
+//! fixture, and freshly encoded fixtures must reproduce them exactly. The
+//! v1 goldens next to them are pinned by `codec_golden` — this file pins
+//! the *new* format without touching them.
+//!
+//! Regenerate after an *intentional* format change (bump
+//! `sas_codec::segment::SEGMENT_VERSION` first!) with:
+//!
+//! ```sh
+//! SAS_REGEN_GOLDEN=1 cargo test --test segment_golden
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use structure_aware_sampling::codec::segment::{is_segment, SegmentView};
+use structure_aware_sampling::core::varopt::VarOptSampler;
+use structure_aware_sampling::core::WeightedKey;
+use structure_aware_sampling::summaries::{
+    encode_segment, encode_summary, SegmentSummary, StoredSample, Summary,
+};
+use structure_aware_sampling::{Query, SummaryKind};
+
+/// Expected metadata per golden segment.
+struct Golden {
+    file: &'static str,
+    kind: SummaryKind,
+    owned: Box<dyn Summary>,
+    bytes: Vec<u8>,
+}
+
+/// Deterministic workload: no RNG in the data, fixed seeds in the builds.
+/// Same fixtures as `codec_golden`, so the two formats pin the same
+/// summaries.
+fn golden_fixtures() -> Vec<Golden> {
+    let data: Vec<WeightedKey> = (0..200u64)
+        .map(|k| WeightedKey::new(k, 1.0 + ((k * 37) % 101) as f64 / 4.0))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(42);
+    let sample = structure_aware_sampling::sampling::order::sample(&data, 24, &mut rng);
+    let stored: Box<dyn Summary> = Box::new(StoredSample::one_dim(sample));
+
+    let mut varopt = VarOptSampler::new(16);
+    let mut vrng = StdRng::seed_from_u64(43);
+    for wk in &data {
+        varopt.push(wk.key, wk.weight, &mut vrng);
+    }
+    let varopt: Box<dyn Summary> = Box::new(varopt);
+
+    vec![
+        Golden {
+            file: "segment_sample_v2.sas",
+            kind: SummaryKind::Sample,
+            bytes: encode_segment(stored.as_ref()).expect("sample has a segment layout"),
+            owned: stored,
+        },
+        Golden {
+            file: "segment_varopt_v2.sas",
+            kind: SummaryKind::VarOptReservoir,
+            bytes: encode_segment(varopt.as_ref()).expect("varopt has a segment layout"),
+            owned: varopt,
+        },
+    ]
+}
+
+fn probe_queries() -> Vec<Query> {
+    vec![
+        Query::Total,
+        Query::interval(0, 199),
+        Query::interval(40, 90),
+        Query::MultiRange(vec![vec![(0, 20)], vec![(60, 199)]]),
+        Query::Point(vec![17]),
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn golden_segments_pin_the_v2_format() {
+    let dir = golden_dir();
+    let regen = std::env::var_os("SAS_REGEN_GOLDEN").is_some();
+    for golden in golden_fixtures() {
+        let path = dir.join(golden.file);
+        if regen {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, &golden.bytes).expect("write golden segment");
+            continue;
+        }
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden segment ({e}); see module docs",
+                golden.file
+            )
+        });
+        assert!(is_segment(&committed), "{}", golden.file);
+
+        // 1. The committed segment still parses: header, section table,
+        //    CRC, and the kind-specific column layout.
+        let view = SegmentView::parse(&committed)
+            .unwrap_or_else(|e| panic!("{}: committed segment no longer parses: {e}", golden.file));
+        assert_eq!(view.kind(), golden.kind.tag(), "{}", golden.file);
+        assert!(!view.sections().is_empty(), "{}", golden.file);
+        let summary = SegmentSummary::open(Arc::new(committed.clone()))
+            .unwrap_or_else(|e| panic!("{}: committed segment no longer opens: {e}", golden.file));
+        assert_eq!(summary.kind(), golden.kind, "{}", golden.file);
+
+        // 2. Answers through the committed segment are bit-identical to the
+        //    owned summary's, single and batched.
+        let queries = probe_queries();
+        let via_view = summary.answer_batch(&queries, 0.95).expect("view answers");
+        let via_owned = golden
+            .owned
+            .answer_batch(&queries, 0.95)
+            .expect("owned answers");
+        for (q, (a, b)) in queries.iter().zip(via_view.iter().zip(&via_owned)) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "{}: {q}", golden.file);
+            assert_eq!(a.lower.to_bits(), b.lower.to_bits(), "{}: {q}", golden.file);
+            assert_eq!(a.upper.to_bits(), b.upper.to_bits(), "{}: {q}", golden.file);
+        }
+
+        // 3. Hydration reproduces the exact v1 frame — the two formats
+        //    stay interchangeable representations of one summary.
+        assert_eq!(
+            encode_summary(summary.hydrate().as_ref()),
+            encode_summary(golden.owned.as_ref()),
+            "{}: hydrated segment drifted from the owned v1 frame",
+            golden.file
+        );
+
+        // 4. A fresh encode of the same fixture still produces the
+        //    committed bytes — the build and the format are both stable.
+        assert_eq!(
+            golden.bytes, committed,
+            "{}: freshly encoded fixture no longer matches the committed segment",
+            golden.file
+        );
+    }
+    assert!(
+        !regen,
+        "golden segments regenerated; rerun without SAS_REGEN_GOLDEN"
+    );
+}
+
+/// The committed v1 goldens must never change because of the v2 work: the
+/// segment encoder reads summaries, it does not rewrite frames.
+#[test]
+fn v1_goldens_are_untouched_by_the_segment_format() {
+    let dir = golden_dir();
+    for golden in golden_fixtures() {
+        let v1_name = match golden.kind {
+            SummaryKind::Sample => "sample_v1.sas",
+            SummaryKind::VarOptReservoir => "varopt_v1.sas",
+            _ => unreachable!("fixtures cover the stored-sample kinds"),
+        };
+        let v1 = std::fs::read(dir.join(v1_name)).expect("committed v1 golden");
+        assert!(!is_segment(&v1), "{v1_name} must stay a v1 frame");
+        assert_eq!(
+            v1,
+            encode_summary(golden.owned.as_ref()),
+            "{v1_name}: v1 golden drifted"
+        );
+    }
+}
