@@ -36,6 +36,7 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,12 +121,18 @@ fn run() -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let mapped_count = views.iter().filter(|v| v.segment_len() > 0).count();
 
+    // Per-batch latencies live twice on each path: the lock-free histogram
+    // is what gets reported (the same math the daemon's metrics serve), the
+    // raw vector is sort-based ground truth to cross-check it against.
     let answered = (queries * windows * rounds) as f64;
+    let decode_hist = sas_obs::Histogram::new();
+    let mut decode_lat_ms: Vec<f64> = Vec::with_capacity(windows * rounds);
     let mut decode_answers: Vec<Vec<Estimate>> = Vec::new();
     let mut decode_err = None;
     let (_, decode_secs) = timed(|| {
         for round in 0..rounds {
             for path in &frame_paths {
+                let batch_started = Instant::now();
                 let result = std::fs::read(path)
                     .map_err(|e| format!("read frame: {e}"))
                     .and_then(|bytes| {
@@ -136,6 +143,9 @@ fn run() -> Result<(), String> {
                             .answer_batch(&battery, confidence)
                             .map_err(|e| format!("decode-path answer: {e}"))
                     });
+                let elapsed = batch_started.elapsed();
+                decode_hist.record_duration(elapsed);
+                decode_lat_ms.push(elapsed.as_secs_f64() * 1e3);
                 match result {
                     Ok(answers) => {
                         if round == 0 {
@@ -151,12 +161,19 @@ fn run() -> Result<(), String> {
         return Err(e);
     }
 
+    let view_hist = sas_obs::Histogram::new();
+    let mut view_lat_ms: Vec<f64> = Vec::with_capacity(windows * rounds);
     let mut view_answers: Vec<Vec<Estimate>> = Vec::new();
     let mut view_err = None;
     let (_, view_secs) = timed(|| {
         for round in 0..rounds {
             for view in &views {
-                match view.answer_batch(&battery, confidence) {
+                let batch_started = Instant::now();
+                let result = view.answer_batch(&battery, confidence);
+                let elapsed = batch_started.elapsed();
+                view_hist.record_duration(elapsed);
+                view_lat_ms.push(elapsed.as_secs_f64() * 1e3);
+                match result {
                     Ok(answers) => {
                         if round == 0 {
                             view_answers.push(answers);
@@ -191,27 +208,43 @@ fn run() -> Result<(), String> {
         }
     }
 
+    // Histogram percentiles must agree with a sort of the raw batch
+    // latencies to within one log bucket before they are worth reporting.
+    decode_lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    view_lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let decode_snap = decode_hist.snapshot();
+    let view_snap = view_hist.snapshot();
+    sas_bench::assert_hist_matches_sorted(&decode_snap, &decode_lat_ms, "decode path");
+    sas_bench::assert_hist_matches_sorted(&view_snap, &view_lat_ms, "view path");
+
     let decode_qps = answered / decode_secs;
     let view_qps = answered / view_secs;
     let ratio = view_qps / decode_qps;
+    let batch_us = |snap: &sas_obs::HistogramSnapshot, p: f64| snap.percentile(p) as f64 / 1e3;
     print_table(
         &format!(
             "cold catalog ({windows} windows x {queries} queries x {rounds} rounds, \
              {mapped_count} segments mapped)"
         ),
-        &["path", "qps", "secs", "ratio"],
+        &["path", "qps", "secs", "ratio", "p50_us", "p95_us", "p99_us"],
         &[
             vec![
                 "decode".into(),
                 format!("{decode_qps:.0}"),
                 format!("{decode_secs:.3}"),
                 "1.00".into(),
+                format!("{:.1}", batch_us(&decode_snap, 50.0)),
+                format!("{:.1}", batch_us(&decode_snap, 95.0)),
+                format!("{:.1}", batch_us(&decode_snap, 99.0)),
             ],
             vec![
                 "view".into(),
                 format!("{view_qps:.0}"),
                 format!("{view_secs:.3}"),
                 format!("{ratio:.2}"),
+                format!("{:.1}", batch_us(&view_snap, 50.0)),
+                format!("{:.1}", batch_us(&view_snap, 95.0)),
+                format!("{:.1}", batch_us(&view_snap, 99.0)),
             ],
         ],
     );
@@ -226,7 +259,9 @@ fn run() -> Result<(), String> {
             .int("rounds", rounds as u64)
             .num("cold_query_decode_qps", decode_qps)
             .num("cold_query_view_qps", view_qps)
-            .num("cold_view_decode_ratio", ratio);
+            .num("cold_view_decode_ratio", ratio)
+            .num("cold_decode_batch_p99_us", batch_us(&decode_snap, 99.0))
+            .num("cold_view_batch_p99_us", batch_us(&view_snap, 99.0));
         obj.write(&path)?;
         eprintln!("wrote {}", path.display());
     }

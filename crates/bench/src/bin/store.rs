@@ -273,21 +273,17 @@ fn refill(c: &mut LoadConn, token: u64, total: u64, depth: usize, ingest_frame: 
     }
 }
 
-/// Results of one load run.
+/// Results of one load run. Latencies live twice: the lock-free
+/// histogram is what gets reported (the same math the daemon's metrics
+/// use), the raw vector is kept as sort-based ground truth to cross-check
+/// the histogram's percentiles against.
 struct LoadReport {
     requests: u64,
     ok: u64,
     errs: u64,
     secs: f64,
     latencies_ms: Vec<f64>,
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    hist: sas_obs::HistogramSnapshot,
 }
 
 /// Drives `conns` concurrent pipelined connections from a single thread —
@@ -332,6 +328,7 @@ fn drive_load(addr: std::net::SocketAddr, conns: usize, depth: usize, per_conn: 
 
     let start = Instant::now();
     let deadline = start + Duration::from_secs(600);
+    let hist = sas_obs::Histogram::new();
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(conns * per_conn as usize);
     let mut ok = 0u64;
     let mut errs = 0u64;
@@ -358,6 +355,7 @@ fn drive_load(addr: std::net::SocketAddr, conns: usize, depth: usize, per_conn: 
                     depth,
                     &ingest_frame,
                     &mut latencies_ms,
+                    &hist,
                     &mut ok,
                     &mut errs,
                 );
@@ -384,6 +382,7 @@ fn drive_load(addr: std::net::SocketAddr, conns: usize, depth: usize, per_conn: 
         errs,
         secs,
         latencies_ms,
+        hist: hist.snapshot(),
     }
 }
 
@@ -427,6 +426,7 @@ fn read_and_parse(
     depth: usize,
     ingest_frame: &[u8],
     latencies_ms: &mut Vec<f64>,
+    hist: &sas_obs::Histogram,
     ok: &mut u64,
     errs: &mut u64,
 ) {
@@ -452,7 +452,9 @@ fn read_and_parse(
         }
         let frame = &rest[4..4 + len];
         let (sent_at, tag) = c.pending.pop_front().expect("response without a request");
-        latencies_ms.push(sent_at.elapsed().as_secs_f64() * 1e3);
+        let elapsed = sent_at.elapsed();
+        latencies_ms.push(elapsed.as_secs_f64() * 1e3);
+        hist.record_duration(elapsed);
         match decode_response(frame, tag) {
             Ok(Response::Err(_)) | Ok(Response::Busy(_)) | Err(_) => *errs += 1,
             Ok(_) => *ok += 1,
@@ -509,10 +511,15 @@ fn daemon_phase(conns: usize) {
         report.errs
     );
 
-    let p50 = percentile(&report.latencies_ms, 50.0);
-    let p95 = percentile(&report.latencies_ms, 95.0);
-    let p99 = percentile(&report.latencies_ms, 99.0);
-    let max = report.latencies_ms.last().copied().unwrap_or(0.0);
+    // Reported percentiles come from the histogram — the same math the
+    // daemon's metrics endpoint uses. The sorted vector is the ground
+    // truth it must agree with, rank-for-rank, to within one log bucket.
+    let snap = &report.hist;
+    sas_bench::assert_hist_matches_sorted(snap, &report.latencies_ms, "daemon load");
+    let p50 = snap.percentile(50.0) as f64 / 1e6;
+    let p95 = snap.percentile(95.0) as f64 / 1e6;
+    let p99 = snap.percentile(99.0) as f64 / 1e6;
+    let max = snap.max as f64 / 1e6;
     let rps = report.requests as f64 / report.secs;
     print_table(
         "daemon c10k (pipelined mixed ingest/query/estimate/ping)",

@@ -227,6 +227,40 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Sort-based percentile over an ascending slice at the same nearest-rank
+/// rule (`ceil(p/100 * n)`) that [`sas_obs::HistogramSnapshot::percentile`]
+/// uses, so a histogram percentile and the sort-based one pick the same
+/// ranked observation and can be compared bucket-for-bucket.
+pub fn rank_value(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Asserts that a histogram snapshot's p50/p95/p99 each land within one
+/// log-bucket of the sort-based percentile over the raw latencies
+/// (milliseconds, ascending). Shared by the `store` and `cold` bins, whose
+/// reported percentiles come from [`sas_obs::Histogram`] — the same math
+/// the daemon's metrics endpoint serves — with the raw vector kept as
+/// ground truth.
+pub fn assert_hist_matches_sorted(
+    snap: &sas_obs::HistogramSnapshot,
+    sorted_ms: &[f64],
+    what: &str,
+) {
+    for p in [50.0, 95.0, 99.0] {
+        let hist_ns = snap.percentile(p);
+        let sorted_ns = (rank_value(sorted_ms, p) * 1e6).round() as u64;
+        assert!(
+            sas_obs::within_one_bucket(hist_ns, sorted_ns),
+            "{what}: histogram p{p} = {hist_ns} ns more than one bucket away \
+             from sort-based {sorted_ns} ns"
+        );
+    }
+}
+
 /// Reads a `usize` environment knob with a default (shared by the bins).
 pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)

@@ -47,7 +47,7 @@ use sas_summaries::{encode_summary, StoredSample, SummaryKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas compact <store-dir> [--format v1|v2]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS] [--max-conns N] [--read-timeout MS] [--shed N]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> list | stats | ping | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas compact <store-dir> [--format v1|v2]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS] [--max-conns N] [--read-timeout MS] [--shed N] [--slow-query-ms N] [--metrics-every SECS]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> metrics [--format prom|tsv|json]\n  sas client <addr> list | stats | ping | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
     );
     ExitCode::from(2)
 }
@@ -360,6 +360,10 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         defaults.read_timeout.as_millis() as u64,
     )?;
     let shed: usize = parse_flag(args, "--shed", defaults.dataset_inflight)?;
+    // Threshold 0 logs every request (handy when tracing a live daemon);
+    // omitting the flag disables the slow-query log entirely.
+    let slow_query_ms: u64 = parse_flag(args, "--slow-query-ms", u64::MAX)?;
+    let metrics_every_secs: u64 = parse_flag(args, "--metrics-every", 0)?;
 
     let store = Arc::new(Store::open(
         dir.as_str(),
@@ -377,6 +381,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             max_conns,
             read_timeout: Duration::from_millis(read_timeout_ms),
             dataset_inflight: shed,
+            slow_query: (slow_query_ms != u64::MAX).then(|| Duration::from_millis(slow_query_ms)),
             ..defaults
         },
     )?;
@@ -384,6 +389,18 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // reports the real port when --addr used an ephemeral one.
     eprintln!("sas-store: listening on {}", server.local_addr());
     eprintln!("sas-store: {recovered} windows recovered from {dir}");
+    if metrics_every_secs > 0 {
+        // Periodic operational dump; dies with the process when the
+        // daemon exits, so no shutdown plumbing is needed.
+        let store = store.clone();
+        std::thread::Builder::new()
+            .name("sas-metrics-dump".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_secs(metrics_every_secs));
+                eprint!("{}", store.obs().snapshot().to_tsv());
+            })
+            .expect("spawn metrics dumper");
+    }
     let compactor = (compact_every_ms > 0)
         .then(|| Compactor::start(store, Duration::from_millis(compact_every_ms)));
     server.wait();
@@ -490,8 +507,24 @@ fn cmd_client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "stats" => {
-            for (name, value) in client.stats()? {
+            // The daemon emits stats in its own fixed (not alphabetical)
+            // order, which may change across versions; sort by name so the
+            // output is stable and diffable.
+            let mut pairs = client.stats()?;
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            for (name, value) in pairs {
                 println!("{name}: {value}");
+            }
+        }
+        "metrics" => {
+            let report = client.metrics()?;
+            match flag_value(rest, "--format").unwrap_or("prom") {
+                "prom" => print!("{}", report.to_prometheus()),
+                "tsv" => print!("{}", report.to_tsv()),
+                "json" => print!("{}", report.to_json()),
+                other => {
+                    return Err(format!("unknown --format '{other}' (want prom|tsv|json)").into())
+                }
             }
         }
         "ping" => {

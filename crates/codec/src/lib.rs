@@ -470,6 +470,10 @@ pub mod proto {
     /// without touching the store, so a ping measures loop responsiveness
     /// even while workers are saturated.
     pub const REQ_PING: u16 = 70;
+    /// Request: snapshot the daemon's metrics registry (counters plus
+    /// latency histograms). Answered with a [`RESP_OK`] body holding the
+    /// full registry; see `sas-store`'s wire module for the layout.
+    pub const REQ_METRICS: u16 = 71;
 
     /// Response: success; body layout depends on the request kind.
     pub const RESP_OK: u16 = 80;
@@ -721,6 +725,7 @@ mod tests {
             proto::REQ_SHUTDOWN,
             proto::REQ_ESTIMATE,
             proto::REQ_PING,
+            proto::REQ_METRICS,
             proto::RESP_OK,
             proto::RESP_ERR,
             proto::RESP_BUSY,

@@ -1,0 +1,400 @@
+//! Lock-free log-bucketed latency histogram.
+//!
+//! The bucket scheme is log-linear (the HdrHistogram layout): values below
+//! [`SUB`] land in unit-width buckets, and every power-of-two octave above
+//! that is split into [`SUB`] equal sub-buckets. With `SUB = 64` the
+//! relative width of any bucket is at most `1/64 ≈ 1.6%` of its lower
+//! bound — roughly two significant decimal digits — while the whole table
+//! stays a fixed [`NUM_BUCKETS`]` × 8` bytes (~17.5 KiB) regardless of how
+//! many observations are recorded.
+//!
+//! Everything is plain relaxed atomics: recording is a single `fetch_add`
+//! on the bucket plus count/sum/min/max updates, so writers never contend
+//! on a lock and readers can snapshot at any time. Bucket-wise addition
+//! makes histograms mergeable, and the merge is associative and
+//! commutative (it is integer vector addition), which the property tests
+//! in `tests/histogram_properties.rs` pin down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of the number of sub-buckets per octave.
+pub const SUB_BITS: u32 = 6;
+/// Sub-buckets per power-of-two octave; also the width-1 range `0..SUB`.
+pub const SUB: u64 = 1 << SUB_BITS;
+/// Values at or above `2^MAX_EXP` saturate into the final bucket. In
+/// nanoseconds this is ~18 minutes — far beyond any latency the daemon
+/// can produce while its read timeout is armed. The exact `max` is still
+/// tracked separately, so saturation never loses the true maximum.
+pub const MAX_EXP: u32 = 40;
+/// Total bucket count: `SUB` unit buckets plus `MAX_EXP - SUB_BITS`
+/// octaves of `SUB` sub-buckets each.
+pub const NUM_BUCKETS: usize = ((MAX_EXP - SUB_BITS + 1) as usize) << SUB_BITS;
+
+/// Index of the bucket holding `v` (saturating at the final bucket).
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // >= SUB_BITS
+    if top >= MAX_EXP {
+        return NUM_BUCKETS - 1;
+    }
+    let sub = (v >> (top - SUB_BITS)) & (SUB - 1);
+    (((top - SUB_BITS + 1) as usize) << SUB_BITS) + sub as usize
+}
+
+/// Smallest value mapped to bucket `i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    debug_assert!(i < NUM_BUCKETS);
+    if i < SUB as usize {
+        return i as u64;
+    }
+    let octave = (i >> SUB_BITS) as u32 + SUB_BITS - 1; // top bit position
+    let sub = (i as u64) & (SUB - 1);
+    (SUB + sub) << (octave - SUB_BITS)
+}
+
+/// Width of bucket `i` (1 for the unit range, doubling per octave).
+pub fn bucket_width(i: usize) -> u64 {
+    debug_assert!(i < NUM_BUCKETS);
+    if i < (2 * SUB) as usize {
+        1
+    } else {
+        1 << ((i >> SUB_BITS) as u32 - 1)
+    }
+}
+
+/// Largest value mapped to bucket `i` (ignoring saturation overflow).
+pub fn bucket_upper(i: usize) -> u64 {
+    bucket_lower(i) + (bucket_width(i) - 1)
+}
+
+/// True when `a` and `b` fall in the same or adjacent buckets — the
+/// agreement bound the bench bins assert between histogram-derived and
+/// sort-derived percentiles.
+pub fn within_one_bucket(a: u64, b: u64) -> bool {
+    bucket_index(a).abs_diff(bucket_index(b)) <= 1
+}
+
+/// A fixed-footprint concurrent histogram of `u64` observations.
+///
+/// `Debug` prints the count/min/max summary, not 2240 buckets.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("min", &self.min.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        // Avoid materializing the array on the stack: allocate zeroed.
+        // An AtomicU64 is layout- and validity-compatible with 0u64.
+        let buckets = vec![0u64; NUM_BUCKETS]
+            .into_iter()
+            .map(AtomicU64::new)
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> =
+            buckets.try_into().expect("bucket count is NUM_BUCKETS");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; safe from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-wise).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution (sparse: nonzero buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n != 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Convenience percentile straight off the live histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
+    }
+}
+
+/// An immutable copy of a [`Histogram`], as shipped over the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Sorted `(bucket index, count)` pairs for nonzero buckets only.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Value at percentile `p` (0..=100), exact to within one bucket width.
+    ///
+    /// Returns the upper bound of the bucket containing the rank-`⌈p/100·n⌉`
+    /// observation, clamped into `[min, max]` so `percentile(0)` is the true
+    /// minimum and `percentile(100)` the true maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another snapshot's observations into this one (bucket-wise).
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        while let (Some(&&(ia, _)), Some(&&(ib, _))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => merged.push(*a.next().unwrap()),
+                std::cmp::Ordering::Greater => merged.push(*b.next().unwrap()),
+                std::cmp::Ordering::Equal => {
+                    let (i, na) = *a.next().unwrap();
+                    let (_, nb) = *b.next().unwrap();
+                    merged.push((i, na + nb));
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.buckets = merged;
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_width(v as usize), 1);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_range() {
+        // Every bucket starts where the previous one ended.
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(
+                bucket_lower(i),
+                bucket_upper(i - 1) + 1,
+                "gap or overlap between buckets {} and {}",
+                i - 1,
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        let probes = [
+            0,
+            1,
+            SUB - 1,
+            SUB,
+            SUB + 1,
+            127,
+            128,
+            129,
+            1000,
+            4095,
+            4096,
+            (1 << 20) - 1,
+            1 << 20,
+            (1 << MAX_EXP) - 1,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "v={v} i={i}");
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_two_significant_digits() {
+        for i in (SUB as usize)..NUM_BUCKETS {
+            let rel = bucket_width(i) as f64 / bucket_lower(i) as f64;
+            assert!(rel <= 1.0 / SUB as f64 + 1e-12, "bucket {i}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn saturation_goes_to_the_final_bucket() {
+        assert_eq!(bucket_index(1 << MAX_EXP), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 50);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets, vec![((NUM_BUCKETS - 1) as u32, 2)]);
+        assert_eq!(s.max, u64::MAX, "exact max survives saturation");
+    }
+
+    #[test]
+    fn percentiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        for (p, exact) in [(50.0, 500u64), (95.0, 950), (99.0, 990), (100.0, 1000)] {
+            let got = s.percentile(p);
+            assert!(
+                within_one_bucket(got, exact),
+                "p{p}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(s.percentile(100.0), 1000, "p100 is the exact max");
+        assert_eq!(s.percentile(0.0), 1, "p0 is the exact min");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!(s.percentile(50.0), 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_from_combines_counts_and_extremes() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        a.record(100_000);
+        b.record(7);
+        b.record(42);
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 10 + 100_000 + 7 + 42);
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 100_000);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_histogram_merge() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [3u64, 64, 65, 900, 1 << 30] {
+            a.record(v);
+        }
+        for v in [0u64, 64, 1 << 30, u64::MAX] {
+            b.record(v);
+        }
+        let mut sa = a.snapshot();
+        sa.merge_from(&b.snapshot());
+        a.merge_from(&b);
+        assert_eq!(sa, a.snapshot());
+    }
+}

@@ -1,0 +1,23 @@
+//! Observability primitives for the sas daemon (std-only, zero deps).
+//!
+//! Three pieces, deliberately small:
+//!
+//! * [`Histogram`] — a lock-free, fixed-footprint log-bucketed latency
+//!   histogram (~1.6% relative bucket width, mergeable, exact
+//!   p50/p95/p99/max extraction). See [`histogram`] for the bucket scheme.
+//! * [`Registry`] / [`Counter`] / [`MetricsReport`] — a flat sorted
+//!   catalog of named metrics with Prometheus/TSV/JSON exposition; what
+//!   the daemon's `REQ_METRICS` wire tag snapshots and ships.
+//! * [`slog!`] / [`Level`] — a leveled single-line `key=value` logger
+//!   gated by `SAS_LOG`, free when disabled.
+
+pub mod histogram;
+pub mod log;
+pub mod registry;
+
+pub use histogram::{
+    bucket_index, bucket_lower, bucket_upper, bucket_width, within_one_bucket, Histogram,
+    HistogramSnapshot, MAX_EXP, NUM_BUCKETS, SUB, SUB_BITS,
+};
+pub use log::{emit, enabled, level, set_level, Level};
+pub use registry::{Counter, MetricsReport, Registry};

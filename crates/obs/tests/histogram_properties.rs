@@ -1,0 +1,205 @@
+//! Property and concurrency tests pinning the histogram's correctness
+//! claims: merge is associative, bucket boundaries are exact, saturation
+//! is confined to the final bucket, percentiles respect the one-bucket
+//! error bound, and concurrent recording loses nothing.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sas_obs::{
+    bucket_index, bucket_lower, bucket_upper, within_one_bucket, Histogram, HistogramSnapshot,
+    MAX_EXP, NUM_BUCKETS,
+};
+
+/// Draws values spanning every regime of the bucket table.
+fn mixed_values(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u64..64, 0u64..(1 << 30), 0u64..u64::MAX), n).prop_map(|triples| {
+        triples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (small, mid, large))| match i % 3 {
+                0 => small,
+                1 => mid,
+                _ => large,
+            })
+            .collect()
+    })
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(a in mixed_values(0..40), b in mixed_values(0..40), c in mixed_values(0..40)) {
+        // (a ⊕ b) ⊕ c
+        let left = hist_of(&a);
+        left.merge_from(&hist_of(&b));
+        left.merge_from(&hist_of(&c));
+        // a ⊕ (b ⊕ c)
+        let bc = hist_of(&b);
+        bc.merge_from(&hist_of(&c));
+        let right = hist_of(&a);
+        right.merge_from(&bc);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        // And both equal recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(left.snapshot(), hist_of(&all).snapshot());
+    }
+
+    #[test]
+    fn every_value_is_bounded_by_its_bucket(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+        // The final bucket absorbs everything past the saturation point.
+        if i < NUM_BUCKETS - 1 {
+            prop_assert!(v <= bucket_upper(i), "{v} > upper({i})");
+        }
+    }
+
+    #[test]
+    fn percentiles_stay_within_one_bucket_of_sorted_truth(
+        values in mixed_values(1..200),
+        p in 0.0f64..100.0,
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // The same nearest-rank convention the bench's sort-based path uses.
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+        let approx = h.percentile(p);
+        prop_assert!(
+            within_one_bucket(approx, exact),
+            "p{p}: histogram {approx} vs sorted {exact}"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_merge_identity(values in mixed_values(0..100)) {
+        // Merging into an empty histogram is the identity.
+        let empty = Histogram::new();
+        empty.merge_from(&hist_of(&values));
+        prop_assert_eq!(empty.snapshot(), hist_of(&values).snapshot());
+    }
+}
+
+#[test]
+fn bucket_boundary_values_map_exactly() {
+    // The first value of every bucket maps back to that bucket, and the
+    // last value of every bucket stays inside it.
+    for i in 0..NUM_BUCKETS {
+        assert_eq!(bucket_index(bucket_lower(i)), i, "lower bound of {i}");
+        if i < NUM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper(i)), i, "upper bound of {i}");
+            assert_eq!(
+                bucket_index(bucket_upper(i) + 1),
+                i + 1,
+                "first value past bucket {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturation_confined_to_max_bucket() {
+    let h = Histogram::new();
+    let sat_start = 1u64 << MAX_EXP;
+    for v in [sat_start, sat_start + 1, u64::MAX / 2, u64::MAX] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(
+        s.buckets,
+        vec![((NUM_BUCKETS - 1) as u32, 4)],
+        "all saturating values collapse into the final bucket"
+    );
+    assert_eq!(s.max, u64::MAX);
+    assert_eq!(s.min, sat_start);
+    assert_eq!(s.count, 4);
+}
+
+#[test]
+fn concurrent_recording_from_8_threads_totals_exactly_n() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 25_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct per-thread value streams across magnitudes.
+                    h.record((t as u64 + 1) * 37 + i * 13 % (1 << 22));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread panicked");
+    }
+    let s = h.snapshot();
+    let n = THREADS as u64 * PER_THREAD;
+    assert_eq!(s.count, n, "count lost under concurrency");
+    let bucket_total: u64 = s.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, n, "bucket mass lost under concurrency");
+    assert_eq!(h.percentile(100.0), s.max);
+}
+
+#[test]
+fn concurrent_merge_and_snapshot_never_lose_mass() {
+    // Merging shards concurrently with snapshotting must never produce a
+    // snapshot whose bucket mass exceeds its count by more than in-flight
+    // updates, and the final state is exact.
+    const SHARDS: usize = 8;
+    const PER_SHARD: u64 = 5_000;
+    let total = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..SHARDS)
+        .map(|t| {
+            let total = Arc::clone(&total);
+            std::thread::spawn(move || {
+                let shard = Histogram::new();
+                for i in 0..PER_SHARD {
+                    shard.record(t as u64 * 1_000 + i);
+                }
+                total.merge_from(&shard);
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("merge thread panicked");
+    }
+    let s = total.snapshot();
+    assert_eq!(s.count, SHARDS as u64 * PER_SHARD);
+    let bucket_total: u64 = s.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, s.count);
+}
+
+#[test]
+fn snapshot_merge_is_associative_on_fixtures() {
+    let mk = |vals: &[u64]| -> HistogramSnapshot { hist_of(vals).snapshot() };
+    let (a, b, c) = (
+        mk(&[1, 2, 3, 1 << 20]),
+        mk(&[64, 65, u64::MAX]),
+        mk(&[0, 0, 0, 999]),
+    );
+    let mut left = a.clone();
+    left.merge_from(&b);
+    left.merge_from(&c);
+    let mut bc = b.clone();
+    bc.merge_from(&c);
+    let mut right = a.clone();
+    right.merge_from(&bc);
+    assert_eq!(left, right);
+}

@@ -217,6 +217,17 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's full metric registry: counters plus latency
+    /// histograms (request stages, compaction, recovery). Render with
+    /// [`MetricsReport::to_prometheus`](sas_obs::MetricsReport::to_prometheus)
+    /// or its TSV/JSON siblings.
+    pub fn metrics(&mut self) -> Result<sas_obs::MetricsReport, ClientError> {
+        match self.exchange(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Liveness probe: answered from the daemon's event loop without
     /// touching the store, so a `Pong` proves the loop is dispatching even
     /// when workers are saturated.

@@ -162,7 +162,10 @@ pub struct Conn {
     in_flight: usize,
     next_flush: u64,
     parked: BTreeMap<u64, Payload>,
-    outbox: VecDeque<Payload>,
+    /// In-order messages awaiting the socket, each tagged with the request
+    /// sequence it answers (`None`: unsolicited, e.g. a shed BUSY) so the
+    /// server can attribute flush completion back to the request.
+    outbox: VecDeque<(Option<u64>, Payload)>,
     front_written: usize,
     queued_bytes: usize,
 }
@@ -311,7 +314,7 @@ impl Conn {
         self.parked.insert(seq, message.into());
         while let Some(msg) = self.parked.remove(&self.next_flush) {
             self.queued_bytes += msg.len();
-            self.outbox.push_back(msg);
+            self.outbox.push_back((Some(self.next_flush), msg));
             self.next_flush += 1;
         }
     }
@@ -325,7 +328,7 @@ impl Conn {
         }
         let message = message.into();
         self.queued_bytes += message.len();
-        self.outbox.push_back(message);
+        self.outbox.push_back((None, message));
     }
 
     /// The next unwritten slice, if any. Write some prefix of it to the
@@ -333,20 +336,32 @@ impl Conn {
     pub fn next_chunk(&self) -> Option<&[u8]> {
         self.outbox
             .front()
-            .map(|m| &m.as_slice()[self.front_written..])
+            .map(|(_, m)| &m.as_slice()[self.front_written..])
     }
 
-    /// Records `n` bytes of the front message as written.
-    pub fn advance(&mut self, n: usize) {
+    /// The request sequence the front (currently draining) outbox message
+    /// answers; `None` when the outbox is empty or the front message is
+    /// unsolicited. The server's stage clock uses this to stamp when a
+    /// response's first byte reaches the socket.
+    pub fn front_seq(&self) -> Option<u64> {
+        self.outbox.front().and_then(|(seq, _)| *seq)
+    }
+
+    /// Records `n` bytes of the front message as written. When that
+    /// completes the front message, returns the sequence number of the
+    /// request it answered (`None` if the message was unsolicited or more
+    /// bytes remain) — the hook the server's stage clock uses to stamp
+    /// "flushed".
+    pub fn advance(&mut self, n: usize) -> Option<u64> {
         self.front_written += n;
         self.queued_bytes -= n;
         let done = self
             .outbox
             .front()
-            .map(|m| self.front_written >= m.len())
+            .map(|(_, m)| self.front_written >= m.len())
             .unwrap_or(false);
         if done {
-            self.outbox.pop_front();
+            let (seq, _) = self.outbox.pop_front().expect("done implies a front");
             self.front_written = 0;
             if self.phase == Phase::Aborting {
                 // Frame boundary reached: everything else was already
@@ -354,7 +369,9 @@ impl Conn {
                 // is closable.
                 debug_assert!(self.outbox.is_empty());
             }
+            return seq;
         }
+        None
     }
 
     /// Unwritten response bytes currently held (the backpressure gauge).
@@ -401,7 +418,7 @@ impl Conn {
         if self.front_written > 0 {
             // Keep only the half-written front message.
             let keep = self.outbox.pop_front().expect("mid-frame implies a front");
-            self.queued_bytes = keep.len() - self.front_written;
+            self.queued_bytes = keep.1.len() - self.front_written;
             self.outbox.clear();
             self.outbox.push_back(keep);
         } else {

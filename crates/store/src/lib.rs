@@ -52,10 +52,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use sas_obs::{
+    slog, Counter as ObsCounter, Histogram as ObsHistogram, Level as LogLevel, Registry,
+};
 
 use sas_codec::segment::is_segment;
 use sas_codec::CodecError;
@@ -284,6 +288,38 @@ struct Counters {
     temp_files_swept: AtomicU64,
 }
 
+/// The store's metric registry plus pre-resolved hot-path handles. Fixed
+/// cells are resolved once at open; per-dataset cache counters arrive at
+/// runtime, so they are memoized in a map and the query path pays one
+/// `RwLock` read instead of a registry lock per request.
+#[derive(Debug)]
+struct StoreObs {
+    registry: Arc<Registry>,
+    compactions: Arc<ObsCounter>,
+    compaction_ns: Arc<ObsHistogram>,
+    segment_hydrations: Arc<ObsCounter>,
+    datasets: RwLock<HashMap<String, CacheCells>>,
+}
+
+/// Per-dataset cache hit/miss counter handles.
+#[derive(Debug, Clone)]
+struct CacheCells {
+    hits: Arc<ObsCounter>,
+    misses: Arc<ObsCounter>,
+}
+
+impl StoreObs {
+    fn new(registry: Arc<Registry>) -> StoreObs {
+        StoreObs {
+            compactions: registry.counter("sas_store_compactions_total"),
+            compaction_ns: registry.histogram("sas_store_compaction_ns"),
+            segment_hydrations: registry.counter("sas_store_segment_hydrations_total"),
+            datasets: RwLock::new(HashMap::new()),
+            registry,
+        }
+    }
+}
+
 /// The concurrent summary catalog. See the crate docs for the design.
 #[derive(Debug)]
 pub struct Store {
@@ -293,12 +329,14 @@ pub struct Store {
     writer: Mutex<WriterState>,
     cache: QueryCache,
     counters: Counters,
+    obs: StoreObs,
 }
 
 impl Store {
     /// Opens (or creates) a store directory, sweeping crash debris,
     /// replaying the manifest, and removing orphaned frames.
     pub fn open(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<Store, StoreError> {
+        let recovery_started = Instant::now();
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| StoreError::Io(dir.clone(), e))?;
         let swept = fsio::remove_temp_files(&dir).map_err(|e| StoreError::Io(dir.clone(), e))?;
@@ -328,6 +366,7 @@ impl Store {
         }
         let mut slots = Vec::with_capacity(manifest.entries.len());
         let mut frames = Vec::new();
+        let mut mapped_windows = 0u64;
         for entry in &manifest.entries {
             let path = frame_path(&dir, &entry.key);
             let buf = mapped::Mapped::open(&path).map_err(|e| StoreError::Io(path, e))?;
@@ -335,6 +374,7 @@ impl Store {
                 let len = buf.len() as u64;
                 let seg = SegmentSummary::open(Arc::new(buf))?;
                 slots.push(Slot::Segment(Box::new(seg), len));
+                mapped_windows += 1;
             } else {
                 frames.push(buf.as_ref().to_vec());
                 slots.push(Slot::Frame(frames.len() - 1));
@@ -404,11 +444,13 @@ impl Store {
             })),
             writer: Mutex::new(writer),
             counters: Counters::default(),
+            obs: StoreObs::new(Arc::new(Registry::new())),
         };
+        let recovered = manifest.entries.len() as u64;
         store
             .counters
             .recovered_windows
-            .store(manifest.entries.len() as u64, Ordering::Relaxed);
+            .store(recovered, Ordering::Relaxed);
         store
             .counters
             .orphans_removed
@@ -417,7 +459,70 @@ impl Store {
             .counters
             .temp_files_swept
             .store(swept, Ordering::Relaxed);
+        let recovery_ns = recovery_started.elapsed().as_nanos() as u64;
+        let obs = &store.obs.registry;
+        obs.counter("sas_store_recovery_ns").record_max(recovery_ns);
+        obs.counter("sas_store_recovered_windows").add(recovered);
+        obs.counter("sas_store_recovered_windows_mapped")
+            .add(mapped_windows);
+        obs.counter("sas_store_recovered_windows_hydrated")
+            .add(recovered - mapped_windows);
+        slog!(
+            LogLevel::Info,
+            "store_opened",
+            windows = recovered,
+            mapped = mapped_windows,
+            orphans_removed = orphans,
+            temp_files_swept = swept,
+            recovery_ms = recovery_ns / 1_000_000
+        );
         Ok(store)
+    }
+
+    /// The store's metric registry. The daemon snapshots this for
+    /// `REQ_METRICS` and registers its own connection/request metrics in
+    /// it, so one report covers the whole process.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs.registry
+    }
+
+    /// Memoized per-dataset cache hit/miss counter handles. Unvalidated
+    /// dataset strings (queries do not reject them) collapse into one
+    /// `"_invalid"` label so hostile names cannot mint unbounded metrics
+    /// or smuggle quotes into the exposition format.
+    fn cache_cells(&self, dataset: &str) -> CacheCells {
+        let dataset = if valid_dataset(dataset) {
+            dataset
+        } else {
+            "_invalid"
+        };
+        if let Some(cells) = self.obs.datasets.read().expect("obs lock").get(dataset) {
+            return cells.clone();
+        }
+        let cells = CacheCells {
+            hits: self.obs.registry.counter(&format!(
+                "sas_store_cache_hits_total{{dataset=\"{dataset}\"}}"
+            )),
+            misses: self.obs.registry.counter(&format!(
+                "sas_store_cache_misses_total{{dataset=\"{dataset}\"}}"
+            )),
+        };
+        self.obs
+            .datasets
+            .write()
+            .expect("obs lock")
+            .entry(dataset.to_string())
+            .or_insert(cells)
+            .clone()
+    }
+
+    /// [`hydrate_clone`] with the hydration counted when it actually
+    /// transforms a mapped segment into its owned form.
+    fn hydrate_counted(&self, summary: &dyn Summary) -> Box<dyn Summary> {
+        if summary.as_any().downcast_ref::<SegmentSummary>().is_some() {
+            self.obs.segment_hydrations.inc();
+        }
+        hydrate_clone(summary)
     }
 
     /// The store directory.
@@ -457,7 +562,7 @@ impl Store {
         let (summary, batches) = match snap.windows.get(&key) {
             None => (batch, 1),
             Some(existing) => {
-                let mut merged = hydrate_clone(existing.summary.as_ref());
+                let mut merged = self.hydrate_counted(existing.summary.as_ref());
                 // Seed from the window plus its batch counter: replaying
                 // the same ingest sequence reproduces the same window.
                 let mut rng = StdRng::seed_from_u64(
@@ -515,6 +620,7 @@ impl Store {
         if let Some(key) = &cache_key {
             if let Some(CachedAnswer::Plain(value, windows)) = self.cache.get(key) {
                 self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.cache_cells(dataset).hits.inc();
                 return QueryAnswer {
                     value,
                     windows,
@@ -524,6 +630,7 @@ impl Store {
             }
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_cells(dataset).misses.inc();
         let (value, windows) = snap.query(dataset, kind, range, time);
         if let Some(key) = cache_key {
             self.cache.put(key, CachedAnswer::Plain(value, windows));
@@ -560,6 +667,7 @@ impl Store {
         };
         if let Some(CachedAnswer::Estimate(estimate, windows)) = self.cache.get(&cache_key) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_cells(dataset).hits.inc();
             return Ok(EstimateAnswer {
                 estimate,
                 windows,
@@ -568,6 +676,7 @@ impl Store {
             });
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_cells(dataset).misses.inc();
         let (estimate, windows) = snap
             .estimate(dataset, kind, query, confidence, time)
             .map_err(bad)?;
@@ -607,6 +716,13 @@ impl Store {
             .map(|w| w.summary.item_count() as u64)
             .sum();
         let bytes: u64 = snap.windows.values().map(|w| w.frame_bytes).sum();
+        let level_bytes = |level: Level| -> u64 {
+            snap.windows
+                .values()
+                .filter(|w| w.key.level == level)
+                .map(|w| w.frame_bytes)
+                .sum()
+        };
         let c = &self.counters;
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         vec![
@@ -616,6 +732,9 @@ impl Store {
             ("day_windows".into(), per_level(Level::Day)),
             ("items".into(), items),
             ("frame_bytes".into(), bytes),
+            ("minute_frame_bytes".into(), level_bytes(Level::Minute)),
+            ("hour_frame_bytes".into(), level_bytes(Level::Hour)),
+            ("day_frame_bytes".into(), level_bytes(Level::Day)),
             ("snapshot_version".into(), snap.version),
             ("ingested_batches".into(), get(&c.ingested)),
             ("rollups".into(), get(&c.rollups)),
@@ -634,10 +753,12 @@ impl Store {
     /// entirely below the series watermark) absorbs its children via the
     /// deterministic merge tree. Returns the number of roll-ups performed.
     pub fn compact_once(&self) -> Result<usize, StoreError> {
+        let pass_started = Instant::now();
         let mut writer = self.writer.lock().expect("writer lock");
         self.counters
             .compaction_passes
             .fetch_add(1, Ordering::Relaxed);
+        self.obs.compactions.inc();
         let snap = self.snapshot();
         let mut windows = snap.windows.clone();
         let mut doomed_paths: Vec<PathBuf> = Vec::new();
@@ -665,7 +786,7 @@ impl Store {
                     &parent_key,
                     children
                         .iter()
-                        .map(|c| hydrate_clone(c.summary.as_ref()))
+                        .map(|c| self.hydrate_counted(c.summary.as_ref()))
                         .collect(),
                     self.config.budget,
                     &mut arena,
@@ -702,6 +823,16 @@ impl Store {
             self.counters
                 .rollups
                 .fetch_add(rollups as u64, Ordering::Relaxed);
+        }
+        let elapsed = pass_started.elapsed();
+        self.obs.compaction_ns.record_duration(elapsed);
+        if rollups > 0 {
+            slog!(
+                LogLevel::Debug,
+                "compaction_pass",
+                rollups = rollups,
+                us = elapsed.as_micros()
+            );
         }
         Ok(rollups)
     }
@@ -743,7 +874,7 @@ impl Store {
                     if !is_seg {
                         continue;
                     }
-                    let summary = hydrate_clone(state.summary.as_ref());
+                    let summary = self.hydrate_counted(state.summary.as_ref());
                     let bytes = encode_summary(summary.as_ref());
                     let path = frame_path(&self.dir, key);
                     fsio::write_atomic(&path, &bytes).map_err(|e| StoreError::Io(path, e))?;
@@ -895,7 +1026,9 @@ impl Compactor {
                     // Compaction failures must not kill the thread; the
                     // next pass retries (the store itself stays valid —
                     // snapshots only swap after a full successful pass).
-                    let _ = store.compact_once();
+                    if let Err(e) = store.compact_once() {
+                        slog!(LogLevel::Warn, "compaction_failed", err = e);
+                    }
                     stopped = lock.lock().expect("compactor lock");
                 }
             })

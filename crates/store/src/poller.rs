@@ -580,19 +580,21 @@ impl InterestCache {
     }
 
     /// Reregisters only if `interest` differs from what the poller has.
+    /// Returns whether a syscall was actually issued (`false`: elided —
+    /// the metric the event loop uses to show the cache earns its keep).
     pub fn ensure(
         &mut self,
         poller: &mut Poller,
         fd: RawFd,
         token: u64,
         interest: Interest,
-    ) -> io::Result<()> {
+    ) -> io::Result<bool> {
         if self.current.get(&fd) == Some(&interest) {
-            return Ok(());
+            return Ok(false);
         }
         poller.reregister(fd, token, interest)?;
         self.current.insert(fd, interest);
-        Ok(())
+        Ok(true)
     }
 
     /// Deregisters and forgets `fd`.
@@ -811,14 +813,17 @@ mod tests {
         cache
             .register(&mut poller, rx.as_raw_fd(), 1, Interest::READ)
             .unwrap();
-        // ensure() with the same interest is a no-op (cannot error even if
-        // the fd were gone); with a different set it takes effect.
-        cache
+        // ensure() with the same interest is an elided no-op (cannot error
+        // even if the fd were gone); with a different set it takes effect
+        // and reports that a syscall was issued.
+        let reregistered = cache
             .ensure(&mut poller, rx.as_raw_fd(), 1, Interest::READ)
             .unwrap();
-        cache
+        assert!(!reregistered, "unchanged interest must be elided");
+        let reregistered = cache
             .ensure(&mut poller, rx.as_raw_fd(), 1, Interest::BOTH)
             .unwrap();
+        assert!(reregistered, "changed interest must reach the poller");
         tx.write_all(b"x").unwrap();
         let mut events = Vec::new();
         poller

@@ -54,6 +54,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sas_codec::proto;
+use sas_obs::{
+    slog, Counter as ObsCounter, Histogram as ObsHistogram, Level as LogLevel, Registry,
+};
 use sas_summaries::decode_summary;
 
 use sas_summaries::{Query, SummaryKind};
@@ -90,6 +93,10 @@ pub struct ServerConfig {
     pub shutdown_grace: Duration,
     /// Readiness backend (`Auto`: epoll on Linux).
     pub backend: Backend,
+    /// Log (at `warn`) any request whose end-to-end time — first byte read
+    /// to last byte flushed — reaches this threshold, with its per-stage
+    /// breakdown, dataset, and canonical query bytes (`None`: disabled).
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +111,7 @@ impl Default for ServerConfig {
             dataset_inflight: 0,
             shutdown_grace: Duration::from_secs(5),
             backend: Backend::Auto,
+            slow_query: None,
         }
     }
 }
@@ -133,38 +141,165 @@ pub struct ServerMetrics {
     pub active_conns: u64,
 }
 
-#[derive(Debug, Default)]
+/// The loop's counters, backed by the store's metric registry so the same
+/// cells serve both [`Server::metrics`] and the `REQ_METRICS` exposition.
+/// `max_queued_bytes` doubles as the registry's high-water cell (via
+/// `record_max`); `active_conns` is a gauge and stays out of the registry
+/// (counters there are cumulative).
+#[derive(Debug)]
 struct MetricCells {
-    accepted: AtomicU64,
-    shed_conns: AtomicU64,
-    shed_requests: AtomicU64,
-    read_timeouts: AtomicU64,
-    idle_timeouts: AtomicU64,
-    protocol_errors: AtomicU64,
-    requests: AtomicU64,
-    max_queued_bytes: AtomicU64,
+    accepted: Arc<ObsCounter>,
+    shed_conns: Arc<ObsCounter>,
+    shed_requests: Arc<ObsCounter>,
+    read_timeouts: Arc<ObsCounter>,
+    idle_timeouts: Arc<ObsCounter>,
+    protocol_errors: Arc<ObsCounter>,
+    requests: Arc<ObsCounter>,
+    max_queued_bytes: Arc<ObsCounter>,
     active_conns: AtomicU64,
 }
 
 impl MetricCells {
+    fn new(reg: &Registry) -> MetricCells {
+        MetricCells {
+            accepted: reg.counter("sas_conns_accepted_total"),
+            shed_conns: reg.counter("sas_conns_shed_total"),
+            shed_requests: reg.counter("sas_requests_shed_total"),
+            read_timeouts: reg.counter("sas_conn_read_timeouts_total"),
+            idle_timeouts: reg.counter("sas_conn_idle_timeouts_total"),
+            protocol_errors: reg.counter("sas_protocol_errors_total"),
+            requests: reg.counter("sas_requests_dispatched_total"),
+            max_queued_bytes: reg.counter("sas_conn_queued_bytes_highwater"),
+            active_conns: AtomicU64::new(0),
+        }
+    }
+
     fn snapshot(&self) -> ServerMetrics {
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ServerMetrics {
-            accepted: get(&self.accepted),
-            shed_conns: get(&self.shed_conns),
-            shed_requests: get(&self.shed_requests),
-            read_timeouts: get(&self.read_timeouts),
-            idle_timeouts: get(&self.idle_timeouts),
-            protocol_errors: get(&self.protocol_errors),
-            requests: get(&self.requests),
-            max_queued_bytes: get(&self.max_queued_bytes),
-            active_conns: get(&self.active_conns),
+            accepted: self.accepted.get(),
+            shed_conns: self.shed_conns.get(),
+            shed_requests: self.shed_requests.get(),
+            read_timeouts: self.read_timeouts.get(),
+            idle_timeouts: self.idle_timeouts.get(),
+            protocol_errors: self.protocol_errors.get(),
+            requests: self.requests.get(),
+            max_queued_bytes: self.max_queued_bytes.get(),
+            active_conns: self.active_conns.load(Ordering::Relaxed),
         }
     }
 
     fn bump_queued_high_water(&self, queued: usize) {
-        self.max_queued_bytes
-            .fetch_max(queued as u64, Ordering::Relaxed);
+        self.max_queued_bytes.record_max(queued as u64);
+    }
+}
+
+/// Stage names of the per-request clock, in pipeline order. Every request
+/// is timed through all six; inline answers (ping, protocol errors) simply
+/// record zero for `queue` and `work`.
+const STAGES: [&str; 6] = ["read", "parse", "queue", "work", "queued", "flush"];
+
+/// Request tags used as metric labels. `invalid` is undecodable frames.
+const TAGS: [&str; 9] = [
+    "query", "estimate", "ingest", "list", "stats", "metrics", "ping", "shutdown", "invalid",
+];
+
+fn request_tag(req: &Request) -> &'static str {
+    match req {
+        Request::Query { .. } => "query",
+        Request::Estimate { .. } => "estimate",
+        Request::Ingest { .. } => "ingest",
+        Request::List => "list",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Ping => "ping",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Pre-resolved per-tag request metrics: one completion counter, one
+/// end-to-end histogram, and one histogram per stage. Resolved once at
+/// startup so the hot path never touches the registry lock.
+struct TagCells {
+    completed: Arc<ObsCounter>,
+    total_ns: Arc<ObsHistogram>,
+    stage_ns: [Arc<ObsHistogram>; 6],
+}
+
+struct RequestObs {
+    cells: HashMap<&'static str, TagCells>,
+}
+
+impl RequestObs {
+    fn new(reg: &Registry) -> RequestObs {
+        let cells = TAGS
+            .iter()
+            .map(|&tag| {
+                let stage_ns = STAGES.map(|stage| {
+                    reg.histogram(&format!("sas_stage_ns{{tag=\"{tag}\",stage=\"{stage}\"}}"))
+                });
+                (
+                    tag,
+                    TagCells {
+                        completed: reg.counter(&format!("sas_requests_total{{tag=\"{tag}\"}}")),
+                        total_ns: reg.histogram(&format!("sas_request_ns{{tag=\"{tag}\"}}")),
+                        stage_ns,
+                    },
+                )
+            })
+            .collect();
+        RequestObs { cells }
+    }
+
+    fn cells(&self, tag: &str) -> &TagCells {
+        self.cells
+            .get(tag)
+            .unwrap_or_else(|| &self.cells["invalid"])
+    }
+}
+
+/// What the slow-query log reports beyond timings. Captured by workers
+/// only when the log is enabled (the canonical-query hex costs an
+/// allocation per request).
+struct SlowMeta {
+    dataset: String,
+    /// Canonical query bytes, hex-encoded (`-` for requests with none).
+    query: String,
+    /// Summary windows the answer consulted.
+    windows: u64,
+}
+
+/// One request's stage clock, parked in its connection until the response
+/// is fully flushed. The end-to-end time is **defined** as the sum of the
+/// six stages — no `Instant` subtraction across threads.
+struct ReqTrace {
+    tag: &'static str,
+    read_ns: u64,
+    parse_ns: u64,
+    queue_ns: u64,
+    work_ns: u64,
+    /// When the response entered the outbox (starts the `queued` stage).
+    t_queued: Instant,
+    /// When its first byte reached the socket (starts the `flush` stage).
+    t_first_write: Option<Instant>,
+    slow: Option<SlowMeta>,
+}
+
+impl ReqTrace {
+    fn inline(tag: &'static str, read_ns: u64, parse_ns: u64) -> ReqTrace {
+        ReqTrace {
+            tag,
+            read_ns,
+            parse_ns,
+            queue_ns: 0,
+            work_ns: 0,
+            t_queued: Instant::now(),
+            t_first_write: None,
+            slow: None,
+        }
     }
 }
 
@@ -174,6 +309,11 @@ struct Job {
     seq: u64,
     dataset: Option<String>,
     req: Request,
+    tag: &'static str,
+    read_ns: u64,
+    parse_ns: u64,
+    /// When the loop queued the job (starts the `queue` stage).
+    t_dispatched: Instant,
 }
 
 /// What a worker hands back.
@@ -182,6 +322,12 @@ struct Completion {
     seq: u64,
     dataset: Option<String>,
     message: Payload,
+    tag: &'static str,
+    read_ns: u64,
+    parse_ns: u64,
+    queue_ns: u64,
+    work_ns: u64,
+    slow: Option<SlowMeta>,
 }
 
 /// Key identifying one cacheable estimate response within a snapshot
@@ -248,6 +394,7 @@ impl MessageCache {
 /// Answers an estimate request through the shared message cache: once the
 /// store reports the answer as cached, the encoded response is built one
 /// time per snapshot and every later hit returns the same shared bytes.
+/// Also returns the number of windows consulted (slow-query metadata).
 fn estimate_message(
     store: &Store,
     cache: &MessageCache,
@@ -256,10 +403,13 @@ fn estimate_message(
     query: Query,
     confidence: f64,
     time: Option<(u64, u64)>,
-) -> Payload {
+) -> (Payload, u64) {
     let canonical = query.canonical_bytes().ok();
     match store.estimate(&dataset, kind, &query, confidence, time) {
-        Err(e) => Payload::Owned(to_message(&encode_response(&Response::Err(e.to_string())))),
+        Err(e) => (
+            Payload::Owned(to_message(&encode_response(&Response::Err(e.to_string())))),
+            0,
+        ),
         Ok(answer) => {
             if answer.cached {
                 if let Some(canonical) = canonical {
@@ -271,7 +421,7 @@ fn estimate_message(
                         time,
                     };
                     if let Some(message) = cache.get(answer.version, &key) {
-                        return Payload::Shared(message);
+                        return (Payload::Shared(message), answer.windows);
                     }
                     let message = Arc::new(to_message(&encode_response(&Response::Estimate {
                         estimate: answer.estimate,
@@ -279,15 +429,32 @@ fn estimate_message(
                         cached: true,
                     })));
                     cache.put(answer.version, key, message.clone());
-                    return Payload::Shared(message);
+                    return (Payload::Shared(message), answer.windows);
                 }
             }
-            Payload::Owned(to_message(&encode_response(&Response::Estimate {
-                estimate: answer.estimate,
-                windows: answer.windows,
-                cached: answer.cached,
-            })))
+            (
+                Payload::Owned(to_message(&encode_response(&Response::Estimate {
+                    estimate: answer.estimate,
+                    windows: answer.windows,
+                    cached: answer.cached,
+                }))),
+                answer.windows,
+            )
         }
+    }
+}
+
+/// The canonical query bytes of a request, hex-encoded for the slow-query
+/// log (`-` when the request has none or it cannot be canonicalized).
+fn canonical_query_hex(req: &Request) -> String {
+    let bytes = match req {
+        Request::Query { range, .. } => Query::BoxRange(range.clone()).canonical_bytes().ok(),
+        Request::Estimate { query, .. } => query.canonical_bytes().ok(),
+        _ => None,
+    };
+    match bytes {
+        None => "-".into(),
+        Some(b) => b.iter().map(|x| format!("{x:02x}")).collect(),
     }
 }
 
@@ -351,10 +518,11 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let waker = Waker::new()?;
+        let registry = store.obs().clone();
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             addr: listener.local_addr()?,
-            metrics: MetricCells::default(),
+            metrics: MetricCells::new(&registry),
             wake: waker.handle()?,
         });
 
@@ -362,6 +530,7 @@ impl Server {
         let (done_tx, done_rx): (Sender<Completion>, Receiver<Completion>) = channel();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let message_cache = Arc::new(MessageCache::new(config.max_conns.max(1024)));
+        let slow_enabled = config.slow_query.is_some();
         let workers = (0..config.threads)
             .map(|i| {
                 let job_rx = job_rx.clone();
@@ -380,10 +549,25 @@ impl Server {
                             seq,
                             dataset,
                             req,
+                            tag,
+                            read_ns,
+                            parse_ns,
+                            t_dispatched,
                         }) = job
                         else {
                             return; // loop gone, queue drained
                         };
+                        let work_started = Instant::now();
+                        let queue_ns = u64::try_from((work_started - t_dispatched).as_nanos())
+                            .unwrap_or(u64::MAX);
+                        // Slow-log metadata is captured up front: whether
+                        // the request turns out slow is only known after
+                        // the flush, when `req` is long gone.
+                        let mut slow = slow_enabled.then(|| SlowMeta {
+                            dataset: dataset.clone().unwrap_or_else(|| "-".into()),
+                            query: canonical_query_hex(&req),
+                            windows: 0,
+                        });
                         let message = match req {
                             Request::Estimate {
                                 dataset,
@@ -391,26 +575,46 @@ impl Server {
                                 query,
                                 confidence,
                                 time,
-                            } => estimate_message(
-                                &store,
-                                &message_cache,
-                                dataset,
-                                kind,
-                                query,
-                                confidence,
-                                time,
-                            ),
+                            } => {
+                                let (message, windows) = estimate_message(
+                                    &store,
+                                    &message_cache,
+                                    dataset,
+                                    kind,
+                                    query,
+                                    confidence,
+                                    time,
+                                );
+                                if let Some(meta) = &mut slow {
+                                    meta.windows = windows;
+                                }
+                                message
+                            }
                             req => {
                                 let response = handle_request(&store, req);
+                                if let Some(meta) = &mut slow {
+                                    meta.windows = match &response {
+                                        Response::Query { windows, .. }
+                                        | Response::Estimate { windows, .. } => *windows,
+                                        _ => 0,
+                                    };
+                                }
                                 Payload::Owned(to_message(&encode_response(&response)))
                             }
                         };
+                        let work_ns = elapsed_ns(work_started);
                         if done_tx
                             .send(Completion {
                                 token,
                                 seq,
                                 dataset,
                                 message,
+                                tag,
+                                read_ns,
+                                parse_ns,
+                                queue_ns,
+                                work_ns,
+                                slow,
                             })
                             .is_err()
                         {
@@ -422,8 +626,15 @@ impl Server {
             })
             .collect();
 
-        let mut event_loop =
-            EventLoop::new(listener, waker, shared.clone(), config, job_tx, done_rx)?;
+        let mut event_loop = EventLoop::new(
+            listener,
+            waker,
+            shared.clone(),
+            config,
+            job_tx,
+            done_rx,
+            &registry,
+        )?;
         let handle = std::thread::Builder::new()
             .name("sas-serve-loop".into())
             .spawn(move || event_loop.run())
@@ -492,6 +703,38 @@ struct ConnEntry {
     last_activity: Instant,
     /// The peer half-closed its write side; no more requests will arrive.
     peer_done: bool,
+    /// Stage clocks of requests whose responses are not yet fully
+    /// flushed, by sequence number. Bounded by `max_pipeline`.
+    traces: HashMap<u64, ReqTrace>,
+}
+
+/// Event-loop health counters, resolved once from the registry.
+struct LoopObs {
+    /// `poller.wait` returns.
+    wakeups: Arc<ObsCounter>,
+    /// Wait returns with no readiness events (timeout ticks).
+    spurious: Arc<ObsCounter>,
+    /// Interest re-registrations skipped because the cached interest
+    /// already matched (syscalls saved by the interest cache).
+    reregisters_elided: Arc<ObsCounter>,
+    /// Transitions to `Interest::NONE` — connections parked by
+    /// backpressure with nothing to write.
+    parked: Arc<ObsCounter>,
+    /// Readiness events left unread because the connection's write budget
+    /// or pipeline cap paused reading.
+    backpressure_stalls: Arc<ObsCounter>,
+}
+
+impl LoopObs {
+    fn new(reg: &Registry) -> LoopObs {
+        LoopObs {
+            wakeups: reg.counter("sas_loop_wakeups_total"),
+            spurious: reg.counter("sas_loop_spurious_wakeups_total"),
+            reregisters_elided: reg.counter("sas_loop_reregisters_elided_total"),
+            parked: reg.counter("sas_conns_parked_total"),
+            backpressure_stalls: reg.counter("sas_read_backpressure_stalls_total"),
+        }
+    }
 }
 
 struct EventLoop {
@@ -512,6 +755,8 @@ struct EventLoop {
     shutting_down: bool,
     shutdown_deadline: Option<Instant>,
     read_scratch: Vec<u8>,
+    lobs: LoopObs,
+    robs: RequestObs,
 }
 
 impl EventLoop {
@@ -522,6 +767,7 @@ impl EventLoop {
         config: ServerConfig,
         job_tx: Sender<Job>,
         done_rx: Receiver<Completion>,
+        registry: &Registry,
     ) -> io::Result<EventLoop> {
         let mut poller = Poller::with_backend(config.backend)?;
         let mut interest = InterestCache::new();
@@ -547,6 +793,8 @@ impl EventLoop {
             shutting_down: false,
             shutdown_deadline: None,
             read_scratch: vec![0u8; READ_QUANTUM],
+            lobs: LoopObs::new(registry),
+            robs: RequestObs::new(registry),
         })
     }
 
@@ -558,6 +806,10 @@ impl EventLoop {
                 // A failed wait would spin; nothing sensible to do but
                 // stop. (Never observed outside fd exhaustion.)
                 break;
+            }
+            self.lobs.wakeups.inc();
+            if events.is_empty() {
+                self.lobs.spurious.inc();
             }
 
             self.drain_completions();
@@ -648,10 +900,7 @@ impl EventLoop {
     /// but never dispatches work, and the stuck-drain timeout bounds how
     /// long a peer that refuses to read the BUSY can hold it.
     fn shed(&mut self, stream: TcpStream) {
-        self.shared
-            .metrics
-            .shed_conns
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.shed_conns.inc();
         let token = self.next_token;
         self.next_token += 1;
         let mut conn = Conn::new(self.conn_config());
@@ -674,6 +923,7 @@ impl EventLoop {
                 frame_started: None,
                 last_activity: Instant::now(),
                 peer_done: true,
+                traces: HashMap::new(),
             },
         );
         self.flush_conn(token);
@@ -698,9 +948,10 @@ impl EventLoop {
                 frame_started: None,
                 last_activity: Instant::now(),
                 peer_done: false,
+                traces: HashMap::new(),
             },
         );
-        self.shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.accepted.inc();
         self.shared
             .metrics
             .active_conns
@@ -748,15 +999,23 @@ impl EventLoop {
         }
         let mut frames = Vec::new();
         // Scoped so the `conns` borrow ends before drop_conn/dispatch.
-        let fate = {
+        let (fate, read_anchor) = {
             let Some(entry) = self.conns.get_mut(&token) else {
                 return;
             };
-            if entry.conn.closing() || !entry.conn.wants_read() {
-                // Backpressure or teardown: leave the bytes in the kernel
-                // buffer; TCP flow control pushes back on the peer.
+            if entry.conn.closing() {
                 return;
             }
+            if !entry.conn.wants_read() {
+                // Backpressure: leave the bytes in the kernel buffer; TCP
+                // flow control pushes back on the peer.
+                self.lobs.backpressure_stalls.inc();
+                return;
+            }
+            // Anchor for the `read` stage: if a partial message was
+            // already pending, the first frame completed by this pass has
+            // been arriving since then. Later frames rode the same burst.
+            let read_anchor = entry.frame_started;
             let mut total = 0usize;
             let mut eof = false;
             let mut fate = Fate::Keep;
@@ -786,7 +1045,9 @@ impl EventLoop {
                             }
                         }
                         if !entry.conn.wants_read() {
-                            break; // budget/pipeline limit hit mid-read
+                            // budget/pipeline limit hit mid-read
+                            self.lobs.backpressure_stalls.inc();
+                            break;
                         }
                     }
                 }
@@ -816,14 +1077,11 @@ impl EventLoop {
                     entry.conn.close_after_flush();
                 }
             }
-            fate
+            (fate, read_anchor)
         };
         match fate {
             Fate::Protocol => {
-                self.shared
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.protocol_errors.inc();
                 self.drop_conn(token);
                 return;
             }
@@ -833,8 +1091,10 @@ impl EventLoop {
             }
             Fate::Keep => {}
         }
+        let mut read_ns = read_anchor.map_or(0, elapsed_ns);
         for inbound in frames {
-            self.dispatch(token, inbound.seq, &inbound.frame);
+            self.dispatch(token, inbound.seq, &inbound.frame, read_ns);
+            read_ns = 0;
         }
         self.pump(token);
         self.flush_conn(token);
@@ -854,10 +1114,7 @@ impl EventLoop {
                 match entry.conn.take_ready() {
                     Ok(ready) => ready,
                     Err(_fatal) => {
-                        self.shared
-                            .metrics
-                            .protocol_errors
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.protocol_errors.inc();
                         self.drop_conn(token);
                         return;
                     }
@@ -867,22 +1124,34 @@ impl EventLoop {
                 return;
             }
             for inbound in ready {
-                self.dispatch(token, inbound.seq, &inbound.frame);
+                // Parked frames were fully buffered long ago; their read
+                // time is indistinguishable from the park, charge zero.
+                self.dispatch(token, inbound.seq, &inbound.frame, 0);
             }
         }
     }
 
     /// Routes one decoded request: inline answers on the loop, store work
-    /// to the pool, BUSY under admission control.
-    fn dispatch(&mut self, token: u64, seq: u64, frame: &[u8]) {
-        let respond_inline = |loop_: &mut Self, token: u64, seq: u64, resp: &Response| {
-            if let Some(entry) = loop_.conns.get_mut(&token) {
-                entry
-                    .conn
-                    .push_response(seq, to_message(&encode_response(resp)));
-            }
-        };
-        match decode_request(frame) {
+    /// to the pool, BUSY under admission control. `read_ns` is the time
+    /// the request's bytes spent arriving (zero when it rode a burst).
+    fn dispatch(&mut self, token: u64, seq: u64, frame: &[u8], read_ns: u64) {
+        let parse_started = Instant::now();
+        let decoded = decode_request(frame);
+        let parse_ns = elapsed_ns(parse_started);
+        // Inline answers start their stage clock here: queue and work are
+        // zero by definition (no worker involved).
+        let respond_inline =
+            |loop_: &mut Self, token: u64, seq: u64, tag: &'static str, resp: &Response| {
+                if let Some(entry) = loop_.conns.get_mut(&token) {
+                    entry
+                        .conn
+                        .push_response(seq, to_message(&encode_response(resp)));
+                    entry
+                        .traces
+                        .insert(seq, ReqTrace::inline(tag, read_ns, parse_ns));
+                }
+            };
+        match decoded {
             Err(e) => {
                 // Bad frame, sound framing: answer and keep the
                 // connection (matches the blocking server's contract).
@@ -890,32 +1159,32 @@ impl EventLoop {
                     self,
                     token,
                     seq,
+                    "invalid",
                     &Response::Err(format!("bad request: {e}")),
                 );
             }
             Ok(Request::Ping) => {
-                respond_inline(self, token, seq, &Response::Pong);
+                respond_inline(self, token, seq, "ping", &Response::Pong);
             }
             Ok(Request::Shutdown) => {
-                respond_inline(self, token, seq, &Response::Shutdown);
+                respond_inline(self, token, seq, "shutdown", &Response::Shutdown);
                 if let Some(entry) = self.conns.get_mut(&token) {
                     entry.conn.close_after_flush();
                 }
                 self.shared.begin_shutdown();
             }
             Ok(req) => {
+                let tag = request_tag(&req);
                 let dataset = request_dataset(&req).map(str::to_string);
                 if let (Some(ds), cap @ 1..) = (&dataset, self.config.dataset_inflight) {
                     let inflight = self.dataset_inflight.get(ds).copied().unwrap_or(0);
                     if inflight >= cap {
-                        self.shared
-                            .metrics
-                            .shed_requests
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.shed_requests.inc();
                         respond_inline(
                             self,
                             token,
                             seq,
+                            tag,
                             &Response::Busy(format!(
                                 "dataset '{ds}' at its admission limit ({cap} in flight)"
                             )),
@@ -926,7 +1195,7 @@ impl EventLoop {
                 if let Some(ds) = &dataset {
                     *self.dataset_inflight.entry(ds.clone()).or_insert(0) += 1;
                 }
-                self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.requests.inc();
                 if self
                     .job_tx
                     .send(Job {
@@ -934,11 +1203,21 @@ impl EventLoop {
                         seq,
                         dataset,
                         req,
+                        tag,
+                        read_ns,
+                        parse_ns,
+                        t_dispatched: Instant::now(),
                     })
                     .is_err()
                 {
                     // Workers gone (shutdown race): answer what we can.
-                    respond_inline(self, token, seq, &Response::Err("server stopping".into()));
+                    respond_inline(
+                        self,
+                        token,
+                        seq,
+                        tag,
+                        &Response::Err("server stopping".into()),
+                    );
                 }
             }
         }
@@ -959,6 +1238,19 @@ impl EventLoop {
                     }
                     if let Some(entry) = self.conns.get_mut(&done.token) {
                         entry.conn.push_response(done.seq, done.message);
+                        entry.traces.insert(
+                            done.seq,
+                            ReqTrace {
+                                tag: done.tag,
+                                read_ns: done.read_ns,
+                                parse_ns: done.parse_ns,
+                                queue_ns: done.queue_ns,
+                                work_ns: done.work_ns,
+                                t_queued: Instant::now(),
+                                t_first_write: None,
+                                slow: done.slow,
+                            },
+                        );
                     }
                     // The completion freed a pipeline slot (and flushing
                     // may free budget): release parked messages.
@@ -971,14 +1263,17 @@ impl EventLoop {
         }
     }
 
-    /// Writes as much of the outbox as the socket accepts.
+    /// Writes as much of the outbox as the socket accepts. Completed
+    /// messages close their request's stage clock (the `flushed` stamp).
     fn flush_conn(&mut self, token: u64) {
+        let mut finished: Vec<ReqTrace> = Vec::new();
         let dead = {
             let Some(entry) = self.conns.get_mut(&token) else {
                 return;
             };
             let mut dead = false;
             while let Some(chunk) = entry.conn.next_chunk() {
+                let front = entry.conn.front_seq();
                 match entry.stream.write(chunk) {
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -988,7 +1283,15 @@ impl EventLoop {
                     }
                     Ok(0) => break,
                     Ok(n) => {
-                        entry.conn.advance(n);
+                        let now = Instant::now();
+                        if let Some(trace) = front.and_then(|s| entry.traces.get_mut(&s)) {
+                            trace.t_first_write.get_or_insert(now);
+                        }
+                        if let Some(seq) = entry.conn.advance(n) {
+                            if let Some(trace) = entry.traces.remove(&seq) {
+                                finished.push(trace);
+                            }
+                        }
                         entry.last_activity = Instant::now();
                     }
                 }
@@ -998,8 +1301,59 @@ impl EventLoop {
                 .bump_queued_high_water(entry.conn.queued_bytes());
             dead
         };
+        let flushed_at = Instant::now();
+        for trace in finished {
+            self.finish_trace(trace, flushed_at);
+        }
         if dead {
             self.drop_conn(token);
+        }
+    }
+
+    /// Records a fully flushed request into the per-tag stage and total
+    /// histograms, and emits the slow-query record when it qualifies.
+    fn finish_trace(&self, trace: ReqTrace, flushed_at: Instant) {
+        let first_write = trace.t_first_write.unwrap_or(flushed_at);
+        let queued_ns =
+            u64::try_from((first_write - trace.t_queued).as_nanos()).unwrap_or(u64::MAX);
+        let flush_ns = u64::try_from((flushed_at - first_write).as_nanos()).unwrap_or(u64::MAX);
+        let stages = [
+            trace.read_ns,
+            trace.parse_ns,
+            trace.queue_ns,
+            trace.work_ns,
+            queued_ns,
+            flush_ns,
+        ];
+        let total_ns: u64 = stages.iter().sum();
+        let cells = self.robs.cells(trace.tag);
+        cells.completed.inc();
+        cells.total_ns.record(total_ns);
+        for (hist, ns) in cells.stage_ns.iter().zip(stages) {
+            hist.record(ns);
+        }
+        if let Some(threshold) = self.config.slow_query {
+            if total_ns >= u64::try_from(threshold.as_nanos()).unwrap_or(u64::MAX) {
+                let (dataset, query, windows) = match &trace.slow {
+                    Some(m) => (m.dataset.as_str(), m.query.as_str(), m.windows),
+                    None => ("-", "-", 0),
+                };
+                slog!(
+                    LogLevel::Warn,
+                    "slow_query",
+                    tag = trace.tag,
+                    dataset = dataset,
+                    query = query,
+                    windows = windows,
+                    total_us = total_ns / 1_000,
+                    read_us = trace.read_ns / 1_000,
+                    parse_us = trace.parse_ns / 1_000,
+                    queue_us = trace.queue_ns / 1_000,
+                    work_us = trace.work_ns / 1_000,
+                    queued_us = queued_ns / 1_000,
+                    flush_us = flush_ns / 1_000
+                );
+            }
         }
     }
 
@@ -1064,7 +1418,7 @@ impl EventLoop {
             } else {
                 &self.shared.metrics.idle_timeouts
             };
-            cell.fetch_add(1, Ordering::Relaxed);
+            cell.inc();
             self.drop_conn(token);
         }
     }
@@ -1084,9 +1438,14 @@ impl EventLoop {
                 // resumes when a worker completion arrives via the waker.
                 (false, false) => Interest::NONE,
             };
-            let _ =
-                self.interest
-                    .ensure(&mut self.poller, entry.stream.as_raw_fd(), token, interest);
+            match self
+                .interest
+                .ensure(&mut self.poller, entry.stream.as_raw_fd(), token, interest)
+            {
+                Ok(false) => self.lobs.reregisters_elided.inc(),
+                Ok(true) if interest == Interest::NONE => self.lobs.parked.inc(),
+                _ => {}
+            }
         }
     }
 
@@ -1117,7 +1476,9 @@ fn request_dataset(req: &Request) -> Option<&str> {
         Request::Query { dataset, .. }
         | Request::Estimate { dataset, .. }
         | Request::Ingest { dataset, .. } => Some(dataset),
-        Request::List | Request::Stats | Request::Ping | Request::Shutdown => None,
+        Request::List | Request::Stats | Request::Metrics | Request::Ping | Request::Shutdown => {
+            None
+        }
     }
 }
 
@@ -1165,6 +1526,7 @@ pub fn handle_request(store: &Store, req: Request) -> Response {
         },
         Request::List => Response::List(store.list()),
         Request::Stats => Response::Stats(store.stats()),
+        Request::Metrics => Response::Metrics(store.obs().snapshot()),
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::Shutdown,
     }

@@ -8,6 +8,7 @@
 //! ([`decode_response`]).
 
 use sas_codec::{encode_frame, open_frame, proto, CodecError, Reader, Writer};
+use sas_obs::{HistogramSnapshot, MetricsReport};
 use sas_summaries::{Estimate, Query, SummaryKind};
 
 use crate::window::{Level, WindowKey};
@@ -61,6 +62,9 @@ pub enum Request {
     /// touching the store — measures loop responsiveness even while every
     /// worker is busy.
     Ping,
+    /// Snapshot the daemon's metrics registry: every counter and latency
+    /// histogram (event loop, per-stage request timing, catalog).
+    Metrics,
     /// Stop the daemon after draining in-flight connections.
     Shutdown,
 }
@@ -110,8 +114,16 @@ pub enum Response {
     },
     /// Answer to [`Request::List`].
     List(Vec<WindowRow>),
-    /// Answer to [`Request::Stats`]: ordered name/value pairs.
+    /// Answer to [`Request::Stats`]: name/value pairs in the daemon's
+    /// fixed emission order ([`crate::Store::stats`]'s hand-written list —
+    /// stable across calls within one build, but *not* sorted and not
+    /// guaranteed stable across versions). Display layers that want
+    /// diffable output must sort by name themselves, as `sas client stats`
+    /// does.
     Stats(Vec<(String, u64)>),
+    /// Answer to [`Request::Metrics`]: the full registry snapshot, sorted
+    /// by metric name.
+    Metrics(MetricsReport),
     /// Answer to [`Request::Ping`].
     Pong,
     /// Answer to [`Request::Shutdown`].
@@ -173,6 +185,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::List => encode_frame(proto::REQ_LIST, |_| {}),
         Request::Stats => encode_frame(proto::REQ_STATS, |_| {}),
         Request::Ping => encode_frame(proto::REQ_PING, |_| {}),
+        Request::Metrics => encode_frame(proto::REQ_METRICS, |_| {}),
         Request::Shutdown => encode_frame(proto::REQ_SHUTDOWN, |_| {}),
     }
 }
@@ -245,6 +258,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
         proto::REQ_LIST => Request::List,
         proto::REQ_STATS => Request::Stats,
         proto::REQ_PING => Request::Ping,
+        proto::REQ_METRICS => Request::Metrics,
         proto::REQ_SHUTDOWN => Request::Shutdown,
         other => return Err(CodecError::UnknownKind(other)),
     };
@@ -313,6 +327,32 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 for (name, value) in pairs {
                     w.put_str(name);
                     w.put_u64(*value);
+                }
+            });
+        }),
+        Response::Metrics(report) => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| {
+                w.put_u64(report.counters.len() as u64);
+                for (name, value) in &report.counters {
+                    w.put_str(name);
+                    w.put_u64(*value);
+                }
+            });
+            // Histograms travel sparse: only nonzero buckets, as sorted
+            // (index, count) pairs, exactly the snapshot representation.
+            w.section(2, |w| {
+                w.put_u64(report.histograms.len() as u64);
+                for (name, h) in &report.histograms {
+                    w.put_str(name);
+                    w.put_u64(h.count);
+                    w.put_u64(h.sum);
+                    w.put_u64(h.min);
+                    w.put_u64(h.max);
+                    w.put_u64(h.buckets.len() as u64);
+                    for &(i, n) in &h.buckets {
+                        w.put_u32(i);
+                        w.put_u64(n);
+                    }
                 }
             });
         }),
@@ -408,6 +448,59 @@ pub fn decode_response(bytes: &[u8], request_tag: u16) -> Result<Response, Codec
             }
             Response::Stats(pairs)
         }
+        proto::REQ_METRICS => {
+            let n = sec.get_len(4 + 8)?;
+            let mut counters = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = sec.get_str()?;
+                counters.push((name, sec.get_u64()?));
+            }
+            sec.finish()?;
+            let mut sec = frame.body.expect_section(2)?;
+            let n = sec.get_len(4 + 5 * 8)?;
+            let mut histograms = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = sec.get_str()?;
+                let count = sec.get_u64()?;
+                let sum = sec.get_u64()?;
+                let min = sec.get_u64()?;
+                let max = sec.get_u64()?;
+                let buckets_len = sec.get_len(4 + 8)?;
+                let mut buckets = Vec::with_capacity(buckets_len);
+                let mut prev: Option<u32> = None;
+                for _ in 0..buckets_len {
+                    let i = sec.get_u32()?;
+                    if i as usize >= sas_obs::NUM_BUCKETS {
+                        return Err(CodecError::Invalid(format!(
+                            "bucket index {i} out of range"
+                        )));
+                    }
+                    if prev.is_some_and(|p| p >= i) {
+                        return Err(CodecError::Invalid(format!(
+                            "bucket indexes not strictly increasing at {i}"
+                        )));
+                    }
+                    prev = Some(i);
+                    buckets.push((i, sec.get_u64()?));
+                }
+                histograms.push((
+                    name,
+                    HistogramSnapshot {
+                        count,
+                        sum,
+                        min,
+                        max,
+                        buckets,
+                    },
+                ));
+            }
+            sec.finish()?;
+            frame.body.finish()?;
+            return Ok(Response::Metrics(MetricsReport {
+                counters,
+                histograms,
+            }));
+        }
         proto::REQ_PING => Response::Pong,
         proto::REQ_SHUTDOWN => Response::Shutdown,
         other => return Err(CodecError::UnknownKind(other)),
@@ -489,8 +582,36 @@ mod tests {
             (Request::List, proto::REQ_LIST),
             (Request::Stats, proto::REQ_STATS),
             (Request::Ping, proto::REQ_PING),
+            (Request::Metrics, proto::REQ_METRICS),
             (Request::Shutdown, proto::REQ_SHUTDOWN),
         ]
+    }
+
+    /// A registry snapshot exercising every field: labeled and bare
+    /// counters, an empty histogram, and a sparse multi-bucket one.
+    fn metrics_fixture() -> MetricsReport {
+        MetricsReport {
+            counters: vec![
+                ("sas_conns_accepted_total".into(), 256),
+                ("sas_requests_total{tag=\"query\"}".into(), 5120),
+            ],
+            histograms: vec![
+                (
+                    "sas_request_ns{tag=\"ping\"}".into(),
+                    HistogramSnapshot::default(),
+                ),
+                (
+                    "sas_request_ns{tag=\"query\"}".into(),
+                    HistogramSnapshot {
+                        count: 5,
+                        sum: 2_000_400,
+                        min: 100,
+                        max: 2_000_000,
+                        buckets: vec![(100, 3), (101, 1), (1355, 1)],
+                    },
+                ),
+            ],
+        }
     }
 
     fn response_fixtures() -> Vec<(Response, u16)> {
@@ -541,6 +662,11 @@ mod tests {
             (
                 Response::Stats(vec![("queries".into(), 4), ("windows".into(), 2)]),
                 proto::REQ_STATS,
+            ),
+            (Response::Metrics(metrics_fixture()), proto::REQ_METRICS),
+            (
+                Response::Metrics(MetricsReport::default()),
+                proto::REQ_METRICS,
             ),
             (Response::Pong, proto::REQ_PING),
             (Response::Shutdown, proto::REQ_SHUTDOWN),
@@ -655,6 +781,35 @@ mod tests {
             w.section(2, |w| w.put_u64(0));
         });
         assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn metrics_response_rejects_malformed_buckets() {
+        let mk = |buckets: &[(u32, u64)]| {
+            encode_frame(proto::RESP_OK, |w| {
+                w.section(1, |w| w.put_u64(0));
+                w.section(2, |w| {
+                    w.put_u64(1);
+                    w.put_str("sas_h_ns");
+                    w.put_u64(buckets.iter().map(|&(_, n)| n).sum());
+                    w.put_u64(0);
+                    w.put_u64(0);
+                    w.put_u64(0);
+                    w.put_u64(buckets.len() as u64);
+                    for &(i, n) in buckets {
+                        w.put_u32(i);
+                        w.put_u64(n);
+                    }
+                });
+            })
+        };
+        assert!(decode_response(&mk(&[(0, 1), (5, 2)]), proto::REQ_METRICS).is_ok());
+        // Out-of-range bucket index.
+        let bad = mk(&[(sas_obs::NUM_BUCKETS as u32, 1)]);
+        assert!(decode_response(&bad, proto::REQ_METRICS).is_err());
+        // Non-increasing (duplicate) indexes break the sparse invariant.
+        assert!(decode_response(&mk(&[(5, 1), (5, 1)]), proto::REQ_METRICS).is_err());
+        assert!(decode_response(&mk(&[(6, 1), (5, 1)]), proto::REQ_METRICS).is_err());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`codec`] — the versioned binary wire format behind
 //!   [`summaries::encode_summary`] / [`summaries::decode_summary`]: save,
 //!   merge, and query summaries across process boundaries.
+//! * [`obs`] — lock-free observability primitives: log-bucketed latency
+//!   histograms, counters, the metric registry served by `sas client
+//!   metrics`, and the leveled `slog!` logger.
 //! * [`store`] — the concurrent summary catalog: windowed ingest,
 //!   merge-tree compaction, snapshot-swapped reads, crash-safe
 //!   persistence, and the `sas serve` TCP daemon.
@@ -31,6 +34,7 @@ pub use sas_apps as apps;
 pub use sas_codec as codec;
 pub use sas_core as core;
 pub use sas_data as data;
+pub use sas_obs as obs;
 pub use sas_sampling as sampling;
 pub use sas_store as store;
 pub use sas_structures as structures;

@@ -1,0 +1,138 @@
+//! Wire-format certification for the `REQ_METRICS` exchange: committed
+//! golden frames pin the request and response encodings
+//! (tests/golden/metrics_req_v1.sas, metrics_resp_v1.sas), and a bit-flip
+//! sweep mirrors tests/query_wire.rs — a corrupted frame must surface as
+//! `Err`, never a panic. The response fixture exercises every layer of the
+//! registry snapshot layout: bare and labeled counters, an empty histogram,
+//! and a sparse multi-bucket one.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```sh
+//! SAS_REGEN_GOLDEN=1 cargo test --test metrics_wire
+//! ```
+
+use std::path::PathBuf;
+
+use structure_aware_sampling::obs::{HistogramSnapshot, MetricsReport};
+use structure_aware_sampling::store::wire::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+
+const REQ_METRICS: u16 = structure_aware_sampling::codec::proto::REQ_METRICS;
+
+/// The pinned registry snapshot: bare and labeled counters, an empty
+/// histogram, and a sparse one with buckets spread across the range.
+fn golden_report() -> MetricsReport {
+    MetricsReport {
+        counters: vec![
+            ("sas_conns_accepted_total".into(), 10_240),
+            ("sas_requests_total{tag=\"query\"}".into(), 1_000_000),
+            ("sas_store_cache_hits_total{dataset=\"cpu\"}".into(), 77),
+        ],
+        histograms: vec![
+            (
+                "sas_compaction_ns".into(),
+                HistogramSnapshot {
+                    count: 0,
+                    sum: 0,
+                    min: 0,
+                    max: 0,
+                    buckets: vec![],
+                },
+            ),
+            (
+                "sas_request_ns{tag=\"query\"}".into(),
+                HistogramSnapshot {
+                    count: 5,
+                    sum: 5_000_000,
+                    min: 250_000,
+                    max: 2_000_000,
+                    buckets: vec![(700, 1), (1154, 3), (1217, 1)],
+                },
+            ),
+        ],
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("metrics_req_v1.sas", encode_request(&Request::Metrics)),
+        (
+            "metrics_resp_v1.sas",
+            encode_response(&Response::Metrics(golden_report())),
+        ),
+    ]
+}
+
+#[test]
+fn golden_frames_pin_the_metrics_wire_format() {
+    let dir = golden_dir();
+    let regen = std::env::var_os("SAS_REGEN_GOLDEN").is_some();
+    for (file, bytes) in &fixtures() {
+        let path = dir.join(file);
+        if regen {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, bytes).expect("write golden file");
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{file}: missing golden file ({e}); see module docs"));
+        assert_eq!(
+            bytes, &committed,
+            "{file}: freshly encoded fixture drifted from the committed frame"
+        );
+    }
+    if !regen {
+        let req = decode_request(&std::fs::read(dir.join("metrics_req_v1.sas")).unwrap())
+            .expect("committed metrics request decodes");
+        assert_eq!(req, Request::Metrics);
+        let resp = decode_response(
+            &std::fs::read(dir.join("metrics_resp_v1.sas")).unwrap(),
+            REQ_METRICS,
+        )
+        .expect("committed metrics response decodes");
+        assert_eq!(resp, Response::Metrics(golden_report()));
+    }
+    assert!(
+        !regen,
+        "golden files regenerated; rerun without SAS_REGEN_GOLDEN"
+    );
+}
+
+#[test]
+fn bit_flip_sweep_rejects_every_corruption() {
+    for (name, bytes) in fixtures() {
+        let decode: fn(&[u8]) -> bool = if name.contains("req") {
+            |b| decode_request(b).is_err()
+        } else {
+            |b| decode_response(b, REQ_METRICS).is_err()
+        };
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode(&corrupt),
+                "{name}: flipping bit {bit} of {} was not rejected",
+                bytes.len() * 8
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_sweep_rejects_every_prefix() {
+    for (name, bytes) in fixtures() {
+        for len in 0..bytes.len() {
+            assert!(
+                decode_request(&bytes[..len]).is_err()
+                    && decode_response(&bytes[..len], REQ_METRICS).is_err(),
+                "{name}: {len}-byte prefix was not rejected"
+            );
+        }
+    }
+}
