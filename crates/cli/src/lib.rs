@@ -682,6 +682,58 @@ pub fn info_text(summary: &LoadedSummary, file_bytes: Option<u64>) -> String {
     out
 }
 
+/// Renders the `sas info` summary of a store directory from its decoded
+/// manifest: one block per dataset with its lifecycle policy (`default`
+/// when none is installed), the window count per series level, and the
+/// oldest/newest window span. Datasets that only have a policy (no
+/// windows yet, or all expired) still get a block — the policy is state
+/// worth seeing.
+pub fn store_info_text(manifest: &sas_store::manifest::Manifest) -> String {
+    use std::collections::BTreeMap;
+    /// Per-series rollup: (window count, oldest start, newest end).
+    type SeriesSpans = BTreeMap<(String, String), (u64, u64, u64)>;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "store: {} window{}, manifest sequence {}",
+        manifest.entries.len(),
+        if manifest.entries.len() == 1 { "" } else { "s" },
+        manifest.sequence
+    );
+    let mut datasets: BTreeMap<&str, SeriesSpans> = BTreeMap::new();
+    for e in &manifest.entries {
+        let series = (e.key.kind.to_string(), e.key.level.to_string());
+        let slot = datasets
+            .entry(e.key.dataset.as_str())
+            .or_default()
+            .entry(series)
+            .or_insert((0, u64::MAX, 0));
+        slot.0 += 1;
+        slot.1 = slot.1.min(e.key.start);
+        slot.2 = slot.2.max(e.key.end());
+    }
+    for dataset in manifest.policies.keys() {
+        datasets.entry(dataset.as_str()).or_default();
+    }
+    for (dataset, series) in &datasets {
+        let _ = writeln!(out, "dataset {dataset}");
+        let policy = manifest
+            .policies
+            .get(*dataset)
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "default".into());
+        let _ = writeln!(out, "  policy: {policy}");
+        for ((kind, level), (count, oldest, newest)) in series {
+            let _ = writeln!(
+                out,
+                "  {kind}@{level}: {count} window{}, span {oldest}..{newest}",
+                if *count == 1 { "" } else { "s" }
+            );
+        }
+    }
+    out
+}
+
 /// Renders the `sas info` report for a v2 segment file: the parsed header
 /// (format version, kind, CRC status, section table with ids, element
 /// counts, and byte offsets) plus the summary metadata read through the

@@ -14,9 +14,14 @@
 //! sas info <summary|dir> [more paths...]
 //! sas serve <store-dir> [--addr H:P] [--threads N] [--budget N]
 //!           [--cache N] [--compact-every MS] [--max-conns N]
-//!           [--read-timeout MS] [--shed N]
+//!           [--read-timeout MS] [--idle-timeout MS] [--shed N]
+//! sas policy set <dir|addr> --dataset D [--ttl TICKS]
+//!            [--compact-after TICKS] [--budget KIND=N ...]
+//! sas policy show <dir|addr> [--dataset D]
 //! sas client <addr> query --dataset D --range R [--kind K]
-//!            [--since T] [--until T] [--confidence C]
+//!            [--since T] [--until T] [--confidence C] [--coverage]
+//! sas client <addr> watch --dataset D --range R [--kind K]
+//!            [--confidence C] [--count N]
 //! sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K]
 //!            [--size N] [--seed S]
 //! sas client <addr> list | stats | ping | shutdown
@@ -41,13 +46,14 @@ use sas_cli::{
 };
 use sas_store::client::Client;
 use sas_store::manifest::Manifest;
+use sas_store::policy::Policy;
 use sas_store::server::{Server, ServerConfig};
-use sas_store::{fsio, Compactor, StorageFormat, Store, StoreConfig};
+use sas_store::{fsio, StorageFormat, Store, StoreConfig};
 use sas_summaries::{encode_summary, StoredSample, SummaryKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas compact <store-dir> [--format v1|v2]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS] [--max-conns N] [--read-timeout MS] [--shed N] [--slow-query-ms N] [--metrics-every SECS]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> metrics [--format prom|tsv|json]\n  sas client <addr> list | stats | ping | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch"
+        "usage:\n  sas summarize <data.tsv> --size N [--seed S] [--shards N] [--kind K] [--out F] [--per-shard]\n  sas merge <a.sas> <b.sas> [...] --out F [--size N] [--seed S]\n  sas query <summary> --range lo..hi[,lo..hi] [--confidence C] [--format tsv|json]\n  sas query <summary> --queries FILE [--confidence C] [--format tsv|json]\n  sas info <summary|dir> [more paths...]\n  sas compact <store-dir> [--format v1|v2]\n  sas serve <store-dir> [--addr H:P] [--threads N] [--budget N] [--cache N] [--compact-every MS] [--max-conns N] [--read-timeout MS] [--idle-timeout MS] [--shed N] [--slow-query-ms N] [--metrics-every SECS]\n  sas policy set <dir|addr> --dataset D [--ttl TICKS] [--compact-after TICKS] [--budget KIND=N ...]\n  sas policy show <dir|addr> [--dataset D]\n  sas client <addr> query --dataset D --range R [--kind K] [--since T] [--until T] [--confidence C] [--coverage]\n  sas client <addr> watch --dataset D --range R [--kind K] [--confidence C] [--since T] [--until T] [--count N]\n  sas client <addr> ingest <data.tsv> --dataset D [--ts T] [--kind K] [--size N] [--seed S]\n  sas client <addr> metrics [--format prom|tsv|json]\n  sas client <addr> list | stats | ping | shutdown\nranges: lo..hi or lo:hi per axis; either endpoint may be omitted (clamps to the domain)\nquery lines: a range, ranges joined by ';' (disjoint union), 'point C[,C]', 'node LEVEL/INDEX', 'total'\nkinds: sample (default), varopt, qdigest, wavelet, sketch\npolicy set with no policy flags clears the dataset's policy"
     );
     ExitCode::from(2)
 }
@@ -64,6 +70,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args[1..]),
         "compact" => cmd_compact(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "policy" => cmd_policy(&args[1..]),
         "client" => cmd_client(&args[1..]),
         _ => return usage(),
     };
@@ -268,11 +275,18 @@ fn cmd_info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Err("missing summary path".into());
     }
     // Expand directories (store layouts) into their frame files, skipping
-    // in-flight temp debris.
+    // in-flight temp debris. A directory with a decodable manifest is a
+    // store: lead with its lifecycle summary (per-dataset policy, window
+    // counts per level, oldest/newest span) before the per-frame lines.
     let mut files: Vec<std::path::PathBuf> = Vec::new();
     for p in &paths {
         let path = Path::new(p.as_str());
         if path.is_dir() {
+            if let Ok(bytes) = std::fs::read(path.join(sas_store::MANIFEST_FILE)) {
+                if let Ok(manifest) = Manifest::decode(&bytes) {
+                    print!("{}", sas_cli::store_info_text(&manifest));
+                }
+            }
             files.extend(fsio::walk_files(path)?.into_iter().filter(|f| {
                 f.file_name()
                     .and_then(|n| n.to_str())
@@ -359,6 +373,8 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "--read-timeout",
         defaults.read_timeout.as_millis() as u64,
     )?;
+    // 0 (the default): idle connections are never reaped.
+    let idle_timeout_ms: u64 = parse_flag(args, "--idle-timeout", 0)?;
     let shed: usize = parse_flag(args, "--shed", defaults.dataset_inflight)?;
     // Threshold 0 logs every request (handy when tracing a live daemon);
     // omitting the flag disables the slow-query log entirely.
@@ -380,8 +396,13 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             threads,
             max_conns,
             read_timeout: Duration::from_millis(read_timeout_ms),
+            idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
             dataset_inflight: shed,
             slow_query: (slow_query_ms != u64::MAX).then(|| Duration::from_millis(slow_query_ms)),
+            // The event loop drives retention + compaction on this
+            // cadence; no separate compactor thread.
+            lifecycle_every: (compact_every_ms > 0)
+                .then(|| Duration::from_millis(compact_every_ms)),
             ..defaults
         },
     )?;
@@ -401,11 +422,97 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             })
             .expect("spawn metrics dumper");
     }
-    let compactor = (compact_every_ms > 0)
-        .then(|| Compactor::start(store, Duration::from_millis(compact_every_ms)));
     server.wait();
-    drop(compactor);
     eprintln!("sas-store: shut down cleanly");
+    Ok(())
+}
+
+/// Collects every value of a repeatable flag (`--budget sample=64
+/// --budget sketch=32`).
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// Builds a [`Policy`] from `--ttl`, `--compact-after`, and repeated
+/// `--budget KIND=N` flags. No flags at all yields the empty policy,
+/// which `policy set` treats as "clear".
+fn parse_policy(args: &[String]) -> Result<Policy, Box<dyn std::error::Error>> {
+    let mut policy = Policy {
+        retention_ttl: flag_value(args, "--ttl")
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| "bad --ttl")?,
+        compact_after: flag_value(args, "--compact-after")
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| "bad --compact-after")?,
+        ..Policy::default()
+    };
+    for spec in flag_values(args, "--budget") {
+        let (name, value) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --budget '{spec}' (want KIND=N)"))?;
+        let kind = SummaryKind::from_name(name)
+            .ok_or_else(|| format!("unknown summary kind '{name}' in --budget"))?;
+        let budget: u64 = value
+            .parse()
+            .map_err(|_| format!("bad --budget '{spec}' (want KIND=N)"))?;
+        policy.per_kind_budget.insert(kind.tag(), budget);
+    }
+    Ok(policy)
+}
+
+/// `sas policy set|show` against a store directory (offline) or a running
+/// daemon (over the wire) — the target decides.
+fn cmd_policy(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let sub = args.first().ok_or("missing policy subcommand (set|show)")?;
+    let target = args
+        .get(1)
+        .ok_or("missing store directory or daemon address")?;
+    let rest = &args[2..];
+    let offline = Path::new(target.as_str()).is_dir();
+    match sub.as_str() {
+        "set" => {
+            let dataset = flag_value(rest, "--dataset").ok_or("missing --dataset")?;
+            let policy = parse_policy(rest)?;
+            if offline {
+                let store = Store::open(target.as_str(), StoreConfig::default())?;
+                store.set_policy(dataset, policy.clone())?;
+            } else {
+                Client::connect(target.as_str())?.set_policy(dataset, policy.clone())?;
+            }
+            if policy.is_empty() {
+                eprintln!("cleared policy for {dataset}");
+            } else {
+                eprintln!("set policy for {dataset}: {policy}");
+            }
+        }
+        "show" => {
+            let dataset = flag_value(rest, "--dataset");
+            let rows = if offline {
+                let store = Store::open(target.as_str(), StoreConfig::default())?;
+                match dataset {
+                    None => store.policies(),
+                    Some(d) => store
+                        .policy(d)
+                        .map(|p| (d.to_string(), p))
+                        .into_iter()
+                        .collect(),
+                }
+            } else {
+                Client::connect(target.as_str())?.policies(dataset)?
+            };
+            for (d, p) in rows {
+                println!("{d}\t{p}");
+            }
+        }
+        other => return Err(format!("unknown policy subcommand '{other}' (want set|show)").into()),
+    }
     Ok(())
 }
 
@@ -435,35 +542,84 @@ fn cmd_client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 (None, None) => None,
                 (t0, t1) => Some((t0.unwrap_or(0), t1.unwrap_or(u64::MAX))),
             };
-            let (windows, cached) = match flag_value(rest, "--confidence") {
+            let confidence = flag_value(rest, "--confidence");
+            let (windows, cached) = if has_flag(rest, "--coverage") {
+                // Gap-aware protocol: the estimate plus which stretches of
+                // the requested span were missing or expired.
+                let confidence = confidence
+                    .map(parse_confidence)
+                    .transpose()?
+                    .unwrap_or(0.95);
+                let q = sas_summaries::Query::BoxRange(range);
+                let ans = client.estimate_cov(dataset, kind, &q, confidence, time)?;
+                print_estimate_line(&ans.estimate);
+                println!("coverage: {}", ans.coverage);
+                (ans.windows, ans.cached)
+            } else if let Some(c) = confidence {
                 // New protocol: value with an error bar.
-                Some(c) => {
-                    let confidence = parse_confidence(c)?;
-                    let q = sas_summaries::Query::BoxRange(range);
-                    let ans = client.estimate(dataset, kind, &q, confidence, time)?;
-                    let e = ans.estimate;
-                    println!(
-                        "{} ±{} [{}, {}] @{}",
-                        e.value,
-                        e.half_width(),
-                        e.lower,
-                        e.upper,
-                        e.confidence
-                    );
-                    (ans.windows, ans.cached)
-                }
+                let confidence = parse_confidence(c)?;
+                let q = sas_summaries::Query::BoxRange(range);
+                let ans = client.estimate(dataset, kind, &q, confidence, time)?;
+                print_estimate_line(&ans.estimate);
+                (ans.windows, ans.cached)
+            } else {
                 // Old wire tag, still answered: bare value.
-                None => {
-                    let ans = client.query(dataset, kind, &range, time)?;
-                    println!("{}", ans.value);
-                    (ans.windows, ans.cached)
-                }
+                let ans = client.query(dataset, kind, &range, time)?;
+                println!("{}", ans.value);
+                (ans.windows, ans.cached)
             };
             eprintln!(
                 "consulted {windows} window{}{}",
                 if windows == 1 { "" } else { "s" },
                 if cached { " (cached)" } else { "" }
             );
+        }
+        "watch" => {
+            let dataset = flag_value(rest, "--dataset").ok_or("missing --dataset")?;
+            let kind = parse_kind(rest)?;
+            let spec = flag_value(rest, "--range").ok_or("missing --range")?;
+            let dims = spec.split(',').count();
+            let range = parse_range(spec, dims)?;
+            let since: Option<u64> = flag_value(rest, "--since")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --since")?;
+            let until: Option<u64> = flag_value(rest, "--until")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --until")?;
+            let time = match (since, until) {
+                (None, None) => None,
+                (t0, t1) => Some((t0.unwrap_or(0), t1.unwrap_or(u64::MAX))),
+            };
+            let confidence = flag_value(rest, "--confidence")
+                .map(parse_confidence)
+                .transpose()?
+                .unwrap_or(0.95);
+            // 0: watch forever (until the daemon closes the connection).
+            let count: u64 = parse_flag(rest, "--count", 0)?;
+            let q = sas_summaries::Query::BoxRange(range);
+            // Subscribe first, then poll the baseline: once the baseline
+            // line is out, the subscription is registered — a script may
+            // start ingesting the moment it reads it. The baseline prints
+            // in the same format as every later push (pushes go through
+            // the daemon's one estimate path), so a push and a poll of the
+            // same state print the identical line.
+            let watch_id = client.watch(dataset, kind, &q, confidence, time)?;
+            let first = client.estimate_cov(dataset, kind, &q, confidence, time)?;
+            print_estimate_line(&first.estimate);
+            eprintln!("coverage: {}", first.coverage);
+            eprintln!("watching {dataset} (watch {watch_id}); updates follow");
+            let mut seen = 0u64;
+            while count == 0 || seen < count {
+                let update = client.next_update()?;
+                print_estimate_line(&update.estimate);
+                eprintln!(
+                    "update watch={} version={} windows={} coverage: {}",
+                    update.watch_id, update.version, update.windows, update.coverage
+                );
+                seen += 1;
+            }
         }
         "ingest" => {
             // The data path is strictly positional (before any flag), like
@@ -538,6 +694,20 @@ fn cmd_client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         other => return Err(format!("unknown client subcommand '{other}'").into()),
     }
     Ok(())
+}
+
+/// The one-line estimate format shared by `client query --confidence`,
+/// `client query --coverage`, and every `client watch` push — identical
+/// state must print the identical line.
+fn print_estimate_line(e: &sas_summaries::Estimate) {
+    println!(
+        "{} ±{} [{}, {}] @{}",
+        e.value,
+        e.half_width(),
+        e.lower,
+        e.upper,
+        e.confidence
+    );
 }
 
 fn parse_kind(args: &[String]) -> Result<SummaryKind, Box<dyn std::error::Error>> {

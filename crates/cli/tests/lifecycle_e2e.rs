@@ -1,0 +1,358 @@
+//! Lifecycle end-to-end through the real binaries: a TTL policy installed
+//! over the wire, the daemon's own timer expiring windows, gap-aware
+//! answers spanning expired and live data, a `sas client watch` process
+//! receiving pushes bit-identical to polling, `sas info` summarizing the
+//! store, and a restart proving retention survives recovery with no
+//! expired window resurrected.
+
+mod common;
+
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use common::sas;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let id = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "sas-lifecycle-test-{}-{id}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A running `sas serve` child whose address was read from its readiness
+/// line; killed on drop if the test failed before the clean shutdown.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(store_dir: &Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sas"))
+            .arg("serve")
+            .arg(store_dir)
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn sas serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve exited before its readiness line")
+                .expect("readable stderr");
+            if let Some(rest) = line.strip_prefix("sas-store: listening on ") {
+                break rest.trim().to_string();
+            }
+        };
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+
+    fn shutdown(mut self) {
+        sas(&["client", &self.addr, "shutdown"], true);
+        let status = self.child.wait().expect("wait for serve");
+        assert!(status.success(), "serve exited with {status:?}");
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn write_tsv(dir: &Path, name: &str, lo: u64, n: u64) -> PathBuf {
+    let mut text = String::new();
+    for k in lo..lo + n {
+        text.push_str(&format!("{k}\t{}\n", 1.0 + (k % 7) as f64));
+    }
+    let path = dir.join(name);
+    fs::write(&path, text).unwrap();
+    path
+}
+
+fn ingest(addr: &str, dataset: &str, data: &Path, ts: u64) {
+    sas(
+        &[
+            "client",
+            addr,
+            "ingest",
+            data.to_str().unwrap(),
+            "--dataset",
+            dataset,
+            "--ts",
+            &ts.to_string(),
+        ],
+        true,
+    );
+}
+
+/// Scrapes one `name: value` counter from `sas client stats`.
+fn stat(addr: &str, name: &str) -> u64 {
+    let (stdout, _) = sas(&["client", addr, "stats"], true);
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name}: ")))
+        .unwrap_or_else(|| panic!("no '{name}' in stats:\n{stdout}"))
+        .trim()
+        .parse()
+        .expect("numeric stat")
+}
+
+#[test]
+fn offline_policy_management_on_a_store_directory() {
+    let work = TempDir::new("offline-policy");
+    let store_dir = work.path().join("store");
+    fs::create_dir_all(&store_dir).unwrap();
+
+    // Set against the directory (no daemon), with every knob.
+    let (_, err) = sas(
+        &[
+            "policy",
+            "set",
+            store_dir.to_str().unwrap(),
+            "--dataset",
+            "web",
+            "--ttl",
+            "120",
+            "--compact-after",
+            "60",
+            "--budget",
+            "sample=32",
+        ],
+        true,
+    );
+    assert!(err.contains("set policy for web"), "{err}");
+    let (rows, _) = sas(&["policy", "show", store_dir.to_str().unwrap()], true);
+    assert_eq!(
+        rows.trim(),
+        "web\tttl=120 compact_after=60 budget[sample]=32"
+    );
+
+    // The daemon opening the same directory sees the offline policy.
+    let daemon = Daemon::spawn(&store_dir, &["--compact-every", "0"]);
+    let (rows, _) = sas(&["policy", "show", &daemon.addr, "--dataset", "web"], true);
+    assert!(rows.contains("ttl=120"), "{rows}");
+    daemon.shutdown();
+
+    // No flags at all clears it.
+    let (_, err) = sas(
+        &[
+            "policy",
+            "set",
+            store_dir.to_str().unwrap(),
+            "--dataset",
+            "web",
+        ],
+        true,
+    );
+    assert!(err.contains("cleared policy for web"), "{err}");
+    let (rows, _) = sas(&["policy", "show", store_dir.to_str().unwrap()], true);
+    assert_eq!(rows.trim(), "");
+}
+
+#[test]
+fn retention_coverage_watch_and_restart() {
+    let work = TempDir::new("e2e");
+    let store_dir = work.path().join("store");
+    // --compact-every drives the daemon's lifecycle timer (retention then
+    // compaction); keep it fast so expiry happens within the test.
+    let daemon = Daemon::spawn(&store_dir, &["--compact-every", "40"]);
+    let addr = daemon.addr.clone();
+
+    // ---- Live watch: pushes bit-identical to polling -------------------
+    // Watched on its own dataset so the retention part below can never
+    // race the byte comparison.
+    let mut watcher = Command::new(env!("CARGO_BIN_EXE_sas"))
+        .args([
+            "client",
+            &addr,
+            "watch",
+            "--dataset",
+            "pulse",
+            "--range",
+            "0..",
+            "--count",
+            "3",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sas client watch");
+    let mut watch_out = BufReader::new(watcher.stdout.take().unwrap()).lines();
+    // The first stdout line is the baseline poll — once it arrives the
+    // subscription is registered and ingests may start.
+    let baseline = watch_out.next().unwrap().unwrap();
+    assert!(
+        baseline.starts_with("0 "),
+        "baseline should be empty: {baseline}"
+    );
+
+    let mut pushes = Vec::new();
+    for i in 0..3u64 {
+        let data = write_tsv(work.path(), &format!("p{i}.tsv"), i * 100, 50);
+        ingest(&addr, "pulse", &data, i * 60);
+        pushes.push(watch_out.next().unwrap().unwrap());
+    }
+    let status = watcher.wait().expect("watcher exit");
+    assert!(status.success(), "watcher exited with {status:?}");
+
+    // Totals only grow, so the three pushes are strictly increasing.
+    let values: Vec<f64> = pushes
+        .iter()
+        .map(|l| l.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+    assert!(values.windows(2).all(|w| w[0] < w[1]), "{values:?}");
+    // The final push is bit-identical to polling the same query now:
+    // identical estimate line, shortest-roundtrip floats and all.
+    let (polled, _) = sas(
+        &[
+            "client",
+            &addr,
+            "query",
+            "--dataset",
+            "pulse",
+            "--range",
+            "0..",
+            "--confidence",
+            "0.95",
+        ],
+        true,
+    );
+    assert_eq!(polled.trim(), pushes[2], "push vs poll");
+
+    // ---- Retention: TTL policy, timer-driven expiry --------------------
+    let (_, err) = sas(
+        &["policy", "set", &addr, "--dataset", "web", "--ttl", "120"],
+        true,
+    );
+    assert!(err.contains("set policy for web"), "{err}");
+    let (rows, _) = sas(&["policy", "show", &addr], true);
+    assert!(rows.contains("web\tttl=120"), "{rows}");
+
+    for i in 0..5u64 {
+        let data = write_tsv(work.path(), &format!("w{i}.tsv"), i * 100, 50);
+        ingest(&addr, "web", &data, i * 60);
+    }
+    // Watermark 300, TTL 120: the daemon's timer must expire the three
+    // minutes ending ≤180 with no client asking.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stat(&addr, "expired_windows") < 3 {
+        assert!(Instant::now() < deadline, "retention timer never fired");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // ---- Gap-aware answer spanning expired + live windows --------------
+    let (stdout, _) = sas(
+        &[
+            "client",
+            &addr,
+            "query",
+            "--dataset",
+            "web",
+            "--range",
+            "0..",
+            "--since",
+            "0",
+            "--until",
+            "299",
+            "--confidence",
+            "0.95",
+            "--coverage",
+        ],
+        true,
+    );
+    let mut lines = stdout.lines();
+    let estimate = lines.next().unwrap();
+    assert!(!estimate.starts_with("0 "), "live windows still answer");
+    assert_eq!(lines.next().unwrap(), "coverage: gaps:0..179(expired)");
+    // An expired tick cannot be re-ingested.
+    let stale = write_tsv(work.path(), "stale.tsv", 0, 10);
+    let (_, err) = sas(
+        &[
+            "client",
+            &addr,
+            "ingest",
+            stale.to_str().unwrap(),
+            "--dataset",
+            "web",
+            "--ts",
+            "0",
+        ],
+        false,
+    );
+    assert!(err.contains("accepts ticks >= 180"), "{err}");
+
+    daemon.shutdown();
+
+    // ---- `sas info` on the store directory -----------------------------
+    let (info, _) = sas(&["info", store_dir.to_str().unwrap()], true);
+    assert!(info.contains("policy: ttl=120"), "{info}");
+    assert!(info.contains("dataset web"), "{info}");
+    assert!(info.contains("dataset pulse"), "{info}");
+
+    // ---- Restart: recovery resurrects no expired window ----------------
+    let daemon = Daemon::spawn(&store_dir, &["--compact-every", "0"]);
+    let addr = daemon.addr.clone();
+    let (list, _) = sas(&["client", &addr, "list"], true);
+    let web_starts: Vec<u64> = list
+        .lines()
+        .filter(|l| l.starts_with("web\t"))
+        .map(|l| l.split('\t').nth(3).unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(web_starts.len(), 2, "{list}");
+    assert!(web_starts.iter().all(|&s| s >= 180), "{list}");
+    // The retention floor survived recovery too: same gap report, same
+    // refusal to resurrect.
+    let (stdout, _) = sas(
+        &[
+            "client",
+            &addr,
+            "query",
+            "--dataset",
+            "web",
+            "--range",
+            "0..",
+            "--since",
+            "0",
+            "--until",
+            "299",
+            "--confidence",
+            "0.95",
+            "--coverage",
+        ],
+        true,
+    );
+    assert!(
+        stdout.contains("coverage: gaps:0..179(expired)"),
+        "{stdout}"
+    );
+    daemon.shutdown();
+}

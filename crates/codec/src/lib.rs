@@ -474,6 +474,18 @@ pub mod proto {
     /// latency histograms). Answered with a [`RESP_OK`] body holding the
     /// full registry; see `sas-store`'s wire module for the layout.
     pub const REQ_METRICS: u16 = 71;
+    /// Request: like [`REQ_ESTIMATE`] but the answer also carries a
+    /// coverage report — which parts of the requested time span were
+    /// missing or expired. The older tags stay answered bit-identically.
+    pub const REQ_ESTIMATE_COV: u16 = 72;
+    /// Request: register a live subscription for a canonical query on this
+    /// connection. Acknowledged with a watch id; incremental updates then
+    /// arrive as unsolicited [`RESP_PUSH`] frames.
+    pub const REQ_WATCH: u16 = 73;
+    /// Request: install (or clear) the lifecycle policy of a dataset.
+    pub const REQ_POLICY_SET: u16 = 74;
+    /// Request: read back the installed lifecycle policies.
+    pub const REQ_POLICY_SHOW: u16 = 75;
 
     /// Response: success; body layout depends on the request kind.
     pub const RESP_OK: u16 = 80;
@@ -484,6 +496,10 @@ pub mod proto {
     /// a reason string. An overloaded daemon answers BUSY explicitly rather
     /// than silently dropping the connection.
     pub const RESP_BUSY: u16 = 82;
+    /// Unsolicited push: an incremental estimate for a registered watch.
+    /// Never sent in reply to a request — it carries the watch id it
+    /// belongs to instead of a request sequence number.
+    pub const RESP_PUSH: u16 = 83;
 
     /// Hard cap on a single protocol message (frame bytes). A batch of a
     /// few million sample entries fits; a corrupted length prefix cannot

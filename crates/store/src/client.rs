@@ -1,7 +1,14 @@
 //! Blocking client for the `sas serve` protocol — one TCP connection,
 //! request/response in lockstep. Used by `sas client` and the integration
 //! tests; scripts can hold one connection open across many queries.
+//!
+//! With a watch registered ([`Client::watch`]), the daemon interleaves
+//! unsolicited `RESP_PUSH` frames with request replies on the same
+//! connection. The lockstep exchange transparently buffers pushes that
+//! arrive while it waits for its reply; [`Client::next_update`] drains the
+//! buffer first and then blocks for the next push.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -9,8 +16,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 use sas_codec::{open_frame, proto, CodecError};
 use sas_summaries::{Estimate, Query, SummaryKind};
 
+use crate::policy::{Coverage, Policy};
 use crate::window::Level;
-use crate::wire::{decode_response, encode_request, Request, Response, WindowRow};
+use crate::wire::{
+    decode_push, decode_response, encode_request, is_push, Request, Response, WatchUpdate,
+    WindowRow,
+};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -88,11 +99,27 @@ pub struct IngestAck {
     pub items: u64,
 }
 
+/// A query answer with its gap report, as reported by the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteEstimateCov {
+    /// The estimate with its bounds.
+    pub estimate: Estimate,
+    /// Windows consulted.
+    pub windows: u64,
+    /// Whether the daemon's LRU cache served it.
+    pub cached: bool,
+    /// Which stretches of the requested span had no data, and why.
+    pub coverage: Coverage,
+}
+
 /// A connected client.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Push frames that arrived while an exchange was waiting for its
+    /// reply; served to [`Client::next_update`] in arrival order.
+    pending_pushes: VecDeque<WatchUpdate>,
 }
 
 impl Client {
@@ -103,6 +130,7 @@ impl Client {
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
+            pending_pushes: VecDeque::new(),
         })
     }
 
@@ -110,11 +138,19 @@ impl Client {
         let frame = encode_request(req);
         let request_tag = open_frame(&frame).expect("self-encoded frame").kind;
         proto::write_message(&mut self.writer, &frame)?;
-        let reply = proto::read_message(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
-        match decode_response(&reply, request_tag)? {
-            Response::Err(msg) => Err(ClientError::Server(msg)),
-            Response::Busy(msg) => Err(ClientError::Busy(msg)),
-            resp => Ok(resp),
+        loop {
+            let reply = proto::read_message(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+            // A push racing the reply is not the reply: buffer it and keep
+            // reading — responses stay in lockstep with requests.
+            if is_push(&reply) {
+                self.pending_pushes.push_back(decode_push(&reply)?);
+                continue;
+            }
+            return match decode_response(&reply, request_tag)? {
+                Response::Err(msg) => Err(ClientError::Server(msg)),
+                Response::Busy(msg) => Err(ClientError::Busy(msg)),
+                resp => Ok(resp),
+            };
         }
     }
 
@@ -172,6 +208,108 @@ impl Client {
                 windows,
                 cached,
             }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`Client::estimate`] plus a gap report: which stretches of the
+    /// requested span were missing or expired by retention (the
+    /// `REQ_ESTIMATE_COV` protocol; older daemons answer only
+    /// [`Client::estimate`]).
+    pub fn estimate_cov(
+        &mut self,
+        dataset: &str,
+        kind: SummaryKind,
+        query: &Query,
+        confidence: f64,
+        time: Option<(u64, u64)>,
+    ) -> Result<RemoteEstimateCov, ClientError> {
+        match self.exchange(&Request::EstimateCov {
+            dataset: dataset.to_string(),
+            kind,
+            query: query.clone(),
+            confidence,
+            time,
+        })? {
+            Response::EstimateCov {
+                estimate,
+                windows,
+                cached,
+                coverage,
+            } => Ok(RemoteEstimateCov {
+                estimate,
+                windows,
+                cached,
+                coverage,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Registers a live subscription for a query on this connection and
+    /// returns its daemon-assigned watch id. Afterwards every ingest into
+    /// the watched series pushes a [`WatchUpdate`]; read them with
+    /// [`Client::next_update`].
+    pub fn watch(
+        &mut self,
+        dataset: &str,
+        kind: SummaryKind,
+        query: &Query,
+        confidence: f64,
+        time: Option<(u64, u64)>,
+    ) -> Result<u64, ClientError> {
+        match self.exchange(&Request::Watch {
+            dataset: dataset.to_string(),
+            kind,
+            query: query.clone(),
+            confidence,
+            time,
+        })? {
+            Response::Watch { watch_id } => Ok(watch_id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The next push for any watch on this connection: buffered pushes
+    /// first, then a blocking read. A non-push frame here is a protocol
+    /// violation (the lockstep client has no outstanding request).
+    pub fn next_update(&mut self) -> Result<WatchUpdate, ClientError> {
+        if let Some(update) = self.pending_pushes.pop_front() {
+            return Ok(update);
+        }
+        let reply = proto::read_message(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+        if is_push(&reply) {
+            return Ok(decode_push(&reply)?);
+        }
+        // BUSY here is the daemon shedding this subscriber.
+        match decode_response(&reply, proto::REQ_WATCH) {
+            Ok(Response::Busy(msg)) => Err(ClientError::Busy(msg)),
+            _ => Err(ClientError::Server("unsolicited non-push frame".into())),
+        }
+    }
+
+    /// Installs (or, for an empty policy, clears) a dataset's lifecycle
+    /// policy.
+    pub fn set_policy(&mut self, dataset: &str, policy: Policy) -> Result<(), ClientError> {
+        match self.exchange(&Request::PolicySet {
+            dataset: dataset.to_string(),
+            policy,
+        })? {
+            Response::PolicySet => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reads back installed lifecycle policies: all of them, or one
+    /// dataset's (an empty list when it has none).
+    pub fn policies(
+        &mut self,
+        dataset: Option<&str>,
+    ) -> Result<Vec<(String, Policy)>, ClientError> {
+        match self.exchange(&Request::PolicyShow {
+            dataset: dataset.map(str::to_string),
+        })? {
+            Response::Policies(rows) => Ok(rows),
             other => Err(unexpected(other)),
         }
     }

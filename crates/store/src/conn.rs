@@ -319,9 +319,10 @@ impl Conn {
         }
     }
 
-    /// Queues a message that answers no request — the BUSY greeting a shed
-    /// connection receives before anything was parsed. Bypasses sequence
-    /// ordering (nothing else may ever be queued on such a connection).
+    /// Queues a message that answers no request: the BUSY greeting a shed
+    /// connection receives before anything was parsed, or a watch-update
+    /// push. Bypasses sequence ordering — an unsolicited frame goes out at
+    /// its queueing position, between (never inside) ordered responses.
     pub fn inject_unsolicited(&mut self, message: impl Into<Payload>) {
         if matches!(self.phase, Phase::Aborting | Phase::Poisoned) {
             return;

@@ -40,6 +40,7 @@ pub mod conn;
 pub mod fsio;
 pub mod manifest;
 pub mod mapped;
+pub mod policy;
 pub mod poller;
 pub mod server;
 pub mod window;
@@ -70,6 +71,7 @@ use sas_summaries::{
 
 use cache::{CacheKey, CachedAnswer, QueryCache, PLAIN_CONFIDENCE};
 use manifest::{Manifest, ManifestEntry};
+use policy::{Coverage, Policy};
 use window::{valid_dataset, window_seed, Level, WindowKey};
 
 /// File name of the store manifest inside the store directory.
@@ -167,6 +169,10 @@ pub struct Snapshot {
     pub version: u64,
     /// All windows in key order.
     pub windows: BTreeMap<WindowKey, Arc<WindowState>>,
+    /// Retention floors per `(dataset, kind tag)` series: the largest
+    /// window end retention has dropped. Lets gap-aware answers classify
+    /// uncovered spans as *expired* (below the floor) vs *missing*.
+    pub retention_floors: BTreeMap<(String, u16), u64>,
 }
 
 impl Snapshot {
@@ -236,6 +242,26 @@ impl Snapshot {
         }
         Ok((acc, windows.len() as u64))
     }
+
+    /// Gap report for a series over the query time filter: which stretches
+    /// of the requested span no window covered, and whether each was
+    /// expired by retention or simply never ingested. Computed against the
+    /// same snapshot as the answer it accompanies, so the two can never
+    /// disagree about which windows exist.
+    pub fn coverage(&self, dataset: &str, kind: SummaryKind, time: Option<(u64, u64)>) -> Coverage {
+        let spans: Vec<(u64, u64)> = self
+            .windows
+            .values()
+            .filter(|w| w.key.dataset == dataset && w.key.kind == kind)
+            .map(|w| (w.key.start, w.key.end()))
+            .collect();
+        let floor = self
+            .retention_floors
+            .get(&(dataset.to_string(), kind.tag()))
+            .copied()
+            .unwrap_or(0);
+        Coverage::compute(&spans, time, floor)
+    }
 }
 
 /// A range-query answer from [`Store::query`].
@@ -272,6 +298,14 @@ struct WriterState {
     watermarks: HashMap<(String, u16), u64>,
     /// First tick still accepting ingest, per `(dataset, kind tag)`.
     floors: HashMap<(String, u16), u64>,
+    /// Installed lifecycle policies, persisted in the manifest.
+    policies: BTreeMap<String, Policy>,
+    /// Largest window end retention has dropped, per series. A subset of
+    /// `floors` (retention bumps both); kept separately so coverage can
+    /// tell *expired* history from merely compacted history, and persisted
+    /// so recovery reproduces the watermark even when retention removed
+    /// the newest windows.
+    retention_floors: BTreeMap<(String, u16), u64>,
     manifest_sequence: u64,
 }
 
@@ -280,6 +314,8 @@ struct Counters {
     ingested: AtomicU64,
     rollups: AtomicU64,
     compaction_passes: AtomicU64,
+    retention_passes: AtomicU64,
+    expired_windows: AtomicU64,
     queries: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -298,6 +334,8 @@ struct StoreObs {
     compactions: Arc<ObsCounter>,
     compaction_ns: Arc<ObsHistogram>,
     segment_hydrations: Arc<ObsCounter>,
+    retention_passes: Arc<ObsCounter>,
+    expired_windows: Arc<ObsCounter>,
     datasets: RwLock<HashMap<String, CacheCells>>,
 }
 
@@ -314,6 +352,8 @@ impl StoreObs {
             compactions: registry.counter("sas_store_compactions_total"),
             compaction_ns: registry.histogram("sas_store_compaction_ns"),
             segment_hydrations: registry.counter("sas_store_segment_hydrations_total"),
+            retention_passes: registry.counter("sas_store_retention_passes_total"),
+            expired_windows: registry.counter("sas_store_expired_windows_total"),
             datasets: RwLock::new(HashMap::new()),
             registry,
         }
@@ -353,8 +393,19 @@ impl Store {
         let mut windows = BTreeMap::new();
         let mut writer = WriterState {
             manifest_sequence: manifest.sequence,
+            policies: manifest.policies.clone(),
+            retention_floors: manifest.retention_floors.clone(),
             ..WriterState::default()
         };
+        // Retention floors seed both the stale-ingest floor and the series
+        // watermark: a dropped window proves the watermark had advanced at
+        // least to its end, even when retention removed every window of
+        // the series (nothing else on disk records that). This is what
+        // makes retention and recovery commute bit-identically.
+        for ((dataset, kind_tag), floor) in &manifest.retention_floors {
+            bump_max(&mut writer.watermarks, (dataset.clone(), *kind_tag), *floor);
+            bump_max(&mut writer.floors, (dataset.clone(), *kind_tag), *floor);
+        }
         // Read every frame first, then batch-decode: recovery touches the
         // disk in one sequential sweep and the decode loop stays tight.
         // Segment files stay *mapped*: their validation pass walks the map
@@ -441,6 +492,7 @@ impl Store {
             snapshot: RwLock::new(Arc::new(Snapshot {
                 version: 1,
                 windows,
+                retention_floors: manifest.retention_floors.clone(),
             })),
             writer: Mutex::new(writer),
             counters: Counters::default(),
@@ -559,6 +611,16 @@ impl Store {
         }
 
         let snap = self.snapshot();
+        // Policy budget clamps apply to ingest-time merges: a per-kind
+        // entry overrides the store-wide budget for this dataset. Roll-ups
+        // keep the store budget so compaction stays bit-identical to the
+        // offline rebuild.
+        let budget = writer
+            .policies
+            .get(dataset)
+            .and_then(|p| p.per_kind_budget.get(&key.kind.tag()))
+            .map(|&b| b as usize)
+            .or(self.config.budget);
         let (summary, batches) = match snap.windows.get(&key) {
             None => (batch, 1),
             Some(existing) => {
@@ -568,7 +630,7 @@ impl Store {
                 let mut rng = StdRng::seed_from_u64(
                     window_seed(&key).wrapping_add(existing.batches.wrapping_mul(GOLDEN)),
                 );
-                merged.merge_in_place(batch, self.config.budget, &mut rng)?;
+                merged.merge_in_place(batch, budget, &mut rng)?;
                 (merged, existing.batches + 1)
             }
         };
@@ -585,8 +647,10 @@ impl Store {
         });
         let mut windows = snap.windows.clone();
         windows.insert(key.clone(), state.clone());
-        self.persist_and_publish(&mut writer, windows, snap.version)?;
+        // The watermark advances before the manifest write so the
+        // persisted lifecycle state can never lag the windows it governs.
         bump_max(&mut writer.watermarks, series, key.end());
+        self.persist_and_publish(&mut writer, windows, snap.version)?;
         self.counters.ingested.fetch_add(1, Ordering::Relaxed);
         Ok(state)
     }
@@ -654,9 +718,40 @@ impl Store {
         confidence: f64,
         time: Option<(u64, u64)>,
     ) -> Result<EstimateAnswer, StoreError> {
+        self.estimate_on(&self.snapshot(), dataset, kind, query, confidence, time)
+    }
+
+    /// [`Store::estimate`] plus a gap report, both computed against the
+    /// *same* snapshot: the answer can never describe one catalog state
+    /// and the coverage another. The estimate goes through the LRU cache
+    /// exactly like the plain tag, so old and new clients polling the same
+    /// canonical query read bit-identical values.
+    pub fn estimate_with_coverage(
+        &self,
+        dataset: &str,
+        kind: SummaryKind,
+        query: &Query,
+        confidence: f64,
+        time: Option<(u64, u64)>,
+    ) -> Result<(EstimateAnswer, Coverage), StoreError> {
+        let snap = self.snapshot();
+        let answer = self.estimate_on(&snap, dataset, kind, query, confidence, time)?;
+        Ok((answer, snap.coverage(dataset, kind, time)))
+    }
+
+    /// The shared estimate path: cache lookup, snapshot answer, cache
+    /// fill — against the snapshot the caller pinned.
+    fn estimate_on(
+        &self,
+        snap: &Snapshot,
+        dataset: &str,
+        kind: SummaryKind,
+        query: &Query,
+        confidence: f64,
+        time: Option<(u64, u64)>,
+    ) -> Result<EstimateAnswer, StoreError> {
         let bad = |e: QueryError| StoreError::BadRequest(e.to_string());
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
-        let snap = self.snapshot();
         let cache_key = CacheKey {
             version: snap.version,
             dataset: dataset.to_string(),
@@ -739,6 +834,8 @@ impl Store {
             ("ingested_batches".into(), get(&c.ingested)),
             ("rollups".into(), get(&c.rollups)),
             ("compaction_passes".into(), get(&c.compaction_passes)),
+            ("retention_passes".into(), get(&c.retention_passes)),
+            ("expired_windows".into(), get(&c.expired_windows)),
             ("queries".into(), get(&c.queries)),
             ("cache_hits".into(), get(&c.cache_hits)),
             ("cache_misses".into(), get(&c.cache_misses)),
@@ -774,7 +871,15 @@ impl Store {
             for (key, state) in windows.iter().filter(|(k, _)| k.level == level) {
                 let parent = key.parent().expect("minute/hour have parents");
                 let watermark = writer.watermarks.get(&series_of(key)).copied().unwrap_or(0);
-                if parent.end() <= watermark {
+                // Policy cadence: the dataset may delay sealing until the
+                // watermark has advanced `compact_after` ticks past the
+                // parent's end (late batches keep landing in minutes).
+                let delay = writer
+                    .policies
+                    .get(&key.dataset)
+                    .and_then(|p| p.compact_after)
+                    .unwrap_or(0);
+                if parent.end().saturating_add(delay) <= watermark {
                     // BTreeMap iteration is key-ordered, so children arrive
                     // in ascending window-start order — the rebuild order.
                     groups.entry(parent).or_default().push(state.clone());
@@ -835,6 +940,128 @@ impl Store {
             );
         }
         Ok(rollups)
+    }
+
+    /// Runs one retention pass: every window whose span has fallen
+    /// `retention_ttl` ticks behind its series watermark is dropped from
+    /// the manifest and its frame deleted. "Now" is the watermark — the
+    /// largest window end ever ingested — never the wall clock, so the
+    /// pass is a pure function of the ingest history: replaying the same
+    /// ingests and ticks reproduces the same store bit-for-bit.
+    ///
+    /// Ordering is the compaction crash contract in reverse: the manifest
+    /// (no longer naming the expired windows, now carrying their retention
+    /// floor) is written *first*, frame deletion second — a crash between
+    /// the two leaves orphans that `open()` sweeps. Dropped spans also
+    /// raise the series ingest floor, so an expired tick can never be
+    /// re-ingested (which would make retention order observable).
+    /// Returns the number of windows dropped.
+    pub fn retain_once(&self) -> Result<usize, StoreError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        self.counters
+            .retention_passes
+            .fetch_add(1, Ordering::Relaxed);
+        self.obs.retention_passes.inc();
+        let snap = self.snapshot();
+        let mut windows = snap.windows.clone();
+        let mut doomed_paths: Vec<PathBuf> = Vec::new();
+        let mut expired = 0usize;
+        for key in snap.windows.keys() {
+            let Some(ttl) = writer
+                .policies
+                .get(&key.dataset)
+                .and_then(|p| p.retention_ttl)
+            else {
+                continue;
+            };
+            let series = series_of(key);
+            let watermark = writer.watermarks.get(&series).copied().unwrap_or(0);
+            if key.end().saturating_add(ttl) <= watermark {
+                windows.remove(key);
+                doomed_paths.push(frame_path(&self.dir, key));
+                let floor = writer.retention_floors.entry(series.clone()).or_insert(0);
+                *floor = (*floor).max(key.end());
+                bump_max(&mut writer.floors, series, key.end());
+                expired += 1;
+            }
+        }
+        if expired > 0 {
+            self.persist_and_publish(&mut writer, windows, snap.version)?;
+            for path in doomed_paths {
+                fs::remove_file(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
+            }
+            self.counters
+                .expired_windows
+                .fetch_add(expired as u64, Ordering::Relaxed);
+            self.obs.expired_windows.add(expired as u64);
+            slog!(LogLevel::Debug, "retention_pass", expired = expired);
+        }
+        Ok(expired)
+    }
+
+    /// One deterministic lifecycle tick: retention first (expired minutes
+    /// must not be sealed into parents), then compaction. The daemon's
+    /// event loop drives this on its timer; offline tools may call it
+    /// directly — the result depends only on the store state, not on who
+    /// ticks or when.
+    pub fn lifecycle_tick(&self) -> Result<LifecycleStats, StoreError> {
+        let expired = self.retain_once()?;
+        let rollups = self.compact_once()?;
+        Ok(LifecycleStats { expired, rollups })
+    }
+
+    /// Installs (or, for an empty policy, clears) a dataset's lifecycle
+    /// policy and persists it in the manifest. Takes effect from the next
+    /// ingest / lifecycle tick; nothing is retro-actively re-merged.
+    pub fn set_policy(&self, dataset: &str, policy: Policy) -> Result<(), StoreError> {
+        if !valid_dataset(dataset) {
+            return Err(StoreError::BadRequest(format!(
+                "invalid dataset name '{dataset}' (want [A-Za-z0-9_-]+, at most 128 chars)"
+            )));
+        }
+        // The manifest decoder rejects unknown kinds and zero budgets;
+        // refuse to persist what recovery could not read back.
+        for (&tag, &budget) in &policy.per_kind_budget {
+            if SummaryKind::from_tag(tag).is_none() {
+                return Err(StoreError::BadRequest(format!(
+                    "policy budget names unknown summary kind tag {tag}"
+                )));
+            }
+            if budget == 0 {
+                return Err(StoreError::BadRequest(
+                    "policy budget must be at least 1".into(),
+                ));
+            }
+        }
+        let mut writer = self.writer.lock().expect("writer lock");
+        let snap = self.snapshot();
+        if policy.is_empty() {
+            writer.policies.remove(dataset);
+        } else {
+            writer.policies.insert(dataset.to_string(), policy);
+        }
+        self.persist_and_publish(&mut writer, snap.windows.clone(), snap.version)
+    }
+
+    /// The installed policy for one dataset, if any.
+    pub fn policy(&self, dataset: &str) -> Option<Policy> {
+        self.writer
+            .lock()
+            .expect("writer lock")
+            .policies
+            .get(dataset)
+            .cloned()
+    }
+
+    /// All installed policies, in dataset order.
+    pub fn policies(&self) -> Vec<(String, Policy)> {
+        self.writer
+            .lock()
+            .expect("writer lock")
+            .policies
+            .iter()
+            .map(|(d, p)| (d.clone(), p.clone()))
+            .collect()
     }
 
     /// Rewrites every stored-sample window's frame in the requested format
@@ -918,16 +1145,28 @@ impl Store {
                     frame_bytes: w.frame_bytes,
                 })
                 .collect(),
+            policies: writer.policies.clone(),
+            retention_floors: writer.retention_floors.clone(),
         };
         let path = self.dir.join(MANIFEST_FILE);
         fsio::write_atomic(&path, &manifest.encode()).map_err(|e| StoreError::Io(path, e))?;
         let next = Arc::new(Snapshot {
             version: prev_version + 1,
             windows,
+            retention_floors: writer.retention_floors.clone(),
         });
         *self.snapshot.write().expect("snapshot lock") = next;
         Ok(())
     }
+}
+
+/// What one [`Store::lifecycle_tick`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Windows dropped by retention.
+    pub expired: usize,
+    /// Roll-ups performed by compaction.
+    pub rollups: usize,
 }
 
 /// The multiplier spreading a window's batch counter into its merge seed.
@@ -997,7 +1236,9 @@ fn bump_max(map: &mut HashMap<(String, u16), u64>, series: (String, u16), value:
     *slot = (*slot).max(value);
 }
 
-/// Handle to the background compaction thread; stops and joins on drop.
+/// Handle to the background lifecycle thread; stops and joins on drop.
+/// The daemon drives [`Store::lifecycle_tick`] from its event loop instead;
+/// this thread serves embedded users of the store.
 #[derive(Debug)]
 pub struct Compactor {
     stop: Arc<(Mutex<bool>, Condvar)>,
@@ -1005,7 +1246,7 @@ pub struct Compactor {
 }
 
 impl Compactor {
-    /// Spawns a thread running [`Store::compact_once`] every `interval`.
+    /// Spawns a thread running [`Store::lifecycle_tick`] every `interval`.
     pub fn start(store: Arc<Store>, interval: Duration) -> Compactor {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let thread_stop = stop.clone();
@@ -1023,11 +1264,11 @@ impl Compactor {
                         return;
                     }
                     drop(stopped);
-                    // Compaction failures must not kill the thread; the
+                    // Lifecycle failures must not kill the thread; the
                     // next pass retries (the store itself stays valid —
                     // snapshots only swap after a full successful pass).
-                    if let Err(e) = store.compact_once() {
-                        slog!(LogLevel::Warn, "compaction_failed", err = e);
+                    if let Err(e) = store.lifecycle_tick() {
+                        slog!(LogLevel::Warn, "lifecycle_tick_failed", err = e);
                     }
                     stopped = lock.lock().expect("compactor lock");
                 }

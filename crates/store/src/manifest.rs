@@ -7,9 +7,12 @@
 //! manifest only ever names frames that are fully on disk. Files present
 //! but unlisted are compaction/crash orphans and are swept on open.
 
+use std::collections::BTreeMap;
+
 use sas_codec::{encode_frame, open_frame, proto, CodecError, Reader, Writer};
 use sas_summaries::SummaryKind;
 
+use crate::policy::Policy;
 use crate::window::{Level, WindowKey};
 
 /// One manifest row: a window's key plus the writer state needed to resume
@@ -32,10 +35,22 @@ pub struct Manifest {
     pub sequence: u64,
     /// All live windows, in key order.
     pub entries: Vec<ManifestEntry>,
+    /// Installed lifecycle policies, keyed by dataset. Absent from
+    /// pre-lifecycle manifests; those decode to an empty map.
+    pub policies: BTreeMap<String, Policy>,
+    /// Retention floors per `(dataset, kind-tag)` series: the largest
+    /// window end retention has dropped so far. Persisted so recovery
+    /// reproduces the series watermark and stale-ingest floor even when
+    /// retention removed the newest windows — the invariant behind
+    /// retention/recovery commutativity.
+    pub retention_floors: BTreeMap<(String, u16), u64>,
 }
 
 impl Manifest {
-    /// Serializes the manifest as a frame.
+    /// Serializes the manifest as a frame. Stores that never used
+    /// lifecycle features encode byte-identically to the pre-lifecycle
+    /// format: the policy and floor sections are appended only when one of
+    /// them is non-empty.
     pub fn encode(&self) -> Vec<u8> {
         encode_frame(proto::TAG_MANIFEST, |w| {
             w.section(1, |w| {
@@ -47,6 +62,23 @@ impl Manifest {
                     write_entry(w, e);
                 }
             });
+            if !self.policies.is_empty() || !self.retention_floors.is_empty() {
+                w.section(3, |w| {
+                    w.put_u64(self.policies.len() as u64);
+                    for (dataset, policy) in &self.policies {
+                        w.put_str(dataset);
+                        policy.write_wire(w);
+                    }
+                });
+                w.section(4, |w| {
+                    w.put_u64(self.retention_floors.len() as u64);
+                    for ((dataset, kind_tag), floor) in &self.retention_floors {
+                        w.put_str(dataset);
+                        w.put_u16(*kind_tag);
+                        w.put_u64(*floor);
+                    }
+                });
+            }
         })
     }
 
@@ -67,9 +99,73 @@ impl Manifest {
             entries.push(read_entry(&mut sec)?);
         }
         sec.finish()?;
+        let mut policies = BTreeMap::new();
+        let mut retention_floors = BTreeMap::new();
+        // Pre-lifecycle manifests end here; newer ones carry two more
+        // sections.
+        if frame.body.remaining() > 0 {
+            let mut sec = frame.body.expect_section(3)?;
+            // Smallest policy row: 1-byte dataset + two option flags + an
+            // empty budget map.
+            let n = sec.get_len(8 + 1 + 1 + 1 + 8)?;
+            let mut prev: Option<String> = None;
+            for _ in 0..n {
+                let dataset = read_dataset(&mut sec)?;
+                if prev.as_deref().is_some_and(|p| p >= dataset.as_str()) {
+                    return Err(CodecError::Invalid("manifest policies out of order".into()));
+                }
+                let policy = Policy::read_wire(&mut sec)?;
+                if policy.is_empty() {
+                    return Err(CodecError::Invalid(format!(
+                        "manifest carries an empty policy for '{dataset}'"
+                    )));
+                }
+                prev = Some(dataset.clone());
+                policies.insert(dataset, policy);
+            }
+            sec.finish()?;
+            let mut sec = frame.body.expect_section(4)?;
+            let n = sec.get_len(8 + 1 + 2 + 8)?;
+            let mut prev: Option<(String, u16)> = None;
+            for _ in 0..n {
+                let dataset = read_dataset(&mut sec)?;
+                let kind_tag = sec.get_u16()?;
+                if SummaryKind::from_tag(kind_tag).is_none() {
+                    return Err(CodecError::UnknownKind(kind_tag));
+                }
+                let key = (dataset, kind_tag);
+                if prev.as_ref().is_some_and(|p| p >= &key) {
+                    return Err(CodecError::Invalid("manifest floors out of order".into()));
+                }
+                let floor = sec.get_u64()?;
+                if floor == 0 {
+                    return Err(CodecError::Invalid("manifest floor of zero".into()));
+                }
+                prev = Some(key.clone());
+                retention_floors.insert(key, floor);
+            }
+            sec.finish()?;
+        }
         frame.body.finish()?;
-        Ok(Manifest { sequence, entries })
+        Ok(Manifest {
+            sequence,
+            entries,
+            policies,
+            retention_floors,
+        })
     }
+}
+
+/// Reads and validates a dataset name (manifest rows must never drive
+/// frame paths outside the store directory).
+fn read_dataset(r: &mut Reader<'_>) -> Result<String, CodecError> {
+    let dataset = r.get_str()?;
+    if !crate::window::valid_dataset(&dataset) {
+        return Err(CodecError::Invalid(format!(
+            "manifest dataset '{dataset}' is not a valid dataset name"
+        )));
+    }
+    Ok(dataset)
 }
 
 fn write_entry(w: &mut Writer, e: &ManifestEntry) {
@@ -82,15 +178,10 @@ fn write_entry(w: &mut Writer, e: &ManifestEntry) {
 }
 
 fn read_entry(r: &mut Reader<'_>) -> Result<ManifestEntry, CodecError> {
-    let dataset = r.get_str()?;
     // Re-establish the ingest-time invariant on the recovery path: a
     // crafted or foreign manifest must not be able to point frame paths
     // outside the store directory (e.g. dataset "..").
-    if !crate::window::valid_dataset(&dataset) {
-        return Err(CodecError::Invalid(format!(
-            "manifest dataset '{dataset}' is not a valid dataset name"
-        )));
-    }
+    let dataset = read_dataset(r)?;
     let kind_tag = r.get_u16()?;
     let kind = SummaryKind::from_tag(kind_tag).ok_or(CodecError::UnknownKind(kind_tag))?;
     let level_tag = r.get_u8()?;
@@ -145,7 +236,24 @@ mod tests {
                     frame_bytes: 12345,
                 },
             ],
+            policies: BTreeMap::new(),
+            retention_floors: BTreeMap::new(),
         }
+    }
+
+    fn sample_with_lifecycle() -> Manifest {
+        let mut m = sample();
+        m.policies.insert(
+            "web".into(),
+            Policy {
+                compact_after: Some(60),
+                retention_ttl: Some(7200),
+                per_kind_budget: [(SummaryKind::Sample.tag(), 64)].into_iter().collect(),
+            },
+        );
+        m.retention_floors
+            .insert(("web".into(), SummaryKind::Sample.tag()), 3600);
+        m
     }
 
     #[test]
@@ -156,6 +264,107 @@ mod tests {
         // Empty manifests are valid too.
         let empty = Manifest::default();
         assert_eq!(Manifest::decode(&empty.encode()).unwrap(), empty);
+        // And manifests carrying lifecycle state.
+        let m = sample_with_lifecycle();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn pre_lifecycle_manifests_still_decode() {
+        // A manifest without sections 3/4 — exactly what every store wrote
+        // before policies existed — decodes to empty lifecycle state, and a
+        // store that never used lifecycle features re-encodes to the same
+        // bytes (no silent format drift for old stores).
+        let m = sample();
+        let old = m.encode();
+        let decoded = Manifest::decode(&old).unwrap();
+        assert!(decoded.policies.is_empty());
+        assert!(decoded.retention_floors.is_empty());
+        assert_eq!(decoded.encode(), old);
+    }
+
+    #[test]
+    fn lifecycle_sections_corruption_rejected() {
+        let bytes = sample_with_lifecycle().encode();
+        for len in 0..bytes.len() {
+            assert!(Manifest::decode(&bytes[..len]).is_err(), "prefix {len}");
+        }
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(Manifest::decode(&corrupt).is_err(), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn hostile_lifecycle_rows_rejected() {
+        // Policy for an invalid dataset name, unsorted policy rows, an
+        // empty policy, a zero floor, an unknown floor kind: each must be
+        // rejected structurally, not just by CRC.
+        let base = |f: &mut dyn FnMut(&mut sas_codec::Writer)| {
+            encode_frame(proto::TAG_MANIFEST, |w| {
+                w.section(1, |w| w.put_u64(1));
+                w.section(2, |w| w.put_u64(0));
+                f(w);
+            })
+        };
+        let ttl_policy = |w: &mut sas_codec::Writer| {
+            w.put_u8(0);
+            w.put_u8(1);
+            w.put_u64(60);
+            w.put_u64(0);
+        };
+        let cases: Vec<Vec<u8>> = vec![
+            base(&mut |w| {
+                w.section(3, |w| {
+                    w.put_u64(1);
+                    w.put_str("..");
+                    ttl_policy(w);
+                });
+                w.section(4, |w| w.put_u64(0));
+            }),
+            base(&mut |w| {
+                w.section(3, |w| {
+                    w.put_u64(2);
+                    w.put_str("b");
+                    ttl_policy(w);
+                    w.put_str("a");
+                    ttl_policy(w);
+                });
+                w.section(4, |w| w.put_u64(0));
+            }),
+            base(&mut |w| {
+                w.section(3, |w| {
+                    w.put_u64(1);
+                    w.put_str("a");
+                    w.put_u8(0);
+                    w.put_u8(0);
+                    w.put_u64(0);
+                });
+                w.section(4, |w| w.put_u64(0));
+            }),
+            base(&mut |w| {
+                w.section(3, |w| w.put_u64(0));
+                w.section(4, |w| {
+                    w.put_u64(1);
+                    w.put_str("a");
+                    w.put_u16(SummaryKind::Sample.tag());
+                    w.put_u64(0);
+                });
+            }),
+            base(&mut |w| {
+                w.section(3, |w| w.put_u64(0));
+                w.section(4, |w| {
+                    w.put_u64(1);
+                    w.put_str("a");
+                    w.put_u16(0xFFFF);
+                    w.put_u64(60);
+                });
+            }),
+        ];
+        for (i, bytes) in cases.iter().enumerate() {
+            assert!(Manifest::decode(bytes).is_err(), "case {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,595 @@
+//! Dataset lifecycle policies and gap-aware coverage reports.
+//!
+//! A [`Policy`] declares, per dataset, how the store maintains its windows
+//! over time: how long after the watermark passes a parent span the
+//! merge-tree seals it ([`Policy::compact_after`]), how far behind the
+//! watermark a window may fall before retention drops it
+//! ([`Policy::retention_ttl`]), and per-kind ingest budget clamps
+//! ([`Policy::per_kind_budget`]). Policies are persisted in the manifest
+//! (crash-safe, versioned: old manifests simply have none) and enforced by
+//! the deterministic lifecycle tick in [`crate::Store::lifecycle_tick`].
+//!
+//! All lifecycle arithmetic is *watermark-relative*: "now" for a series is
+//! the largest window end ever ingested into it, never the wall clock.
+//! That keeps retention a pure function of the ingest history, so
+//! retention-then-recovery and recovery-then-retention produce bit-identical
+//! stores — the property `crates/store/tests/lifecycle.rs` checks across
+//! seeds.
+//!
+//! A [`Coverage`] is the answer-side complement: for a range estimate it
+//! reports which parts of the requested span had no summarized data, and
+//! whether each gap is merely *missing* (never ingested) or *expired*
+//! (dropped by retention — the gap lies below the series' retention floor).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sas_codec::{CodecError, Reader, Writer};
+use sas_summaries::SummaryKind;
+
+/// Declarative lifecycle policy for one dataset. The default policy (all
+/// fields unset) reproduces the store's historical behavior: seal parents
+/// as soon as the watermark passes them, never expire, clamp ingest merges
+/// to the store-wide budget only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Policy {
+    /// Extra ticks the watermark must advance past a parent window's end
+    /// before compaction seals it. `None` (or 0) seals as soon as the
+    /// parent span is fully behind the watermark.
+    pub compact_after: Option<u64>,
+    /// Retention: a window expires once `window.end() + ttl <= watermark`
+    /// for its series. `None` means windows are kept forever. A ttl of `n`
+    /// ticks keeps roughly the last `n` ticks of data per series.
+    pub retention_ttl: Option<u64>,
+    /// Per-kind ingest budget clamps, keyed by [`SummaryKind::tag`]. A
+    /// dataset entry overrides the store-wide `StoreConfig::budget` for
+    /// ingest-time merges of that kind; roll-ups keep the store budget so
+    /// compaction stays bit-identical to the offline rebuild.
+    pub per_kind_budget: BTreeMap<u16, u64>,
+}
+
+impl Policy {
+    /// True when the policy constrains nothing; empty policies are never
+    /// persisted (setting one clears the dataset's entry instead).
+    pub fn is_empty(&self) -> bool {
+        self.compact_after.is_none()
+            && self.retention_ttl.is_none()
+            && self.per_kind_budget.is_empty()
+    }
+
+    /// Writes the policy's raw fields (no section framing; callers wrap).
+    pub fn write_wire(&self, w: &mut Writer) {
+        put_opt_u64(w, self.compact_after);
+        put_opt_u64(w, self.retention_ttl);
+        w.put_u64(self.per_kind_budget.len() as u64);
+        for (&tag, &budget) in &self.per_kind_budget {
+            w.put_u16(tag);
+            w.put_u64(budget);
+        }
+    }
+
+    /// Reads a policy written by [`Policy::write_wire`], validating every
+    /// field (kind tags must be registered, budgets non-zero, entries in
+    /// strictly increasing tag order).
+    pub fn read_wire(r: &mut Reader<'_>) -> Result<Policy, CodecError> {
+        let compact_after = get_opt_u64(r)?;
+        let retention_ttl = get_opt_u64(r)?;
+        let n = r.get_len(2 + 8)?;
+        let mut per_kind_budget = BTreeMap::new();
+        let mut prev: Option<u16> = None;
+        for _ in 0..n {
+            let tag = r.get_u16()?;
+            if SummaryKind::from_tag(tag).is_none() {
+                return Err(CodecError::UnknownKind(tag));
+            }
+            if prev.is_some_and(|p| p >= tag) {
+                return Err(CodecError::Invalid(format!(
+                    "policy budget tags out of order at {tag}"
+                )));
+            }
+            prev = Some(tag);
+            let budget = r.get_u64()?;
+            if budget == 0 {
+                return Err(CodecError::Invalid("policy budget of zero".into()));
+            }
+            per_kind_budget.insert(tag, budget);
+        }
+        Ok(Policy {
+            compact_after,
+            retention_ttl,
+            per_kind_budget,
+        })
+    }
+}
+
+impl fmt::Display for Policy {
+    /// Stable one-line rendering used by `sas policy show` and `sas info`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "default");
+        }
+        let mut parts = Vec::new();
+        if let Some(ttl) = self.retention_ttl {
+            parts.push(format!("ttl={ttl}"));
+        }
+        if let Some(after) = self.compact_after {
+            parts.push(format!("compact_after={after}"));
+        }
+        for (&tag, &budget) in &self.per_kind_budget {
+            let name = SummaryKind::from_tag(tag).map_or("?", |k| k.name());
+            parts.push(format!("budget[{name}]={budget}"));
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+fn put_opt_u64(w: &mut Writer, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            w.put_u8(1);
+            w.put_u64(v);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn get_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, CodecError> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.get_u64()?)),
+        b => Err(CodecError::Invalid(format!("bad option flag {b}"))),
+    }
+}
+
+/// One uncovered stretch of a requested time span, as a closed tick
+/// interval `[start, end]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gap {
+    /// First uncovered tick.
+    pub start: u64,
+    /// Last uncovered tick (inclusive).
+    pub end: u64,
+    /// True when the gap lies below the series' retention floor — the data
+    /// existed and was expired, rather than never ingested.
+    pub expired: bool,
+}
+
+/// A gap-aware coverage report for one answered range estimate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// The closed time span the report covers: the query's `--since/--until`
+    /// filter, or the series' live extent when no filter was given. `None`
+    /// when the series holds no windows and no filter was given.
+    pub requested: Option<(u64, u64)>,
+    /// Uncovered stretches within `requested`, in increasing order,
+    /// non-overlapping, never adjacent to each other across the
+    /// expired/missing boundary unless the classification differs.
+    pub gaps: Vec<Gap>,
+}
+
+impl Coverage {
+    /// True when every requested tick was backed by a summarized window.
+    pub fn is_complete(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// Computes the report from a series' window spans.
+    ///
+    /// `spans` are half-open `[start, end)` window extents (any order,
+    /// overlap across levels is fine), `requested` is the closed query time
+    /// filter, and `floor` is the series' retention floor (first tick *not*
+    /// expired; 0 when retention never dropped anything).
+    pub fn compute(spans: &[(u64, u64)], requested: Option<(u64, u64)>, floor: u64) -> Coverage {
+        let mut merged: Vec<(u64, u64)> = spans.iter().copied().filter(|&(s, e)| s < e).collect();
+        merged.sort_unstable();
+        let mut covered: Vec<(u64, u64)> = Vec::with_capacity(merged.len());
+        for (s, e) in merged {
+            match covered.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => covered.push((s, e)),
+            }
+        }
+        let (lo, hi) = match requested {
+            Some((t0, t1)) => (t0, t1),
+            None => match (covered.first(), covered.last()) {
+                (Some(&(first, _)), Some(&(_, last))) => (first, last - 1),
+                // No windows and no filter: nothing was asked for, nothing
+                // is reported — the retention floor alone does not tell us
+                // where the expired data began.
+                _ => return Coverage::default(),
+            },
+        };
+        let mut gaps = Vec::new();
+        let mut cursor = lo;
+        for &(s, e) in &covered {
+            if e <= cursor {
+                continue;
+            }
+            if s > hi {
+                break;
+            }
+            if s > cursor {
+                push_gap(&mut gaps, cursor, s - 1, floor);
+            }
+            cursor = e;
+            if cursor > hi {
+                break;
+            }
+        }
+        if cursor <= hi {
+            push_gap(&mut gaps, cursor, hi, floor);
+        }
+        Coverage {
+            requested: Some((lo, hi)),
+            gaps,
+        }
+    }
+
+    /// Writes the report's raw fields (no section framing; callers wrap).
+    pub fn write_wire(&self, w: &mut Writer) {
+        match self.requested {
+            Some((t0, t1)) => {
+                w.put_u8(1);
+                w.put_u64(t0);
+                w.put_u64(t1);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u64(self.gaps.len() as u64);
+        for g in &self.gaps {
+            w.put_u64(g.start);
+            w.put_u64(g.end);
+            w.put_u8(g.expired as u8);
+        }
+    }
+
+    /// Reads a report written by [`Coverage::write_wire`], re-validating
+    /// its invariants (ordered, non-overlapping, inside `requested`).
+    pub fn read_wire(r: &mut Reader<'_>) -> Result<Coverage, CodecError> {
+        let requested = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let t0 = r.get_u64()?;
+                let t1 = r.get_u64()?;
+                if t0 > t1 {
+                    return Err(CodecError::Invalid(format!(
+                        "coverage span {t0}..{t1} is inverted"
+                    )));
+                }
+                Some((t0, t1))
+            }
+            b => return Err(CodecError::Invalid(format!("bad coverage flag {b}"))),
+        };
+        let n = r.get_len(8 + 8 + 1)?;
+        if requested.is_none() && n != 0 {
+            return Err(CodecError::Invalid("coverage gaps without a span".into()));
+        }
+        let mut gaps = Vec::with_capacity(n);
+        let mut prev_end: Option<u64> = None;
+        for _ in 0..n {
+            let start = r.get_u64()?;
+            let end = r.get_u64()?;
+            let expired = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(CodecError::Invalid(format!("bad gap flag {b}"))),
+            };
+            if start > end {
+                return Err(CodecError::Invalid(format!(
+                    "coverage gap {start}..{end} is inverted"
+                )));
+            }
+            if prev_end.is_some_and(|p| p >= start) {
+                return Err(CodecError::Invalid("coverage gaps out of order".into()));
+            }
+            if let Some((t0, t1)) = requested {
+                if start < t0 || end > t1 {
+                    return Err(CodecError::Invalid(format!(
+                        "coverage gap {start}..{end} escapes span {t0}..{t1}"
+                    )));
+                }
+            }
+            prev_end = Some(end);
+            gaps.push(Gap {
+                start,
+                end,
+                expired,
+            });
+        }
+        Ok(Coverage { requested, gaps })
+    }
+}
+
+impl fmt::Display for Coverage {
+    /// Stable one-token rendering: `complete`, `empty`, or
+    /// `gaps:0..59(expired),120..179(missing)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.requested.is_none() {
+            return write!(f, "empty");
+        }
+        if self.gaps.is_empty() {
+            return write!(f, "complete");
+        }
+        write!(f, "gaps:")?;
+        for (i, g) in self.gaps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            let kind = if g.expired { "expired" } else { "missing" };
+            write!(f, "{}..{}({kind})", g.start, g.end)?;
+        }
+        Ok(())
+    }
+}
+
+/// Splits the closed gap `[a, b]` at the retention floor: ticks below
+/// `floor` were expired, ticks at or above it were never ingested.
+fn push_gap(gaps: &mut Vec<Gap>, a: u64, b: u64, floor: u64) {
+    if a < floor {
+        gaps.push(Gap {
+            start: a,
+            end: b.min(floor - 1),
+            expired: true,
+        });
+    }
+    if b >= floor {
+        gaps.push(Gap {
+            start: a.max(floor),
+            end: b,
+            expired: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sas_codec::encode_frame;
+
+    fn roundtrip_policy(p: &Policy) -> Policy {
+        let bytes = encode_frame(7, |w| w.section(1, |w| p.write_wire(w)));
+        let mut frame = sas_codec::open_frame(&bytes).unwrap();
+        let mut sec = frame.body.expect_section(1).unwrap();
+        let got = Policy::read_wire(&mut sec).unwrap();
+        sec.finish().unwrap();
+        got
+    }
+
+    #[test]
+    fn policy_roundtrip() {
+        for p in [
+            Policy::default(),
+            Policy {
+                retention_ttl: Some(120),
+                ..Policy::default()
+            },
+            Policy {
+                compact_after: Some(60),
+                retention_ttl: Some(86400),
+                per_kind_budget: [
+                    (SummaryKind::Sample.tag(), 64),
+                    (SummaryKind::QDigest.tag(), 32),
+                ]
+                .into_iter()
+                .collect(),
+            },
+        ] {
+            assert_eq!(roundtrip_policy(&p), p);
+        }
+    }
+
+    #[test]
+    fn hostile_policy_bytes_rejected() {
+        let check = |build: fn(&mut Writer)| {
+            let bytes = encode_frame(7, |w| w.section(1, build));
+            let mut frame = sas_codec::open_frame(&bytes).unwrap();
+            let mut sec = frame.body.expect_section(1).unwrap();
+            assert!(Policy::read_wire(&mut sec).is_err());
+        };
+        // Bad option flag.
+        check(|w| w.put_u8(9));
+        // Unknown kind tag in the budget map.
+        check(|w| {
+            w.put_u8(0);
+            w.put_u8(0);
+            w.put_u64(1);
+            w.put_u16(0xFFFF);
+            w.put_u64(8);
+        });
+        // Zero budget.
+        check(|w| {
+            w.put_u8(0);
+            w.put_u8(0);
+            w.put_u64(1);
+            w.put_u16(SummaryKind::Sample.tag());
+            w.put_u64(0);
+        });
+        // Duplicate / out-of-order tags.
+        check(|w| {
+            w.put_u8(0);
+            w.put_u8(0);
+            w.put_u64(2);
+            w.put_u16(SummaryKind::Sample.tag());
+            w.put_u64(8);
+            w.put_u16(SummaryKind::Sample.tag());
+            w.put_u64(8);
+        });
+    }
+
+    #[test]
+    fn policy_display_is_stable() {
+        assert_eq!(Policy::default().to_string(), "default");
+        let p = Policy {
+            compact_after: Some(60),
+            retention_ttl: Some(120),
+            per_kind_budget: [(SummaryKind::Sample.tag(), 64)].into_iter().collect(),
+        };
+        assert_eq!(p.to_string(), "ttl=120 compact_after=60 budget[sample]=64");
+    }
+
+    #[test]
+    fn coverage_complete_and_empty() {
+        let c = Coverage::compute(&[(0, 60), (60, 120)], Some((0, 119)), 0);
+        assert_eq!(c.requested, Some((0, 119)));
+        assert!(c.is_complete());
+        assert_eq!(c.to_string(), "complete");
+
+        let none = Coverage::compute(&[], None, 0);
+        assert_eq!(none, Coverage::default());
+        assert_eq!(none.to_string(), "empty");
+    }
+
+    #[test]
+    fn coverage_gaps_split_at_retention_floor() {
+        // Windows [120,180) live; floor 120 (everything before was
+        // expired); request 0..=239.
+        let c = Coverage::compute(&[(120, 180)], Some((0, 239)), 120);
+        assert_eq!(
+            c.gaps,
+            vec![
+                Gap {
+                    start: 0,
+                    end: 119,
+                    expired: true
+                },
+                Gap {
+                    start: 180,
+                    end: 239,
+                    expired: false
+                },
+            ]
+        );
+        assert_eq!(c.to_string(), "gaps:0..119(expired),180..239(missing)");
+
+        // A single gap straddling the floor is split in two.
+        let c = Coverage::compute(&[(240, 300)], Some((0, 299)), 120);
+        assert_eq!(
+            c.gaps,
+            vec![
+                Gap {
+                    start: 0,
+                    end: 119,
+                    expired: true
+                },
+                Gap {
+                    start: 120,
+                    end: 239,
+                    expired: false
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn coverage_interior_gaps_and_overlapping_levels() {
+        // Hour window [0,3600) plus its own minute children overlapping it,
+        // then a detached minute at [7200,7260).
+        let spans = [(0, 3600), (0, 60), (3540, 3600), (7200, 7260)];
+        let c = Coverage::compute(&spans, None, 0);
+        assert_eq!(c.requested, Some((0, 7259)));
+        assert_eq!(
+            c.gaps,
+            vec![Gap {
+                start: 3600,
+                end: 7199,
+                expired: false
+            }]
+        );
+    }
+
+    #[test]
+    fn coverage_request_outside_data() {
+        // Entirely before the data, entirely after, and zero-width.
+        let spans = [(120, 180)];
+        let before = Coverage::compute(&spans, Some((0, 59)), 60);
+        assert_eq!(
+            before.gaps,
+            vec![Gap {
+                start: 0,
+                end: 59,
+                expired: true
+            }]
+        );
+        let after = Coverage::compute(&spans, Some((500, 500)), 60);
+        assert_eq!(
+            after.gaps,
+            vec![Gap {
+                start: 500,
+                end: 500,
+                expired: false
+            }]
+        );
+        let inside = Coverage::compute(&spans, Some((150, 150)), 60);
+        assert!(inside.is_complete());
+    }
+
+    #[test]
+    fn coverage_roundtrip_and_hostile_bytes() {
+        let fixtures = [
+            Coverage::default(),
+            Coverage::compute(&[(120, 180)], Some((0, 239)), 120),
+            Coverage::compute(&[(0, 60)], Some((0, 59)), 0),
+        ];
+        for c in &fixtures {
+            let bytes = encode_frame(7, |w| w.section(1, |w| c.write_wire(w)));
+            let mut frame = sas_codec::open_frame(&bytes).unwrap();
+            let mut sec = frame.body.expect_section(1).unwrap();
+            let got = Coverage::read_wire(&mut sec).unwrap();
+            sec.finish().unwrap();
+            assert_eq!(&got, c);
+        }
+        // Inverted span, inverted gap, out-of-order gaps, escaping gap,
+        // gaps without a span: all rejected.
+        let hostile: [fn(&mut Writer); 5] = [
+            |w| {
+                w.put_u8(1);
+                w.put_u64(10);
+                w.put_u64(5);
+                w.put_u64(0);
+            },
+            |w| {
+                w.put_u8(1);
+                w.put_u64(0);
+                w.put_u64(99);
+                w.put_u64(1);
+                w.put_u64(9);
+                w.put_u64(3);
+                w.put_u8(0);
+            },
+            |w| {
+                w.put_u8(1);
+                w.put_u64(0);
+                w.put_u64(99);
+                w.put_u64(2);
+                w.put_u64(50);
+                w.put_u64(60);
+                w.put_u8(0);
+                w.put_u64(10);
+                w.put_u64(20);
+                w.put_u8(0);
+            },
+            |w| {
+                w.put_u8(1);
+                w.put_u64(10);
+                w.put_u64(20);
+                w.put_u64(1);
+                w.put_u64(10);
+                w.put_u64(21);
+                w.put_u8(1);
+            },
+            |w| {
+                w.put_u8(0);
+                w.put_u64(1);
+                w.put_u64(0);
+                w.put_u64(1);
+                w.put_u8(0);
+            },
+        ];
+        for build in hostile {
+            let bytes = encode_frame(7, |w| w.section(1, build));
+            let mut frame = sas_codec::open_frame(&bytes).unwrap();
+            let mut sec = frame.body.expect_section(1).unwrap();
+            assert!(Coverage::read_wire(&mut sec).is_err());
+        }
+    }
+}

@@ -38,10 +38,26 @@
 //! A connection that starts a message but does not finish it within
 //! `read_timeout` is closed (slow-loris defense: the deadline is from the
 //! first byte of the message, so trickling bytes cannot extend it). An
-//! optional `idle_timeout` reaps fully idle connections. Shutdown (API or
-//! wire request) stops accepting, drops responses not yet on the wire, but
-//! always completes a half-written frame — a client never receives a torn
-//! response — then force-closes stragglers after `shutdown_grace`.
+//! optional `idle_timeout` reaps fully idle connections — except those
+//! holding live watch subscriptions, which are legitimately quiet between
+//! pushes. Shutdown (API or wire request) stops accepting, drops responses
+//! not yet on the wire, but always completes a half-written frame — a
+//! client never receives a torn response — then force-closes stragglers
+//! after `shutdown_grace`.
+//!
+//! ## Watches & lifecycle
+//!
+//! `REQ_WATCH` registers a canonical query on its connection (bounded per
+//! connection by `max_watches_per_conn`); every completed ingest into the
+//! watched series re-answers the query on a worker and pushes the result
+//! as an unsolicited `RESP_PUSH` frame through the same outbox and
+//! backpressure machinery as responses. At most one evaluation per watch
+//! is in flight — ingests landing meanwhile coalesce into a single
+//! re-evaluation. A subscriber whose outbox exceeds the write budget is
+//! shed with `RESP_BUSY` and closed, exactly like an over-limit arrival.
+//! With `lifecycle_every` set, the loop also schedules a single-inflight
+//! lifecycle job (retention, then compaction) on that cadence — no
+//! separate compactor thread.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -63,7 +79,7 @@ use sas_summaries::{Query, SummaryKind};
 
 use crate::conn::{Conn, ConnConfig, Payload};
 use crate::poller::{Backend, Event, Interest, InterestCache, Poller, WakeHandle, Waker};
-use crate::wire::{decode_request, encode_response, Request, Response};
+use crate::wire::{decode_request, encode_push, encode_response, Request, Response, WatchUpdate};
 use crate::Store;
 
 /// Tuning knobs for [`Server::start_with`]. [`Default`] matches the CLI
@@ -97,6 +113,12 @@ pub struct ServerConfig {
     /// to last byte flushed — reaches this threshold, with its per-stage
     /// breakdown, dataset, and canonical query bytes (`None`: disabled).
     pub slow_query: Option<Duration>,
+    /// Per-connection cap on live watch subscriptions; registrations
+    /// beyond it are answered with an error.
+    pub max_watches_per_conn: usize,
+    /// Drive one [`Store::lifecycle_tick`] (retention, then compaction)
+    /// from the event loop on this cadence (`None`: no lifecycle work).
+    pub lifecycle_every: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +134,8 @@ impl Default for ServerConfig {
             shutdown_grace: Duration::from_secs(5),
             backend: Backend::Auto,
             slow_query: None,
+            max_watches_per_conn: 16,
+            lifecycle_every: None,
         }
     }
 }
@@ -199,14 +223,30 @@ impl MetricCells {
 const STAGES: [&str; 6] = ["read", "parse", "queue", "work", "queued", "flush"];
 
 /// Request tags used as metric labels. `invalid` is undecodable frames.
-const TAGS: [&str; 9] = [
-    "query", "estimate", "ingest", "list", "stats", "metrics", "ping", "shutdown", "invalid",
+const TAGS: [&str; 13] = [
+    "query",
+    "estimate",
+    "estimate_cov",
+    "watch",
+    "policy_set",
+    "policy_show",
+    "ingest",
+    "list",
+    "stats",
+    "metrics",
+    "ping",
+    "shutdown",
+    "invalid",
 ];
 
 fn request_tag(req: &Request) -> &'static str {
     match req {
         Request::Query { .. } => "query",
         Request::Estimate { .. } => "estimate",
+        Request::EstimateCov { .. } => "estimate_cov",
+        Request::Watch { .. } => "watch",
+        Request::PolicySet { .. } => "policy_set",
+        Request::PolicyShow { .. } => "policy_show",
         Request::Ingest { .. } => "ingest",
         Request::List => "list",
         Request::Stats => "stats",
@@ -303,12 +343,36 @@ impl ReqTrace {
     }
 }
 
+/// One watch subscription's immutable description: the canonical query a
+/// worker re-answers on every matching ingest. Shared (`Arc`) between the
+/// loop's registration state and in-flight evaluation jobs.
+#[derive(Debug)]
+struct WatchSpec {
+    dataset: String,
+    kind: SummaryKind,
+    query: Query,
+    confidence: f64,
+    time: Option<(u64, u64)>,
+}
+
+/// What a worker is asked to do.
+enum Work {
+    /// Answer a client request (the classic path).
+    Req(Request),
+    /// Validate a watch registration by answering its query once.
+    WatchRegister { watch_id: u64, spec: Arc<WatchSpec> },
+    /// Re-answer a registered watch after an ingest into its series.
+    WatchEval { watch_id: u64, spec: Arc<WatchSpec> },
+    /// One retention + compaction pass.
+    Lifecycle,
+}
+
 /// What the event loop hands a worker.
 struct Job {
     token: u64,
     seq: u64,
     dataset: Option<String>,
-    req: Request,
+    work: Work,
     tag: &'static str,
     read_ns: u64,
     parse_ns: u64,
@@ -316,18 +380,34 @@ struct Job {
     t_dispatched: Instant,
 }
 
+/// How a completion's message (if any) reaches the peer.
+enum Delivery {
+    /// Sequenced response through the connection's ordered outbox.
+    Response { seq: u64 },
+    /// Unsolicited push for a watch, injected if it is still registered.
+    Push { watch_id: u64 },
+    /// No peer at all: a lifecycle pass finished.
+    Lifecycle,
+}
+
 /// What a worker hands back.
 struct Completion {
     token: u64,
-    seq: u64,
+    delivery: Delivery,
     dataset: Option<String>,
-    message: Payload,
+    /// `None`: nothing to write (lifecycle, or a watch eval that errored).
+    message: Option<Payload>,
     tag: &'static str,
     read_ns: u64,
     parse_ns: u64,
     queue_ns: u64,
     work_ns: u64,
     slow: Option<SlowMeta>,
+    /// A successful ingest sealed into this `(dataset, kind tag)` series —
+    /// the loop re-evaluates matching watches.
+    ingested: Option<(String, u16)>,
+    /// A validated watch registration for the loop to install.
+    register_watch: Option<(u64, Arc<WatchSpec>)>,
 }
 
 /// Key identifying one cacheable estimate response within a snapshot
@@ -449,7 +529,9 @@ fn estimate_message(
 fn canonical_query_hex(req: &Request) -> String {
     let bytes = match req {
         Request::Query { range, .. } => Query::BoxRange(range.clone()).canonical_bytes().ok(),
-        Request::Estimate { query, .. } => query.canonical_bytes().ok(),
+        Request::Estimate { query, .. }
+        | Request::EstimateCov { query, .. }
+        | Request::Watch { query, .. } => query.canonical_bytes().ok(),
         _ => None,
     };
     match bytes {
@@ -548,7 +630,7 @@ impl Server {
                             token,
                             seq,
                             dataset,
-                            req,
+                            work,
                             tag,
                             read_ns,
                             parse_ns,
@@ -560,53 +642,138 @@ impl Server {
                         let work_started = Instant::now();
                         let queue_ns = u64::try_from((work_started - t_dispatched).as_nanos())
                             .unwrap_or(u64::MAX);
-                        // Slow-log metadata is captured up front: whether
-                        // the request turns out slow is only known after
-                        // the flush, when `req` is long gone.
-                        let mut slow = slow_enabled.then(|| SlowMeta {
-                            dataset: dataset.clone().unwrap_or_else(|| "-".into()),
-                            query: canonical_query_hex(&req),
-                            windows: 0,
-                        });
-                        let message = match req {
-                            Request::Estimate {
-                                dataset,
-                                kind,
-                                query,
-                                confidence,
-                                time,
-                            } => {
-                                let (message, windows) = estimate_message(
-                                    &store,
-                                    &message_cache,
-                                    dataset,
-                                    kind,
-                                    query,
-                                    confidence,
-                                    time,
-                                );
-                                if let Some(meta) = &mut slow {
-                                    meta.windows = windows;
-                                }
-                                message
+                        let mut slow = None;
+                        let mut ingested = None;
+                        let mut register_watch = None;
+                        let (delivery, message) = match work {
+                            Work::Req(req) => {
+                                // Slow-log metadata is captured up front:
+                                // whether the request turns out slow is only
+                                // known after the flush, when `req` is gone.
+                                slow = slow_enabled.then(|| SlowMeta {
+                                    dataset: dataset.clone().unwrap_or_else(|| "-".into()),
+                                    query: canonical_query_hex(&req),
+                                    windows: 0,
+                                });
+                                let message = match req {
+                                    Request::Estimate {
+                                        dataset,
+                                        kind,
+                                        query,
+                                        confidence,
+                                        time,
+                                    } => {
+                                        let (message, windows) = estimate_message(
+                                            &store,
+                                            &message_cache,
+                                            dataset,
+                                            kind,
+                                            query,
+                                            confidence,
+                                            time,
+                                        );
+                                        if let Some(meta) = &mut slow {
+                                            meta.windows = windows;
+                                        }
+                                        message
+                                    }
+                                    Request::Ingest { dataset, ts, frame } => {
+                                        let (response, series) =
+                                            ingest_response(&store, &dataset, ts, &frame);
+                                        ingested = series;
+                                        Payload::Owned(to_message(&encode_response(&response)))
+                                    }
+                                    req => {
+                                        let response = handle_request(&store, req);
+                                        if let Some(meta) = &mut slow {
+                                            meta.windows = match &response {
+                                                Response::Query { windows, .. }
+                                                | Response::Estimate { windows, .. }
+                                                | Response::EstimateCov { windows, .. } => {
+                                                    *windows
+                                                }
+                                                _ => 0,
+                                            };
+                                        }
+                                        Payload::Owned(to_message(&encode_response(&response)))
+                                    }
+                                };
+                                (Delivery::Response { seq }, Some(message))
                             }
-                            req => {
-                                let response = handle_request(&store, req);
-                                if let Some(meta) = &mut slow {
-                                    meta.windows = match &response {
-                                        Response::Query { windows, .. }
-                                        | Response::Estimate { windows, .. } => *windows,
-                                        _ => 0,
-                                    };
+                            Work::WatchRegister { watch_id, spec } => {
+                                // Validate by answering once: a query the
+                                // store cannot answer (bad confidence for
+                                // the kind, say) must fail loudly here, not
+                                // register a watch that can never push. An
+                                // empty dataset is fine — data may arrive —
+                                // but an *invalid* name never can, since
+                                // ingest would have refused it.
+                                let valid = crate::window::valid_dataset(&spec.dataset);
+                                let response = if !valid {
+                                    Response::Err(format!(
+                                        "invalid dataset name '{}' (want [A-Za-z0-9_-]+, at most 128 chars)",
+                                        spec.dataset
+                                    ))
+                                } else {
+                                    match store.estimate_with_coverage(
+                                        &spec.dataset,
+                                        spec.kind,
+                                        &spec.query,
+                                        spec.confidence,
+                                        spec.time,
+                                    ) {
+                                        Err(e) => Response::Err(e.to_string()),
+                                        Ok(_) => {
+                                            register_watch = Some((watch_id, spec));
+                                            Response::Watch { watch_id }
+                                        }
+                                    }
+                                };
+                                (
+                                    Delivery::Response { seq },
+                                    Some(Payload::Owned(to_message(&encode_response(
+                                        &response,
+                                    )))),
+                                )
+                            }
+                            Work::WatchEval { watch_id, spec } => {
+                                let message = match store.estimate_with_coverage(
+                                    &spec.dataset,
+                                    spec.kind,
+                                    &spec.query,
+                                    spec.confidence,
+                                    spec.time,
+                                ) {
+                                    // An update that cannot be computed is
+                                    // dropped, not fabricated; the next
+                                    // ingest retriggers the evaluation.
+                                    Err(_) => None,
+                                    Ok((answer, coverage)) => {
+                                        Some(Payload::Owned(to_message(&encode_push(
+                                            &WatchUpdate {
+                                                watch_id,
+                                                version: answer.version,
+                                                windows: answer.windows,
+                                                estimate: answer.estimate,
+                                                coverage,
+                                            },
+                                        ))))
+                                    }
+                                };
+                                (Delivery::Push { watch_id }, message)
+                            }
+                            Work::Lifecycle => {
+                                if let Err(e) = store.lifecycle_tick() {
+                                    slog!(LogLevel::Warn, "lifecycle_tick_failed", err = e);
                                 }
-                                Payload::Owned(to_message(&encode_response(&response)))
+                                (Delivery::Lifecycle, None)
                             }
                         };
                         let work_ns = elapsed_ns(work_started);
                         if done_tx
                             .send(Completion {
                                 token,
-                                seq,
+                                delivery,
                                 dataset,
                                 message,
                                 tag,
@@ -615,6 +782,8 @@ impl Server {
                                 queue_ns,
                                 work_ns,
                                 slow,
+                                ingested,
+                                register_watch,
                             })
                             .is_err()
                         {
@@ -692,6 +861,20 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// polling re-reports the remainder immediately).
 const READ_QUANTUM: usize = 64 * 1024;
 
+/// One registered watch on a connection, with its coalescing state: at
+/// most one evaluation in flight, at most one pending behind it — however
+/// many ingests land while a push is being computed, the subscriber gets
+/// exactly one more re-evaluation, against whatever snapshot is current.
+struct WatchState {
+    id: u64,
+    spec: Arc<WatchSpec>,
+    /// An evaluation job for this watch is on a worker.
+    inflight: bool,
+    /// A matching ingest completed while `inflight`; re-evaluate once the
+    /// current evaluation lands.
+    dirty: bool,
+}
+
 /// One served connection inside the loop.
 struct ConnEntry {
     stream: TcpStream,
@@ -706,6 +889,27 @@ struct ConnEntry {
     /// Stage clocks of requests whose responses are not yet fully
     /// flushed, by sequence number. Bounded by `max_pipeline`.
     traces: HashMap<u64, ReqTrace>,
+    /// Live watch subscriptions. A non-empty list exempts the connection
+    /// from the idle timeout. Bounded by `max_watches_per_conn`.
+    watches: Vec<WatchState>,
+    /// Watch registrations dispatched but not yet answered; counted
+    /// against the cap so a pipelined burst cannot overshoot it.
+    pending_watches: usize,
+}
+
+impl ConnEntry {
+    fn new(stream: TcpStream, conn: Conn, peer_done: bool) -> ConnEntry {
+        ConnEntry {
+            stream,
+            conn,
+            frame_started: None,
+            last_activity: Instant::now(),
+            peer_done,
+            traces: HashMap::new(),
+            watches: Vec::new(),
+            pending_watches: 0,
+        }
+    }
 }
 
 /// Event-loop health counters, resolved once from the registry.
@@ -723,6 +927,12 @@ struct LoopObs {
     /// Readiness events left unread because the connection's write budget
     /// or pipeline cap paused reading.
     backpressure_stalls: Arc<ObsCounter>,
+    /// Watch update frames injected into subscriber outboxes.
+    watch_pushes: Arc<ObsCounter>,
+    /// Subscribers shed (BUSY + close) for not draining their pushes.
+    watch_shed: Arc<ObsCounter>,
+    /// Lifecycle ticks the loop scheduled onto the worker pool.
+    lifecycle_ticks: Arc<ObsCounter>,
 }
 
 impl LoopObs {
@@ -733,6 +943,9 @@ impl LoopObs {
             reregisters_elided: reg.counter("sas_loop_reregisters_elided_total"),
             parked: reg.counter("sas_conns_parked_total"),
             backpressure_stalls: reg.counter("sas_read_backpressure_stalls_total"),
+            watch_pushes: reg.counter("sas_watch_pushes_total"),
+            watch_shed: reg.counter("sas_watch_shed_total"),
+            lifecycle_ticks: reg.counter("sas_lifecycle_ticks_total"),
         }
     }
 }
@@ -755,6 +968,12 @@ struct EventLoop {
     shutting_down: bool,
     shutdown_deadline: Option<Instant>,
     read_scratch: Vec<u8>,
+    /// Daemon-unique watch ids (echoed in every push frame).
+    next_watch_id: u64,
+    /// When the last lifecycle tick *completed* (cadence anchor).
+    last_lifecycle: Instant,
+    /// A lifecycle job is on the worker pool; never schedule a second.
+    lifecycle_inflight: bool,
     lobs: LoopObs,
     robs: RequestObs,
 }
@@ -793,6 +1012,9 @@ impl EventLoop {
             shutting_down: false,
             shutdown_deadline: None,
             read_scratch: vec![0u8; READ_QUANTUM],
+            next_watch_id: 1,
+            last_lifecycle: Instant::now(),
+            lifecycle_inflight: false,
             lobs: LoopObs::new(registry),
             robs: RequestObs::new(registry),
         })
@@ -826,6 +1048,7 @@ impl EventLoop {
             if self.shared.shutdown.load(Ordering::SeqCst) && !self.shutting_down {
                 self.enter_shutdown();
             }
+            self.maybe_schedule_lifecycle();
             self.sweep_timeouts();
             self.refresh_interest();
 
@@ -848,24 +1071,62 @@ impl EventLoop {
         }
     }
 
-    /// The poller timeout: the nearest deadline among read/idle timeouts
-    /// and the shutdown grace, clamped to keep the loop responsive.
+    /// The poller timeout: the nearest deadline among read/idle timeouts,
+    /// the lifecycle cadence, and the shutdown grace, clamped to keep the
+    /// loop responsive.
     fn wait_timeout(&self) -> Duration {
         let mut next: Option<Instant> = self.shutdown_deadline;
         let now = Instant::now();
+        if let (Some(every), false) = (self.config.lifecycle_every, self.lifecycle_inflight) {
+            let deadline = self.last_lifecycle + every;
+            next = Some(next.map_or(deadline, |n| n.min(deadline)));
+        }
         for entry in self.conns.values() {
             if let Some(started) = entry.frame_started {
                 let deadline = started + self.config.read_timeout;
                 next = Some(next.map_or(deadline, |n| n.min(deadline)));
             } else if let Some(idle) = self.config.idle_timeout {
-                let deadline = entry.last_activity + idle;
-                next = Some(next.map_or(deadline, |n| n.min(deadline)));
+                // Watch subscribers are exempt from the idle reap and set
+                // no idle deadline.
+                if entry.watches.is_empty() {
+                    let deadline = entry.last_activity + idle;
+                    next = Some(next.map_or(deadline, |n| n.min(deadline)));
+                }
             }
         }
         let cap = Duration::from_millis(500);
         match next {
             None => cap,
             Some(d) => d.saturating_duration_since(now).min(cap),
+        }
+    }
+
+    /// Schedules one lifecycle pass onto the worker pool when the cadence
+    /// is due. Single-inflight: a slow pass never stacks a second behind
+    /// it, and the cadence anchor resets when the pass *completes*.
+    fn maybe_schedule_lifecycle(&mut self) {
+        let Some(every) = self.config.lifecycle_every else {
+            return;
+        };
+        if self.lifecycle_inflight || self.shutting_down {
+            return;
+        }
+        if self.last_lifecycle.elapsed() < every {
+            return;
+        }
+        let job = Job {
+            token: LISTENER_TOKEN, // no connection
+            seq: 0,
+            dataset: None,
+            work: Work::Lifecycle,
+            tag: "invalid", // never recorded: lifecycle has no trace
+            read_ns: 0,
+            parse_ns: 0,
+            t_dispatched: Instant::now(),
+        };
+        if self.job_tx.send(job).is_ok() {
+            self.lifecycle_inflight = true;
+            self.lobs.lifecycle_ticks.inc();
         }
     }
 
@@ -915,17 +1176,7 @@ impl EventLoop {
         {
             return; // fd gone already; nothing to shed
         }
-        self.conns.insert(
-            token,
-            ConnEntry {
-                stream,
-                conn,
-                frame_started: None,
-                last_activity: Instant::now(),
-                peer_done: true,
-                traces: HashMap::new(),
-            },
-        );
+        self.conns.insert(token, ConnEntry::new(stream, conn, true));
         self.flush_conn(token);
         self.maybe_close(token);
     }
@@ -942,14 +1193,7 @@ impl EventLoop {
         }
         self.conns.insert(
             token,
-            ConnEntry {
-                stream,
-                conn: Conn::new(self.conn_config()),
-                frame_started: None,
-                last_activity: Instant::now(),
-                peer_done: false,
-                traces: HashMap::new(),
-            },
+            ConnEntry::new(stream, Conn::new(self.conn_config()), false),
         );
         self.shared.metrics.accepted.inc();
         self.shared
@@ -1192,6 +1436,51 @@ impl EventLoop {
                         return;
                     }
                 }
+                // Watch registrations turn into connection state; the cap
+                // is checked here, on the loop, counting registrations
+                // still in flight so a pipelined burst cannot overshoot.
+                let work = if let Request::Watch {
+                    dataset: ds,
+                    kind,
+                    query,
+                    confidence,
+                    time,
+                } = req
+                {
+                    let cap = self.config.max_watches_per_conn;
+                    let over = self
+                        .conns
+                        .get(&token)
+                        .map(|e| e.watches.len() + e.pending_watches >= cap)
+                        .unwrap_or(true);
+                    if over {
+                        respond_inline(
+                            self,
+                            token,
+                            seq,
+                            tag,
+                            &Response::Err(format!("watch limit reached ({cap} per connection)")),
+                        );
+                        return;
+                    }
+                    let watch_id = self.next_watch_id;
+                    self.next_watch_id += 1;
+                    if let Some(entry) = self.conns.get_mut(&token) {
+                        entry.pending_watches += 1;
+                    }
+                    Work::WatchRegister {
+                        watch_id,
+                        spec: Arc::new(WatchSpec {
+                            dataset: ds,
+                            kind,
+                            query,
+                            confidence,
+                            time,
+                        }),
+                    }
+                } else {
+                    Work::Req(req)
+                };
                 if let Some(ds) = &dataset {
                     *self.dataset_inflight.entry(ds.clone()).or_insert(0) += 1;
                 }
@@ -1202,7 +1491,7 @@ impl EventLoop {
                         token,
                         seq,
                         dataset,
-                        req,
+                        work,
                         tag,
                         read_ns,
                         parse_ns,
@@ -1236,30 +1525,152 @@ impl EventLoop {
                             }
                         }
                     }
-                    if let Some(entry) = self.conns.get_mut(&done.token) {
-                        entry.conn.push_response(done.seq, done.message);
-                        entry.traces.insert(
-                            done.seq,
-                            ReqTrace {
-                                tag: done.tag,
-                                read_ns: done.read_ns,
-                                parse_ns: done.parse_ns,
-                                queue_ns: done.queue_ns,
-                                work_ns: done.work_ns,
-                                t_queued: Instant::now(),
-                                t_first_write: None,
-                                slow: done.slow,
-                            },
-                        );
+                    match done.delivery {
+                        Delivery::Lifecycle => {
+                            // Cadence anchors on completion: a pass slower
+                            // than the interval never stacks a backlog.
+                            self.lifecycle_inflight = false;
+                            self.last_lifecycle = Instant::now();
+                        }
+                        Delivery::Push { watch_id } => {
+                            self.deliver_push(done.token, watch_id, done.message);
+                        }
+                        Delivery::Response { seq } => {
+                            if let Some(entry) = self.conns.get_mut(&done.token) {
+                                if done.tag == "watch" {
+                                    entry.pending_watches = entry.pending_watches.saturating_sub(1);
+                                }
+                                if let Some((id, spec)) = done.register_watch {
+                                    entry.watches.push(WatchState {
+                                        id,
+                                        spec,
+                                        inflight: false,
+                                        dirty: false,
+                                    });
+                                }
+                                if let Some(message) = done.message {
+                                    entry.conn.push_response(seq, message);
+                                }
+                                entry.traces.insert(
+                                    seq,
+                                    ReqTrace {
+                                        tag: done.tag,
+                                        read_ns: done.read_ns,
+                                        parse_ns: done.parse_ns,
+                                        queue_ns: done.queue_ns,
+                                        work_ns: done.work_ns,
+                                        t_queued: Instant::now(),
+                                        t_first_write: None,
+                                        slow: done.slow,
+                                    },
+                                );
+                            }
+                            // The completion freed a pipeline slot (and
+                            // flushing may free budget): release parked
+                            // messages.
+                            self.pump(done.token);
+                            self.flush_conn(done.token);
+                            self.pump(done.token);
+                            self.maybe_close(done.token);
+                        }
                     }
-                    // The completion freed a pipeline slot (and flushing
-                    // may free budget): release parked messages.
-                    self.pump(done.token);
-                    self.flush_conn(done.token);
-                    self.pump(done.token);
-                    self.maybe_close(done.token);
+                    // A sealed ingest re-evaluates every watch on its
+                    // series (coalesced while one is already in flight).
+                    if let Some((dataset, kind_tag)) = done.ingested {
+                        self.notify_watchers(&dataset, kind_tag);
+                    }
                 }
             }
+        }
+    }
+
+    /// Lands one watch evaluation: inject the push if the subscription
+    /// still exists and the peer is keeping up, shed the subscriber if it
+    /// is not, and re-evaluate immediately when ingests landed meanwhile.
+    fn deliver_push(&mut self, token: u64, watch_id: u64, message: Option<Payload>) {
+        let write_budget = self.config.write_budget;
+        let Some(entry) = self.conns.get_mut(&token) else {
+            return; // connection closed while the eval ran
+        };
+        let Some(watch) = entry.watches.iter_mut().find(|w| w.id == watch_id) else {
+            return;
+        };
+        watch.inflight = false;
+        let redo = std::mem::take(&mut watch.dirty);
+        let spec = watch.spec.clone();
+        if let Some(message) = message {
+            if entry.conn.queued_bytes() > write_budget {
+                // The subscriber is not draining its pushes; holding them
+                // would grow the outbox without bound. Same exit as an
+                // over-limit arrival: explicit BUSY, clean close.
+                self.lobs.watch_shed.inc();
+                entry.watches.clear();
+                entry
+                    .conn
+                    .inject_unsolicited(to_message(&encode_response(&Response::Busy(
+                        "watch subscriber too slow".into(),
+                    ))));
+                entry.conn.close_after_flush();
+                self.flush_conn(token);
+                self.maybe_close(token);
+                return;
+            }
+            entry.conn.inject_unsolicited(message);
+            entry.last_activity = Instant::now();
+            self.lobs.watch_pushes.inc();
+            self.flush_conn(token);
+        }
+        if redo {
+            self.spawn_watch_eval(token, watch_id, spec);
+        }
+    }
+
+    /// Queues one evaluation job for a registered watch and marks it in
+    /// flight.
+    fn spawn_watch_eval(&mut self, token: u64, watch_id: u64, spec: Arc<WatchSpec>) {
+        let sent = self
+            .job_tx
+            .send(Job {
+                token,
+                seq: 0,
+                dataset: None, // pushes bypass per-dataset admission
+                work: Work::WatchEval { watch_id, spec },
+                tag: "watch",
+                read_ns: 0,
+                parse_ns: 0,
+                t_dispatched: Instant::now(),
+            })
+            .is_ok();
+        if sent {
+            if let Some(watch) = self
+                .conns
+                .get_mut(&token)
+                .and_then(|e| e.watches.iter_mut().find(|w| w.id == watch_id))
+            {
+                watch.inflight = true;
+            }
+        }
+    }
+
+    /// Fans one sealed ingest out to every live watch on its series.
+    fn notify_watchers(&mut self, dataset: &str, kind_tag: u16) {
+        let mut due: Vec<(u64, u64, Arc<WatchSpec>)> = Vec::new();
+        for (&token, entry) in self.conns.iter_mut() {
+            if entry.conn.closing() {
+                continue;
+            }
+            for watch in entry.watches.iter_mut() {
+                if watch.spec.dataset == dataset && watch.spec.kind.tag() == kind_tag {
+                    if watch.inflight {
+                        watch.dirty = true; // coalesce
+                    } else {
+                        due.push((token, watch.id, watch.spec.clone()));
+                    }
+                }
+            }
+        }
+        for (token, watch_id, spec) in due {
+            self.spawn_watch_eval(token, watch_id, spec);
         }
     }
 
@@ -1406,8 +1817,13 @@ impl EventLoop {
                 doomed.push((token, true));
                 continue;
             }
+            // Live subscriptions are legitimately quiet between pushes;
+            // only watch-free connections are reaped as idle.
             if let Some(idle) = self.config.idle_timeout {
-                if entry.conn.idle() && now.saturating_duration_since(entry.last_activity) >= idle {
+                if entry.conn.idle()
+                    && entry.watches.is_empty()
+                    && now.saturating_duration_since(entry.last_activity) >= idle
+                {
                     doomed.push((token, false));
                 }
             }
@@ -1475,10 +1891,44 @@ fn request_dataset(req: &Request) -> Option<&str> {
     match req {
         Request::Query { dataset, .. }
         | Request::Estimate { dataset, .. }
+        | Request::EstimateCov { dataset, .. }
+        | Request::Watch { dataset, .. }
+        | Request::PolicySet { dataset, .. }
         | Request::Ingest { dataset, .. } => Some(dataset),
-        Request::List | Request::Stats | Request::Metrics | Request::Ping | Request::Shutdown => {
-            None
-        }
+        Request::PolicyShow { .. }
+        | Request::List
+        | Request::Stats
+        | Request::Metrics
+        | Request::Ping
+        | Request::Shutdown => None,
+    }
+}
+
+/// Answers an ingest and additionally names the `(dataset, kind tag)`
+/// series a successful batch sealed into — the loop re-evaluates watches
+/// on that series. [`handle_request`] shares this and drops the series.
+fn ingest_response(
+    store: &Store,
+    dataset: &str,
+    ts: u64,
+    frame: &[u8],
+) -> (Response, Option<(String, u16)>) {
+    match decode_summary(frame) {
+        Err(e) => (Response::Err(format!("bad batch frame: {e}")), None),
+        Ok(batch) => match store.ingest(dataset, ts, batch) {
+            Err(e) => (Response::Err(e.to_string()), None),
+            Ok(window) => {
+                let series = (window.key.dataset.clone(), window.key.kind.tag());
+                (
+                    Response::Ingest {
+                        level: window.key.level,
+                        start: window.key.start,
+                        items: window.summary.item_count() as u64,
+                    },
+                    Some(series),
+                )
+            }
+        },
     }
 }
 
@@ -1513,17 +1963,34 @@ pub fn handle_request(store: &Store, req: Request) -> Response {
                 cached: answer.cached,
             },
         },
-        Request::Ingest { dataset, ts, frame } => match decode_summary(&frame) {
-            Err(e) => Response::Err(format!("bad batch frame: {e}")),
-            Ok(batch) => match store.ingest(&dataset, ts, batch) {
-                Err(e) => Response::Err(e.to_string()),
-                Ok(window) => Response::Ingest {
-                    level: window.key.level,
-                    start: window.key.start,
-                    items: window.summary.item_count() as u64,
-                },
+        Request::EstimateCov {
+            dataset,
+            kind,
+            query,
+            confidence,
+            time,
+        } => match store.estimate_with_coverage(&dataset, kind, &query, confidence, time) {
+            Err(e) => Response::Err(e.to_string()),
+            Ok((answer, coverage)) => Response::EstimateCov {
+                estimate: answer.estimate,
+                windows: answer.windows,
+                cached: answer.cached,
+                coverage,
             },
         },
+        // The daemon intercepts watches before they reach this dispatcher
+        // (registration lives on the connection); anyone else calling in
+        // has no connection to push to.
+        Request::Watch { .. } => Response::Err("watch requires a daemon connection".into()),
+        Request::PolicySet { dataset, policy } => match store.set_policy(&dataset, policy) {
+            Err(e) => Response::Err(e.to_string()),
+            Ok(()) => Response::PolicySet,
+        },
+        Request::PolicyShow { dataset } => Response::Policies(match dataset {
+            None => store.policies(),
+            Some(d) => store.policy(&d).map(|p| (d, p)).into_iter().collect(),
+        }),
+        Request::Ingest { dataset, ts, frame } => ingest_response(store, &dataset, ts, &frame).0,
         Request::List => Response::List(store.list()),
         Request::Stats => Response::Stats(store.stats()),
         Request::Metrics => Response::Metrics(store.obs().snapshot()),

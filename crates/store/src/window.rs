@@ -228,6 +228,59 @@ mod tests {
     }
 
     #[test]
+    fn boundary_alignment_at_epoch_edges() {
+        // Tick 0 is its own minute, hour, and day boundary.
+        for l in Level::all() {
+            assert_eq!(l.window_start(0), 0);
+            assert_eq!(l.window_start(l.span() - 1), 0);
+            assert_eq!(l.window_start(l.span()), l.span());
+        }
+        // The last tick of a day belongs to that day at every level.
+        let last = 86_400 - 1;
+        assert_eq!(Level::Minute.window_start(last), 86_340);
+        assert_eq!(Level::Hour.window_start(last), 82_800);
+        assert_eq!(Level::Day.window_start(last), 0);
+        // One tick later everything rolls over together.
+        for l in Level::all() {
+            assert_eq!(l.window_start(86_400), 86_400);
+        }
+        // Minute → hour → day nesting: a child window never straddles its
+        // parent's boundary (ticks, not civil time — no DST to worry about).
+        for ts in [
+            0,
+            59,
+            60,
+            3_599,
+            3_600,
+            86_399,
+            86_400,
+            90_061,
+            253_402_300_799,
+        ] {
+            let m = WindowKey::minute("web", SummaryKind::Sample, ts);
+            let h = m.parent().unwrap();
+            let d = h.parent().unwrap();
+            assert!(
+                h.start <= m.start && m.end() <= h.end(),
+                "minute in hour at {ts}"
+            );
+            assert!(
+                d.start <= h.start && h.end() <= d.end(),
+                "hour in day at {ts}"
+            );
+            assert_eq!(m.start % 60, 0);
+            assert_eq!(h.start % 3_600, 0);
+            assert_eq!(d.start % 86_400, 0);
+        }
+        // window_start is idempotent and never overflows at u64::MAX.
+        for l in Level::all() {
+            let s = l.window_start(u64::MAX);
+            assert_eq!(l.window_start(s), s);
+            assert!(s <= u64::MAX - (u64::MAX % l.span()));
+        }
+    }
+
+    #[test]
     fn dataset_validation() {
         assert!(valid_dataset("web-requests_2026"));
         assert!(!valid_dataset(""));

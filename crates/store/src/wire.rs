@@ -11,6 +11,7 @@ use sas_codec::{encode_frame, open_frame, proto, CodecError, Reader, Writer};
 use sas_obs::{HistogramSnapshot, MetricsReport};
 use sas_summaries::{Estimate, Query, SummaryKind};
 
+use crate::policy::{Coverage, Policy};
 use crate::window::{Level, WindowKey};
 
 /// A client→daemon request.
@@ -43,6 +44,51 @@ pub enum Request {
         confidence: f64,
         /// Optional closed tick interval filtering windows.
         time: Option<(u64, u64)>,
+    },
+    /// [`Request::Estimate`] with a gap report: the answer additionally
+    /// names which stretches of the requested span were missing or expired
+    /// by retention. Same body layout as the plain estimate under its own
+    /// tag; the plain tags stay answered bit-identically.
+    EstimateCov {
+        /// Dataset name.
+        dataset: String,
+        /// Series kind.
+        kind: SummaryKind,
+        /// The query.
+        query: Query,
+        /// Confidence for the returned interval.
+        confidence: f64,
+        /// Optional closed tick interval filtering windows.
+        time: Option<(u64, u64)>,
+    },
+    /// Register a live subscription for a canonical query on this
+    /// connection. Acknowledged with a watch id; afterwards every sealed
+    /// ingest batch touching the series triggers an unsolicited
+    /// [`WatchUpdate`] push frame on the connection.
+    Watch {
+        /// Dataset name.
+        dataset: String,
+        /// Series kind.
+        kind: SummaryKind,
+        /// The query.
+        query: Query,
+        /// Confidence for pushed intervals.
+        confidence: f64,
+        /// Optional closed tick interval filtering windows.
+        time: Option<(u64, u64)>,
+    },
+    /// Install (or clear, when the policy is empty) a dataset's lifecycle
+    /// policy.
+    PolicySet {
+        /// Dataset name.
+        dataset: String,
+        /// The policy to install.
+        policy: Policy,
+    },
+    /// Read back installed lifecycle policies, optionally for one dataset.
+    PolicyShow {
+        /// Restrict to one dataset (`None` lists all).
+        dataset: Option<String>,
     },
     /// Merge a batch summary (a complete summary frame) into the minute
     /// window containing `ts`.
@@ -103,6 +149,28 @@ pub enum Response {
         /// Whether the answer came from the LRU cache.
         cached: bool,
     },
+    /// Answer to [`Request::EstimateCov`]: the estimate plus its gap
+    /// report.
+    EstimateCov {
+        /// The estimate.
+        estimate: Estimate,
+        /// Windows consulted.
+        windows: u64,
+        /// Whether the answer came from the LRU cache.
+        cached: bool,
+        /// Which parts of the requested span had no data, and why.
+        coverage: Coverage,
+    },
+    /// Answer to [`Request::Watch`]: the subscription is registered.
+    Watch {
+        /// Daemon-assigned watch id, echoed by every push for it.
+        watch_id: u64,
+    },
+    /// Answer to [`Request::PolicySet`]: the policy is persisted.
+    PolicySet,
+    /// Answer to [`Request::PolicyShow`]: `(dataset, policy)` rows in
+    /// dataset order.
+    Policies(Vec<(String, Policy)>),
     /// Answer to [`Request::Ingest`]: where the batch landed.
     Ingest {
         /// Window level (always minute today).
@@ -164,16 +232,47 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             query,
             confidence,
             time,
-        } => encode_frame(proto::REQ_ESTIMATE, |w| {
-            w.section(1, |w| {
-                w.put_str(dataset);
-                w.put_u16(kind.tag());
-                w.put_f64(*confidence);
-                put_time(w, *time);
+        } => encode_estimate_shape(
+            proto::REQ_ESTIMATE,
+            dataset,
+            *kind,
+            query,
+            *confidence,
+            *time,
+        ),
+        Request::EstimateCov {
+            dataset,
+            kind,
+            query,
+            confidence,
+            time,
+        } => encode_estimate_shape(
+            proto::REQ_ESTIMATE_COV,
+            dataset,
+            *kind,
+            query,
+            *confidence,
+            *time,
+        ),
+        Request::Watch {
+            dataset,
+            kind,
+            query,
+            confidence,
+            time,
+        } => encode_estimate_shape(proto::REQ_WATCH, dataset, *kind, query, *confidence, *time),
+        Request::PolicySet { dataset, policy } => encode_frame(proto::REQ_POLICY_SET, |w| {
+            w.section(1, |w| w.put_str(dataset));
+            w.section(2, |w| policy.write_wire(w));
+        }),
+        Request::PolicyShow { dataset } => encode_frame(proto::REQ_POLICY_SHOW, |w| {
+            w.section(1, |w| match dataset {
+                Some(d) => {
+                    w.put_u8(1);
+                    w.put_str(d);
+                }
+                None => w.put_u8(0),
             });
-            // The query travels as its own sections (the same body layout
-            // as a standalone TAG_QUERY frame).
-            query.write_wire(w);
         }),
         Request::Ingest { dataset, ts, frame } => encode_frame(proto::REQ_INGEST, |w| {
             w.section(1, |w| {
@@ -221,19 +320,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
             }
         }
         proto::REQ_ESTIMATE => {
-            let mut meta = frame.body.expect_section(1)?;
-            let dataset = meta.get_str()?;
-            let tag = meta.get_u16()?;
-            let kind = SummaryKind::from_tag(tag).ok_or(CodecError::UnknownKind(tag))?;
-            let confidence = meta.get_finite_f64()?;
-            if !(0.0..=1.0).contains(&confidence) {
-                return Err(CodecError::Invalid(format!(
-                    "confidence {confidence} outside [0, 1]"
-                )));
-            }
-            let time = get_time(&mut meta)?;
-            meta.finish()?;
-            let query = Query::read_wire(&mut frame.body)?;
+            let (dataset, kind, query, confidence, time) = read_estimate_shape(&mut frame.body)?;
             Request::Estimate {
                 dataset,
                 kind,
@@ -241,6 +328,49 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
                 confidence,
                 time,
             }
+        }
+        proto::REQ_ESTIMATE_COV => {
+            let (dataset, kind, query, confidence, time) = read_estimate_shape(&mut frame.body)?;
+            Request::EstimateCov {
+                dataset,
+                kind,
+                query,
+                confidence,
+                time,
+            }
+        }
+        proto::REQ_WATCH => {
+            let (dataset, kind, query, confidence, time) = read_estimate_shape(&mut frame.body)?;
+            Request::Watch {
+                dataset,
+                kind,
+                query,
+                confidence,
+                time,
+            }
+        }
+        proto::REQ_POLICY_SET => {
+            let mut sec = frame.body.expect_section(1)?;
+            let dataset = sec.get_str()?;
+            sec.finish()?;
+            let mut sec = frame.body.expect_section(2)?;
+            let policy = Policy::read_wire(&mut sec)?;
+            sec.finish()?;
+            Request::PolicySet { dataset, policy }
+        }
+        proto::REQ_POLICY_SHOW => {
+            let mut sec = frame.body.expect_section(1)?;
+            let dataset = match sec.get_u8()? {
+                0 => None,
+                1 => Some(sec.get_str()?),
+                other => {
+                    return Err(CodecError::Invalid(format!(
+                        "bad dataset-filter flag {other}"
+                    )))
+                }
+            };
+            sec.finish()?;
+            Request::PolicyShow { dataset }
         }
         proto::REQ_INGEST => {
             let mut meta = frame.body.expect_section(1)?;
@@ -295,6 +425,34 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             // The estimate travels as its own section (the same body
             // layout as a standalone TAG_ESTIMATE frame).
             estimate.write_wire(w);
+        }),
+        Response::EstimateCov {
+            estimate,
+            windows,
+            cached,
+            coverage,
+        } => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| {
+                w.put_u64(*windows);
+                w.put_u8(*cached as u8);
+            });
+            estimate.write_wire(w);
+            w.section(3, |w| coverage.write_wire(w));
+        }),
+        Response::Watch { watch_id } => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| w.put_u64(*watch_id));
+        }),
+        Response::PolicySet => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |_| {});
+        }),
+        Response::Policies(rows) => encode_frame(proto::RESP_OK, |w| {
+            w.section(1, |w| {
+                w.put_u64(rows.len() as u64);
+                for (dataset, policy) in rows {
+                    w.put_str(dataset);
+                    policy.write_wire(w);
+                }
+            });
         }),
         Response::Ingest {
             level,
@@ -405,6 +563,42 @@ pub fn decode_response(bytes: &[u8], request_tag: u16) -> Result<Response, Codec
                 cached,
             });
         }
+        proto::REQ_ESTIMATE_COV => {
+            let windows = sec.get_u64()?;
+            let cached = sec.get_u8()? != 0;
+            sec.finish()?;
+            let estimate = Estimate::read_wire(&mut frame.body)?;
+            let mut cov = frame.body.expect_section(3)?;
+            let coverage = Coverage::read_wire(&mut cov)?;
+            cov.finish()?;
+            frame.body.finish()?;
+            return Ok(Response::EstimateCov {
+                estimate,
+                windows,
+                cached,
+                coverage,
+            });
+        }
+        proto::REQ_WATCH => Response::Watch {
+            watch_id: sec.get_u64()?,
+        },
+        proto::REQ_POLICY_SET => Response::PolicySet,
+        proto::REQ_POLICY_SHOW => {
+            // Smallest row: 1-byte dataset + two option flags + empty map.
+            let n = sec.get_len(8 + 1 + 1 + 1 + 8)?;
+            let mut rows = Vec::with_capacity(n);
+            let mut prev: Option<String> = None;
+            for _ in 0..n {
+                let dataset = sec.get_str()?;
+                if prev.as_deref().is_some_and(|p| p >= dataset.as_str()) {
+                    return Err(CodecError::Invalid("policy rows out of order".into()));
+                }
+                let policy = Policy::read_wire(&mut sec)?;
+                prev = Some(dataset.clone());
+                rows.push((dataset, policy));
+            }
+            Response::Policies(rows)
+        }
         proto::REQ_INGEST => {
             let tag = sec.get_u8()?;
             Response::Ingest {
@@ -510,6 +704,112 @@ pub fn decode_response(bytes: &[u8], request_tag: u16) -> Result<Response, Codec
     Ok(resp)
 }
 
+/// The shared body of the estimate-shaped requests ([`Request::Estimate`],
+/// [`Request::EstimateCov`], [`Request::Watch`]): one meta section, then
+/// the query as its own sections (the same body layout as a standalone
+/// `TAG_QUERY` frame).
+fn encode_estimate_shape(
+    tag: u16,
+    dataset: &str,
+    kind: SummaryKind,
+    query: &Query,
+    confidence: f64,
+    time: Option<(u64, u64)>,
+) -> Vec<u8> {
+    encode_frame(tag, |w| {
+        w.section(1, |w| {
+            w.put_str(dataset);
+            w.put_u16(kind.tag());
+            w.put_f64(confidence);
+            put_time(w, time);
+        });
+        query.write_wire(w);
+    })
+}
+
+type EstimateShape = (String, SummaryKind, Query, f64, Option<(u64, u64)>);
+
+fn read_estimate_shape(body: &mut Reader<'_>) -> Result<EstimateShape, CodecError> {
+    let mut meta = body.expect_section(1)?;
+    let dataset = meta.get_str()?;
+    let tag = meta.get_u16()?;
+    let kind = SummaryKind::from_tag(tag).ok_or(CodecError::UnknownKind(tag))?;
+    let confidence = meta.get_finite_f64()?;
+    if !(0.0..=1.0).contains(&confidence) {
+        return Err(CodecError::Invalid(format!(
+            "confidence {confidence} outside [0, 1]"
+        )));
+    }
+    let time = get_time(&mut meta)?;
+    meta.finish()?;
+    let query = Query::read_wire(body)?;
+    Ok((dataset, kind, query, confidence, time))
+}
+
+/// One unsolicited push for a registered watch: the subscription's query
+/// re-answered against the snapshot a sealed ingest batch published.
+/// Values are bit-identical to polling the same canonical query — pushes
+/// go through the store's one estimate path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchUpdate {
+    /// The subscription this update belongs to.
+    pub watch_id: u64,
+    /// Snapshot version the update was computed against.
+    pub version: u64,
+    /// Windows consulted.
+    pub windows: u64,
+    /// The estimate.
+    pub estimate: Estimate,
+    /// Gap report for the watched span against the same snapshot.
+    pub coverage: Coverage,
+}
+
+/// Encodes a [`WatchUpdate`] as an unsolicited `RESP_PUSH` frame.
+pub fn encode_push(update: &WatchUpdate) -> Vec<u8> {
+    encode_frame(proto::RESP_PUSH, |w| {
+        w.section(1, |w| {
+            w.put_u64(update.watch_id);
+            w.put_u64(update.version);
+            w.put_u64(update.windows);
+        });
+        update.estimate.write_wire(w);
+        w.section(3, |w| update.coverage.write_wire(w));
+    })
+}
+
+/// Decodes a `RESP_PUSH` frame (never panics on hostile input).
+pub fn decode_push(bytes: &[u8]) -> Result<WatchUpdate, CodecError> {
+    let mut frame = open_frame(bytes)?;
+    if frame.kind != proto::RESP_PUSH {
+        return Err(CodecError::UnknownKind(frame.kind));
+    }
+    let mut sec = frame.body.expect_section(1)?;
+    let watch_id = sec.get_u64()?;
+    let version = sec.get_u64()?;
+    let windows = sec.get_u64()?;
+    sec.finish()?;
+    let estimate = Estimate::read_wire(&mut frame.body)?;
+    let mut cov = frame.body.expect_section(3)?;
+    let coverage = Coverage::read_wire(&mut cov)?;
+    cov.finish()?;
+    frame.body.finish()?;
+    Ok(WatchUpdate {
+        watch_id,
+        version,
+        windows,
+        estimate,
+        coverage,
+    })
+}
+
+/// Cheap check whether a received message is an unsolicited push (watch
+/// clients interleave pushes with request replies on one connection).
+pub fn is_push(bytes: &[u8]) -> bool {
+    open_frame(bytes)
+        .map(|f| f.kind == proto::RESP_PUSH)
+        .unwrap_or(false)
+}
+
 fn put_time(w: &mut Writer, time: Option<(u64, u64)>) {
     match time {
         None => w.put_u8(0),
@@ -570,6 +870,54 @@ mod tests {
                     time: None,
                 },
                 proto::REQ_ESTIMATE,
+            ),
+            (
+                Request::EstimateCov {
+                    dataset: "web".into(),
+                    kind: SummaryKind::Sample,
+                    query: Query::BoxRange(vec![(0, 99)]),
+                    confidence: 0.9,
+                    time: Some((0, 239)),
+                },
+                proto::REQ_ESTIMATE_COV,
+            ),
+            (
+                Request::Watch {
+                    dataset: "web".into(),
+                    kind: SummaryKind::Sample,
+                    query: Query::Total,
+                    confidence: 0.95,
+                    time: None,
+                },
+                proto::REQ_WATCH,
+            ),
+            (
+                Request::PolicySet {
+                    dataset: "web".into(),
+                    policy: Policy {
+                        compact_after: Some(60),
+                        retention_ttl: Some(120),
+                        per_kind_budget: [(SummaryKind::Sample.tag(), 64)].into_iter().collect(),
+                    },
+                },
+                proto::REQ_POLICY_SET,
+            ),
+            (
+                Request::PolicySet {
+                    dataset: "web".into(),
+                    policy: Policy::default(),
+                },
+                proto::REQ_POLICY_SET,
+            ),
+            (
+                Request::PolicyShow {
+                    dataset: Some("web".into()),
+                },
+                proto::REQ_POLICY_SHOW,
+            ),
+            (
+                Request::PolicyShow { dataset: None },
+                proto::REQ_POLICY_SHOW,
             ),
             (
                 Request::Ingest {
@@ -650,6 +998,69 @@ mod tests {
                 proto::REQ_ESTIMATE,
             ),
             (
+                Response::EstimateCov {
+                    estimate: Estimate {
+                        value: 10.0,
+                        variance: 1.0,
+                        lower: 8.0,
+                        upper: 12.0,
+                        confidence: 0.9,
+                    },
+                    windows: 2,
+                    cached: true,
+                    coverage: Coverage {
+                        requested: Some((0, 299)),
+                        gaps: vec![
+                            crate::policy::Gap {
+                                start: 0,
+                                end: 119,
+                                expired: true,
+                            },
+                            crate::policy::Gap {
+                                start: 240,
+                                end: 299,
+                                expired: false,
+                            },
+                        ],
+                    },
+                },
+                proto::REQ_ESTIMATE_COV,
+            ),
+            (
+                Response::EstimateCov {
+                    estimate: Estimate::exact(0.0),
+                    windows: 0,
+                    cached: false,
+                    coverage: Coverage::default(),
+                },
+                proto::REQ_ESTIMATE_COV,
+            ),
+            (Response::Watch { watch_id: 7 }, proto::REQ_WATCH),
+            (Response::PolicySet, proto::REQ_POLICY_SET),
+            (
+                Response::Policies(vec![
+                    (
+                        "app".into(),
+                        Policy {
+                            retention_ttl: Some(3600),
+                            ..Policy::default()
+                        },
+                    ),
+                    (
+                        "web".into(),
+                        Policy {
+                            compact_after: Some(60),
+                            retention_ttl: Some(120),
+                            per_kind_budget: [(SummaryKind::Sample.tag(), 64)]
+                                .into_iter()
+                                .collect(),
+                        },
+                    ),
+                ]),
+                proto::REQ_POLICY_SHOW,
+            ),
+            (Response::Policies(vec![]), proto::REQ_POLICY_SHOW),
+            (
                 Response::Ingest {
                     level: Level::Minute,
                     start: 60,
@@ -694,6 +1105,56 @@ mod tests {
         for (resp, tag) in response_fixtures() {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes, tag).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    fn push_fixture() -> WatchUpdate {
+        WatchUpdate {
+            watch_id: 3,
+            version: 41,
+            windows: 2,
+            estimate: Estimate {
+                value: 99.5,
+                variance: 4.0,
+                lower: 90.0,
+                upper: 109.0,
+                confidence: 0.95,
+            },
+            coverage: Coverage {
+                requested: Some((0, 179)),
+                gaps: vec![crate::policy::Gap {
+                    start: 0,
+                    end: 59,
+                    expired: true,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn push_frames_roundtrip_and_are_distinguishable() {
+        let update = push_fixture();
+        let bytes = encode_push(&update);
+        assert!(is_push(&bytes));
+        assert_eq!(decode_push(&bytes).unwrap(), update);
+        // Ordinary responses are not pushes, and vice versa.
+        let ok = encode_response(&Response::Pong);
+        assert!(!is_push(&ok));
+        assert!(decode_push(&ok).is_err());
+        assert!(decode_response(&bytes, proto::REQ_PING).is_err());
+    }
+
+    #[test]
+    fn hostile_push_frames_never_panic() {
+        let bytes = encode_push(&push_fixture());
+        for len in 0..bytes.len() {
+            assert!(decode_push(&bytes[..len]).is_err(), "prefix {len}");
+            let _ = is_push(&bytes[..len]);
+        }
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(decode_push(&corrupt).is_err(), "bit {bit}");
         }
     }
 

@@ -1,0 +1,326 @@
+//! The dataset lifecycle contract: retention drops expired windows and
+//! seals them behind the ingest floor, coverage reports tell expired gaps
+//! from never-ingested ones, policies survive recovery, compaction cadence
+//! and budget clamps obey the per-dataset policy — and the whole pass
+//! commutes with crash recovery bit-for-bit across 30 seeded histories.
+
+mod util;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use sas_store::policy::{Gap, Policy};
+use sas_store::{Store, StoreConfig, StoreError};
+use sas_summaries::{Query, SummaryKind};
+use util::{batch, TempDir};
+
+fn ttl(ticks: u64) -> Policy {
+    Policy {
+        retention_ttl: Some(ticks),
+        ..Policy::default()
+    }
+}
+
+/// Every file under `dir`, relative path → bytes: the store's entire
+/// durable state, compared bit-for-bit by the commutativity test.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("read_dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).expect("read file"));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn retention_drops_expired_windows_and_floor_rejects_reingest() {
+    let dir = TempDir::new("retain-basic");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store.set_policy("web", ttl(120)).unwrap();
+    for start in [0u64, 60, 120, 180, 240] {
+        store.ingest("web", start, batch(start, 10, start)).unwrap();
+    }
+    // Watermark 300: minutes ending at 60/120/180 are ≥120 ticks behind.
+    assert_eq!(store.retain_once().unwrap(), 3);
+    let rows = store.list();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|r| r.key.start >= 180));
+    let expired = store
+        .stats()
+        .into_iter()
+        .find(|(k, _)| k == "expired_windows")
+        .unwrap()
+        .1;
+    assert_eq!(expired, 3);
+
+    // The dropped span is sealed: re-ingesting an expired tick must fail,
+    // otherwise retention order would be observable through resurrection.
+    match store.ingest("web", 0, batch(0, 10, 0)) {
+        Err(StoreError::Stale { floor, .. }) => assert_eq!(floor, 180),
+        other => panic!("re-ingest below the floor: {other:?}"),
+    }
+    // A second pass is a no-op — retention is idempotent at a watermark.
+    assert_eq!(store.retain_once().unwrap(), 0);
+    // Ticks at or above the floor still ingest.
+    store.ingest("web", 300, batch(300, 10, 300)).unwrap();
+}
+
+#[test]
+fn coverage_tells_expired_gaps_from_missing_ones() {
+    let dir = TempDir::new("coverage-gaps");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store.set_policy("web", ttl(120)).unwrap();
+    for start in [0u64, 60, 120, 180, 240] {
+        store.ingest("web", start, batch(start, 10, start)).unwrap();
+    }
+    store.retain_once().unwrap();
+
+    // Below the retention floor (180) the gap is *expired*; past the live
+    // extent (300) it was simply never ingested.
+    let (_, cov) = store
+        .estimate_with_coverage(
+            "web",
+            SummaryKind::Sample,
+            &Query::Total,
+            0.95,
+            Some((0, 419)),
+        )
+        .unwrap();
+    assert_eq!(cov.requested, Some((0, 419)));
+    assert_eq!(
+        cov.gaps,
+        vec![
+            Gap {
+                start: 0,
+                end: 179,
+                expired: true
+            },
+            Gap {
+                start: 300,
+                end: 419,
+                expired: false
+            },
+        ]
+    );
+
+    // A span entirely inside the live windows is complete.
+    let (answer, cov) = store
+        .estimate_with_coverage(
+            "web",
+            SummaryKind::Sample,
+            &Query::Total,
+            0.95,
+            Some((180, 299)),
+        )
+        .unwrap();
+    assert!(cov.is_complete(), "live span reported gaps: {cov}");
+    assert_eq!(answer.windows, 2);
+
+    // The coverage-aware answer is the same estimate the plain path gives:
+    // gap reporting must not perturb the value.
+    let plain = store
+        .estimate(
+            "web",
+            SummaryKind::Sample,
+            &Query::Total,
+            0.95,
+            Some((180, 299)),
+        )
+        .unwrap();
+    assert_eq!(plain.estimate, answer.estimate);
+}
+
+#[test]
+fn policies_persist_across_reopen_and_empty_clears() {
+    let dir = TempDir::new("policy-persist");
+    let policy = Policy {
+        compact_after: Some(60),
+        retention_ttl: Some(3600),
+        per_kind_budget: [(SummaryKind::Sample.tag(), 64)].into_iter().collect(),
+    };
+    {
+        let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+        store.set_policy("web", policy.clone()).unwrap();
+        store.set_policy("app", ttl(60)).unwrap();
+    }
+    {
+        let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+        assert_eq!(store.policy("web"), Some(policy.clone()));
+        assert_eq!(
+            store.policies(),
+            vec![("app".into(), ttl(60)), ("web".into(), policy)]
+        );
+        // An empty policy clears the entry rather than storing a no-op.
+        store.set_policy("app", Policy::default()).unwrap();
+    }
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    assert_eq!(store.policy("app"), None);
+    assert_eq!(store.policies().len(), 1);
+}
+
+#[test]
+fn bad_policies_are_refused_before_persisting() {
+    let dir = TempDir::new("policy-invalid");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    let unknown_kind = Policy {
+        per_kind_budget: [(250u16, 64)].into_iter().collect(),
+        ..Policy::default()
+    };
+    assert!(store.set_policy("web", unknown_kind).is_err());
+    let zero_budget = Policy {
+        per_kind_budget: [(SummaryKind::Sample.tag(), 0)].into_iter().collect(),
+        ..Policy::default()
+    };
+    assert!(store.set_policy("web", zero_budget).is_err());
+    assert!(store.set_policy("no/slashes", ttl(60)).is_err());
+    assert_eq!(store.policies(), vec![]);
+}
+
+#[test]
+fn compact_after_delays_sealing_until_the_watermark_clears_it() {
+    let dir = TempDir::new("compact-cadence");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store
+        .set_policy(
+            "web",
+            Policy {
+                compact_after: Some(3600),
+                ..Policy::default()
+            },
+        )
+        .unwrap();
+    // A full hour of minutes plus two stragglers: watermark 3720. Without
+    // the policy, hour 0 (end 3600) would seal now.
+    for start in (0..3720).step_by(60) {
+        store.ingest("web", start, batch(start, 4, start)).unwrap();
+    }
+    assert_eq!(store.compact_once().unwrap(), 0, "sealed inside the delay");
+    // Advance the watermark to 7200 = hour 0 end + compact_after: now the
+    // hour seals (and only that one — hour 1 is still open).
+    store.ingest("web", 7140, batch(7140, 4, 7140)).unwrap();
+    assert!(store.compact_once().unwrap() >= 1);
+    assert!(store
+        .list()
+        .iter()
+        .any(|r| r.key.level == sas_store::window::Level::Hour && r.key.start == 0));
+}
+
+#[test]
+fn policy_budget_clamps_ingest_merges_per_kind() {
+    let dir = TempDir::new("budget-clamp");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store
+        .set_policy(
+            "web",
+            Policy {
+                per_kind_budget: [(SummaryKind::Sample.tag(), 8)].into_iter().collect(),
+                ..Policy::default()
+            },
+        )
+        .unwrap();
+    // Two 32-row batches into the same minute for each dataset: the merge
+    // clamps "web" to its policy budget; "free" keeps every row.
+    for ds in ["web", "free"] {
+        store.ingest(ds, 0, batch(0, 32, 1)).unwrap();
+        store.ingest(ds, 10, batch(100, 32, 2)).unwrap();
+    }
+    let items = |ds: &str| {
+        store
+            .list()
+            .iter()
+            .find(|r| r.key.dataset == ds)
+            .unwrap()
+            .items
+    };
+    assert_eq!(items("web"), 8);
+    assert_eq!(items("free"), 64);
+}
+
+#[test]
+fn lifecycle_tick_expires_before_it_seals() {
+    let dir = TempDir::new("tick-order");
+    let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+    store.set_policy("web", ttl(120)).unwrap();
+    // Hour 0 complete plus minutes 3600 and 3660: watermark 3720. Every
+    // minute ending ≤3600 is expired; a compaction-first tick would have
+    // sealed them into an hour window instead.
+    for start in (0..3720).step_by(60) {
+        store.ingest("web", start, batch(start, 4, start)).unwrap();
+    }
+    let stats = store.lifecycle_tick().unwrap();
+    assert_eq!(stats.expired, 60);
+    assert_eq!(stats.rollups, 0, "expired minutes must not be sealed");
+    let rows = store.list();
+    assert_eq!(rows.len(), 2);
+    assert!(rows
+        .iter()
+        .all(|r| r.key.level == sas_store::window::Level::Minute && r.key.start >= 3600));
+}
+
+/// Retention-then-recovery must equal recovery-then-retention, bit for bit,
+/// across 30 seeded ingest histories: the pass is a pure function of the
+/// persisted state (watermarks, floors, policies), never of process
+/// lifetime. Compares the *entire* store directory — manifest and frames.
+#[test]
+fn retention_commutes_with_recovery_across_30_seeds() {
+    for seed in 0u64..30 {
+        let minutes = 3 + seed % 6;
+        let ttl_ticks = 60 * (1 + seed % 3);
+        let datasets: &[&str] = if seed % 2 == 0 {
+            &["web"]
+        } else {
+            &["web", "app"]
+        };
+        let run = |retain_before_reopen: bool| -> BTreeMap<String, Vec<u8>> {
+            let dir = TempDir::new(&format!("commute-{seed}-{retain_before_reopen}"));
+            {
+                let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+                for ds in datasets {
+                    store.set_policy(ds, ttl(ttl_ticks)).unwrap();
+                    for i in 0..minutes {
+                        let start = i * 60;
+                        store
+                            .ingest(ds, start, batch(start, 5 + seed % 4, seed ^ start))
+                            .unwrap();
+                    }
+                }
+                if retain_before_reopen {
+                    store.retain_once().unwrap();
+                }
+            }
+            let store = Store::open(dir.path(), StoreConfig::default()).unwrap();
+            if !retain_before_reopen {
+                store.retain_once().unwrap();
+            }
+            // Queries after either order agree too (cheap sanity on top of
+            // the byte compare).
+            let _ = store.estimate("web", SummaryKind::Sample, &Query::Total, 0.95, None);
+            dir_bytes(dir.path())
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(
+            a.keys().collect::<Vec<_>>(),
+            b.keys().collect::<Vec<_>>(),
+            "seed {seed}: surviving files differ"
+        );
+        for (path, bytes) in &a {
+            assert_eq!(
+                bytes, &b[path],
+                "seed {seed}: {path} differs between retention orders"
+            );
+        }
+    }
+}

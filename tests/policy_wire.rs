@@ -1,0 +1,254 @@
+//! Wire-format certification for the lifecycle protocol: committed golden
+//! frames pin the `REQ_ESTIMATE_COV`, `REQ_WATCH`, `REQ_POLICY_SET`,
+//! `REQ_POLICY_SHOW`, and `RESP_PUSH` encodings (tests/golden/policy_*.sas,
+//! watch_*.sas), and bit-flip/truncation sweeps mirror tests/query_wire.rs
+//! — a corrupted frame must surface as `Err`, never a panic. The fixtures
+//! exercise every layer of the new layouts: a policy with all three knobs
+//! set, an empty policy list, a coverage report with both expired and
+//! missing gaps, and a push frame carrying estimate plus coverage.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```sh
+//! SAS_REGEN_GOLDEN=1 cargo test --test policy_wire
+//! ```
+
+use std::path::PathBuf;
+
+use structure_aware_sampling::codec::proto;
+use structure_aware_sampling::store::policy::{Coverage, Gap, Policy};
+use structure_aware_sampling::store::wire::{
+    decode_push, decode_request, decode_response, encode_push, encode_request, encode_response,
+    is_push, Request, Response, WatchUpdate,
+};
+use structure_aware_sampling::{Estimate, Query, SummaryKind};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// A policy with every knob set — all three wire branches non-empty.
+fn full_policy() -> Policy {
+    Policy {
+        compact_after: Some(60),
+        retention_ttl: Some(120),
+        per_kind_budget: [(SummaryKind::Sample.tag(), 64)].into_iter().collect(),
+    }
+}
+
+/// A coverage report with one expired and one missing gap — both flag
+/// values on the wire.
+fn full_coverage() -> Coverage {
+    Coverage {
+        requested: Some((0, 299)),
+        gaps: vec![
+            Gap {
+                start: 0,
+                end: 119,
+                expired: true,
+            },
+            Gap {
+                start: 240,
+                end: 299,
+                expired: false,
+            },
+        ],
+    }
+}
+
+fn estimate() -> Estimate {
+    Estimate {
+        value: 41.5,
+        variance: 2.25,
+        lower: 38.0,
+        upper: 47.0,
+        confidence: 0.9,
+    }
+}
+
+/// `(file, request tag to decode responses under, bytes)`; the push frame
+/// uses tag 0 as a marker — it decodes through `decode_push` instead.
+fn fixtures() -> Vec<(&'static str, u16, Vec<u8>)> {
+    vec![
+        (
+            "estimate_cov_req_v1.sas",
+            proto::REQ_ESTIMATE_COV,
+            encode_request(&Request::EstimateCov {
+                dataset: "web".into(),
+                kind: SummaryKind::Sample,
+                query: Query::BoxRange(vec![(0, 499)]),
+                confidence: 0.9,
+                time: Some((0, 299)),
+            }),
+        ),
+        (
+            "estimate_cov_resp_v1.sas",
+            proto::REQ_ESTIMATE_COV,
+            encode_response(&Response::EstimateCov {
+                estimate: estimate(),
+                windows: 2,
+                cached: false,
+                coverage: full_coverage(),
+            }),
+        ),
+        (
+            "watch_req_v1.sas",
+            proto::REQ_WATCH,
+            encode_request(&Request::Watch {
+                dataset: "web".into(),
+                kind: SummaryKind::Sample,
+                query: Query::Total,
+                confidence: 0.95,
+                time: None,
+            }),
+        ),
+        (
+            "watch_resp_v1.sas",
+            proto::REQ_WATCH,
+            encode_response(&Response::Watch { watch_id: 42 }),
+        ),
+        (
+            "policy_set_req_v1.sas",
+            proto::REQ_POLICY_SET,
+            encode_request(&Request::PolicySet {
+                dataset: "web".into(),
+                policy: full_policy(),
+            }),
+        ),
+        (
+            "policy_set_resp_v1.sas",
+            proto::REQ_POLICY_SET,
+            encode_response(&Response::PolicySet),
+        ),
+        (
+            "policy_show_req_v1.sas",
+            proto::REQ_POLICY_SHOW,
+            encode_request(&Request::PolicyShow { dataset: None }),
+        ),
+        (
+            "policy_show_resp_v1.sas",
+            proto::REQ_POLICY_SHOW,
+            encode_response(&Response::Policies(vec![
+                (
+                    "app".into(),
+                    Policy {
+                        retention_ttl: Some(3600),
+                        ..Policy::default()
+                    },
+                ),
+                ("web".into(), full_policy()),
+            ])),
+        ),
+        (
+            "watch_push_v1.sas",
+            0,
+            encode_push(&WatchUpdate {
+                watch_id: 42,
+                version: 7,
+                windows: 2,
+                estimate: estimate(),
+                coverage: full_coverage(),
+            }),
+        ),
+    ]
+}
+
+/// Whether `bytes` fails every decode path a peer could try on it.
+fn rejected(bytes: &[u8], tag: u16) -> bool {
+    if tag == 0 {
+        decode_push(bytes).is_err()
+    } else {
+        decode_request(bytes).is_err() && decode_response(bytes, tag).is_err()
+    }
+}
+
+#[test]
+fn golden_frames_pin_the_lifecycle_wire_format() {
+    let dir = golden_dir();
+    let regen = std::env::var_os("SAS_REGEN_GOLDEN").is_some();
+    for (file, _, bytes) in &fixtures() {
+        let path = dir.join(file);
+        if regen {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, bytes).expect("write golden file");
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{file}: missing golden file ({e}); see module docs"));
+        assert_eq!(
+            bytes, &committed,
+            "{file}: freshly encoded fixture drifted from the committed frame"
+        );
+    }
+    assert!(
+        !regen,
+        "golden files regenerated; rerun without SAS_REGEN_GOLDEN"
+    );
+}
+
+#[test]
+fn committed_frames_decode_to_the_fixtures() {
+    let dir = golden_dir();
+    let req = decode_request(&std::fs::read(dir.join("watch_req_v1.sas")).unwrap())
+        .expect("committed watch request decodes");
+    assert!(matches!(req, Request::Watch { .. }));
+    let resp = decode_response(
+        &std::fs::read(dir.join("estimate_cov_resp_v1.sas")).unwrap(),
+        proto::REQ_ESTIMATE_COV,
+    )
+    .expect("committed coverage response decodes");
+    match resp {
+        Response::EstimateCov { coverage, .. } => {
+            assert_eq!(coverage, full_coverage());
+            assert!(!coverage.is_complete());
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    let push_bytes = std::fs::read(dir.join("watch_push_v1.sas")).unwrap();
+    assert!(is_push(&push_bytes));
+    let push = decode_push(&push_bytes).expect("committed push decodes");
+    assert_eq!(push.watch_id, 42);
+    assert_eq!(push.estimate, estimate());
+}
+
+#[test]
+fn bit_flip_sweep_rejects_every_corruption() {
+    for (name, tag, bytes) in fixtures() {
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                rejected(&corrupt, tag),
+                "{name}: flipping bit {bit} of {} was not rejected",
+                bytes.len() * 8
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_sweep_rejects_every_prefix() {
+    for (name, tag, bytes) in fixtures() {
+        for len in 0..bytes.len() {
+            assert!(
+                rejected(&bytes[..len], tag),
+                "{name}: {len}-byte prefix was not rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn push_frames_are_not_responses_and_vice_versa() {
+    let push = fixtures().pop().unwrap().2;
+    for tag in [
+        proto::REQ_QUERY,
+        proto::REQ_ESTIMATE,
+        proto::REQ_ESTIMATE_COV,
+        proto::REQ_WATCH,
+    ] {
+        assert!(decode_response(&push, tag).is_err());
+    }
+    assert!(decode_push(&encode_response(&Response::PolicySet)).is_err());
+    assert!(!is_push(&encode_response(&Response::PolicySet)));
+}
